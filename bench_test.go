@@ -1,0 +1,312 @@
+package crowder
+
+// This file is the benchmark harness of deliverable (d): one testing.B
+// benchmark per table and figure of the paper's evaluation (Section 7),
+// plus the ablations DESIGN.md calls out and micro-benchmarks of the core
+// algorithms. Each experiment benchmark executes the same driver that
+// `cmd/experiments` uses to print the paper's rows/series; run
+//
+//	go test -bench=. -benchmem
+//
+// for timings, and `go run ./cmd/experiments` for the regenerated tables.
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/crowder/crowder/internal/aggregate"
+	"github.com/crowder/crowder/internal/dataset"
+	"github.com/crowder/crowder/internal/experiments"
+	"github.com/crowder/crowder/internal/hitgen"
+	"github.com/crowder/crowder/internal/packing"
+	"github.com/crowder/crowder/internal/record"
+	"github.com/crowder/crowder/internal/simjoin"
+)
+
+var (
+	benchOnce sync.Once
+	benchEnv  *experiments.Env
+)
+
+// env builds the shared experimental environment once, outside any
+// benchmark timing loop, and pre-warms the similarity-join cache so the
+// benchmarks measure the experiment driver, not dataset generation.
+func env(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchEnv = experiments.NewEnv(1)
+	})
+	return benchEnv
+}
+
+// --- Table 2: likelihood-threshold selection -------------------------------
+
+func BenchmarkTable2Restaurant(b *testing.B) {
+	e := env(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := e.Table2(e.Restaurant); len(r.Rows) != 6 {
+			b.Fatal("bad Table 2 result")
+		}
+	}
+}
+
+func BenchmarkTable2Product(b *testing.B) {
+	e := env(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := e.Table2(e.Product); len(r.Rows) != 6 {
+			b.Fatal("bad Table 2 result")
+		}
+	}
+}
+
+// --- Figure 10: #HITs vs likelihood threshold ------------------------------
+
+func BenchmarkFigure10Restaurant(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Figure10(e.Restaurant); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure10Product(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Figure10(e.Product); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 11: #HITs vs cluster-size threshold ----------------------------
+
+func BenchmarkFigure11Restaurant(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Figure11(e.Restaurant); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure11Product(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Figure11(e.Product); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 12: PR curves of the four ER techniques ------------------------
+
+func BenchmarkFigure12Restaurant(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Figure12(e.Restaurant, 0.35, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure12Product(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Figure12(e.Product, 0.2, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figures 13/14/15: pair-based vs cluster-based HITs --------------------
+
+func BenchmarkFigure13to15Product(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.PairVsCluster(e.Product, 0.2, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure13to15ProductDup(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.PairVsCluster(e.ProductDup, 0.2, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §4) ----------------------------------------------
+
+func BenchmarkAblationPacking(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.AblationPacking(e.Restaurant); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationSeed(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.AblationSeed(e.Restaurant); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationTieBreak(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.AblationTieBreak(e.Restaurant); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationEM(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.AblationEM(e.Restaurant, 0.35, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Micro-benchmarks of the core algorithms --------------------------------
+
+func BenchmarkSimJoinRestaurant(b *testing.B) {
+	d := dataset.Restaurant(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		simjoin.Join(d.Table, simjoin.Options{Threshold: 0.3})
+	}
+}
+
+func benchPairs(b *testing.B, tau float64) []record.Pair {
+	b.Helper()
+	d := dataset.Restaurant(1)
+	return simjoin.Pairs(simjoin.Join(d.Table, simjoin.Options{Threshold: tau}))
+}
+
+func BenchmarkTwoTieredGenerate(b *testing.B) {
+	pairs := benchPairs(b, 0.2)
+	gen := hitgen.TwoTiered{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gen.Generate(pairs, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkApproxGenerate(b *testing.B) {
+	pairs := benchPairs(b, 0.2)
+	gen := hitgen.Approx{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gen.Generate(pairs, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBFSGenerate(b *testing.B) {
+	pairs := benchPairs(b, 0.2)
+	gen := hitgen.BFS{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gen.Generate(pairs, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPackingSolve(b *testing.B) {
+	sizes := make([]int, 500)
+	for i := range sizes {
+		sizes[i] = 1 + i%10
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := packing.Solve(sizes, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDawidSkene(b *testing.B) {
+	// 3 workers × 2000 pairs of synthetic answers.
+	var answers []aggregate.Answer
+	for i := 0; i < 2000; i++ {
+		p := record.MakePair(record.ID(2*i), record.ID(2*i+1))
+		for w := 0; w < 3; w++ {
+			answers = append(answers, aggregate.Answer{
+				Pair: p, Worker: w, Match: (i+w)%3 == 0,
+			})
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		aggregate.DawidSkene(answers, aggregate.DawidSkeneOptions{})
+	}
+}
+
+func BenchmarkResolveTable1(b *testing.B) {
+	tab, oracle := paperTable()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Resolve(tab, Options{
+			Threshold: 0.3, ClusterSize: 4, Oracle: oracle, Seed: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionActiveVsHybrid(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.ActiveVsHybrid(e.Restaurant, 0.35, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionScale(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Scale([]int{858, 1716}, 0.2, 300); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

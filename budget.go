@@ -1,0 +1,115 @@
+package crowder
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// BudgetOptions configures ResolveWithBudget: the base workflow options
+// plus a dollar budget and the thresholds to consider.
+type BudgetOptions struct {
+	// Options carries the workflow configuration. Its Threshold field is
+	// ignored — the budget search chooses it.
+	Options
+	// BudgetDollars is the maximum crowd spend.
+	BudgetDollars float64
+	// Thresholds are the candidate likelihood thresholds, any order
+	// (default {0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.5}).
+	Thresholds []float64
+}
+
+// BudgetPlan describes the threshold the budget search selected.
+type BudgetPlan struct {
+	// Threshold is the chosen likelihood threshold (the lowest affordable
+	// one — lower thresholds retain more true matches, Section 9's
+	// cost/quality trade-off).
+	Threshold float64
+	// Estimate is the projected footprint at that threshold.
+	Estimate Estimate
+	// Considered lists every candidate threshold with its estimate, in
+	// ascending threshold order, for reporting.
+	Considered []ConsideredThreshold
+}
+
+// ConsideredThreshold is one budget-search candidate.
+type ConsideredThreshold struct {
+	Threshold float64
+	Estimate  Estimate
+	Fits      bool
+}
+
+// ErrBudgetTooSmall reports that no candidate threshold fits the budget.
+var ErrBudgetTooSmall = errors.New("crowder: no threshold fits the budget")
+
+// PlanBudget estimates every candidate threshold and selects the lowest
+// one whose projected cost fits the budget. It runs no crowd work.
+func PlanBudget(t *Table, opts BudgetOptions) (*BudgetPlan, error) {
+	if opts.BudgetDollars <= 0 {
+		return nil, errors.New("crowder: budget must be positive")
+	}
+	thresholds := opts.Thresholds
+	if len(thresholds) == 0 {
+		thresholds = []float64{0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.5}
+	}
+	sorted := append([]float64(nil), thresholds...)
+	sort.Float64s(sorted)
+
+	plan := &BudgetPlan{Threshold: -1}
+	anyWork := false
+	for _, tau := range sorted {
+		if tau <= 0 || tau > 1 {
+			return nil, fmt.Errorf("crowder: threshold %v outside (0, 1]", tau)
+		}
+		o := opts.Options
+		o.Threshold = tau
+		est, err := EstimateCost(t, o)
+		if err != nil {
+			return nil, err
+		}
+		fits := est.CostDollars <= opts.BudgetDollars
+		plan.Considered = append(plan.Considered, ConsideredThreshold{
+			Threshold: tau,
+			Estimate:  *est,
+			Fits:      fits,
+		})
+		if est.HITs > 0 {
+			anyWork = true
+		}
+		// Prefer the lowest affordable threshold that actually sends work
+		// to the crowd; a zero-HIT plan is free but achieves nothing.
+		if fits && est.HITs > 0 && plan.Threshold < 0 {
+			plan.Threshold = tau
+			plan.Estimate = *est
+		}
+	}
+	if plan.Threshold < 0 {
+		if anyWork {
+			return plan, ErrBudgetTooSmall
+		}
+		// No threshold produces crowd work at all: the trivial plan (the
+		// most permissive threshold) is correct — there is nothing to
+		// verify.
+		plan.Threshold = sorted[0]
+		plan.Estimate = plan.Considered[0].Estimate
+	}
+	return plan, nil
+}
+
+// ResolveWithBudget plans the cheapest threshold that maximizes attainable
+// recall within the budget (Section 9's future-work direction: "users may
+// wish to trade off cost, quality and latency"), then runs the hybrid
+// workflow there. The returned plan records every considered threshold.
+func ResolveWithBudget(t *Table, opts BudgetOptions) (*Result, *BudgetPlan, error) {
+	plan, err := PlanBudget(t, opts)
+	if err != nil {
+		return nil, plan, err
+	}
+	o := opts.Options
+	o.Threshold = plan.Threshold
+	res, err := Resolve(t, o)
+	if err != nil {
+		return nil, plan, err
+	}
+	return res, plan, nil
+}

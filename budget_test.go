@@ -1,0 +1,123 @@
+package crowder
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestPlanBudgetPicksLowestAffordable(t *testing.T) {
+	tab, _ := paperTable()
+	plan, err := PlanBudget(tab, BudgetOptions{
+		Options:       Options{ClusterSize: 4},
+		BudgetDollars: 100, // everything fits
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Threshold != 0.1 {
+		t.Errorf("with a huge budget the lowest threshold should win; got %v", plan.Threshold)
+	}
+	if len(plan.Considered) != 8 {
+		t.Errorf("considered %d thresholds; want the 8 defaults", len(plan.Considered))
+	}
+	for i := 1; i < len(plan.Considered); i++ {
+		if plan.Considered[i].Threshold < plan.Considered[i-1].Threshold {
+			t.Error("considered thresholds should be ascending")
+		}
+	}
+}
+
+func TestPlanBudgetTight(t *testing.T) {
+	tab, _ := paperTable()
+	// Find the cost at the highest threshold, then set the budget between
+	// the cheapest and the most expensive plan.
+	all, err := PlanBudget(tab, BudgetOptions{
+		Options:       Options{ClusterSize: 4},
+		BudgetDollars: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cheapest := all.Considered[len(all.Considered)-1].Estimate.CostDollars
+	dearest := all.Considered[0].Estimate.CostDollars
+	if cheapest >= dearest {
+		t.Skipf("degenerate cost spread on tiny table: %v vs %v", cheapest, dearest)
+	}
+	mid := (cheapest + dearest) / 2
+	plan, err := PlanBudget(tab, BudgetOptions{
+		Options:       Options{ClusterSize: 4},
+		BudgetDollars: mid,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Estimate.CostDollars > mid {
+		t.Errorf("chosen plan costs %v, over budget %v", plan.Estimate.CostDollars, mid)
+	}
+	if plan.Threshold <= all.Considered[0].Threshold {
+		t.Error("a tight budget should force a higher threshold than the most permissive")
+	}
+}
+
+func TestPlanBudgetTooSmall(t *testing.T) {
+	tab, _ := paperTable()
+	_, err := PlanBudget(tab, BudgetOptions{
+		Options:       Options{ClusterSize: 4},
+		BudgetDollars: 0.0001,
+	})
+	if !errors.Is(err, ErrBudgetTooSmall) {
+		t.Fatalf("err = %v; want ErrBudgetTooSmall", err)
+	}
+}
+
+func TestPlanBudgetErrors(t *testing.T) {
+	tab, _ := paperTable()
+	if _, err := PlanBudget(tab, BudgetOptions{BudgetDollars: 0}); err == nil {
+		t.Error("zero budget should error")
+	}
+	_, err := PlanBudget(tab, BudgetOptions{
+		BudgetDollars: 10,
+		Thresholds:    []float64{-0.5},
+	})
+	if err == nil {
+		t.Error("invalid threshold should error")
+	}
+}
+
+func TestResolveWithBudgetEndToEnd(t *testing.T) {
+	tab, oracle := paperTable()
+	res, plan, err := ResolveWithBudget(tab, BudgetOptions{
+		Options: Options{
+			ClusterSize: 4,
+			Oracle:      oracle,
+			Seed:        1,
+		},
+		BudgetDollars: 1.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CostDollars > 1.0 {
+		t.Errorf("spent %v, over the $1 budget", res.CostDollars)
+	}
+	if res.CostDollars != plan.Estimate.CostDollars {
+		t.Errorf("actual cost %v differs from planned %v", res.CostDollars, plan.Estimate.CostDollars)
+	}
+	if len(res.Accepted()) == 0 {
+		t.Error("budgeted run found no matches")
+	}
+}
+
+func TestResolveWithBudgetPropagatesPlanError(t *testing.T) {
+	tab, oracle := paperTable()
+	_, plan, err := ResolveWithBudget(tab, BudgetOptions{
+		Options:       Options{ClusterSize: 4, Oracle: oracle},
+		BudgetDollars: 0.0001,
+	})
+	if !errors.Is(err, ErrBudgetTooSmall) {
+		t.Fatalf("err = %v; want ErrBudgetTooSmall", err)
+	}
+	if plan == nil || len(plan.Considered) == 0 {
+		t.Error("plan with considered thresholds should be returned even on failure")
+	}
+}

@@ -1,0 +1,57 @@
+// Command calibrate inspects dataset calibration against Table 2 and
+// times the HIT generators — a development aid.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/crowder/crowder/internal/dataset"
+	"github.com/crowder/crowder/internal/hitgen"
+	"github.com/crowder/crowder/internal/simjoin"
+)
+
+func sweep(d *dataset.Dataset, cross bool) {
+	fmt.Println(d.Stats())
+	all := simjoin.Join(d.Table, simjoin.Options{Threshold: 0.1, CrossSourceOnly: cross})
+	for _, tau := range []float64{0.5, 0.4, 0.3, 0.2, 0.1} {
+		kept := simjoin.FilterThreshold(all, tau)
+		matches := 0
+		for _, sp := range kept {
+			if d.Matches.Has(sp.Pair.A, sp.Pair.B) {
+				matches++
+			}
+		}
+		fmt.Printf("  thr %.1f: total %7d  matches %4d  recall %.1f%%\n",
+			tau, len(kept), matches, 100*float64(matches)/float64(d.Matches.Len()))
+	}
+}
+
+func timeGens(d *dataset.Dataset, cross bool) {
+	all := simjoin.Join(d.Table, simjoin.Options{Threshold: 0.1, CrossSourceOnly: cross})
+	pairs := simjoin.Pairs(all)
+	gens := []hitgen.ClusterGenerator{
+		hitgen.Random{Seed: 1}, hitgen.DFS{}, hitgen.BFS{},
+		hitgen.Approx{}, hitgen.TwoTiered{},
+	}
+	for _, g := range gens {
+		t0 := time.Now()
+		hits, err := g.Generate(pairs, 10)
+		if err != nil {
+			fmt.Println(g.Name(), err)
+			continue
+		}
+		fmt.Printf("  %-16s %6d HITs in %v\n", g.Name(), len(hits), time.Since(t0).Round(time.Millisecond))
+	}
+}
+
+func main() {
+	rest := dataset.Restaurant(1)
+	prod := dataset.Product(1)
+	sweep(rest, false)
+	sweep(prod, true)
+	fmt.Println("generator timing, Restaurant @0.1:")
+	timeGens(rest, false)
+	fmt.Println("generator timing, Product @0.1:")
+	timeGens(prod, true)
+}

@@ -1,0 +1,138 @@
+// Command crowder runs the hybrid human–machine entity-resolution
+// workflow end to end on one of the built-in datasets and reports the
+// matches, cost and simulated latency.
+//
+// Usage:
+//
+//	crowder [-dataset restaurant|product|table1] [-threshold 0.3]
+//	        [-k 10] [-hit cluster|pair] [-gen twotiered|random|bfs|dfs|approx]
+//	        [-qt] [-seed 1] [-top 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	crowder "github.com/crowder/crowder"
+	"github.com/crowder/crowder/internal/dataset"
+	"github.com/crowder/crowder/internal/record"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("crowder: ")
+	var (
+		dsName    = flag.String("dataset", "table1", "dataset: restaurant, product, or table1")
+		threshold = flag.Float64("threshold", 0.3, "likelihood threshold for the machine pass")
+		k         = flag.Int("k", 10, "cluster-size threshold (records per cluster HIT / pairs per pair HIT)")
+		hitType   = flag.String("hit", "cluster", "HIT type: cluster or pair")
+		genName   = flag.String("gen", "twotiered", "cluster generator: twotiered, random, bfs, dfs, approx")
+		qt        = flag.Bool("qt", false, "require the qualification test")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		top       = flag.Int("top", 10, "accepted matches to print")
+	)
+	flag.Parse()
+
+	src, cross, err := loadDataset(*dsName, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	table := crowder.NewTable(src.Table.Schema...)
+	for i := range src.Table.Records {
+		if cross {
+			table.AppendFrom(src.Table.Source[i], src.Table.Records[i].Values...)
+		} else {
+			table.Append(src.Table.Records[i].Values...)
+		}
+	}
+	var oracle []crowder.Pair
+	for p := range src.Matches {
+		oracle = append(oracle, crowder.Pair{A: int(p.A), B: int(p.B)})
+	}
+
+	opts := crowder.Options{
+		Threshold:         *threshold,
+		ClusterSize:       *k,
+		QualificationTest: *qt,
+		CrossSourceOnly:   cross,
+		Oracle:            oracle,
+		Seed:              *seed,
+	}
+	switch strings.ToLower(*hitType) {
+	case "cluster":
+		opts.HITType = crowder.ClusterHITs
+	case "pair":
+		opts.HITType = crowder.PairHITs
+	default:
+		log.Fatalf("unknown HIT type %q", *hitType)
+	}
+	switch strings.ToLower(*genName) {
+	case "twotiered":
+		opts.Generator = crowder.GenTwoTiered
+	case "random":
+		opts.Generator = crowder.GenRandom
+	case "bfs":
+		opts.Generator = crowder.GenBFS
+	case "dfs":
+		opts.Generator = crowder.GenDFS
+	case "approx":
+		opts.Generator = crowder.GenApprox
+	default:
+		log.Fatalf("unknown generator %q", *genName)
+	}
+
+	fmt.Println(src.Stats())
+	res, err := crowder.Resolve(table, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("machine pass: %d of %d pairs survived threshold %.2f\n",
+		res.Candidates, res.TotalPairs, *threshold)
+	fmt.Printf("crowd: %d HITs, $%.2f, %.1f simulated minutes\n",
+		res.HITs, res.CostDollars, res.ElapsedSeconds/60)
+
+	accepted := res.Accepted()
+	correct := 0
+	for _, m := range accepted {
+		if src.Matches.Has(record.ID(m.Pair.A), record.ID(m.Pair.B)) {
+			correct++
+		}
+	}
+	if len(accepted) > 0 {
+		fmt.Printf("accepted %d pairs: precision %.1f%%, recall %.1f%%\n",
+			len(accepted),
+			100*float64(correct)/float64(len(accepted)),
+			100*float64(correct)/float64(src.Matches.Len()))
+	}
+	n := *top
+	if n > len(accepted) {
+		n = len(accepted)
+	}
+	for _, m := range accepted[:n] {
+		fmt.Printf("  %.2f  %q = %q\n", m.Confidence,
+			head(table.Record(m.Pair.A)), head(table.Record(m.Pair.B)))
+	}
+}
+
+func loadDataset(name string, seed int64) (*dataset.Dataset, bool, error) {
+	switch strings.ToLower(name) {
+	case "restaurant":
+		return dataset.Restaurant(seed), false, nil
+	case "product":
+		return dataset.Product(seed), true, nil
+	case "table1":
+		return dataset.PaperTable1(), false, nil
+	default:
+		return nil, false, fmt.Errorf("unknown dataset %q (want restaurant, product or table1)", name)
+	}
+}
+
+func head(values []string) string {
+	if len(values) == 0 {
+		return ""
+	}
+	return values[0]
+}

@@ -1,0 +1,118 @@
+// Command experiments regenerates the paper's evaluation: every table and
+// figure of Section 7, plus the ablations DESIGN.md calls out.
+//
+// Usage:
+//
+//	experiments [-run <id>] [-seed N]
+//
+// where <id> is one of: table2a, table2b, fig10, fig11, fig12a, fig12b,
+// fig13-15, extension, scale, ablations, all (default all).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/crowder/crowder/internal/dataset"
+	"github.com/crowder/crowder/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	run := flag.String("run", "all", "experiment id: table2a, table2b, fig10, fig11, fig12a, fig12b, fig13-15, extension, scale, ablations, all")
+	seed := flag.Int64("seed", 1, "base RNG seed")
+	flag.Parse()
+
+	env := experiments.NewEnv(*seed)
+	fmt.Println(env.Restaurant.Stats())
+	fmt.Println(env.Product.Stats())
+	fmt.Println(env.ProductDup.Stats())
+	fmt.Println()
+
+	want := func(id string) bool { return *run == "all" || *run == id }
+	start := time.Now()
+
+	if want("table2a") {
+		section(env.Table2(env.Restaurant).String())
+	}
+	if want("table2b") {
+		section(env.Table2(env.Product).String())
+	}
+	if want("fig10") {
+		for _, d := range []*dataset.Dataset{env.Restaurant, env.Product} {
+			r, err := env.Figure10(d)
+			check(err)
+			section(r.String())
+		}
+	}
+	if want("fig11") {
+		for _, d := range []*dataset.Dataset{env.Restaurant, env.Product} {
+			r, err := env.Figure11(d)
+			check(err)
+			section(r.String())
+		}
+	}
+	if want("fig12a") {
+		r, err := env.Figure12(env.Restaurant, 0.35, 10)
+		check(err)
+		section(r.String())
+	}
+	if want("fig12b") {
+		r, err := env.Figure12(env.Product, 0.2, 10)
+		check(err)
+		section(r.String())
+	}
+	if want("fig13-15") {
+		for _, d := range []*dataset.Dataset{env.Product, env.ProductDup} {
+			r, err := env.PairVsCluster(d, 0.2, 10)
+			check(err)
+			section(r.String())
+		}
+	}
+	if want("extension") {
+		for _, cfg := range []struct {
+			d   *dataset.Dataset
+			tau float64
+		}{{env.Restaurant, 0.35}, {env.Product, 0.2}} {
+			r, err := env.ActiveVsHybrid(cfg.d, cfg.tau, 10)
+			check(err)
+			section(r.String())
+		}
+	}
+	if want("scale") {
+		r, err := env.Scale([]int{858, 1716, 3432, 6864}, 0.2, 300)
+		check(err)
+		section(r.String())
+	}
+	if want("ablations") {
+		for _, d := range []*dataset.Dataset{env.Restaurant, env.Product} {
+			for _, f := range []func(*dataset.Dataset) (*experiments.AblationResult, error){
+				env.AblationPacking, env.AblationSeed, env.AblationTieBreak,
+			} {
+				r, err := f(d)
+				check(err)
+				section(r.String())
+			}
+		}
+		r, err := env.AblationEM(env.Restaurant, 0.35, 10)
+		check(err)
+		section(r.String())
+	}
+
+	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func section(s string) {
+	fmt.Println(s)
+}
+
+func check(err error) {
+	if err != nil {
+		log.Println(err)
+		os.Exit(1)
+	}
+}

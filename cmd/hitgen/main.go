@@ -1,0 +1,85 @@
+// Command hitgen compares the cluster-based HIT generation strategies
+// (Sections 4, 5 and 7.2) on a built-in dataset: number of HITs, worker
+// comparisons implied by the Section 6 model, and generation time.
+//
+// Usage:
+//
+//	hitgen [-dataset restaurant|product] [-threshold 0.1] [-k 10] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"github.com/crowder/crowder/internal/dataset"
+	"github.com/crowder/crowder/internal/hitgen"
+	"github.com/crowder/crowder/internal/simjoin"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hitgen: ")
+	var (
+		dsName    = flag.String("dataset", "restaurant", "dataset: restaurant or product")
+		threshold = flag.Float64("threshold", 0.1, "likelihood threshold")
+		k         = flag.Int("k", 10, "cluster-size threshold")
+		seed      = flag.Int64("seed", 1, "seed for the Random generator")
+	)
+	flag.Parse()
+
+	var d *dataset.Dataset
+	cross := false
+	switch strings.ToLower(*dsName) {
+	case "restaurant":
+		d = dataset.Restaurant(*seed)
+	case "product":
+		d = dataset.Product(*seed)
+		cross = true
+	default:
+		log.Fatalf("unknown dataset %q", *dsName)
+	}
+
+	scored := simjoin.Join(d.Table, simjoin.Options{Threshold: *threshold, CrossSourceOnly: cross})
+	pairs := simjoin.Pairs(scored)
+	fmt.Printf("%s, threshold %.2f: %d pairs to cover, k = %d\n\n",
+		d.Name, *threshold, len(pairs), *k)
+	fmt.Printf("%-16s %8s %14s %12s %10s\n", "Generator", "HITs", "Comparisons", "Time", "Valid")
+
+	gens := []hitgen.ClusterGenerator{
+		hitgen.Random{Seed: *seed},
+		hitgen.DFS{},
+		hitgen.BFS{},
+		hitgen.Approx{},
+		hitgen.TwoTiered{},
+		hitgen.TwoTiered{Pack: hitgen.PackFFD},
+	}
+	for _, g := range gens {
+		start := time.Now()
+		hits, err := g.Generate(pairs, *k)
+		elapsed := time.Since(start)
+		if err != nil {
+			log.Fatalf("%s: %v", g.Name(), err)
+		}
+		valid := "yes"
+		if err := hitgen.ValidateCover(pairs, hits, *k); err != nil {
+			valid = "NO: " + err.Error()
+		}
+		comps := hitgen.HITSetComparisons(hits, d.Matches)
+		fmt.Printf("%-16s %8d %14d %12s %10s\n",
+			g.Name(), len(hits), comps, elapsed.Round(time.Millisecond), valid)
+	}
+
+	// Pair-based reference: one comparison per pair, ⌈|P|/k⌉ HITs.
+	pairHITs, err := hitgen.GeneratePairHITs(pairs, *k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	total := 0
+	for _, h := range pairHITs {
+		total += hitgen.PairHITComparisons(h)
+	}
+	fmt.Printf("%-16s %8d %14d %12s %10s\n", "Pair-based", len(pairHITs), total, "-", "yes")
+}

@@ -1,0 +1,445 @@
+// Package crowder implements the hybrid human–machine entity-resolution
+// workflow of "CrowdER: Crowdsourcing Entity Resolution" (Wang, Kraska,
+// Franklin, Feng — PVLDB 5(11), 2012).
+//
+// The workflow (Figure 1 of the paper) runs in three stages:
+//
+//  1. A machine pass computes a likelihood for every candidate record pair
+//     (Jaccard similarity over the records' token sets) and discards pairs
+//     below a threshold.
+//  2. The surviving pairs are batched into HITs — pair-based (independent
+//     pairs per task) or cluster-based (groups of records in which the
+//     crowd finds all matches). Cluster-based HIT generation minimizes the
+//     number of tasks with the paper's two-tiered algorithm: greedy
+//     partitioning of large connected components plus cutting-stock
+//     packing of the small ones.
+//  3. The HITs are executed by a crowd (simulated here: this repository
+//     substitutes a worker-model simulator for Amazon Mechanical Turk),
+//     each HIT replicated across multiple workers, and the answers are
+//     combined with the Dawid–Skene EM algorithm into ranked match
+//     decisions.
+//
+// The minimal entry point is Resolve:
+//
+//	table := crowder.NewTable("name", "price")
+//	table.Append("iPad Two 16GB WiFi White", "$490")
+//	table.Append("iPad 2nd generation 16GB WiFi White", "$469")
+//	res, err := crowder.Resolve(table, crowder.Options{
+//		Threshold: 0.3,
+//		Oracle:    reference, // simulated-crowd ground truth
+//	})
+//
+// Because the crowd is simulated, callers provide an Oracle: the reference
+// labels the simulated workers perturb. In a live deployment the oracle is
+// replaced by real crowd answers; everything upstream (pruning, HIT
+// generation, aggregation) is unchanged.
+package crowder
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/crowder/crowder/internal/aggregate"
+	"github.com/crowder/crowder/internal/blocking"
+	"github.com/crowder/crowder/internal/crowd"
+	"github.com/crowder/crowder/internal/hitgen"
+	"github.com/crowder/crowder/internal/record"
+	"github.com/crowder/crowder/internal/simjoin"
+)
+
+// Table is a collection of records to de-duplicate. Records are dense
+// integer IDs in insertion order.
+type Table struct {
+	inner *record.Table
+}
+
+// NewTable creates a table with the given attribute names.
+func NewTable(schema ...string) *Table {
+	return &Table{inner: record.NewTable(schema...)}
+}
+
+// Append adds a record and returns its ID.
+func (t *Table) Append(values ...string) int {
+	return int(t.inner.Append(values...))
+}
+
+// AppendFrom adds a record tagged with a source index. When records come
+// from two sources (e.g. integrating two catalogs), set CrossSourceOnly in
+// Options so only cross-source pairs are considered.
+func (t *Table) AppendFrom(source int, values ...string) int {
+	return int(t.inner.AppendFrom(source, values...))
+}
+
+// Len returns the number of records.
+func (t *Table) Len() int { return t.inner.Len() }
+
+// Record returns the attribute values of the record with the given ID.
+func (t *Table) Record(id int) []string {
+	r := t.inner.Get(record.ID(id))
+	if r == nil {
+		return nil
+	}
+	out := make([]string, len(r.Values))
+	copy(out, r.Values)
+	return out
+}
+
+// Pair is an unordered pair of record IDs (A < B).
+type Pair struct {
+	A, B int
+}
+
+// HITType selects the task format sent to the crowd.
+type HITType int
+
+const (
+	// ClusterHITs batch up to ClusterSize records per task; workers find
+	// all matches within the group. This is the paper's preferred format.
+	ClusterHITs HITType = iota
+	// PairHITs batch ClusterSize individual pairs per task, each verified
+	// independently.
+	PairHITs
+)
+
+// Generator selects the cluster-based HIT generation strategy.
+type Generator int
+
+const (
+	// GenTwoTiered is the paper's contribution (Section 5) and the default.
+	GenTwoTiered Generator = iota
+	// GenRandom fills HITs with random pairs.
+	GenRandom
+	// GenBFS fills HITs in breadth-first graph order.
+	GenBFS
+	// GenDFS fills HITs in depth-first graph order.
+	GenDFS
+	// GenApprox is the k-clique-cover approximation algorithm (Section 4).
+	GenApprox
+)
+
+// CandidateSource selects how candidate pairs are generated before the
+// likelihood threshold is applied.
+type CandidateSource int
+
+const (
+	// SourceSimJoin uses the prefix-filtered similarity join (default).
+	SourceSimJoin CandidateSource = iota
+	// SourceTokenBlocking uses token blocking: records sharing at least
+	// one token become candidates, then candidates are Jaccard-scored.
+	// Complete for thresholds > 0; combined with MaxBlock it trades a
+	// little recall for scale (the paper's footnote 1 and the Section 9
+	// scaling direction).
+	SourceTokenBlocking
+)
+
+// Options configures Resolve.
+type Options struct {
+	// Threshold is the minimum machine likelihood (Jaccard similarity) for
+	// a pair to be sent to the crowd. Default 0.3.
+	Threshold float64
+	// Candidates selects the candidate-generation scheme (default
+	// SourceSimJoin).
+	Candidates CandidateSource
+	// MaxBlock, with SourceTokenBlocking, drops blocks larger than this
+	// many records (0 = no cap). Capping ubiquitous-token blocks is the
+	// standard blocking lever for very large tables.
+	MaxBlock int
+	// ClusterSize is k: the maximum records per cluster-based HIT, or
+	// pairs per pair-based HIT. Default 10.
+	ClusterSize int
+	// HITType selects cluster-based (default) or pair-based tasks.
+	HITType HITType
+	// Generator selects the cluster-based generation strategy
+	// (default GenTwoTiered). Ignored for pair-based HITs.
+	Generator Generator
+	// Assignments is the replication factor per HIT. Default 3.
+	Assignments int
+	// QualificationTest screens simulated workers through a three-pair
+	// test before they may work (Section 7.1).
+	QualificationTest bool
+	// CrossSourceOnly restricts candidates to pairs from different sources.
+	CrossSourceOnly bool
+	// Seed drives all simulation randomness. Runs are deterministic in
+	// (table, Options).
+	Seed int64
+	// Workers is the simulated crowd pool size. Default 120.
+	Workers int
+	// SpammerRate is the fraction of spammers in the pool. Default 0.12.
+	SpammerRate float64
+	// Oracle is the reference truth the simulated crowd perturbs: the set
+	// of genuinely matching pairs. Required (the simulator cannot invent
+	// human judgment). Pairs absent from the oracle are treated as
+	// non-matches.
+	Oracle []Pair
+	// MachineOnly skips the crowd entirely and returns the machine
+	// likelihood ranking (the "simjoin" baseline of Section 7.3).
+	MachineOnly bool
+}
+
+func (o *Options) defaults() {
+	if o.Threshold <= 0 {
+		o.Threshold = 0.3
+	}
+	if o.ClusterSize <= 0 {
+		o.ClusterSize = 10
+	}
+	if o.Assignments <= 0 {
+		o.Assignments = 3
+	}
+	if o.Workers <= 0 {
+		o.Workers = 120
+	}
+	if o.SpammerRate <= 0 {
+		o.SpammerRate = 0.12
+	}
+}
+
+// Match is one output pair with the workflow's confidence that it is a
+// true match (crowd posterior, or machine likelihood under MachineOnly).
+type Match struct {
+	Pair       Pair
+	Confidence float64
+}
+
+// Result is the outcome of the hybrid workflow.
+type Result struct {
+	// TotalPairs is the number of candidate pairs before pruning.
+	TotalPairs int
+	// Candidates is the number of pairs whose likelihood passed the
+	// threshold and were sent to the crowd.
+	Candidates int
+	// HITs is the number of tasks generated.
+	HITs int
+	// CostDollars is the simulated crowd cost (HITs × assignments ×
+	// $0.025, Section 7.1's AMT pricing).
+	CostDollars float64
+	// ElapsedSeconds is the simulated crowd completion time (makespan).
+	ElapsedSeconds float64
+	// Matches lists all judged pairs ranked by confidence descending.
+	// Callers typically keep those with Confidence ≥ 0.5.
+	Matches []Match
+}
+
+// Accepted returns the matches with confidence at least 0.5.
+func (r *Result) Accepted() []Match {
+	var out []Match
+	for _, m := range r.Matches {
+		if m.Confidence >= 0.5 {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Resolve runs the hybrid human–machine workflow on the table.
+func Resolve(t *Table, opts Options) (*Result, error) {
+	opts.defaults()
+	if t == nil || t.Len() == 0 {
+		return nil, errors.New("crowder: empty table")
+	}
+	if !opts.MachineOnly && opts.Oracle == nil {
+		return nil, errors.New("crowder: Options.Oracle is required (the simulated crowd needs reference labels); set MachineOnly for the pure machine baseline")
+	}
+
+	// Stage 1: machine pass.
+	scored, err := machinePass(t, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		TotalPairs: totalPairs(t, opts.CrossSourceOnly),
+		Candidates: len(scored),
+	}
+	if opts.MachineOnly {
+		for _, sp := range scored {
+			res.Matches = append(res.Matches, Match{
+				Pair:       Pair{A: int(sp.Pair.A), B: int(sp.Pair.B)},
+				Confidence: sp.Likelihood,
+			})
+		}
+		return res, nil
+	}
+	if len(scored) == 0 {
+		return res, nil
+	}
+
+	pairs := simjoin.Pairs(scored)
+	truth := record.NewPairSet()
+	for _, p := range opts.Oracle {
+		truth.Add(record.ID(p.A), record.ID(p.B))
+	}
+	pop := crowd.NewPopulation(opts.Seed, crowd.PopulationOptions{
+		Size:        opts.Workers,
+		SpammerRate: opts.SpammerRate,
+	})
+	// Simulated workers err most on genuinely ambiguous pairs; the machine
+	// likelihoods just computed calibrate that per-pair difficulty.
+	likelihood := make(map[record.Pair]float64, len(scored))
+	for _, sp := range scored {
+		likelihood[sp.Pair] = sp.Likelihood
+	}
+	cfg := crowd.Config{
+		Assignments:       opts.Assignments,
+		QualificationTest: opts.QualificationTest,
+		Seed:              opts.Seed,
+		Difficulty:        crowd.DifficultyFromLikelihood(likelihood),
+	}
+
+	// Stages 2–3: HIT generation and crowd execution.
+	var run *crowd.Result
+	switch opts.HITType {
+	case PairHITs:
+		var hits []hitgen.PairHIT
+		hits, err = hitgen.GeneratePairHITs(pairs, opts.ClusterSize)
+		if err != nil {
+			return nil, err
+		}
+		res.HITs = len(hits)
+		run, err = crowd.RunPairHITs(hits, truth, pop, cfg)
+	case ClusterHITs:
+		gen := generatorFor(opts.Generator, opts.Seed)
+		var hits []hitgen.ClusterHIT
+		hits, err = gen.Generate(pairs, opts.ClusterSize)
+		if err != nil {
+			return nil, err
+		}
+		if verr := hitgen.ValidateCover(pairs, hits, opts.ClusterSize); verr != nil {
+			return nil, fmt.Errorf("crowder: generated HITs violate the covering invariant: %w", verr)
+		}
+		res.HITs = len(hits)
+		run, err = crowd.RunClusterHITs(hits, pairs, truth, pop, cfg)
+	default:
+		return nil, fmt.Errorf("crowder: unknown HIT type %d", opts.HITType)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.CostDollars = run.CostDollars
+	res.ElapsedSeconds = run.TotalSeconds
+
+	// Aggregation: Dawid–Skene EM over the replicated answers.
+	post := aggregate.DawidSkene(run.Answers, aggregate.DawidSkeneOptions{})
+	for _, pr := range post.Ranked() {
+		res.Matches = append(res.Matches, Match{
+			Pair:       Pair{A: int(pr.A), B: int(pr.B)},
+			Confidence: post[pr],
+		})
+	}
+	return res, nil
+}
+
+// machinePass generates and scores candidate pairs per the configured
+// candidate source and threshold.
+func machinePass(t *Table, opts Options) ([]simjoin.ScoredPair, error) {
+	switch opts.Candidates {
+	case SourceSimJoin:
+		return simjoin.Join(t.inner, simjoin.Options{
+			Threshold:       opts.Threshold,
+			CrossSourceOnly: opts.CrossSourceOnly,
+		}), nil
+	case SourceTokenBlocking:
+		cands := blocking.TokenBlocking(t.inner, blocking.Options{
+			MaxBlock:        opts.MaxBlock,
+			CrossSourceOnly: opts.CrossSourceOnly,
+		})
+		return simjoin.ScoreCandidates(t.inner, cands, opts.Threshold), nil
+	default:
+		return nil, fmt.Errorf("crowder: unknown candidate source %d", opts.Candidates)
+	}
+}
+
+// generatorFor maps the public enum to the internal strategy.
+func generatorFor(g Generator, seed int64) hitgen.ClusterGenerator {
+	switch g {
+	case GenRandom:
+		return hitgen.Random{Seed: seed}
+	case GenBFS:
+		return hitgen.BFS{}
+	case GenDFS:
+		return hitgen.DFS{}
+	case GenApprox:
+		return hitgen.Approx{}
+	default:
+		return hitgen.TwoTiered{}
+	}
+}
+
+// totalPairs counts the candidate-pair universe.
+func totalPairs(t *Table, cross bool) int {
+	if cross && len(t.inner.Source) > 0 {
+		counts := map[int]int{}
+		for _, s := range t.inner.Source {
+			counts[s]++
+		}
+		if len(counts) == 2 {
+			return counts[0] * counts[1]
+		}
+	}
+	n := t.Len()
+	return n * (n - 1) / 2
+}
+
+// Estimate is the projected footprint of a workflow configuration,
+// computed without running the crowd. It supports the budget-based
+// workflow the paper lists as future work: sweep thresholds, estimate,
+// pick the cheapest configuration that fits.
+type Estimate struct {
+	// Candidates is the number of pairs that would be sent to the crowd.
+	Candidates int
+	// HITs is the number of tasks that would be generated.
+	HITs int
+	// CostDollars is HITs × Assignments × $0.025.
+	CostDollars float64
+}
+
+// EstimateCost prunes at the configured threshold and generates (but does
+// not crowdsource) the HITs, returning the projected task count and cost.
+func EstimateCost(t *Table, opts Options) (*Estimate, error) {
+	opts.defaults()
+	if t == nil || t.Len() == 0 {
+		return nil, errors.New("crowder: empty table")
+	}
+	scored, err := machinePass(t, opts)
+	if err != nil {
+		return nil, err
+	}
+	est := &Estimate{Candidates: len(scored)}
+	if len(scored) == 0 {
+		return est, nil
+	}
+	pairs := simjoin.Pairs(scored)
+	switch opts.HITType {
+	case PairHITs:
+		hits, err := hitgen.GeneratePairHITs(pairs, opts.ClusterSize)
+		if err != nil {
+			return nil, err
+		}
+		est.HITs = len(hits)
+	case ClusterHITs:
+		hits, err := generatorFor(opts.Generator, opts.Seed).Generate(pairs, opts.ClusterSize)
+		if err != nil {
+			return nil, err
+		}
+		est.HITs = len(hits)
+	default:
+		return nil, fmt.Errorf("crowder: unknown HIT type %d", opts.HITType)
+	}
+	est.CostDollars = float64(est.HITs*opts.Assignments) * crowd.DollarsPerAssignment
+	return est, nil
+}
+
+// SortMatches orders matches by confidence descending (tie-break by pair),
+// in place. Resolve's output is already sorted; this helper re-sorts after
+// caller-side filtering or merging.
+func SortMatches(ms []Match) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Confidence != ms[j].Confidence {
+			return ms[i].Confidence > ms[j].Confidence
+		}
+		if ms[i].Pair.A != ms[j].Pair.A {
+			return ms[i].Pair.A < ms[j].Pair.A
+		}
+		return ms[i].Pair.B < ms[j].Pair.B
+	})
+}

@@ -1,0 +1,312 @@
+package crowder
+
+import (
+	"testing"
+)
+
+// paperTable builds Table 1 of the paper.
+func paperTable() (*Table, []Pair) {
+	t := NewTable("product_name", "price")
+	t.Append("iPad Two 16GB WiFi White", "$490")               // 0 (r1)
+	t.Append("iPad 2nd generation 16GB WiFi White", "$469")    // 1 (r2)
+	t.Append("iPhone 4th generation White 16GB", "$545")       // 2 (r3)
+	t.Append("Apple iPhone 4 16GB White", "$520")              // 3 (r4)
+	t.Append("Apple iPhone 3rd generation Black 16GB", "$375") // 4 (r5)
+	t.Append("iPhone 4 32GB White", "$599")                    // 5 (r6)
+	t.Append("Apple iPad2 16GB WiFi White", "$499")            // 6 (r7)
+	t.Append("Apple iPod shuffle 2GB Blue", "$49")             // 7 (r8)
+	t.Append("Apple iPod shuffle USB Cable", "$19")            // 8 (r9)
+	oracle := []Pair{{0, 1}, {0, 6}, {1, 6}, {2, 3}}
+	return t, oracle
+}
+
+func TestResolveHybridOnPaperTable(t *testing.T) {
+	tab, oracle := paperTable()
+	res, err := Resolve(tab, Options{
+		Threshold:   0.3,
+		ClusterSize: 4,
+		Oracle:      oracle,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalPairs != 36 {
+		t.Errorf("TotalPairs = %d; want 36", res.TotalPairs)
+	}
+	if res.Candidates == 0 || res.Candidates >= 36 {
+		t.Errorf("Candidates = %d; pruning should keep a strict subset", res.Candidates)
+	}
+	if res.HITs == 0 {
+		t.Error("no HITs generated")
+	}
+	if res.CostDollars <= 0 || res.ElapsedSeconds <= 0 {
+		t.Errorf("cost/latency not accounted: %v, %v", res.CostDollars, res.ElapsedSeconds)
+	}
+	// The reliable simulated crowd must find the true matches that
+	// survived pruning.
+	acc := res.Accepted()
+	found := map[Pair]bool{}
+	for _, m := range acc {
+		found[m.Pair] = true
+	}
+	if !found[Pair{0, 1}] || !found[Pair{0, 6}] || !found[Pair{1, 6}] {
+		t.Errorf("iPad trio not fully recovered: %v", acc)
+	}
+}
+
+func TestResolveMachineOnly(t *testing.T) {
+	tab, _ := paperTable()
+	res, err := Resolve(tab, Options{Threshold: 0.3, MachineOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HITs != 0 || res.CostDollars != 0 {
+		t.Error("machine-only run should not create HITs or cost")
+	}
+	if len(res.Matches) != res.Candidates {
+		t.Errorf("machine-only should rank all candidates: %d vs %d", len(res.Matches), res.Candidates)
+	}
+	// Ranked by likelihood descending.
+	for i := 1; i < len(res.Matches); i++ {
+		if res.Matches[i-1].Confidence < res.Matches[i].Confidence {
+			t.Fatal("matches not sorted by confidence")
+		}
+	}
+}
+
+func TestResolvePairHITs(t *testing.T) {
+	tab, oracle := paperTable()
+	res, err := Resolve(tab, Options{
+		Threshold:   0.3,
+		ClusterSize: 2,
+		HITType:     PairHITs,
+		Oracle:      oracle,
+		Seed:        2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ⌈candidates / 2⌉ pair-based HITs.
+	want := (res.Candidates + 1) / 2
+	if res.HITs != want {
+		t.Errorf("HITs = %d; want %d", res.HITs, want)
+	}
+}
+
+func TestResolveAllGenerators(t *testing.T) {
+	tab, oracle := paperTable()
+	for _, g := range []Generator{GenTwoTiered, GenRandom, GenBFS, GenDFS, GenApprox} {
+		res, err := Resolve(tab, Options{
+			Threshold:   0.3,
+			ClusterSize: 4,
+			Generator:   g,
+			Oracle:      oracle,
+			Seed:        3,
+		})
+		if err != nil {
+			t.Fatalf("generator %d: %v", g, err)
+		}
+		if res.HITs == 0 {
+			t.Errorf("generator %d produced no HITs", g)
+		}
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	if _, err := Resolve(nil, Options{MachineOnly: true}); err == nil {
+		t.Error("nil table should error")
+	}
+	if _, err := Resolve(NewTable("a"), Options{MachineOnly: true}); err == nil {
+		t.Error("empty table should error")
+	}
+	tab, _ := paperTable()
+	if _, err := Resolve(tab, Options{}); err == nil {
+		t.Error("missing oracle should error for crowd runs")
+	}
+	if _, err := Resolve(tab, Options{Oracle: []Pair{}, HITType: HITType(99)}); err == nil {
+		t.Error("unknown HIT type should error")
+	}
+}
+
+func TestResolveDeterministic(t *testing.T) {
+	tab, oracle := paperTable()
+	opts := Options{Threshold: 0.3, ClusterSize: 4, Oracle: oracle, Seed: 9}
+	r1, err := Resolve(tab, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Resolve(tab, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Matches) != len(r2.Matches) {
+		t.Fatal("same options gave different match counts")
+	}
+	for i := range r1.Matches {
+		if r1.Matches[i] != r2.Matches[i] {
+			t.Fatal("same options gave different matches")
+		}
+	}
+}
+
+func TestResolveThresholdPruning(t *testing.T) {
+	tab, _ := paperTable()
+	lo, err := Resolve(tab, Options{Threshold: 0.1, MachineOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := Resolve(tab, Options{Threshold: 0.5, MachineOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.Candidates >= lo.Candidates {
+		t.Errorf("higher threshold should prune more: %d vs %d", hi.Candidates, lo.Candidates)
+	}
+}
+
+func TestTableRecordAccess(t *testing.T) {
+	tab := NewTable("name")
+	id := tab.Append("hello world")
+	if got := tab.Record(id); len(got) != 1 || got[0] != "hello world" {
+		t.Errorf("Record = %v", got)
+	}
+	if tab.Record(99) != nil {
+		t.Error("out-of-range Record should be nil")
+	}
+	if tab.Len() != 1 {
+		t.Errorf("Len = %d; want 1", tab.Len())
+	}
+}
+
+func TestCrossSourceOption(t *testing.T) {
+	tab := NewTable("name")
+	tab.AppendFrom(0, "apple ipod touch 8gb")
+	tab.AppendFrom(0, "apple ipod touch 8gb black")
+	tab.AppendFrom(1, "apple ipod touch 8gb 2nd gen")
+	res, err := Resolve(tab, Options{Threshold: 0.1, CrossSourceOnly: true, MachineOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalPairs != 2 {
+		t.Errorf("TotalPairs = %d; want 2 (cross-source only)", res.TotalPairs)
+	}
+	for _, m := range res.Matches {
+		if m.Pair.A != 2 && m.Pair.B != 2 {
+			t.Errorf("same-source pair leaked: %v", m.Pair)
+		}
+	}
+}
+
+func TestSortMatches(t *testing.T) {
+	ms := []Match{
+		{Pair: Pair{3, 4}, Confidence: 0.2},
+		{Pair: Pair{1, 2}, Confidence: 0.9},
+		{Pair: Pair{0, 5}, Confidence: 0.9},
+	}
+	SortMatches(ms)
+	if ms[0].Pair != (Pair{0, 5}) || ms[1].Pair != (Pair{1, 2}) || ms[2].Pair != (Pair{3, 4}) {
+		t.Errorf("SortMatches = %v", ms)
+	}
+}
+
+func TestEstimateCost(t *testing.T) {
+	tab, _ := paperTable()
+	est, err := EstimateCost(tab, Options{Threshold: 0.3, ClusterSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Candidates == 0 || est.HITs == 0 {
+		t.Fatalf("estimate = %+v; want non-zero candidates and HITs", est)
+	}
+	want := float64(est.HITs*3) * 0.025
+	if est.CostDollars != want {
+		t.Errorf("cost = %v; want %v", est.CostDollars, want)
+	}
+	// The estimate must agree with an actual run's HIT count and cost.
+	res, err := Resolve(tab, Options{Threshold: 0.3, ClusterSize: 4, Oracle: []Pair{}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HITs != est.HITs || res.CostDollars != est.CostDollars {
+		t.Errorf("estimate (%d HITs, $%v) disagrees with run (%d HITs, $%v)",
+			est.HITs, est.CostDollars, res.HITs, res.CostDollars)
+	}
+}
+
+func TestEstimateCostErrors(t *testing.T) {
+	if _, err := EstimateCost(nil, Options{}); err == nil {
+		t.Error("nil table should error")
+	}
+	tab, _ := paperTable()
+	if _, err := EstimateCost(tab, Options{HITType: HITType(7)}); err == nil {
+		t.Error("unknown HIT type should error")
+	}
+	est, err := EstimateCost(tab, Options{Threshold: 0.99})
+	if err != nil || est.HITs != 0 {
+		t.Errorf("no candidates should estimate zero HITs: %+v, %v", est, err)
+	}
+}
+
+func TestEstimateCostPairHITs(t *testing.T) {
+	tab, _ := paperTable()
+	est, err := EstimateCost(tab, Options{Threshold: 0.3, ClusterSize: 2, HITType: PairHITs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.HITs != (est.Candidates+1)/2 {
+		t.Errorf("pair-HIT estimate = %d HITs for %d candidates", est.HITs, est.Candidates)
+	}
+}
+
+func TestTokenBlockingSourceEquivalence(t *testing.T) {
+	// Token blocking is complete for thresholds > 0, so the machine-only
+	// ranking must match the simjoin path exactly.
+	tab, _ := paperTable()
+	a, err := Resolve(tab, Options{Threshold: 0.3, MachineOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Resolve(tab, Options{Threshold: 0.3, MachineOnly: true, Candidates: SourceTokenBlocking})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Matches) != len(b.Matches) {
+		t.Fatalf("simjoin found %d pairs, token blocking %d", len(a.Matches), len(b.Matches))
+	}
+	for i := range a.Matches {
+		if a.Matches[i] != b.Matches[i] {
+			t.Fatalf("mismatch at %d: %v vs %v", i, a.Matches[i], b.Matches[i])
+		}
+	}
+}
+
+func TestTokenBlockingMaxBlockReduces(t *testing.T) {
+	tab, _ := paperTable()
+	full, err := Resolve(tab, Options{Threshold: 0.1, MachineOnly: true, Candidates: SourceTokenBlocking})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "apple"/"white"/"16gb" blocks dominate; a tight cap must shrink the
+	// candidate set.
+	capped, err := Resolve(tab, Options{
+		Threshold: 0.1, MachineOnly: true,
+		Candidates: SourceTokenBlocking, MaxBlock: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.Candidates >= full.Candidates {
+		t.Errorf("MaxBlock should reduce candidates: %d vs %d", capped.Candidates, full.Candidates)
+	}
+}
+
+func TestUnknownCandidateSource(t *testing.T) {
+	tab, _ := paperTable()
+	if _, err := Resolve(tab, Options{MachineOnly: true, Candidates: CandidateSource(9)}); err == nil {
+		t.Error("unknown candidate source should error")
+	}
+	if _, err := EstimateCost(tab, Options{Candidates: CandidateSource(9)}); err == nil {
+		t.Error("unknown candidate source should error in EstimateCost")
+	}
+}

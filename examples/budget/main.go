@@ -1,0 +1,97 @@
+// Budget: the paper's future-work direction ("the development of a
+// budget-based approach to hybrid entity resolution. Users may wish to
+// trade off cost, quality and latency", Section 9).
+//
+// Given a dollar budget, the example sweeps the likelihood threshold,
+// predicts the crowd cost of each setting from the two-tiered HIT count,
+// picks the lowest threshold that fits the budget (lowest threshold =
+// highest attainable recall), and runs the hybrid workflow there.
+//
+//	go run ./examples/budget -budget 25
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	crowder "github.com/crowder/crowder"
+	"github.com/crowder/crowder/internal/dataset"
+	"github.com/crowder/crowder/internal/record"
+)
+
+func main() {
+	budget := flag.Float64("budget", 25, "crowd budget in dollars")
+	flag.Parse()
+
+	src := dataset.Product(1)
+	table := crowder.NewTable(src.Table.Schema...)
+	for i := range src.Table.Records {
+		table.AppendFrom(src.Table.Source[i], src.Table.Records[i].Values...)
+	}
+	var oracle []crowder.Pair
+	for p := range src.Matches {
+		oracle = append(oracle, crowder.Pair{A: int(p.A), B: int(p.B)})
+	}
+
+	fmt.Println(src.Stats())
+	fmt.Printf("budget: $%.2f\n\n", *budget)
+	fmt.Printf("%-10s %10s %8s %10s %10s\n", "Threshold", "Pairs", "HITs", "Cost", "Fits?")
+
+	// Sweep thresholds from permissive to strict; estimate cost by
+	// actually generating the HITs (cheap — no crowd involved), and keep
+	// the cheapest threshold that still fits, preferring lower thresholds
+	// (more recall) when affordable.
+	chosen := -1.0
+	for _, tau := range []float64{0.1, 0.15, 0.2, 0.25, 0.3, 0.4, 0.5} {
+		probe, err := crowder.Resolve(table, crowder.Options{
+			Threshold:       tau,
+			CrossSourceOnly: true,
+			MachineOnly:     true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Estimate: two-tiered HIT count × 3 assignments × $0.025.
+		est, err := crowder.EstimateCost(table, crowder.Options{
+			Threshold:       tau,
+			ClusterSize:     10,
+			CrossSourceOnly: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fits := est.CostDollars <= *budget
+		fmt.Printf("%-10.2f %10d %8d %9.2f$ %10v\n",
+			tau, probe.Candidates, est.HITs, est.CostDollars, fits)
+		if fits && chosen < 0 {
+			chosen = tau
+		}
+	}
+	if chosen < 0 {
+		fmt.Println("\nno threshold fits the budget; raise it or accept machine-only results")
+		return
+	}
+
+	fmt.Printf("\nrunning hybrid workflow at threshold %.2f\n", chosen)
+	res, err := crowder.Resolve(table, crowder.Options{
+		Threshold:       chosen,
+		ClusterSize:     10,
+		CrossSourceOnly: true,
+		Oracle:          oracle,
+		Seed:            1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	correct := 0
+	for _, m := range res.Accepted() {
+		if src.Matches.Has(record.ID(m.Pair.A), record.ID(m.Pair.B)) {
+			correct++
+		}
+	}
+	fmt.Printf("spent $%.2f on %d HITs; recall %.1f%% at precision %.1f%%\n",
+		res.CostDollars, res.HITs,
+		100*float64(correct)/float64(src.Matches.Len()),
+		100*float64(correct)/float64(len(res.Accepted())))
+}

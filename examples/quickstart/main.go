@@ -1,0 +1,50 @@
+// Quickstart: run the hybrid human–machine workflow on the paper's Table 1
+// — nine product records in which r1, r2 and r7 describe the same iPad and
+// r3/r4 the same iPhone.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	crowder "github.com/crowder/crowder"
+)
+
+func main() {
+	table := crowder.NewTable("product_name", "price")
+	table.Append("iPad Two 16GB WiFi White", "$490")               // r1
+	table.Append("iPad 2nd generation 16GB WiFi White", "$469")    // r2
+	table.Append("iPhone 4th generation White 16GB", "$545")       // r3
+	table.Append("Apple iPhone 4 16GB White", "$520")              // r4
+	table.Append("Apple iPhone 3rd generation Black 16GB", "$375") // r5
+	table.Append("iPhone 4 32GB White", "$599")                    // r6
+	table.Append("Apple iPad2 16GB WiFi White", "$499")            // r7
+	table.Append("Apple iPod shuffle 2GB Blue", "$49")             // r8
+	table.Append("Apple iPod shuffle USB Cable", "$19")            // r9
+
+	// The crowd is simulated, so we hand it the reference labels it will
+	// (noisily) reproduce. A live deployment would post real HITs instead.
+	oracle := []crowder.Pair{{A: 0, B: 1}, {A: 0, B: 6}, {A: 1, B: 6}, {A: 2, B: 3}}
+
+	res, err := crowder.Resolve(table, crowder.Options{
+		Threshold:   0.3, // machine pass prunes pairs below Jaccard 0.3
+		ClusterSize: 4,   // up to four records per cluster-based HIT
+		Oracle:      oracle,
+		Seed:        1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("candidate pairs: %d of %d survived the machine pass\n",
+		res.Candidates, res.TotalPairs)
+	fmt.Printf("crowd tasks:     %d HITs, $%.2f, %.0f simulated seconds\n",
+		res.HITs, res.CostDollars, res.ElapsedSeconds)
+	fmt.Println("matches found:")
+	for _, m := range res.Accepted() {
+		fmt.Printf("  %v = %v  (confidence %.2f)\n",
+			table.Record(m.Pair.A)[0], table.Record(m.Pair.B)[0], m.Confidence)
+	}
+}

@@ -1,0 +1,288 @@
+// Package active implements pool-based active learning for entity
+// resolution — the human-in-the-loop alternative the paper discusses in
+// Section 8 (Sarawagi & Bhamidipaty; Arasu et al.): instead of labeling a
+// fixed random training sample, the learner iteratively queries labels
+// for the pairs it is most uncertain about, cutting the number of labels
+// needed to reach a given quality.
+//
+// CrowdER spends crowd effort on *verifying* likely matches; active
+// learning spends it on *training* a classifier. This package lets the
+// repository compare the two uses of the same human budget (see the
+// extension experiment in internal/experiments).
+package active
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/crowder/crowder/internal/record"
+	"github.com/crowder/crowder/internal/svm"
+)
+
+// Oracle answers label queries (in experiments: the ground truth; in a
+// live system: a crowd worker).
+type Oracle func(record.Pair) bool
+
+// Options configures the active-learning loop.
+type Options struct {
+	// SeedSize is the initial random labeled sample (default 20).
+	SeedSize int
+	// BatchSize is the number of labels queried per round (default 20).
+	BatchSize int
+	// Rounds is the number of query rounds (default 10).
+	Rounds int
+	// Attrs selects the feature attributes (default all).
+	Attrs []int
+	// Seed drives sampling and training randomness.
+	Seed int64
+	// Strategy selects the query strategy (default Uncertainty).
+	Strategy Strategy
+}
+
+// Strategy selects which unlabeled pairs to query.
+type Strategy int
+
+const (
+	// Uncertainty queries the pairs with the smallest |margin| — the
+	// classic uncertainty-sampling rule.
+	Uncertainty Strategy = iota
+	// RandomSampling queries uniformly — the passive baseline, exposed so
+	// label-efficiency comparisons share one code path.
+	RandomSampling
+)
+
+func (o *Options) defaults(t *record.Table) {
+	if o.SeedSize <= 0 {
+		o.SeedSize = 20
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 20
+	}
+	if o.Rounds <= 0 {
+		o.Rounds = 10
+	}
+	if len(o.Attrs) == 0 {
+		for i := range t.Schema {
+			o.Attrs = append(o.Attrs, i)
+		}
+	}
+}
+
+// RoundStats records the state after one query round.
+type RoundStats struct {
+	// Labels is the cumulative number of labels purchased.
+	Labels int
+	// PosLabels is how many of them were positive.
+	PosLabels int
+}
+
+// Result is the outcome of an active-learning run.
+type Result struct {
+	// Model is the final trained classifier.
+	Model *svm.Model
+	// LabelsUsed is the total number of oracle queries.
+	LabelsUsed int
+	// History records cumulative label counts per round.
+	History []RoundStats
+	// Ranked is the candidate pool ordered by final model score
+	// descending (the input to precision-recall evaluation).
+	Ranked []record.Pair
+}
+
+// Run executes the active-learning loop over the candidate pool: label a
+// random seed, then for each round train a classifier and query labels
+// for the BatchSize pairs chosen by the strategy, retraining as labels
+// accumulate.
+func Run(t *record.Table, pool []record.Pair, oracle Oracle, opts Options) (*Result, error) {
+	if len(pool) == 0 {
+		return nil, errors.New("active: empty candidate pool")
+	}
+	if oracle == nil {
+		return nil, errors.New("active: nil oracle")
+	}
+	opts.defaults(t)
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	features := make([][]float64, len(pool))
+	for i, p := range pool {
+		features[i] = svm.FeatureVector(t, p, opts.Attrs)
+	}
+
+	labeled := make(map[int]bool)   // pool index → queried
+	labels := make(map[int]float64) // pool index → ±1
+	query := func(idx int) {
+		if labeled[idx] {
+			return
+		}
+		labeled[idx] = true
+		if oracle(pool[idx]) {
+			labels[idx] = 1
+		} else {
+			labels[idx] = -1
+		}
+	}
+
+	// Seed sample: half from the top of a similarity proxy (mean feature
+	// value — likely positives live there), half uniform. A purely random
+	// seed from a heavily imbalanced pool usually contains no positives,
+	// which degenerates the first model and strands uncertainty sampling
+	// in a region with nothing to learn.
+	proxyOrder := make([]int, len(pool))
+	for i := range proxyOrder {
+		proxyOrder[i] = i
+	}
+	sort.Slice(proxyOrder, func(a, b int) bool {
+		return mean(features[proxyOrder[a]]) > mean(features[proxyOrder[b]])
+	})
+	for i := 0; i < len(proxyOrder) && len(labeled) < opts.SeedSize/2; i++ {
+		query(proxyOrder[i])
+	}
+	for _, idx := range rng.Perm(len(pool)) {
+		if len(labeled) >= opts.SeedSize {
+			break
+		}
+		query(idx)
+	}
+	// Guarantee both classes before the first training round when the
+	// pool provides them: walk down the proxy ranking for a positive and
+	// up from the bottom for a negative.
+	ensureBothClasses(proxyOrder, labeled, labels, query)
+
+	res := &Result{}
+	var model *svm.Model
+	train := func() error {
+		examples := make([]svm.Example, 0, len(labeled))
+		for idx := range labeled {
+			examples = append(examples, svm.Example{X: features[idx], Label: labels[idx]})
+		}
+		m, err := svm.Train(examples, svm.TrainOptions{Seed: opts.Seed, BalanceClasses: true})
+		if err != nil {
+			return err
+		}
+		model = m
+		return nil
+	}
+	snapshot := func() {
+		pos := 0
+		for idx := range labeled {
+			if labels[idx] > 0 {
+				pos++
+			}
+		}
+		res.History = append(res.History, RoundStats{Labels: len(labeled), PosLabels: pos})
+	}
+
+	if err := train(); err != nil {
+		return nil, err
+	}
+	snapshot()
+
+	for round := 0; round < opts.Rounds; round++ {
+		if len(labeled) >= len(pool) {
+			break
+		}
+		switch opts.Strategy {
+		case RandomSampling:
+			for _, idx := range rng.Perm(len(pool)) {
+				if len(labeled) >= min(len(pool), res.History[len(res.History)-1].Labels+opts.BatchSize) {
+					break
+				}
+				query(idx)
+			}
+		default: // Uncertainty
+			type cand struct {
+				idx    int
+				margin float64
+			}
+			var cands []cand
+			for i := range pool {
+				if !labeled[i] {
+					cands = append(cands, cand{idx: i, margin: math.Abs(model.Score(features[i]))})
+				}
+			}
+			sort.Slice(cands, func(a, b int) bool {
+				if cands[a].margin != cands[b].margin {
+					return cands[a].margin < cands[b].margin
+				}
+				return cands[a].idx < cands[b].idx
+			})
+			for i := 0; i < opts.BatchSize && i < len(cands); i++ {
+				query(cands[i].idx)
+			}
+		}
+		if err := train(); err != nil {
+			return nil, err
+		}
+		snapshot()
+	}
+
+	res.Model = model
+	res.LabelsUsed = len(labeled)
+	res.Ranked = rankByScore(pool, features, model)
+	return res, nil
+}
+
+func rankByScore(pool []record.Pair, features [][]float64, m *svm.Model) []record.Pair {
+	idx := make([]int, len(pool))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		sa, sb := m.Score(features[idx[a]]), m.Score(features[idx[b]])
+		if sa != sb {
+			return sa > sb
+		}
+		return idx[a] < idx[b]
+	})
+	out := make([]record.Pair, len(pool))
+	for i, j := range idx {
+		out[i] = pool[j]
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// ensureBothClasses tops up the labeled set so both classes are present
+// when the pool contains them: scan the proxy ranking from the top for a
+// positive and from the bottom for a negative.
+func ensureBothClasses(proxyOrder []int, labeled map[int]bool, labels map[int]float64, query func(int)) {
+	hasPos, hasNeg := false, false
+	check := func() {
+		hasPos, hasNeg = false, false
+		for idx := range labeled {
+			if labels[idx] > 0 {
+				hasPos = true
+			} else {
+				hasNeg = true
+			}
+		}
+	}
+	check()
+	for i := 0; i < len(proxyOrder) && !hasPos; i++ {
+		query(proxyOrder[i])
+		check()
+	}
+	for i := len(proxyOrder) - 1; i >= 0 && !hasNeg; i-- {
+		query(proxyOrder[i])
+		check()
+	}
+}

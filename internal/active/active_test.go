@@ -1,0 +1,122 @@
+package active
+
+import (
+	"testing"
+
+	"github.com/crowder/crowder/internal/dataset"
+	"github.com/crowder/crowder/internal/eval"
+	"github.com/crowder/crowder/internal/record"
+	"github.com/crowder/crowder/internal/simjoin"
+)
+
+// pool builds a candidate pool with ground truth from a small Restaurant
+// dataset.
+func pool(t *testing.T) (*dataset.Dataset, []record.Pair) {
+	t.Helper()
+	d := dataset.RestaurantN(7, 300, 40)
+	pairs := simjoin.Pairs(simjoin.Join(d.Table, simjoin.Options{Threshold: 0.1}))
+	return d, pairs
+}
+
+func TestRunBasics(t *testing.T) {
+	d, pairs := pool(t)
+	res, err := Run(d.Table, pairs, func(p record.Pair) bool {
+		return d.Matches.Has(p.A, p.B)
+	}, Options{Seed: 1, SeedSize: 20, BatchSize: 20, Rounds: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LabelsUsed != 20+5*20 {
+		t.Errorf("LabelsUsed = %d; want 120", res.LabelsUsed)
+	}
+	if len(res.History) != 6 {
+		t.Errorf("History has %d rounds; want 6", len(res.History))
+	}
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i].Labels <= res.History[i-1].Labels {
+			t.Error("label counts should grow each round")
+		}
+	}
+	if len(res.Ranked) != len(pairs) {
+		t.Errorf("Ranked has %d pairs; want %d", len(res.Ranked), len(pairs))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	d, pairs := pool(t)
+	if _, err := Run(d.Table, nil, func(record.Pair) bool { return false }, Options{}); err == nil {
+		t.Error("empty pool should error")
+	}
+	if _, err := Run(d.Table, pairs, nil, Options{}); err == nil {
+		t.Error("nil oracle should error")
+	}
+}
+
+func TestUncertaintyFindsPositives(t *testing.T) {
+	// Uncertainty sampling must discover far more positives than the base
+	// rate: the uncertain region is where the matches live.
+	d, pairs := pool(t)
+	oracle := func(p record.Pair) bool { return d.Matches.Has(p.A, p.B) }
+	res, err := Run(d.Table, pairs, oracle, Options{Seed: 2, SeedSize: 30, BatchSize: 20, Rounds: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.History[len(res.History)-1]
+	baseRate := float64(d.Matches.Len()) / float64(len(pairs))
+	gotRate := float64(last.PosLabels) / float64(last.Labels)
+	if gotRate < 3*baseRate {
+		t.Errorf("positive rate among queried labels = %.4f; want well above base rate %.4f", gotRate, baseRate)
+	}
+}
+
+func TestActiveBeatsPassiveAtEqualBudget(t *testing.T) {
+	// The Sarawagi et al. result: at the same label budget, uncertainty
+	// sampling yields a better ranking than random sampling. Individual
+	// seeds are noisy (a lucky random sample can win once), so compare
+	// mean AUC over several seeds.
+	d, pairs := pool(t)
+	oracle := func(p record.Pair) bool { return d.Matches.Has(p.A, p.B) }
+
+	var aSum, pSum float64
+	const trials = 5
+	for s := int64(0); s < trials; s++ {
+		opts := Options{Seed: 100 + s, SeedSize: 30, BatchSize: 25, Rounds: 6}
+		activeRes, err := Run(d.Table, pairs, oracle, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Strategy = RandomSampling
+		passiveRes, err := Run(d.Table, pairs, oracle, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if activeRes.LabelsUsed > passiveRes.LabelsUsed+opts.BatchSize {
+			t.Fatalf("budgets should be comparable: %d vs %d", activeRes.LabelsUsed, passiveRes.LabelsUsed)
+		}
+		aSum += eval.AUCPR(eval.PRCurve(activeRes.Ranked, d.Matches, d.Matches.Len()))
+		pSum += eval.AUCPR(eval.PRCurve(passiveRes.Ranked, d.Matches, d.Matches.Len()))
+	}
+	if aSum < pSum-0.05*trials {
+		t.Errorf("mean active AUC (%.3f) should not trail mean passive AUC (%.3f)",
+			aSum/trials, pSum/trials)
+	}
+}
+
+func TestPoolExhaustion(t *testing.T) {
+	// Rounds × BatchSize exceeding the pool must terminate cleanly with
+	// every pair labeled at most once.
+	d := dataset.RestaurantN(9, 60, 8)
+	pairs := simjoin.Pairs(simjoin.Join(d.Table, simjoin.Options{Threshold: 0.3}))
+	if len(pairs) == 0 {
+		t.Skip("no candidates at this threshold")
+	}
+	res, err := Run(d.Table, pairs, func(p record.Pair) bool {
+		return d.Matches.Has(p.A, p.B)
+	}, Options{Seed: 4, SeedSize: 5, BatchSize: 1000, Rounds: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LabelsUsed > len(pairs) {
+		t.Errorf("labeled %d pairs out of a pool of %d", res.LabelsUsed, len(pairs))
+	}
+}

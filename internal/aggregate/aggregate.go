@@ -1,0 +1,249 @@
+// Package aggregate combines the multiple crowd assignments of each HIT
+// into final match decisions. Following Section 7.3, the primary method is
+// the EM algorithm of Dawid & Skene (1979), which jointly estimates
+// per-worker confusion matrices and per-pair match posteriors and is
+// robust to spammers; simple majority voting is provided as the baseline
+// the paper argues against ("susceptible to spammers").
+package aggregate
+
+import (
+	"math"
+	"sort"
+
+	"github.com/crowder/crowder/internal/record"
+)
+
+// Answer is one worker's verdict on one record pair.
+type Answer struct {
+	Pair   record.Pair
+	Worker int
+	Match  bool
+}
+
+// Posterior maps each judged pair to its estimated probability of being a
+// true match.
+type Posterior map[record.Pair]float64
+
+// Ranked returns the judged pairs sorted by posterior descending
+// (tie-break on canonical pair order), the ranked list that feeds
+// precision-recall evaluation.
+func (p Posterior) Ranked() []record.Pair {
+	pairs := make([]record.Pair, 0, len(p))
+	for pr := range p {
+		pairs = append(pairs, pr)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		pi, pj := p[pairs[i]], p[pairs[j]]
+		if pi != pj {
+			return pi > pj
+		}
+		if pairs[i].A != pairs[j].A {
+			return pairs[i].A < pairs[j].A
+		}
+		return pairs[i].B < pairs[j].B
+	})
+	return pairs
+}
+
+// Matches returns the pairs whose posterior is at least the threshold
+// (0.5 for maximum-a-posteriori decisions).
+func (p Posterior) Matches(threshold float64) record.PairSet {
+	out := record.NewPairSet()
+	for pr, prob := range p {
+		if prob >= threshold {
+			out.Add(pr.A, pr.B)
+		}
+	}
+	return out
+}
+
+// MajorityVote returns, for each pair, the fraction of its answers that
+// say "match".
+func MajorityVote(answers []Answer) Posterior {
+	yes := make(map[record.Pair]int)
+	total := make(map[record.Pair]int)
+	for _, a := range answers {
+		total[a.Pair]++
+		if a.Match {
+			yes[a.Pair]++
+		}
+	}
+	post := make(Posterior, len(total))
+	for pr, t := range total {
+		post[pr] = float64(yes[pr]) / float64(t)
+	}
+	return post
+}
+
+// DawidSkeneOptions configures the EM run.
+type DawidSkeneOptions struct {
+	// MaxIterations bounds the EM loop (default 100).
+	MaxIterations int
+	// Tolerance stops EM when the max posterior change falls below it
+	// (default 1e-6).
+	Tolerance float64
+	// Smoothing is the additive pseudocount protecting confusion-matrix
+	// estimates from zeros (default 0.01).
+	Smoothing float64
+}
+
+func (o *DawidSkeneOptions) defaults() {
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 100
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = 1e-6
+	}
+	if o.Smoothing <= 0 {
+		o.Smoothing = 0.01
+	}
+}
+
+// DawidSkene runs the EM algorithm: it alternates estimating each pair's
+// match posterior given worker confusion matrices (E-step) with
+// re-estimating worker confusion matrices and the class prior given the
+// posteriors (M-step), initialized from majority vote.
+func DawidSkene(answers []Answer, opts DawidSkeneOptions) Posterior {
+	opts.defaults()
+	if len(answers) == 0 {
+		return Posterior{}
+	}
+
+	// Index pairs and workers.
+	pairIdx := make(map[record.Pair]int)
+	var pairs []record.Pair
+	workerIdx := make(map[int]int)
+	nWorkers := 0
+	for _, a := range answers {
+		if _, ok := pairIdx[a.Pair]; !ok {
+			pairIdx[a.Pair] = len(pairs)
+			pairs = append(pairs, a.Pair)
+		}
+		if _, ok := workerIdx[a.Worker]; !ok {
+			workerIdx[a.Worker] = nWorkers
+			nWorkers++
+		}
+	}
+	nPairs := len(pairs)
+
+	// byPair[i] lists (worker, vote) for pair i.
+	type vote struct {
+		w   int
+		yes bool
+	}
+	byPair := make([][]vote, nPairs)
+	for _, a := range answers {
+		i := pairIdx[a.Pair]
+		byPair[i] = append(byPair[i], vote{w: workerIdx[a.Worker], yes: a.Match})
+	}
+
+	// Initialization: posterior = majority fraction.
+	post := make([]float64, nPairs)
+	for i, vs := range byPair {
+		yes := 0
+		for _, v := range vs {
+			if v.yes {
+				yes++
+			}
+		}
+		post[i] = float64(yes) / float64(len(vs))
+	}
+
+	// Worker confusion: conf[w][c][l] = P(worker answers l | class c),
+	// classes/labels: 0 = non-match, 1 = match.
+	conf := make([][2][2]float64, nWorkers)
+	prior := 0.5
+
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		// M-step: estimate prior and confusion matrices from posteriors.
+		var priorSum float64
+		for i := range post {
+			priorSum += post[i]
+		}
+		prior = priorSum / float64(nPairs)
+		if prior < 1e-9 {
+			prior = 1e-9
+		}
+		if prior > 1-1e-9 {
+			prior = 1 - 1e-9
+		}
+		counts := make([][2][2]float64, nWorkers)
+		for i, vs := range byPair {
+			for _, v := range vs {
+				l := 0
+				if v.yes {
+					l = 1
+				}
+				counts[v.w][1][l] += post[i]
+				counts[v.w][0][l] += 1 - post[i]
+			}
+		}
+		for w := range conf {
+			for c := 0; c < 2; c++ {
+				den := counts[w][c][0] + counts[w][c][1] + 2*opts.Smoothing
+				for l := 0; l < 2; l++ {
+					conf[w][c][l] = (counts[w][c][l] + opts.Smoothing) / den
+				}
+			}
+		}
+
+		// E-step: recompute posteriors in log space.
+		maxDelta := 0.0
+		for i, vs := range byPair {
+			logP1 := math.Log(prior)
+			logP0 := math.Log(1 - prior)
+			for _, v := range vs {
+				l := 0
+				if v.yes {
+					l = 1
+				}
+				logP1 += math.Log(conf[v.w][1][l])
+				logP0 += math.Log(conf[v.w][0][l])
+			}
+			m := logP1
+			if logP0 > m {
+				m = logP0
+			}
+			p1 := math.Exp(logP1 - m)
+			p0 := math.Exp(logP0 - m)
+			newPost := p1 / (p1 + p0)
+			if d := math.Abs(newPost - post[i]); d > maxDelta {
+				maxDelta = d
+			}
+			post[i] = newPost
+		}
+		if maxDelta < opts.Tolerance {
+			break
+		}
+	}
+
+	out := make(Posterior, nPairs)
+	for i, pr := range pairs {
+		out[pr] = post[i]
+	}
+	return out
+}
+
+// WorkerAccuracy estimates each worker's empirical agreement with the
+// aggregated decisions — a spammer-detection diagnostic (workers far below
+// the population are likely answering randomly).
+func WorkerAccuracy(answers []Answer, post Posterior) map[int]float64 {
+	agree := make(map[int]float64)
+	total := make(map[int]int)
+	for _, a := range answers {
+		p, ok := post[a.Pair]
+		if !ok {
+			continue
+		}
+		decided := p >= 0.5
+		if a.Match == decided {
+			agree[a.Worker]++
+		}
+		total[a.Worker]++
+	}
+	out := make(map[int]float64, len(total))
+	for w, t := range total {
+		out[w] = agree[w] / float64(t)
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+package aggregate
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/crowder/crowder/internal/record"
+)
+
+func mk(a, b int) record.Pair { return record.MakePair(record.ID(a), record.ID(b)) }
+
+func TestMajorityVote(t *testing.T) {
+	answers := []Answer{
+		{Pair: mk(0, 1), Worker: 1, Match: true},
+		{Pair: mk(0, 1), Worker: 2, Match: true},
+		{Pair: mk(0, 1), Worker: 3, Match: false},
+		{Pair: mk(2, 3), Worker: 1, Match: false},
+		{Pair: mk(2, 3), Worker: 2, Match: false},
+		{Pair: mk(2, 3), Worker: 3, Match: false},
+	}
+	post := MajorityVote(answers)
+	if got := post[mk(0, 1)]; got < 0.66 || got > 0.67 {
+		t.Errorf("post(0,1) = %v; want 2/3", got)
+	}
+	if got := post[mk(2, 3)]; got != 0 {
+		t.Errorf("post(2,3) = %v; want 0", got)
+	}
+}
+
+func TestPosteriorRankedAndMatches(t *testing.T) {
+	post := Posterior{mk(0, 1): 0.9, mk(2, 3): 0.1, mk(4, 5): 0.6}
+	ranked := post.Ranked()
+	if ranked[0] != mk(0, 1) || ranked[1] != mk(4, 5) || ranked[2] != mk(2, 3) {
+		t.Fatalf("Ranked = %v", ranked)
+	}
+	m := post.Matches(0.5)
+	if m.Len() != 2 || !m.Has(0, 1) || !m.Has(4, 5) {
+		t.Fatalf("Matches = %v", m)
+	}
+}
+
+func TestDawidSkenePerfectWorkers(t *testing.T) {
+	// With three perfect workers, EM must recover the ground truth.
+	truth := map[record.Pair]bool{
+		mk(0, 1): true, mk(2, 3): false, mk(4, 5): true,
+		mk(6, 7): false, mk(8, 9): false,
+	}
+	var answers []Answer
+	for p, isMatch := range truth {
+		for w := 1; w <= 3; w++ {
+			answers = append(answers, Answer{Pair: p, Worker: w, Match: isMatch})
+		}
+	}
+	post := DawidSkene(answers, DawidSkeneOptions{})
+	for p, isMatch := range truth {
+		if isMatch && post[p] < 0.9 {
+			t.Errorf("post(%v) = %v; want ~1 for a match", p, post[p])
+		}
+		if !isMatch && post[p] > 0.1 {
+			t.Errorf("post(%v) = %v; want ~0 for a non-match", p, post[p])
+		}
+	}
+}
+
+func TestDawidSkeneEmpty(t *testing.T) {
+	if post := DawidSkene(nil, DawidSkeneOptions{}); len(post) != 0 {
+		t.Errorf("empty answers should give empty posterior; got %v", post)
+	}
+}
+
+// buildNoisyAnswers simulates nGood reliable workers (accuracy acc) and
+// nSpam spammers (random answers) over nPairs pairs where every third pair
+// is a true match.
+func buildNoisyAnswers(seed int64, nPairs, nGood, nSpam int, acc float64) ([]Answer, map[record.Pair]bool) {
+	rng := rand.New(rand.NewSource(seed))
+	truth := make(map[record.Pair]bool)
+	var answers []Answer
+	for i := 0; i < nPairs; i++ {
+		p := mk(2*i, 2*i+1)
+		isMatch := i%3 == 0
+		truth[p] = isMatch
+		w := 0
+		for g := 0; g < nGood; g++ {
+			ans := isMatch
+			if rng.Float64() > acc {
+				ans = !ans
+			}
+			answers = append(answers, Answer{Pair: p, Worker: w, Match: ans})
+			w++
+		}
+		for s := 0; s < nSpam; s++ {
+			answers = append(answers, Answer{Pair: p, Worker: w, Match: rng.Intn(2) == 0})
+			w++
+		}
+	}
+	return answers, truth
+}
+
+func TestDawidSkeneBeatsMajorityWithSpammers(t *testing.T) {
+	// 2 good workers + 3 spammers per pair: majority is dominated by
+	// spam, EM should learn to discount the spammers. (Workers are
+	// consistent across pairs, which is what EM exploits.)
+	rng := rand.New(rand.NewSource(5))
+	nPairs := 400
+	truth := make(map[record.Pair]bool)
+	var answers []Answer
+	for i := 0; i < nPairs; i++ {
+		p := mk(2*i, 2*i+1)
+		isMatch := i%3 == 0
+		truth[p] = isMatch
+		// Workers 0-1: 95% accurate. Workers 2-4: pure coin flips.
+		for w := 0; w < 2; w++ {
+			ans := isMatch
+			if rng.Float64() > 0.95 {
+				ans = !ans
+			}
+			answers = append(answers, Answer{Pair: p, Worker: w, Match: ans})
+		}
+		for w := 2; w < 5; w++ {
+			answers = append(answers, Answer{Pair: p, Worker: w, Match: rng.Intn(2) == 0})
+		}
+	}
+	ds := DawidSkene(answers, DawidSkeneOptions{})
+	mv := MajorityVote(answers)
+	errCount := func(post Posterior) int {
+		e := 0
+		for p, isMatch := range truth {
+			if (post[p] >= 0.5) != isMatch {
+				e++
+			}
+		}
+		return e
+	}
+	dsErr, mvErr := errCount(ds), errCount(mv)
+	if dsErr >= mvErr {
+		t.Errorf("Dawid-Skene errors (%d) should be below majority vote (%d)", dsErr, mvErr)
+	}
+	if dsErr > nPairs/10 {
+		t.Errorf("Dawid-Skene errors = %d; want < %d", dsErr, nPairs/10)
+	}
+}
+
+func TestDawidSkeneNoisyRecovers(t *testing.T) {
+	answers, truth := buildNoisyAnswers(7, 300, 3, 0, 0.9)
+	post := DawidSkene(answers, DawidSkeneOptions{})
+	errs := 0
+	for p, isMatch := range truth {
+		if (post[p] >= 0.5) != isMatch {
+			errs++
+		}
+	}
+	if errs > 15 {
+		t.Errorf("EM with 3 x 90%% workers made %d/300 errors; want <= 15", errs)
+	}
+}
+
+func TestDawidSkenePosteriorBounds(t *testing.T) {
+	answers, _ := buildNoisyAnswers(11, 100, 2, 2, 0.8)
+	post := DawidSkene(answers, DawidSkeneOptions{})
+	for p, v := range post {
+		if v < 0 || v > 1 {
+			t.Fatalf("posterior(%v) = %v outside [0,1]", p, v)
+		}
+	}
+}
+
+func TestWorkerAccuracy(t *testing.T) {
+	answers := []Answer{
+		{Pair: mk(0, 1), Worker: 1, Match: true},
+		{Pair: mk(0, 1), Worker: 2, Match: false},
+		{Pair: mk(2, 3), Worker: 1, Match: false},
+		{Pair: mk(2, 3), Worker: 2, Match: false},
+	}
+	post := Posterior{mk(0, 1): 0.9, mk(2, 3): 0.1}
+	acc := WorkerAccuracy(answers, post)
+	if acc[1] != 1.0 {
+		t.Errorf("worker 1 accuracy = %v; want 1", acc[1])
+	}
+	if acc[2] != 0.5 {
+		t.Errorf("worker 2 accuracy = %v; want 0.5", acc[2])
+	}
+}

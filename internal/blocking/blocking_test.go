@@ -1,0 +1,178 @@
+package blocking
+
+import (
+	"testing"
+
+	"github.com/crowder/crowder/internal/dataset"
+	"github.com/crowder/crowder/internal/record"
+	"github.com/crowder/crowder/internal/similarity"
+)
+
+func smallTable() *record.Table {
+	t := record.NewTable("name")
+	t.Append("apple ipad two 16gb") // 0
+	t.Append("apple ipad 2nd 16gb") // 1
+	t.Append("sony bravia tv")      // 2
+	t.Append("sony bravia lcd tv")  // 3
+	t.Append("zzz unrelated qqq")   // 4
+	return t
+}
+
+func TestTokenBlockingBasics(t *testing.T) {
+	tab := smallTable()
+	pairs := TokenBlocking(tab, Options{})
+	set := record.NewPairSet(pairs...)
+	if !set.Has(0, 1) {
+		t.Error("ipad pair should be a candidate")
+	}
+	if !set.Has(2, 3) {
+		t.Error("sony pair should be a candidate")
+	}
+	if set.Has(0, 4) || set.Has(2, 4) {
+		t.Error("token-disjoint pairs should not be candidates")
+	}
+	// records 0..3 all share tokens pairwise via "apple"/"sony"? No:
+	// (0,2) share nothing → excluded.
+	if set.Has(0, 2) {
+		t.Error("(0,2) share no token")
+	}
+}
+
+// Token blocking is complete for Jaccard > 0: every pair with non-zero
+// similarity shares a token and must appear among the candidates.
+func TestTokenBlockingCompleteness(t *testing.T) {
+	d := dataset.RestaurantN(3, 120, 15)
+	pairs := TokenBlocking(d.Table, Options{})
+	set := record.NewPairSet(pairs...)
+	tokens := record.TableTokens(d.Table)
+	n := d.Table.Len()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if similarity.Jaccard(tokens[i], tokens[j]) > 0 {
+				if !set.Has(record.ID(i), record.ID(j)) {
+					t.Fatalf("pair (%d,%d) has positive similarity but is not a candidate", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestTokenBlockingMaxBlock(t *testing.T) {
+	tab := record.NewTable("name")
+	// "common" appears in every record; "rare" in two.
+	tab.Append("common rare a")
+	tab.Append("common rare b")
+	tab.Append("common c")
+	tab.Append("common d")
+	all := TokenBlocking(tab, Options{})
+	capped := TokenBlocking(tab, Options{MaxBlock: 2})
+	if len(capped) >= len(all) {
+		t.Fatalf("MaxBlock should reduce candidates: %d vs %d", len(capped), len(all))
+	}
+	set := record.NewPairSet(capped...)
+	if !set.Has(0, 1) {
+		t.Error("rare block should survive the cap")
+	}
+	if set.Has(2, 3) {
+		t.Error("pairs only sharing the capped stop token should be dropped")
+	}
+}
+
+func TestQGramBlockingCatchesTypos(t *testing.T) {
+	tab := record.NewTable("name")
+	tab.Append("oceana")
+	tab.Append("oceanaa") // typo: extra letter, still shares q-grams
+	tab.Append("zzzzzz")
+	pairs := QGramBlocking(tab, 0, 3, Options{})
+	set := record.NewPairSet(pairs...)
+	if !set.Has(0, 1) {
+		t.Error("typo variants should share q-grams")
+	}
+	if set.Has(0, 2) {
+		t.Error("disjoint strings should not be candidates")
+	}
+}
+
+func TestSortedNeighborhood(t *testing.T) {
+	tab := record.NewTable("name")
+	tab.Append("aaa restaurant") // 0
+	tab.Append("aab restaurant") // 1 — adjacent to 0 in sort order
+	tab.Append("mmm diner")      // 2
+	tab.Append("zzz cafe")       // 3
+	pairs := SortedNeighborhood(tab, 2, Options{})
+	set := record.NewPairSet(pairs...)
+	if !set.Has(0, 1) {
+		t.Error("adjacent keys should be candidates")
+	}
+	if set.Has(0, 3) {
+		t.Error("window 2 should not pair distant keys")
+	}
+	// Window size n covers all pairs.
+	all := SortedNeighborhood(tab, 4, Options{})
+	if len(all) != 6 {
+		t.Errorf("window=n should give all %d pairs; got %d", 6, len(all))
+	}
+}
+
+func TestCrossSourceOnly(t *testing.T) {
+	tab := record.NewTable("name")
+	tab.AppendFrom(0, "apple ipod nano")
+	tab.AppendFrom(0, "apple ipod touch")
+	tab.AppendFrom(1, "apple ipod classic")
+	for name, pairs := range map[string][]record.Pair{
+		"token":  TokenBlocking(tab, Options{CrossSourceOnly: true}),
+		"qgram":  QGramBlocking(tab, 0, 2, Options{CrossSourceOnly: true}),
+		"sorted": SortedNeighborhood(tab, 3, Options{CrossSourceOnly: true}),
+	} {
+		for _, p := range pairs {
+			if tab.Source[p.A] == tab.Source[p.B] {
+				t.Errorf("%s: same-source pair %v leaked", name, p)
+			}
+		}
+	}
+}
+
+func TestEvaluateMetrics(t *testing.T) {
+	d := dataset.RestaurantN(5, 200, 25)
+	cands := TokenBlocking(d.Table, Options{MaxBlock: 50})
+	stats := Evaluate(d.Table, cands, d.Matches, false)
+	if stats.Candidates != len(cands) {
+		t.Errorf("Candidates = %d; want %d", stats.Candidates, len(cands))
+	}
+	if stats.ReductionRatio <= 0.5 {
+		t.Errorf("reduction ratio = %.3f; blocking should cut most pairs", stats.ReductionRatio)
+	}
+	if stats.PairsCompleteness < 0.9 {
+		t.Errorf("pairs completeness = %.3f; token blocking should keep nearly all matches", stats.PairsCompleteness)
+	}
+}
+
+func TestEvaluateCrossSource(t *testing.T) {
+	d := dataset.ProductN(5, 60, 70, 40)
+	cands := TokenBlocking(d.Table, Options{CrossSourceOnly: true})
+	stats := Evaluate(d.Table, cands, d.Matches, true)
+	if stats.Candidates > 60*70 {
+		t.Errorf("more candidates (%d) than cross pairs (%d)", stats.Candidates, 60*70)
+	}
+	if stats.PairsCompleteness < 0.9 {
+		t.Errorf("pairs completeness = %.3f", stats.PairsCompleteness)
+	}
+}
+
+func BenchmarkTokenBlockingRestaurant(b *testing.B) {
+	d := dataset.Restaurant(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TokenBlocking(d.Table, Options{MaxBlock: 200})
+	}
+}
+
+func BenchmarkSortedNeighborhoodRestaurant(b *testing.B) {
+	d := dataset.Restaurant(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SortedNeighborhood(d.Table, 10, Options{})
+	}
+}

@@ -1,0 +1,345 @@
+package crowd
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+
+	"github.com/crowder/crowder/internal/aggregate"
+	"github.com/crowder/crowder/internal/hitgen"
+	"github.com/crowder/crowder/internal/record"
+)
+
+// Pricing constants from Section 7.1: $0.02 per HIT to the worker plus
+// $0.005 platform fee, and 3 assignments per HIT.
+const (
+	DollarsPerAssignment = 0.025
+	DefaultAssignments   = 3
+)
+
+// Config parameterizes a crowd run.
+type Config struct {
+	// Assignments is the replication factor per HIT (default 3).
+	Assignments int
+	// QualificationTest gates workers through the three-pair screen.
+	QualificationTest bool
+	// Seed drives all stochastic choices (worker selection, answers).
+	Seed int64
+
+	// BaseSeconds is the fixed per-assignment overhead: reading the
+	// instructions, loading the page, submitting (default 20).
+	BaseSeconds float64
+	// SecondsPerPairComparison is the time to tick one pair in a
+	// pair-based HIT (default 5).
+	SecondsPerPairComparison float64
+	// SecondsPerClusterComparison is the time for one implicit comparison
+	// in a cluster-based HIT; lower than the pair cost because sorting and
+	// colour labels let workers scan records on one screen (default 1.5).
+	SecondsPerClusterComparison float64
+
+	// PairAttraction and ClusterAttraction scale how much of the worker
+	// pool each interface draws. The paper found pair-based HITs
+	// "attracted more workers ... due to the unfamiliar interface of
+	// cluster-based HITs" (defaults 1.0 and 0.6).
+	PairAttraction    float64
+	ClusterAttraction float64
+	// FairComparisons is the per-HIT effort workers consider fair at the
+	// fixed price; HITs demanding more deter workers proportionally
+	// (default 20). This drives Figure 14(b), where 28-pair HITs at $0.02
+	// attracted few workers.
+	FairComparisons float64
+
+	// Difficulty optionally maps each pair to a judgment difficulty in
+	// [0, 1] (0 = trivially obvious, 1 = genuinely ambiguous). Workers'
+	// error rates scale with it. When nil every pair has difficulty 1.
+	// A natural choice derives difficulty from machine similarity: pairs
+	// near the decision boundary are hard, near-identical or clearly
+	// unrelated ones are easy.
+	Difficulty func(record.Pair) float64
+}
+
+// difficultyOf resolves the difficulty of a pair under the config.
+func (c *Config) difficultyOf(p record.Pair) float64 {
+	if c.Difficulty == nil {
+		return 1
+	}
+	return c.Difficulty(p)
+}
+
+// DifficultyFromLikelihood builds a difficulty function from machine
+// similarity scores: pairs with similarity near 0.5 are ambiguous even for
+// people (difficulty → 1), while near-identical or clearly unrelated pairs
+// are obvious (difficulty → 0). Pairs absent from the map get 0.5.
+func DifficultyFromLikelihood(likelihood map[record.Pair]float64) func(record.Pair) float64 {
+	return func(p record.Pair) float64 {
+		s, ok := likelihood[p]
+		if !ok {
+			return 0.5
+		}
+		d := 1 - 2*(s-0.5)
+		if s < 0.5 {
+			d = 1 - 2*(0.5-s)
+		}
+		if d < 0 {
+			return 0
+		}
+		if d > 1 {
+			return 1
+		}
+		return d
+	}
+}
+
+func (c *Config) defaults() {
+	if c.Assignments <= 0 {
+		c.Assignments = DefaultAssignments
+	}
+	if c.BaseSeconds <= 0 {
+		c.BaseSeconds = 20
+	}
+	if c.SecondsPerPairComparison <= 0 {
+		c.SecondsPerPairComparison = 5
+	}
+	if c.SecondsPerClusterComparison <= 0 {
+		c.SecondsPerClusterComparison = 1.5
+	}
+	if c.PairAttraction <= 0 {
+		c.PairAttraction = 1.0
+	}
+	if c.ClusterAttraction <= 0 {
+		c.ClusterAttraction = 0.45
+	}
+	if c.FairComparisons <= 0 {
+		c.FairComparisons = 20
+	}
+}
+
+// Result is the outcome of crowdsourcing a batch of HITs.
+type Result struct {
+	// Answers holds every (pair, worker, verdict) triple across all
+	// assignments, ready for aggregation.
+	Answers []aggregate.Answer
+	// AssignmentSeconds lists each assignment's completion time.
+	AssignmentSeconds []float64
+	// TotalSeconds is the makespan: when the last assignment finished
+	// under the worker-scheduling model.
+	TotalSeconds float64
+	// CostDollars is the total payment (assignments × $0.025).
+	CostDollars float64
+	// WorkersUsed is the number of distinct workers who completed at
+	// least one assignment.
+	WorkersUsed int
+}
+
+// MedianAssignmentSeconds returns the median per-assignment completion
+// time (Figure 13's metric).
+func (r *Result) MedianAssignmentSeconds() float64 {
+	if len(r.AssignmentSeconds) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), r.AssignmentSeconds...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// RunPairHITs crowdsources pair-based HITs: each HIT is replicated to
+// Assignments distinct workers; each worker answers every pair in the HIT
+// independently through their confusion matrix.
+func RunPairHITs(hits []hitgen.PairHIT, truth record.PairSet, pop *Population, cfg Config) (*Result, error) {
+	cfg.defaults()
+	pool, err := preparePool(pop, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+
+	res := &Result{}
+	used := make(map[int]bool)
+	var effort float64
+	for _, h := range hits {
+		workers := pickDistinct(pool, cfg.Assignments, rng)
+		for _, w := range workers {
+			used[w.ID] = true
+			for _, p := range h.Pairs {
+				res.Answers = append(res.Answers, aggregate.Answer{
+					Pair:   p,
+					Worker: w.ID,
+					Match:  w.AnswerWithDifficulty(truth.Has(p.A, p.B), cfg.difficultyOf(p), rng),
+				})
+			}
+			secs := (cfg.BaseSeconds + cfg.SecondsPerPairComparison*float64(len(h.Pairs))) * w.Speed
+			res.AssignmentSeconds = append(res.AssignmentSeconds, secs)
+		}
+		effort += float64(len(h.Pairs))
+	}
+	res.WorkersUsed = len(used)
+	res.CostDollars = float64(len(hits)*cfg.Assignments) * DollarsPerAssignment
+	avgEffort := 0.0
+	if len(hits) > 0 {
+		avgEffort = effort / float64(len(hits))
+	}
+	attraction := cfg.PairAttraction * effortDiscount(avgEffort, cfg.FairComparisons)
+	res.TotalSeconds = makespan(res.AssignmentSeconds, pool, attraction)
+	return res, nil
+}
+
+// RunClusterHITs crowdsources cluster-based HITs. Each worker labels the
+// records of the HIT: we simulate noisy pairwise judgments on the covered
+// pairs and then transitively close them (the colour-labelling interface
+// of Figure 4 forces records with the same label into one entity). The
+// worker's completion time follows the Section 6 comparison model applied
+// to their own inferred partition.
+func RunClusterHITs(hits []hitgen.ClusterHIT, pairs []record.Pair, truth record.PairSet, pop *Population, cfg Config) (*Result, error) {
+	cfg.defaults()
+	pool, err := preparePool(pop, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+
+	res := &Result{}
+	used := make(map[int]bool)
+	var effort float64
+	for _, h := range hits {
+		covered := h.CoveredPairs(pairs)
+		workers := pickDistinct(pool, cfg.Assignments, rng)
+		for _, w := range workers {
+			used[w.ID] = true
+			answers := clusterAnswers(h, covered, truth, w, &cfg, rng)
+			res.Answers = append(res.Answers, answers...)
+			// Worker's own partition determines their comparison count.
+			own := record.NewPairSet()
+			for _, a := range answers {
+				if a.Match {
+					own.Add(a.Pair.A, a.Pair.B)
+				}
+			}
+			comparisons := hitgen.BestOrderComparisons(hitgen.EntitySizes(h, own))
+			secs := (cfg.BaseSeconds + cfg.SecondsPerClusterComparison*float64(comparisons)) * w.Speed
+			res.AssignmentSeconds = append(res.AssignmentSeconds, secs)
+		}
+		effort += float64(hitgen.BestOrderComparisons(hitgen.EntitySizes(h, truth))) *
+			cfg.SecondsPerClusterComparison / cfg.SecondsPerPairComparison
+	}
+	res.WorkersUsed = len(used)
+	res.CostDollars = float64(len(hits)*cfg.Assignments) * DollarsPerAssignment
+	avgEffort := 0.0
+	if len(hits) > 0 {
+		avgEffort = effort / float64(len(hits))
+	}
+	attraction := cfg.ClusterAttraction * effortDiscount(avgEffort, cfg.FairComparisons)
+	res.TotalSeconds = makespan(res.AssignmentSeconds, pool, attraction)
+	return res, nil
+}
+
+// clusterAnswers simulates one worker completing one cluster-based HIT:
+// noisy pairwise judgments on the covered pairs, transitively closed by
+// union-find (same label ⇒ same entity), then re-read as per-pair answers.
+func clusterAnswers(h hitgen.ClusterHIT, covered []record.Pair, truth record.PairSet, w *Worker, cfg *Config, rng *rand.Rand) []aggregate.Answer {
+	idx := make(map[record.ID]int, len(h.Records))
+	for i, r := range h.Records {
+		idx[r] = i
+	}
+	parent := make([]int, len(h.Records))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, p := range covered {
+		if w.AnswerWithDifficulty(truth.Has(p.A, p.B), cfg.difficultyOf(p), rng) {
+			a, b := find(idx[p.A]), find(idx[p.B])
+			if a != b {
+				parent[a] = b
+			}
+		}
+	}
+	out := make([]aggregate.Answer, len(covered))
+	for i, p := range covered {
+		out[i] = aggregate.Answer{
+			Pair:   p,
+			Worker: w.ID,
+			Match:  find(idx[p.A]) == find(idx[p.B]),
+		}
+	}
+	return out
+}
+
+// preparePool applies the qualification test if configured and validates
+// pool size against the replication factor.
+func preparePool(pop *Population, cfg Config) (*Population, error) {
+	pool := pop
+	if cfg.QualificationTest {
+		pool = pop.QualificationTest(cfg.Seed + 99)
+	}
+	if pool.Size() < cfg.Assignments {
+		return nil, errors.New("crowd: not enough (qualified) workers for the replication factor")
+	}
+	return pool, nil
+}
+
+// pickDistinct samples n distinct workers uniformly.
+func pickDistinct(pop *Population, n int, rng *rand.Rand) []*Worker {
+	perm := rng.Perm(pop.Size())
+	out := make([]*Worker, n)
+	for i := 0; i < n; i++ {
+		out[i] = pop.Workers[perm[i]]
+	}
+	return out
+}
+
+// effortDiscount models price fairness: HITs demanding more than the fair
+// effort at the fixed price deter workers proportionally.
+func effortDiscount(avgEffort, fair float64) float64 {
+	if avgEffort <= fair || avgEffort <= 0 {
+		return 1
+	}
+	return fair / avgEffort
+}
+
+// makespan estimates when all assignments finish: the active worker count
+// is the pool scaled by the interface's attraction, and assignments are
+// list-scheduled greedily (longest first) onto those workers — the
+// classic LPT bound on parallel makespan.
+func makespan(assignments []float64, pool *Population, attraction float64) float64 {
+	if len(assignments) == 0 {
+		return 0
+	}
+	active := int(float64(pool.Size()) * attraction)
+	if active < 1 {
+		active = 1
+	}
+	if active > len(assignments) {
+		active = len(assignments)
+	}
+	sorted := append([]float64(nil), assignments...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	loads := make([]float64, active)
+	for _, a := range sorted {
+		// Assign to the least-loaded worker.
+		min := 0
+		for i := 1; i < active; i++ {
+			if loads[i] < loads[min] {
+				min = i
+			}
+		}
+		loads[min] += a
+	}
+	max := loads[0]
+	for _, l := range loads[1:] {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}

@@ -1,0 +1,228 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/crowder/crowder/internal/record"
+)
+
+// Product scale constants matching the paper's Abt–Buy dataset.
+const (
+	productAbt     = 1081
+	productBuy     = 1092
+	productMatches = 1097
+)
+
+var (
+	brands = []string{
+		"apple", "sony", "samsung", "panasonic", "canon", "nikon", "lg",
+		"toshiba", "philips", "jvc", "garmin", "bose", "denon", "yamaha",
+		"sharp", "sanyo", "pioneer", "kenwood", "olympus", "casio",
+	}
+	families = []string{
+		"ipod touch", "ipod nano", "ipod shuffle", "bravia lcd tv",
+		"viera plasma tv", "cybershot camera", "powershot camera",
+		"coolpix camera", "handycam camcorder", "home theater system",
+		"blu ray player", "dvd recorder", "bookshelf speakers",
+		"soundbar speaker", "av receiver", "nav gps", "alarm clock radio",
+		"portable dvd player", "digital photo frame", "micro hifi system",
+		"noise cancelling headphones", "wireless headphones",
+		"compact stereo", "mini camcorder", "flash camcorder",
+		"slr lens", "zoom lens", "point shoot camera", "lcd monitor",
+		"plasma monitor", "car amplifier", "subwoofer", "tower speakers",
+		"in ear headphones", "clock radio", "cd boombox", "turntable",
+		"cassette deck", "hd radio tuner", "satellite radio", "media dock",
+		"wireless router", "cordless phone", "answering machine",
+		"fax machine", "label printer", "photo printer", "laser printer",
+	}
+	colors     = []string{"black", "white", "silver", "blue", "red", "pink", "gray"}
+	capacities = []string{"2", "4", "8", "16", "32", "64", "120", "160", "250", "320", "500"}
+	capUnits   = []string{"gb", "mb", "tb"}
+	genWords   = []string{"1st", "2nd", "3rd", "4th", "5th"}
+	abtExtras  = []string{"refurbished", "oem", "retail", "bundle"}
+	buyExtras  = []string{"player", "system", "kit", "edition", "series", "new"}
+)
+
+// productEntity is the latent product a record describes.
+type productEntity struct {
+	brand    string
+	family   string
+	color    string
+	capacity string // "" if not applicable
+	gen      string // "" if not applicable
+	code     string // manufacturer model code, e.g. mb528lla
+	price    int    // cents-free dollar price
+}
+
+func randomProduct(rng *rand.Rand) *productEntity {
+	e := &productEntity{
+		brand:  brands[rng.Intn(len(brands))],
+		family: families[rng.Intn(len(families))],
+		color:  colors[rng.Intn(len(colors))],
+		price:  20 + rng.Intn(2000),
+	}
+	if rng.Intn(100) < 60 {
+		e.capacity = capacities[rng.Intn(len(capacities))] + capUnits[rng.Intn(2)]
+	}
+	if rng.Intn(100) < 40 {
+		e.gen = genWords[rng.Intn(len(genWords))] + " generation"
+	}
+	// Model code: two letters + 3 digits + 2-3 letters, e.g. "mb528lla".
+	letters := "abcdefghijklmnopqrstuvwxyz"
+	var sb strings.Builder
+	for i := 0; i < 2; i++ {
+		sb.WriteByte(letters[rng.Intn(26)])
+	}
+	fmt.Fprintf(&sb, "%03d", rng.Intn(1000))
+	for i := 0; i < 2+rng.Intn(2); i++ {
+		sb.WriteByte(letters[rng.Intn(26)])
+	}
+	e.code = sb.String()
+	return e
+}
+
+// renderAbt renders the entity in the abt.com style: brand, capacity,
+// color, generation, family, then " - " plus the model code — e.g.
+// "apple 8gb black 2nd generation ipod touch - mb528lla".
+func (e *productEntity) renderAbt(rng *rand.Rand) []string {
+	parts := []string{e.brand}
+	if e.capacity != "" {
+		parts = append(parts, e.capacity)
+	}
+	parts = append(parts, e.color)
+	if e.gen != "" {
+		parts = append(parts, e.gen)
+	}
+	parts = append(parts, e.family)
+	if rng.Intn(100) < 25 {
+		parts = append(parts, abtExtras[rng.Intn(len(abtExtras))])
+	}
+	name := strings.Join(parts, " ") + " - " + e.code
+	price := fmt.Sprintf("$%d.00", e.price)
+	return []string{name, price}
+}
+
+// renderBuy renders the entity in the buy.com style: family first, brand,
+// split capacity ("8 gb" rather than "8gb"), possibly no model code, no
+// generation phrase, and marketing filler — deliberately sharing only a
+// fraction of the abt rendering's tokens, which is what makes Product the
+// "hard" dataset (Table 2(b): a matching pair's Jaccard is usually below
+// 0.5).
+func (e *productEntity) renderBuy(rng *rand.Rand) []string {
+	parts := []string{e.brand}
+	parts = append(parts, strings.Fields(e.family)...)
+	if e.capacity != "" {
+		if rng.Intn(2) == 0 {
+			// Split "8gb" → "8 gb": different tokens after normalization.
+			for i, r := range e.capacity {
+				if r < '0' || r > '9' {
+					parts = append(parts, e.capacity[:i], e.capacity[i:])
+					break
+				}
+			}
+		} else {
+			parts = append(parts, e.capacity)
+		}
+	}
+	if rng.Intn(100) < 75 {
+		parts = append(parts, e.color)
+	}
+	if rng.Intn(100) < 40 {
+		parts = append(parts, e.code)
+	}
+	if e.gen != "" && rng.Intn(100) < 40 {
+		parts = append(parts, strings.Fields(e.gen)...)
+	}
+	if rng.Intn(100) < 40 {
+		parts = append(parts, buyExtras[rng.Intn(len(buyExtras))])
+	}
+	// A "terse" minority of buy listings omit most descriptors, producing
+	// the very dissimilar matching pairs that keep recall below 100% even
+	// at threshold 0.2 (Table 2(b): 92.2%).
+	if rng.Intn(100) < 14 {
+		terse := []string{e.brand}
+		fam := strings.Fields(e.family)
+		terse = append(terse, fam[:1+rng.Intn(len(fam))]...)
+		terse = append(terse, buyExtras[rng.Intn(len(buyExtras))])
+		parts = terse
+	}
+	name := strings.Join(parts, " ")
+	// Prices differ between retailers.
+	price := fmt.Sprintf("$%d.99", e.price-1-rng.Intn(30))
+	return []string{name, price}
+}
+
+// Product generates the synthetic two-source Product dataset: 1081 "abt"
+// records and 1092 "buy" records with 1097 cross-source matching pairs.
+// The two renderings of an entity intentionally share few tokens, so
+// machine similarity alone cannot separate matches (Table 2(b)'s profile:
+// 30.5% recall at threshold 0.5, 92.2% at 0.2).
+func Product(seed int64) *Dataset {
+	return ProductN(seed, productAbt, productBuy, productMatches)
+}
+
+// ProductN generates a Product-style dataset with the given source sizes
+// and match-pair count. The entity layout is a matched entities with one
+// record per source, b entities with one abt and two buy records, and c
+// entities with two abt and one buy record, chosen so that
+// a + 2b + 2c = matches; remaining records are unmatched fillers.
+func ProductN(seed int64, nAbt, nBuy, matches int) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+
+	// Solve the layout: use b = c = spare/4 where spare = matches − base.
+	// Pick b = c = min(22, matches/50) to mirror the paper's mild
+	// many-to-many structure, then a = matches − 2b − 2c.
+	bc := matches / 50
+	if bc > 22 {
+		bc = 22
+	}
+	a := matches - 4*bc
+	if a < 0 {
+		a, bc = matches, 0
+	}
+	abtMatched := a + bc + 2*bc
+	buyMatched := a + 2*bc + bc
+	if abtMatched > nAbt || buyMatched > nBuy {
+		panic(fmt.Sprintf("dataset: product layout infeasible: need %d abt, %d buy", abtMatched, buyMatched))
+	}
+
+	t := record.NewTable("name", "price")
+	m := record.NewPairSet()
+
+	addMatched := func(nAbtCopies, nBuyCopies int) {
+		e := randomProduct(rng)
+		var abtIDs, buyIDs []record.ID
+		for i := 0; i < nAbtCopies; i++ {
+			abtIDs = append(abtIDs, t.AppendFrom(0, e.renderAbt(rng)...))
+		}
+		for i := 0; i < nBuyCopies; i++ {
+			buyIDs = append(buyIDs, t.AppendFrom(1, e.renderBuy(rng)...))
+		}
+		for _, x := range abtIDs {
+			for _, y := range buyIDs {
+				m.Add(x, y)
+			}
+		}
+	}
+
+	for i := 0; i < a; i++ {
+		addMatched(1, 1)
+	}
+	for i := 0; i < bc; i++ {
+		addMatched(1, 2)
+	}
+	for i := 0; i < bc; i++ {
+		addMatched(2, 1)
+	}
+	for i := abtMatched; i < nAbt; i++ {
+		e := randomProduct(rng)
+		t.AppendFrom(0, e.renderAbt(rng)...)
+	}
+	for i := buyMatched; i < nBuy; i++ {
+		e := randomProduct(rng)
+		t.AppendFrom(1, e.renderBuy(rng)...)
+	}
+	return &Dataset{Name: "Product", Table: t, Matches: m}
+}

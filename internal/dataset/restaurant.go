@@ -1,0 +1,247 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/crowder/crowder/internal/record"
+)
+
+// Restaurant scale constants matching the paper's Fodor's/Zagat dataset.
+const (
+	restaurantRecords = 858
+	restaurantDups    = 106
+)
+
+var (
+	nameWords = []string{
+		"golden", "dragon", "palace", "oceana", "blue", "ribbon", "union",
+		"pacific", "river", "grand", "little", "royal", "silver", "lotus",
+		"jade", "villa", "casa", "bella", "luna", "sole", "mare", "monte",
+		"verde", "rosa", "prima", "vista", "stella", "fontana", "capri",
+		"roma", "milano", "napoli", "sorrento", "toscana", "gusto", "sapori",
+		"harbor", "bay", "cliff", "garden", "terrace", "plaza", "corner",
+		"olive", "cedar", "maple", "willow", "magnolia", "juniper", "sage",
+		"ember", "flame", "hearth", "stone", "brick", "copper", "iron",
+		"empress", "mandarin", "canton", "szechuan", "peking", "shanghai",
+		"sakura", "fuji", "kyoto", "zen", "bamboo", "koi", "hana", "umi",
+		"taqueria", "cantina", "hacienda", "mariachi", "azteca", "sol",
+		"bistro", "brasserie", "chez", "maison", "petit", "jardin",
+		"saffron", "tandoor", "curry", "masala", "bombay", "delhi",
+		"athena", "olympus", "santorini", "mykonos", "aegean", "poseidon",
+	}
+	venueWords = []string{
+		"cafe", "grill", "restaurant", "kitchen", "diner", "house",
+		"tavern", "bar", "room", "club", "inn", "eatery",
+	}
+	streetNames = []string{
+		"main", "oak", "pine", "maple", "cedar", "elm", "washington",
+		"lincoln", "jefferson", "madison", "franklin", "broadway",
+		"market", "church", "spring", "park", "lake", "hill", "sunset",
+		"ocean", "valley", "canyon", "mission", "harbor", "bay",
+		"1st", "2nd", "3rd", "4th", "5th", "54th", "42nd", "melrose",
+		"wilshire", "ventura", "olympic", "pico", "vermont", "western",
+	}
+	streetSuffixFull = []string{"street", "avenue", "boulevard", "road", "drive", "place"}
+	streetSuffixAbbr = []string{"st.", "ave.", "blvd.", "rd.", "dr.", "pl."}
+	cities           = []string{
+		"new york", "los angeles", "san francisco", "chicago", "atlanta",
+		"boston", "seattle", "houston", "miami", "denver", "philadelphia",
+		"new orleans",
+	}
+	cuisines = []string{
+		"american", "american (new)", "italian", "french", "chinese",
+		"japanese", "mexican", "seafood", "steakhouses", "pizza",
+		"delis", "coffee shops", "greek", "indian", "thai", "bbq",
+		"cajun", "vegetarian", "continental", "mediterranean",
+	}
+)
+
+// restaurantEntity is the latent truth a record is drawn from.
+type restaurantEntity struct {
+	nameToks []string
+	venue    string // may be ""
+	number   int
+	street   string
+	suffix   int // index into streetSuffix tables
+	city     string
+	cuisine  string
+}
+
+func (e *restaurantEntity) render(abbrSuffix bool) []string {
+	name := strings.Join(e.nameToks, " ")
+	if e.venue != "" {
+		name += " " + e.venue
+	}
+	suffix := streetSuffixFull[e.suffix]
+	if abbrSuffix {
+		suffix = streetSuffixAbbr[e.suffix]
+	}
+	addr := fmt.Sprintf("%d %s %s", e.number, e.street, suffix)
+	return []string{name, addr, e.city, e.cuisine}
+}
+
+// Restaurant generates the synthetic Restaurant dataset: 858 records over
+// [name, address, city, type] with 106 duplicate pairs. Duplicates are
+// formatting variants of the same establishment (abbreviations, dropped
+// venue words, typos), so matching pairs mostly have high Jaccard
+// similarity — reproducing Table 2(a)'s behaviour where a 0.4 threshold
+// already achieves >90% recall.
+func Restaurant(seed int64) *Dataset {
+	return RestaurantN(seed, restaurantRecords, restaurantDups)
+}
+
+// RestaurantN generates a Restaurant-style dataset with the given total
+// record count and duplicate-pair count (records − dups base entities, of
+// which dups are emitted twice). Use for scaling experiments.
+func RestaurantN(seed int64, records, dups int) *Dataset {
+	if dups*2 > records {
+		panic(fmt.Sprintf("dataset: %d dups need at least %d records", dups, dups*2))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	nEntities := records - dups
+
+	entities := make([]*restaurantEntity, nEntities)
+	for i := range entities {
+		entities[i] = randomRestaurant(rng)
+	}
+
+	t := record.NewTable("name", "address", "city", "type")
+	m := record.NewPairSet()
+	for _, e := range entities {
+		t.Append(e.render(rng.Intn(2) == 0)...)
+	}
+	// Duplicate the first `dups` entities (the slice is already random).
+	for i := 0; i < dups; i++ {
+		e := entities[i]
+		vals := perturbRestaurant(e, rng)
+		id := t.Append(vals...)
+		m.Add(record.ID(i), id)
+	}
+	return &Dataset{Name: "Restaurant", Table: t, Matches: m}
+}
+
+// zipfIdx returns a index in [0, n) biased towards small values, modelling
+// the skewed popularity of real-world vocabulary (big cities, common
+// cuisines and street names dominate). The skew is what gives the dataset
+// its large mass of moderately similar non-matching pairs — the
+// Table 2(a) behaviour where dropping the threshold from 0.3 to 0.1
+// explodes the candidate count.
+func zipfIdx(rng *rand.Rand, n int) int {
+	return rng.Intn(rng.Intn(n) + 1)
+}
+
+func randomRestaurant(rng *rand.Rand) *restaurantEntity {
+	e := &restaurantEntity{
+		number:  1 + rng.Intn(999),
+		street:  streetNames[zipfIdx(rng, len(streetNames))],
+		suffix:  zipfIdx(rng, len(streetSuffixFull)),
+		city:    cities[zipfIdx(rng, len(cities))],
+		cuisine: cuisines[zipfIdx(rng, len(cuisines))],
+	}
+	n := 1 + rng.Intn(2)
+	for i := 0; i < n; i++ {
+		e.nameToks = append(e.nameToks, nameWords[zipfIdx(rng, len(nameWords))])
+	}
+	if rng.Intn(100) < 35 {
+		e.nameToks = append([]string{"the"}, e.nameToks...)
+	}
+	if rng.Intn(100) < 70 {
+		e.venue = venueWords[zipfIdx(rng, len(venueWords))]
+	}
+	return e
+}
+
+// perturbRestaurant renders a duplicate of e with realistic formatting
+// noise. The perturbation count is skewed towards light edits so most
+// matching pairs keep Jaccard ≥ 0.5, a minority land in [0.3, 0.5), and a
+// few fall below 0.3 — the Table 2(a) recall profile.
+func perturbRestaurant(e *restaurantEntity, rng *rand.Rand) []string {
+	dup := *e
+	dup.nameToks = append([]string(nil), e.nameToks...)
+
+	nPert := 1
+	switch r := rng.Intn(100); {
+	case r < 20:
+		nPert = 1
+	case r < 45:
+		nPert = 2
+	case r < 72:
+		nPert = 3
+	case r < 88:
+		nPert = 4
+	case r < 97:
+		nPert = 5
+	default:
+		nPert = 6
+	}
+	for i := 0; i < nPert; i++ {
+		switch rng.Intn(6) {
+		case 0: // toggle venue word
+			if dup.venue == "" {
+				dup.venue = venueWords[rng.Intn(len(venueWords))]
+			} else {
+				dup.venue = ""
+			}
+		case 1: // typo in a name token (swap two adjacent letters)
+			j := rng.Intn(len(dup.nameToks))
+			dup.nameToks[j] = typo(dup.nameToks[j], rng)
+		case 2: // cuisine variant
+			dup.cuisine = cuisineVariant(dup.cuisine, rng)
+		case 3: // street number glitch (digit transposition)
+			dup.number = numberGlitch(dup.number, rng)
+		case 4: // add a filler name token
+			dup.nameToks = append(dup.nameToks, nameWords[rng.Intn(len(nameWords))])
+		case 5: // drop a name token if more than one remains
+			if len(dup.nameToks) > 1 {
+				j := rng.Intn(len(dup.nameToks))
+				dup.nameToks = append(dup.nameToks[:j], dup.nameToks[j+1:]...)
+			}
+		}
+	}
+	// The suffix form (abbreviated vs full) flips independently, as the two
+	// directories disagreed on it pervasively.
+	return dup.render(rng.Intn(2) == 0)
+}
+
+// typo swaps two adjacent letters of a token (min length 3).
+func typo(tok string, rng *rand.Rand) string {
+	if len(tok) < 3 {
+		return tok
+	}
+	b := []byte(tok)
+	i := rng.Intn(len(b) - 1)
+	b[i], b[i+1] = b[i+1], b[i]
+	return string(b)
+}
+
+// cuisineVariant returns a related cuisine label, modelling the two
+// directories' different taxonomies.
+func cuisineVariant(c string, rng *rand.Rand) string {
+	variants := map[string][]string{
+		"american":       {"american (new)", "american (traditional)"},
+		"american (new)": {"american"},
+		"italian":        {"pizza", "italian (northern)"},
+		"french":         {"french (new)", "french bistro"},
+		"seafood":        {"fish", "seafood grill"},
+		"bbq":            {"barbecue"},
+		"delis":          {"deli", "sandwiches"},
+		"coffee shops":   {"coffee", "cafes"},
+	}
+	if vs, ok := variants[c]; ok {
+		return vs[rng.Intn(len(vs))]
+	}
+	return c
+}
+
+// numberGlitch transposes the last two digits of a street number or
+// returns it unchanged for single-digit numbers.
+func numberGlitch(n int, rng *rand.Rand) int {
+	if n < 10 || rng.Intn(2) == 0 {
+		return n
+	}
+	tens := (n / 10) % 10
+	ones := n % 10
+	return n - tens*10 - ones + ones*10 + tens
+}

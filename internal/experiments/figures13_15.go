@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/crowder/crowder/internal/aggregate"
+	"github.com/crowder/crowder/internal/crowd"
+	"github.com/crowder/crowder/internal/dataset"
+	"github.com/crowder/crowder/internal/eval"
+	"github.com/crowder/crowder/internal/hitgen"
+)
+
+// PairVsClusterRun is one (HIT type × QT) cell of Figures 13–15.
+type PairVsClusterRun struct {
+	// Label is the paper's notation: P16, C10, P16 (QT), C10 (QT), …
+	Label string
+	// MedianAssignmentSeconds is Figure 13's metric.
+	MedianAssignmentSeconds float64
+	// TotalMinutes is Figure 14's metric: the makespan of all HITs.
+	TotalMinutes float64
+	// Points is Figure 15's metric: the PR curve of the aggregated answers.
+	Points []eval.PRPoint
+	// HITs is the number of tasks (kept equal across the two formats).
+	HITs int
+}
+
+// PairVsClusterResult reproduces Figures 13, 14 and 15 for one dataset:
+// the pair-based and cluster-based comparison at equal HIT counts.
+type PairVsClusterResult struct {
+	Dataset string
+	// PairsPerHIT is the computed pair-HIT batch size (16 for Product,
+	// 28 for Product+Dup in the paper).
+	PairsPerHIT int
+	Runs        []PairVsClusterRun
+}
+
+// PairVsCluster runs the Section 7.4 comparison on the dataset: prune at
+// the likelihood threshold (0.2 in the paper), generate cluster-based HITs
+// with k=10, then generate pair-based HITs batched so both formats yield
+// the same number of HITs, and crowdsource both with and without a
+// qualification test.
+func (e *Env) PairVsCluster(d *dataset.Dataset, tau float64, k int) (*PairVsClusterResult, error) {
+	pairs := e.pairsAt(d, tau)
+	gen := hitgen.TwoTiered{}
+	clusterHITs, err := gen.Generate(pairs, k)
+	if err != nil {
+		return nil, err
+	}
+	nHITs := len(clusterHITs)
+	if nHITs == 0 {
+		return nil, fmt.Errorf("experiments: no HITs at threshold %v on %s", tau, d.Name)
+	}
+	// Equal-cost pair-based batching: ⌈|P| / #clusterHITs⌉ pairs per HIT
+	// (Section 7.4: 8315/508 ≈ 16 for Product, 3401/120 ≈ 28 for
+	// Product+Dup).
+	perHIT := (len(pairs) + nHITs - 1) / nHITs
+	pairHITs, err := hitgen.GeneratePairHITs(pairs, perHIT)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &PairVsClusterResult{Dataset: d.Name, PairsPerHIT: perHIT}
+	pop := crowd.NewPopulation(e.Seed, crowd.PopulationOptions{})
+	total := d.Matches.Len()
+
+	for _, qt := range []bool{false, true} {
+		suffix := ""
+		if qt {
+			suffix = " (QT)"
+		}
+		cfg := crowd.Config{Seed: e.Seed, QualificationTest: qt, Difficulty: e.difficultyFn(d)}
+
+		pr, err := crowd.RunPairHITs(pairHITs, d.Matches, pop, cfg)
+		if err != nil {
+			return nil, err
+		}
+		post := aggregate.DawidSkene(pr.Answers, aggregate.DawidSkeneOptions{})
+		res.Runs = append(res.Runs, PairVsClusterRun{
+			Label:                   fmt.Sprintf("P%d%s", perHIT, suffix),
+			MedianAssignmentSeconds: pr.MedianAssignmentSeconds(),
+			TotalMinutes:            pr.TotalSeconds / 60,
+			Points:                  eval.PRCurve(post.Ranked(), d.Matches, total),
+			HITs:                    len(pairHITs),
+		})
+
+		cr, err := crowd.RunClusterHITs(clusterHITs, pairs, d.Matches, pop, cfg)
+		if err != nil {
+			return nil, err
+		}
+		post = aggregate.DawidSkene(cr.Answers, aggregate.DawidSkeneOptions{})
+		res.Runs = append(res.Runs, PairVsClusterRun{
+			Label:                   fmt.Sprintf("C%d%s", k, suffix),
+			MedianAssignmentSeconds: cr.MedianAssignmentSeconds(),
+			TotalMinutes:            cr.TotalSeconds / 60,
+			Points:                  eval.PRCurve(post.Ranked(), d.Matches, total),
+			HITs:                    len(clusterHITs),
+		})
+	}
+	return res, nil
+}
+
+// Run returns the named run, or nil.
+func (r *PairVsClusterResult) Run(label string) *PairVsClusterRun {
+	for i := range r.Runs {
+		if r.Runs[i].Label == label {
+			return &r.Runs[i]
+		}
+	}
+	return nil
+}
+
+// String renders all three figures' data for this dataset.
+func (r *PairVsClusterResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figures 13/14/15 — pair-based vs cluster-based HITs (%s, %d HITs each)\n",
+		r.Dataset, r.Runs[0].HITs)
+	fmt.Fprintf(&b, "%-10s %22s %18s %16s\n",
+		"Run", "Median/assignment (s)", "Total time (min)", "Precision@90%R")
+	for _, run := range r.Runs {
+		fmt.Fprintf(&b, "%-10s %22.0f %18.1f %15.1f%%\n",
+			run.Label, run.MedianAssignmentSeconds, run.TotalMinutes,
+			100*eval.PrecisionAtRecall(run.Points, 0.9*eval.MaxRecall(run.Points)))
+	}
+	return b.String()
+}

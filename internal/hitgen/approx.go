@@ -1,0 +1,81 @@
+package hitgen
+
+import (
+	"github.com/crowder/crowder/internal/record"
+)
+
+// Approx is the (k/2 + k/(k−1))-approximation algorithm for the k-clique
+// edge covering problem from Goldschmidt et al., as described in Section 4.
+//
+// Phase 1 builds a sequence SEQ of all vertices and edges: it repeatedly
+// selects a vertex, appends the vertex and its currently incident edges to
+// SEQ, and removes them from the graph. Phase 2 splits SEQ into windows of
+// k−1 consecutive elements; the edges inside a window touch at most k
+// distinct vertices, so each window yields one cluster-based HIT.
+//
+// As the paper notes, the algorithm ignores connectivity entirely ("it
+// simply adds a random vertex and its corresponding edges into SEQ"), which
+// is why it underperforms even naive baselines on real data (Section 7.2).
+type Approx struct{}
+
+// Name implements ClusterGenerator.
+func (Approx) Name() string { return "Approximation" }
+
+// seqElem is one element of SEQ: either a vertex or an edge.
+type seqElem struct {
+	isEdge bool
+	v      record.ID   // valid when !isEdge
+	e      record.Pair // valid when isEdge
+}
+
+// Generate implements ClusterGenerator.
+func (Approx) Generate(pairs []record.Pair, k int) ([]ClusterHIT, error) {
+	if err := checkK(k); err != nil {
+		return nil, err
+	}
+	g := buildGraph(pairs)
+
+	// Phase 1: build SEQ. The paper's Phase 1 selects vertices in arbitrary
+	// order; we take ascending ID order for determinism (the approximation
+	// guarantee is order-independent).
+	// Vertices whose edges were all consumed by earlier neighbors still
+	// enter SEQ as bare vertex elements, matching the paper's "all the
+	// vertices and edges" accounting (Example 2 counts nine vertex
+	// elements alongside the ten edges).
+	var seq []seqElem
+	for _, v := range g.Vertices() {
+		seq = append(seq, seqElem{v: v})
+		for _, u := range g.Neighbors(v) {
+			seq = append(seq, seqElem{isEdge: true, e: record.MakePair(v, u)})
+		}
+		for _, u := range g.Neighbors(v) {
+			g.RemoveEdge(v, u)
+		}
+	}
+
+	// Phase 2: windows of k−1 consecutive elements, one HIT per window.
+	// Example 2: |SEQ| = 19 with k = 4 gives ⌈19/3⌉ = 7 HITs.
+	var hits []ClusterHIT
+	for start := 0; start < len(seq); start += k - 1 {
+		end := start + k - 1
+		if end > len(seq) {
+			end = len(seq)
+		}
+		members := make(map[record.ID]bool)
+		for _, el := range seq[start:end] {
+			if el.isEdge {
+				members[el.e.A] = true
+				members[el.e.B] = true
+			} else {
+				members[el.v] = true
+			}
+		}
+		hit := ClusterHIT{}
+		for r := range members {
+			hit.Records = append(hit.Records, r)
+		}
+		sortHIT(hit.Records)
+		hits = append(hits, hit)
+	}
+	return hits, nil
+}

@@ -1,0 +1,138 @@
+package hitgen
+
+import (
+	"math/rand"
+
+	"github.com/crowder/crowder/internal/record"
+)
+
+// Random is the naive baseline of Section 7.2: it repeatedly selects a
+// random pair from P and merges its two records into the HIT under
+// construction; when the HIT reaches k records it is emitted and all pairs
+// it covers are removed from P.
+type Random struct {
+	// Seed makes runs reproducible; the same seed yields the same HITs.
+	Seed int64
+}
+
+// Name implements ClusterGenerator.
+func (Random) Name() string { return "Random" }
+
+// Generate implements ClusterGenerator.
+func (g Random) Generate(pairs []record.Pair, k int) ([]ClusterHIT, error) {
+	if err := checkK(k); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(g.Seed))
+	remaining := make([]record.Pair, len(pairs))
+	copy(remaining, pairs)
+
+	// Dense membership array: record IDs are small and dense, so a slice
+	// beats a map in the O(|P|) per-HIT sweep below.
+	maxID := record.ID(0)
+	for _, p := range pairs {
+		if p.B > maxID {
+			maxID = p.B
+		}
+	}
+	members := make([]bool, maxID+1)
+
+	var hits []ClusterHIT
+	for len(remaining) > 0 {
+		// Fill the HIT by scanning a lazily generated random permutation of
+		// the remaining pairs (Fisher–Yates as we go). A pair is merged
+		// only if it fits within the k-record budget; pairs that do not fit
+		// stay for later HITs, so termination is guaranteed (the first pair
+		// examined always fits since k >= 2).
+		var hitMembers []record.ID
+		size := 0
+		for i := 0; i < len(remaining) && size < k; i++ {
+			j := i + rng.Intn(len(remaining)-i)
+			remaining[i], remaining[j] = remaining[j], remaining[i]
+			p := remaining[i]
+			add := 0
+			if !members[p.A] {
+				add++
+			}
+			if !members[p.B] {
+				add++
+			}
+			if size+add > k {
+				continue
+			}
+			if !members[p.A] {
+				members[p.A] = true
+				hitMembers = append(hitMembers, p.A)
+			}
+			if !members[p.B] {
+				members[p.B] = true
+				hitMembers = append(hitMembers, p.B)
+			}
+			size += add
+		}
+		hits = append(hits, ClusterHIT{Records: sortHIT(hitMembers)})
+
+		// Remove every pair covered by this HIT and reset membership.
+		next := remaining[:0]
+		for _, p := range remaining {
+			if !(members[p.A] && members[p.B]) {
+				next = append(next, p)
+			}
+		}
+		remaining = next
+		for _, r := range hitMembers {
+			members[r] = false
+		}
+	}
+	return hits, nil
+}
+
+// BFS is the breadth-first baseline of Section 7.2: it builds the pair
+// graph and fills each HIT with the first k vertices of a BFS traversal of
+// the remaining graph, then removes the covered edges and repeats.
+type BFS struct{}
+
+// Name implements ClusterGenerator.
+func (BFS) Name() string { return "BFS-based" }
+
+// Generate implements ClusterGenerator.
+func (BFS) Generate(pairs []record.Pair, k int) ([]ClusterHIT, error) {
+	if err := checkK(k); err != nil {
+		return nil, err
+	}
+	return traversalGenerate(pairs, k, true)
+}
+
+// DFS is the depth-first baseline of Section 7.2, identical to BFS but
+// using depth-first traversal order.
+type DFS struct{}
+
+// Name implements ClusterGenerator.
+func (DFS) Name() string { return "DFS-based" }
+
+// Generate implements ClusterGenerator.
+func (DFS) Generate(pairs []record.Pair, k int) ([]ClusterHIT, error) {
+	if err := checkK(k); err != nil {
+		return nil, err
+	}
+	return traversalGenerate(pairs, k, false)
+}
+
+func traversalGenerate(pairs []record.Pair, k int, bfs bool) ([]ClusterHIT, error) {
+	g := buildGraph(pairs)
+	var hits []ClusterHIT
+	for g.NumEdges() > 0 {
+		var members []record.ID
+		if bfs {
+			members = g.BFSPrefix(k)
+		} else {
+			members = g.DFSPrefix(k)
+		}
+		hit := ClusterHIT{Records: sortHIT(members)}
+		hits = append(hits, hit)
+		for _, e := range g.EdgesCoveredBy(hit.Records) {
+			g.RemoveEdge(e.A, e.B)
+		}
+	}
+	return hits, nil
+}

@@ -1,0 +1,151 @@
+// Package hitgen implements CrowdER's HIT generation (Sections 3–5):
+// batching a set of record pairs into Human Intelligence Tasks.
+//
+// Pair-based HITs batch k independent pairs per task (Section 3.1).
+// Cluster-based HITs batch up to k records per task and ask the worker to
+// find all matches inside the group (Section 3.2, Definition 1). Because
+// minimizing the number of cluster-based HITs is NP-hard (Theorem 1), the
+// package provides the paper's heuristics and baselines:
+//
+//   - Random    — merge random pairs until the HIT is full (Section 7.2)
+//   - BFS/DFS   — fill HITs in graph-traversal order (Section 7.2)
+//   - Approx    — the Goldschmidt et al. (k/2 + k/(k−1))-approximation for
+//     k-clique edge covering (Section 4)
+//   - TwoTiered — the paper's contribution: greedy LCC partitioning (top
+//     tier, Algorithm 2) plus cutting-stock SCC packing (bottom tier,
+//     Section 5.3)
+package hitgen
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/crowder/crowder/internal/graph"
+	"github.com/crowder/crowder/internal/record"
+)
+
+// PairHIT is a pair-based HIT: a batch of record pairs, each verified
+// independently by the worker.
+type PairHIT struct {
+	Pairs []record.Pair
+}
+
+// ClusterHIT is a cluster-based HIT: a group of records among which the
+// worker identifies all duplicates.
+type ClusterHIT struct {
+	Records []record.ID
+}
+
+// Size returns the number of records in the HIT.
+func (h ClusterHIT) Size() int { return len(h.Records) }
+
+// CoveredPairs returns the subset of pairs checkable by this HIT: those
+// with both endpoints in the HIT (Section 3.2: "a cluster-based HIT allows
+// a pair of records to be matched iff both records are in the HIT").
+func (h ClusterHIT) CoveredPairs(pairs []record.Pair) []record.Pair {
+	in := make(map[record.ID]bool, len(h.Records))
+	for _, r := range h.Records {
+		in[r] = true
+	}
+	var out []record.Pair
+	for _, p := range pairs {
+		if in[p.A] && in[p.B] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// GeneratePairHITs batches the pairs into ⌈|P|/k⌉ pair-based HITs of at
+// most k pairs each, preserving input order (Section 3.1).
+func GeneratePairHITs(pairs []record.Pair, k int) ([]PairHIT, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("hitgen: pair-based HIT size %d must be >= 1", k)
+	}
+	var hits []PairHIT
+	for start := 0; start < len(pairs); start += k {
+		end := start + k
+		if end > len(pairs) {
+			end = len(pairs)
+		}
+		batch := make([]record.Pair, end-start)
+		copy(batch, pairs[start:end])
+		hits = append(hits, PairHIT{Pairs: batch})
+	}
+	return hits, nil
+}
+
+// ClusterGenerator is a cluster-based HIT generation strategy: given the
+// pairs to verify and the cluster-size threshold k, produce HITs
+// satisfying Definition 1 (every HIT has ≤ k records; every pair is
+// covered by some HIT).
+type ClusterGenerator interface {
+	// Name identifies the strategy in experiment output.
+	Name() string
+	// Generate produces the cluster-based HITs. k must be ≥ 2.
+	Generate(pairs []record.Pair, k int) ([]ClusterHIT, error)
+}
+
+// ValidateCover checks Definition 1's two requirements against the
+// generated HITs and returns a descriptive error on the first violation.
+// It is used by tests and by the workflow's internal sanity checking.
+// Pairs are indexed by endpoint so the check costs O(Σ_HIT Σ_member
+// deg(member)) rather than O(#HITs × |P|).
+func ValidateCover(pairs []record.Pair, hits []ClusterHIT, k int) error {
+	remaining := make(map[record.Pair]bool, len(pairs))
+	byEndpoint := make(map[record.ID][]record.Pair)
+	for _, p := range pairs {
+		cp := record.MakePair(p.A, p.B)
+		if !remaining[cp] {
+			remaining[cp] = true
+			byEndpoint[cp.A] = append(byEndpoint[cp.A], cp)
+			byEndpoint[cp.B] = append(byEndpoint[cp.B], cp)
+		}
+	}
+	for i, h := range hits {
+		if h.Size() > k {
+			return fmt.Errorf("hitgen: HIT %d has %d records, exceeds k=%d", i, h.Size(), k)
+		}
+		members := make(map[record.ID]bool, h.Size())
+		for _, r := range h.Records {
+			if members[r] {
+				return fmt.Errorf("hitgen: HIT %d contains duplicate record %d", i, r)
+			}
+			members[r] = true
+		}
+		for _, r := range h.Records {
+			for _, p := range byEndpoint[r] {
+				if members[p.A] && members[p.B] {
+					delete(remaining, p)
+				}
+			}
+		}
+	}
+	if len(remaining) > 0 {
+		for p := range remaining {
+			return fmt.Errorf("hitgen: pair %v not covered by any HIT (%d uncovered)", p, len(remaining))
+		}
+	}
+	return nil
+}
+
+// sortHIT orders the records of a HIT ascending for deterministic output.
+func sortHIT(rs []record.ID) []record.ID {
+	sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
+	return rs
+}
+
+// checkK validates the cluster-size threshold shared by all generators. A
+// threshold below 2 cannot cover any pair.
+func checkK(k int) error {
+	if k < 2 {
+		return fmt.Errorf("hitgen: cluster-size threshold %d must be >= 2", k)
+	}
+	return nil
+}
+
+// buildGraph constructs the pair graph (Section 4: vertices are records,
+// edges are pairs).
+func buildGraph(pairs []record.Pair) *graph.Graph {
+	return graph.FromPairs(pairs)
+}

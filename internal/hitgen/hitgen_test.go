@@ -1,0 +1,290 @@
+package hitgen
+
+import (
+	"testing"
+
+	"github.com/crowder/crowder/internal/record"
+)
+
+// paperPairs returns the ten above-threshold pairs of Figure 2(a)/Figure 5,
+// using the paper's 1-based record numbering.
+func paperPairs() []record.Pair {
+	mk := record.MakePair
+	return []record.Pair{
+		mk(1, 2), mk(1, 7), mk(2, 7), mk(2, 3),
+		mk(3, 4), mk(4, 5), mk(4, 6), mk(4, 7),
+		mk(5, 6), mk(8, 9),
+	}
+}
+
+func allGenerators() []ClusterGenerator {
+	return []ClusterGenerator{
+		Random{Seed: 1},
+		BFS{},
+		DFS{},
+		Approx{},
+		TwoTiered{},
+		TwoTiered{Pack: PackFFD},
+		TwoTiered{Seed: SeedMinID},
+		TwoTiered{DisableTieBreak: true},
+	}
+}
+
+func TestGeneratePairHITs(t *testing.T) {
+	pairs := paperPairs()
+	// Example in Section 3.1: ten pairs with k=2 need five pair-based HITs.
+	hits, err := GeneratePairHITs(pairs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 5 {
+		t.Fatalf("got %d pair-based HITs; want 5", len(hits))
+	}
+	total := 0
+	for _, h := range hits {
+		if len(h.Pairs) > 2 {
+			t.Fatalf("HIT has %d pairs; want <= 2", len(h.Pairs))
+		}
+		total += len(h.Pairs)
+	}
+	if total != len(pairs) {
+		t.Fatalf("HITs contain %d pairs; want %d", total, len(pairs))
+	}
+}
+
+func TestGeneratePairHITsCeiling(t *testing.T) {
+	// 7 pairs, k = 3 → ⌈7/3⌉ = 3 HITs with the last holding 1 pair.
+	hits, err := GeneratePairHITs(paperPairs()[:7], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 3 || len(hits[2].Pairs) != 1 {
+		t.Fatalf("HIT layout wrong: %d HITs, last has %d pairs", len(hits), len(hits[len(hits)-1].Pairs))
+	}
+}
+
+func TestGeneratePairHITsErrors(t *testing.T) {
+	if _, err := GeneratePairHITs(paperPairs(), 0); err == nil {
+		t.Fatal("k=0 should error")
+	}
+	hits, err := GeneratePairHITs(nil, 5)
+	if err != nil || len(hits) != 0 {
+		t.Fatal("empty input should produce no HITs")
+	}
+}
+
+func TestAllGeneratorsSatisfyDefinition1(t *testing.T) {
+	pairs := paperPairs()
+	for _, gen := range allGenerators() {
+		for _, k := range []int{2, 3, 4, 5, 10} {
+			hits, err := gen.Generate(pairs, k)
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", gen.Name(), k, err)
+			}
+			if err := ValidateCover(pairs, hits, k); err != nil {
+				t.Errorf("%s k=%d: %v", gen.Name(), k, err)
+			}
+		}
+	}
+}
+
+func TestAllGeneratorsRejectTinyK(t *testing.T) {
+	for _, gen := range allGenerators() {
+		if _, err := gen.Generate(paperPairs(), 1); err == nil {
+			t.Errorf("%s should reject k=1", gen.Name())
+		}
+	}
+}
+
+func TestAllGeneratorsEmptyInput(t *testing.T) {
+	for _, gen := range allGenerators() {
+		hits, err := gen.Generate(nil, 4)
+		if err != nil {
+			t.Errorf("%s on empty input: %v", gen.Name(), err)
+		}
+		if len(hits) != 0 {
+			t.Errorf("%s emitted %d HITs for empty input", gen.Name(), len(hits))
+		}
+	}
+}
+
+func TestTwoTieredPaperOptimal(t *testing.T) {
+	// Section 3.2/5.1: the optimal solution for the ten pairs with k=4 is
+	// three cluster-based HITs; the two-tiered approach achieves it.
+	hits, err := TwoTiered{}.Generate(paperPairs(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateCover(paperPairs(), hits, 4); err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 3 {
+		for _, h := range hits {
+			t.Logf("HIT: %v", h.Records)
+		}
+		t.Fatalf("two-tiered generated %d HITs; want the optimal 3", len(hits))
+	}
+}
+
+func TestTwoTieredPartitioningExample3(t *testing.T) {
+	// Example 3: partitioning the LCC {r1..r7} with k=4 yields the SCCs
+	// {r3,r4,r5,r6}, {r1,r2,r3,r7} and {r4,r7}. The first grows from the
+	// max-degree seed r4 by adding r6, r5, r3 in that order.
+	var lccPairs []record.Pair
+	for _, p := range paperPairs() {
+		if p.A <= 7 && p.B <= 7 {
+			lccPairs = append(lccPairs, p)
+		}
+	}
+	g := buildGraph(lccPairs)
+	parts := TwoTiered{}.partition(g, 4)
+	if len(parts) != 3 {
+		t.Fatalf("partitioning produced %d SCCs; want 3: %v", len(parts), parts)
+	}
+	want := [][]record.ID{
+		{3, 4, 5, 6},
+		{1, 2, 3, 7},
+		{4, 7},
+	}
+	for i, w := range want {
+		if len(parts[i]) != len(w) {
+			t.Fatalf("SCC %d = %v; want %v", i, parts[i], w)
+		}
+		for j := range w {
+			if parts[i][j] != w[j] {
+				t.Fatalf("SCC %d = %v; want %v", i, parts[i], w)
+			}
+		}
+	}
+}
+
+func TestApproxExample2(t *testing.T) {
+	// Example 2: SEQ has 19 elements (9 vertices + 10 edges); with k=4 the
+	// algorithm makes ⌈19/3⌉ = 7 cluster-based HITs.
+	hits, err := Approx{}.Generate(paperPairs(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 7 {
+		t.Fatalf("approximation generated %d HITs; want 7", len(hits))
+	}
+	if err := ValidateCover(paperPairs(), hits, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoTieredBeatsApproximation(t *testing.T) {
+	// Section 4: the approximation generates "many more" HITs than the
+	// two-tiered approach (7 vs 3 on the worked example).
+	two, err := TwoTiered{}.Generate(paperPairs(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := Approx{}.Generate(paperPairs(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(two) >= len(app) {
+		t.Fatalf("two-tiered (%d) should beat approximation (%d)", len(two), len(app))
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	a, _ := Random{Seed: 42}.Generate(paperPairs(), 4)
+	b, _ := Random{Seed: 42}.Generate(paperPairs(), 4)
+	if len(a) != len(b) {
+		t.Fatal("same seed produced different HIT counts")
+	}
+	for i := range a {
+		if len(a[i].Records) != len(b[i].Records) {
+			t.Fatal("same seed produced different HITs")
+		}
+		for j := range a[i].Records {
+			if a[i].Records[j] != b[i].Records[j] {
+				t.Fatal("same seed produced different HITs")
+			}
+		}
+	}
+}
+
+func TestClusterHITCoveredPairs(t *testing.T) {
+	h := ClusterHIT{Records: []record.ID{1, 2, 3, 7}}
+	cov := h.CoveredPairs(paperPairs())
+	// Pairs inside {1,2,3,7}: (1,2), (1,7), (2,7), (2,3).
+	if len(cov) != 4 {
+		t.Fatalf("covered %d pairs; want 4", len(cov))
+	}
+}
+
+func TestValidateCoverDetectsViolations(t *testing.T) {
+	pairs := paperPairs()
+	// Oversized HIT.
+	big := []ClusterHIT{{Records: []record.ID{1, 2, 3, 4, 5, 6, 7, 8, 9}}}
+	if err := ValidateCover(pairs, big, 4); err == nil {
+		t.Error("oversized HIT should fail validation")
+	}
+	// Valid sizes but missing coverage.
+	partial := []ClusterHIT{{Records: []record.ID{1, 2, 3, 7}}}
+	if err := ValidateCover(pairs, partial, 4); err == nil {
+		t.Error("uncovered pairs should fail validation")
+	}
+	// Duplicate record inside a HIT.
+	dup := []ClusterHIT{{Records: []record.ID{1, 1}}}
+	if err := ValidateCover(nil, dup, 4); err == nil {
+		t.Error("duplicate record should fail validation")
+	}
+}
+
+func TestBFSvsDFSBothValid(t *testing.T) {
+	// A path graph: BFS and DFS differ in order but both must cover.
+	var pairs []record.Pair
+	for i := 0; i < 12; i++ {
+		pairs = append(pairs, record.MakePair(record.ID(i), record.ID(i+1)))
+	}
+	for _, gen := range []ClusterGenerator{BFS{}, DFS{}} {
+		hits, err := gen.Generate(pairs, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ValidateCover(pairs, hits, 4); err != nil {
+			t.Errorf("%s: %v", gen.Name(), err)
+		}
+	}
+}
+
+func TestTwoTieredStarGraph(t *testing.T) {
+	// A star with 20 leaves and k=5: each HIT holds the hub + 4 leaves, so
+	// the optimum is ⌈20/4⌉ = 5 HITs.
+	var pairs []record.Pair
+	for i := 1; i <= 20; i++ {
+		pairs = append(pairs, record.MakePair(0, record.ID(i)))
+	}
+	hits, err := TwoTiered{}.Generate(pairs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateCover(pairs, hits, 5); err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 5 {
+		t.Fatalf("star graph needed %d HITs; want 5", len(hits))
+	}
+}
+
+func TestTwoTieredManySmallComponents(t *testing.T) {
+	// 10 disjoint edges with k=6: each HIT can hold 3 edges → 4 HITs.
+	var pairs []record.Pair
+	for i := 0; i < 20; i += 2 {
+		pairs = append(pairs, record.MakePair(record.ID(i), record.ID(i+1)))
+	}
+	hits, err := TwoTiered{}.Generate(pairs, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateCover(pairs, hits, 6); err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 4 {
+		t.Fatalf("needed %d HITs; want 4 (= ⌈10·2/6⌉)", len(hits))
+	}
+}

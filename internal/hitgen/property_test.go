@@ -1,0 +1,170 @@
+package hitgen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/crowder/crowder/internal/record"
+)
+
+// randomPairs draws a random pair set over n records.
+func randomPairs(rng *rand.Rand, n, m int) []record.Pair {
+	seen := record.NewPairSet()
+	for i := 0; i < m; i++ {
+		a := record.ID(rng.Intn(n))
+		b := record.ID(rng.Intn(n))
+		if a != b {
+			seen.Add(a, b)
+		}
+	}
+	return seen.Slice()
+}
+
+// Property: every generator satisfies Definition 1 on random inputs for
+// random k — HITs of size ≤ k covering every pair.
+func TestGeneratorsDefinition1Property(t *testing.T) {
+	gens := allGenerators()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(40)
+		m := rng.Intn(80)
+		k := 2 + rng.Intn(9)
+		pairs := randomPairs(rng, n, m)
+		for _, gen := range gens {
+			hits, err := gen.Generate(pairs, k)
+			if err != nil {
+				t.Logf("%s: %v", gen.Name(), err)
+				return false
+			}
+			if err := ValidateCover(pairs, hits, k); err != nil {
+				t.Logf("%s on seed %d (n=%d m=%d k=%d): %v", gen.Name(), seed, n, m, k, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the two-tiered approach essentially never needs more HITs
+// than Random. On dense random graphs (which the machine pass never
+// produces — pruning keeps the pair graph sparse) the greedy peel can
+// trail a lucky Random run by one HIT, so the property allows that slack;
+// on the paper-scale sparse workloads the dominance is strict
+// (TestFigure10TwoTieredWins).
+func TestTwoTieredNotWorseThanRandomProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(40)
+		m := 4 + rng.Intn(100)
+		k := 3 + rng.Intn(8)
+		pairs := randomPairs(rng, n, m)
+		two, err := TwoTiered{}.Generate(pairs, k)
+		if err != nil {
+			return false
+		}
+		rnd, err := Random{Seed: seed}.Generate(pairs, k)
+		if err != nil {
+			return false
+		}
+		return len(two) <= len(rnd)+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: HIT counts never increase with k for the two-tiered approach
+// (a larger cluster budget can only help).
+func TestTwoTieredMonotoneInKProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pairs := randomPairs(rng, 30, 60)
+		prev := 1 << 30
+		for _, k := range []int{3, 5, 8, 12} {
+			hits, err := TwoTiered{}.Generate(pairs, k)
+			if err != nil {
+				return false
+			}
+			if len(hits) > prev {
+				return false
+			}
+			prev = len(hits)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every pair-based batching covers each input pair exactly once.
+func TestPairHITPartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pairs := randomPairs(rng, 25, rng.Intn(60))
+		k := 1 + rng.Intn(10)
+		hits, err := GeneratePairHITs(pairs, k)
+		if err != nil {
+			return false
+		}
+		seen := record.NewPairSet()
+		total := 0
+		for _, h := range hits {
+			if len(h.Pairs) > k || len(h.Pairs) == 0 {
+				return false
+			}
+			total += len(h.Pairs)
+			for _, p := range h.Pairs {
+				if seen.Has(p.A, p.B) {
+					return false // duplicated across HITs
+				}
+				seen.Add(p.A, p.B)
+			}
+		}
+		return total == len(pairs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Failure injection: a generator fed pairs with huge sparse IDs must still
+// produce a valid cover (no dense-ID assumptions).
+func TestGeneratorsSparseIDs(t *testing.T) {
+	pairs := []record.Pair{
+		record.MakePair(1_000_000, 2_000_000),
+		record.MakePair(2_000_000, 3_000_000),
+		record.MakePair(7, 1_000_000),
+	}
+	for _, gen := range allGenerators() {
+		hits, err := gen.Generate(pairs, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", gen.Name(), err)
+		}
+		if err := ValidateCover(pairs, hits, 4); err != nil {
+			t.Errorf("%s: %v", gen.Name(), err)
+		}
+	}
+}
+
+// Failure injection: duplicate and non-canonical input pairs must not
+// break covering or double-count.
+func TestGeneratorsDuplicateInputPairs(t *testing.T) {
+	pairs := []record.Pair{
+		{A: 1, B: 2}, {A: 2, B: 1}, {A: 1, B: 2}, // same pair three ways
+		{A: 3, B: 4},
+	}
+	for _, gen := range allGenerators() {
+		hits, err := gen.Generate(pairs, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", gen.Name(), err)
+		}
+		if err := ValidateCover(pairs, hits, 4); err != nil {
+			t.Errorf("%s: %v", gen.Name(), err)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Package packing solves the bottom tier of CrowdER's two-tiered approach
+// (Section 5.3): packing small connected components into the minimum number
+// of cluster-based HITs of capacity k. This is a one-dimensional
+// cutting-stock problem; following the paper (and Valério de Carvalho,
+// cited as [25]) it is solved with an LP relaxation by delayed column
+// generation — the pricing problem is an unbounded knapsack — followed by
+// branch-and-bound to obtain an integer solution. FirstFitDecreasing
+// provides the classic heuristic used as an ablation baseline and as the
+// rounding step's residual packer.
+package packing
+
+import (
+	"errors"
+	"math"
+)
+
+// lpResult holds the outcome of a simplex solve.
+type lpResult struct {
+	// y is the optimal solution of the maximization problem.
+	y []float64
+	// objective is the optimal objective value.
+	objective float64
+	// duals are the dual values of the ≤ constraints (one per row), read
+	// from the objective row's slack coefficients at optimality.
+	duals []float64
+}
+
+var errUnbounded = errors.New("packing: LP is unbounded")
+
+const lpEps = 1e-9
+
+// simplexMax solves   max obj·y  s.t.  A y ≤ rhs, y ≥ 0   with the dense
+// primal simplex method (Bland's rule for anti-cycling). All rhs entries
+// must be non-negative so the slack basis is feasible; the cutting-stock
+// dual always satisfies this (rhs is the all-ones vector).
+//
+// In the cutting-stock usage, rows of A are patterns, columns are item
+// sizes: solving this dual LP yields the size duals y directly (needed by
+// the pricing knapsack), and the duals of these rows are the primal
+// pattern activities x.
+func simplexMax(obj []float64, a [][]float64, rhs []float64) (lpResult, error) {
+	m := len(a)    // constraints
+	n := len(obj)  // variables
+	total := n + m // + slack variables
+	// Tableau: m rows of [n vars | m slacks | rhs], plus objective row z.
+	tab := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		tab[i] = make([]float64, total+1)
+		copy(tab[i], a[i])
+		tab[i][n+i] = 1
+		tab[i][total] = rhs[i]
+		if rhs[i] < 0 {
+			return lpResult{}, errors.New("packing: negative rhs not supported")
+		}
+	}
+	z := make([]float64, total+1)
+	for j := 0; j < n; j++ {
+		z[j] = -obj[j] // maximization: reduced costs start at -obj
+	}
+	basis := make([]int, m)
+	for i := range basis {
+		basis[i] = n + i
+	}
+
+	// Dantzig's rule (most negative reduced cost) converges fast in
+	// practice but can cycle on degenerate bases; after blandAfter
+	// iterations we switch to Bland's rule, which provably terminates.
+	blandAfter := 50 * (m + n + 1)
+	maxIter := blandAfter + (1 << 20)
+	for iter := 0; ; iter++ {
+		if iter > maxIter {
+			return lpResult{}, errors.New("packing: simplex iteration limit exceeded")
+		}
+		bland := iter >= blandAfter
+		enter := -1
+		best := -lpEps
+		for j := 0; j < total; j++ {
+			if z[j] < best {
+				best = z[j]
+				enter = j
+				if bland {
+					break // Bland: first improving index
+				}
+			}
+		}
+		if enter == -1 {
+			break // optimal
+		}
+		// Leaving variable: min ratio test; tie-break on smallest basis
+		// index (Bland) to limit cycling.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if tab[i][enter] > lpEps {
+				ratio := tab[i][total] / tab[i][enter]
+				if ratio < bestRatio-lpEps ||
+					(ratio < bestRatio+lpEps && (leave == -1 || basis[i] < basis[leave])) {
+					bestRatio = ratio
+					leave = i
+				}
+			}
+		}
+		if leave == -1 {
+			return lpResult{}, errUnbounded
+		}
+		pivot(tab, z, leave, enter, total)
+		basis[leave] = enter
+	}
+
+	res := lpResult{
+		y:     make([]float64, n),
+		duals: make([]float64, m),
+	}
+	for i, b := range basis {
+		if b < n {
+			res.y[b] = tab[i][total]
+		}
+	}
+	for i := 0; i < m; i++ {
+		res.duals[i] = z[n+i]
+	}
+	// Objective value: z-row accumulated the optimum.
+	var objv float64
+	for j := 0; j < n; j++ {
+		objv += obj[j] * res.y[j]
+	}
+	res.objective = objv
+	return res, nil
+}
+
+// pivot performs a Gauss–Jordan pivot on tab[leave][enter], updating the
+// objective row z as well.
+func pivot(tab [][]float64, z []float64, leave, enter, width int) {
+	p := tab[leave][enter]
+	row := tab[leave]
+	for j := 0; j <= width; j++ {
+		row[j] /= p
+	}
+	for i := range tab {
+		if i == leave {
+			continue
+		}
+		f := tab[i][enter]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j <= width; j++ {
+			tab[i][j] -= f * row[j]
+		}
+	}
+	f := z[enter]
+	if f != 0 {
+		for j := 0; j <= width; j++ {
+			z[j] -= f * row[j]
+		}
+	}
+}

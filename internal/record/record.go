@@ -1,0 +1,179 @@
+// Package record defines the core data model for entity resolution:
+// records with named attributes, tables of records, token normalization,
+// and record pairs.
+//
+// The model follows Section 2 of the CrowdER paper: each record is a row
+// with string attributes (e.g. [name, address, city, type] for the
+// Restaurant dataset); machine-based techniques operate on the token set
+// derived from all attribute values after normalization (lowercasing and
+// replacing non-alphanumeric characters with spaces, per Section 7.1).
+package record
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ID identifies a record within a Table. IDs are dense, starting at 0.
+type ID int
+
+// Record is a single row: an ID plus attribute values positionally aligned
+// with the owning Table's schema.
+type Record struct {
+	ID     ID
+	Values []string
+}
+
+// Attr returns the value of the attribute at position i, or "" if the
+// record has no such attribute.
+func (r *Record) Attr(i int) string {
+	if i < 0 || i >= len(r.Values) {
+		return ""
+	}
+	return r.Values[i]
+}
+
+// String renders the record in the "[v1, v2, ...]" form used by the paper.
+func (r *Record) String() string {
+	return fmt.Sprintf("r%d[%s]", r.ID, strings.Join(r.Values, ", "))
+}
+
+// Table is a collection of records sharing a schema.
+type Table struct {
+	// Schema names the attributes, e.g. ["name", "address", "city", "type"].
+	Schema  []string
+	Records []Record
+
+	// Source optionally tags each record with the data source it came from
+	// (used by integrated datasets such as Product = abt ∪ buy). Empty when
+	// the table has a single source. When non-empty, len(Source) equals
+	// len(Records) and Source[i] is the source index of Records[i].
+	Source []int
+}
+
+// NewTable creates an empty table with the given schema.
+func NewTable(schema ...string) *Table {
+	return &Table{Schema: schema}
+}
+
+// Append adds a record with the given attribute values and returns its ID.
+func (t *Table) Append(values ...string) ID {
+	id := ID(len(t.Records))
+	vs := make([]string, len(values))
+	copy(vs, values)
+	t.Records = append(t.Records, Record{ID: id, Values: vs})
+	return id
+}
+
+// AppendFrom adds a record tagged with a source index (for integrated
+// two-source tables such as Product).
+func (t *Table) AppendFrom(source int, values ...string) ID {
+	id := t.Append(values...)
+	for len(t.Source) < len(t.Records)-1 {
+		t.Source = append(t.Source, 0)
+	}
+	t.Source = append(t.Source, source)
+	return id
+}
+
+// Len returns the number of records.
+func (t *Table) Len() int { return len(t.Records) }
+
+// Get returns the record with the given ID, or nil if out of range.
+func (t *Table) Get(id ID) *Record {
+	if int(id) < 0 || int(id) >= len(t.Records) {
+		return nil
+	}
+	return &t.Records[id]
+}
+
+// AttrIndex returns the position of the named attribute in the schema, or
+// -1 if absent.
+func (t *Table) AttrIndex(name string) int {
+	for i, s := range t.Schema {
+		if s == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Pair is an unordered pair of record IDs with A < B canonically.
+type Pair struct {
+	A, B ID
+}
+
+// MakePair returns the canonical (ordered) form of the pair {a, b}.
+func MakePair(a, b ID) Pair {
+	if a > b {
+		a, b = b, a
+	}
+	return Pair{A: a, B: b}
+}
+
+// Contains reports whether id is one of the pair's endpoints.
+func (p Pair) Contains(id ID) bool { return p.A == id || p.B == id }
+
+// Other returns the endpoint that is not id. It panics if id is not an
+// endpoint, which indicates a programming error at the call site.
+func (p Pair) Other(id ID) ID {
+	switch id {
+	case p.A:
+		return p.B
+	case p.B:
+		return p.A
+	}
+	panic(fmt.Sprintf("record: pair %v does not contain %d", p, id))
+}
+
+func (p Pair) String() string { return fmt.Sprintf("(r%d,r%d)", p.A, p.B) }
+
+// PairSet is a set of canonical pairs.
+type PairSet map[Pair]struct{}
+
+// NewPairSet builds a set from the given pairs, canonicalizing each.
+func NewPairSet(pairs ...Pair) PairSet {
+	s := make(PairSet, len(pairs))
+	for _, p := range pairs {
+		s.Add(p.A, p.B)
+	}
+	return s
+}
+
+// Add inserts the canonical pair {a, b}. Self-pairs are ignored.
+func (s PairSet) Add(a, b ID) {
+	if a == b {
+		return
+	}
+	s[MakePair(a, b)] = struct{}{}
+}
+
+// Has reports whether the canonical pair {a, b} is present.
+func (s PairSet) Has(a, b ID) bool {
+	_, ok := s[MakePair(a, b)]
+	return ok
+}
+
+// Len returns the number of pairs.
+func (s PairSet) Len() int { return len(s) }
+
+// Slice returns the pairs in deterministic (sorted) order.
+func (s PairSet) Slice() []Pair {
+	out := make([]Pair, 0, len(s))
+	for p := range s {
+		out = append(out, p)
+	}
+	SortPairs(out)
+	return out
+}
+
+// SortPairs orders pairs by (A, B) ascending, in place.
+func SortPairs(ps []Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].A != ps[j].A {
+			return ps[i].A < ps[j].A
+		}
+		return ps[i].B < ps[j].B
+	})
+}

@@ -1,0 +1,281 @@
+package record
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTableAppendAndGet(t *testing.T) {
+	tab := NewTable("name", "price")
+	id1 := tab.Append("iPad Two 16GB WiFi White", "$490")
+	id2 := tab.Append("iPad 2nd generation 16GB WiFi White", "$469")
+
+	if id1 != 0 || id2 != 1 {
+		t.Fatalf("IDs = %d, %d; want 0, 1", id1, id2)
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d; want 2", tab.Len())
+	}
+	r := tab.Get(id2)
+	if r == nil || r.Attr(1) != "$469" {
+		t.Fatalf("Get(%d) = %v; want price $469", id2, r)
+	}
+	if tab.Get(-1) != nil || tab.Get(99) != nil {
+		t.Fatal("Get out of range should return nil")
+	}
+}
+
+func TestTableAppendFrom(t *testing.T) {
+	tab := NewTable("name")
+	tab.AppendFrom(0, "abt record")
+	tab.AppendFrom(1, "buy record")
+	tab.AppendFrom(1, "another buy record")
+	if len(tab.Source) != 3 {
+		t.Fatalf("len(Source) = %d; want 3", len(tab.Source))
+	}
+	want := []int{0, 1, 1}
+	for i, w := range want {
+		if tab.Source[i] != w {
+			t.Errorf("Source[%d] = %d; want %d", i, tab.Source[i], w)
+		}
+	}
+}
+
+func TestTableAppendFromAfterAppend(t *testing.T) {
+	tab := NewTable("name")
+	tab.Append("plain")
+	tab.AppendFrom(2, "sourced")
+	if len(tab.Source) != 2 || tab.Source[0] != 0 || tab.Source[1] != 2 {
+		t.Fatalf("Source = %v; want [0 2]", tab.Source)
+	}
+}
+
+func TestAttrIndex(t *testing.T) {
+	tab := NewTable("name", "address", "city", "type")
+	if got := tab.AttrIndex("city"); got != 2 {
+		t.Errorf("AttrIndex(city) = %d; want 2", got)
+	}
+	if got := tab.AttrIndex("missing"); got != -1 {
+		t.Errorf("AttrIndex(missing) = %d; want -1", got)
+	}
+}
+
+func TestRecordAttrOutOfRange(t *testing.T) {
+	r := Record{ID: 0, Values: []string{"a"}}
+	if r.Attr(1) != "" || r.Attr(-1) != "" {
+		t.Error("Attr out of range should return empty string")
+	}
+	if r.Attr(0) != "a" {
+		t.Error("Attr(0) should return the value")
+	}
+}
+
+func TestMakePairCanonical(t *testing.T) {
+	p := MakePair(5, 2)
+	if p.A != 2 || p.B != 5 {
+		t.Fatalf("MakePair(5,2) = %v; want (2,5)", p)
+	}
+	if MakePair(2, 5) != p {
+		t.Fatal("MakePair should be order-insensitive")
+	}
+}
+
+func TestPairOther(t *testing.T) {
+	p := MakePair(3, 7)
+	if p.Other(3) != 7 || p.Other(7) != 3 {
+		t.Fatal("Other returned the wrong endpoint")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Other on non-member should panic")
+		}
+	}()
+	p.Other(9)
+}
+
+func TestPairContains(t *testing.T) {
+	p := MakePair(1, 4)
+	if !p.Contains(1) || !p.Contains(4) || p.Contains(2) {
+		t.Fatal("Contains gave wrong answer")
+	}
+}
+
+func TestPairSetBasics(t *testing.T) {
+	s := NewPairSet()
+	s.Add(1, 2)
+	s.Add(2, 1) // duplicate under canonicalization
+	s.Add(3, 3) // self-pair ignored
+	s.Add(4, 5)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d; want 2", s.Len())
+	}
+	if !s.Has(2, 1) || !s.Has(4, 5) || s.Has(1, 3) {
+		t.Fatal("Has gave wrong answers")
+	}
+	got := s.Slice()
+	want := []Pair{{1, 2}, {4, 5}}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Slice = %v; want %v", got, want)
+		}
+	}
+}
+
+func TestSortPairs(t *testing.T) {
+	ps := []Pair{{3, 4}, {1, 9}, {1, 2}, {0, 7}}
+	SortPairs(ps)
+	want := []Pair{{0, 7}, {1, 2}, {1, 9}, {3, 4}}
+	for i := range want {
+		if ps[i] != want[i] {
+			t.Fatalf("SortPairs = %v; want %v", ps, want)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Apple iPad2 16GB, WiFi White", "apple ipad2 16gb  wifi white"},
+		{"55 e. 54th st.", "55 e  54th st "},
+		{"ABC", "abc"},
+		{"", ""},
+		{"---", "   "},
+		{"Déjà", "d j "}, // non-ASCII letters are treated as separators
+	}
+	for _, c := range cases {
+		if got := Normalize(c.in); got != c.want {
+			t.Errorf("Normalize(%q) = %q; want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("Apple iPod shuffle 2GB Blue!")
+	want := []string{"apple", "ipod", "shuffle", "2gb", "blue"}
+	if len(got) != len(want) {
+		t.Fatalf("Tokenize = %v; want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Tokenize = %v; want %v", got, want)
+		}
+	}
+}
+
+func TestTokenSetOps(t *testing.T) {
+	a := NewTokenSet("ipad", "16gb", "wifi", "white")
+	b := NewTokenSet("ipad", "16gb", "wifi", "white", "two", "2nd", "generation")
+	if got := a.IntersectionSize(b); got != 4 {
+		t.Errorf("IntersectionSize = %d; want 4", got)
+	}
+	if got := a.UnionSize(b); got != 7 {
+		t.Errorf("UnionSize = %d; want 7", got)
+	}
+	// Symmetry.
+	if a.IntersectionSize(b) != b.IntersectionSize(a) {
+		t.Error("IntersectionSize not symmetric")
+	}
+	if a.UnionSize(b) != b.UnionSize(a) {
+		t.Error("UnionSize not symmetric")
+	}
+}
+
+func TestTokenSetSorted(t *testing.T) {
+	s := NewTokenSet("pear", "apple", "mango")
+	got := s.Sorted()
+	want := []string{"apple", "mango", "pear"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sorted = %v; want %v", got, want)
+		}
+	}
+}
+
+func TestRecordTokensPaperExample(t *testing.T) {
+	// r1 from Table 1 of the paper: the Jaccard computation in Section 2.1.1
+	// uses the Product Name tokens {iPad, Two, 16GB, WiFi, White}.
+	tab := NewTable("product_name", "price")
+	id := tab.Append("iPad Two 16GB WiFi White", "$490")
+	toks := AttrTokens(tab.Get(id), 0)
+	want := []string{"16gb", "ipad", "two", "white", "wifi"}
+	got := toks.Sorted()
+	if len(got) != len(want) {
+		t.Fatalf("AttrTokens = %v; want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AttrTokens = %v; want %v", got, want)
+		}
+	}
+	// RecordTokens also folds in the price tokens.
+	all := RecordTokens(tab.Get(id))
+	if !all.Has("490") {
+		t.Error("RecordTokens should include price tokens")
+	}
+}
+
+func TestTableTokens(t *testing.T) {
+	tab := NewTable("name")
+	tab.Append("alpha beta")
+	tab.Append("beta gamma")
+	ts := TableTokens(tab)
+	if len(ts) != 2 {
+		t.Fatalf("len = %d; want 2", len(ts))
+	}
+	if !ts[0].Has("alpha") || !ts[1].Has("gamma") {
+		t.Error("TableTokens missing expected tokens")
+	}
+	st := SortedRecordTokens(tab)
+	if len(st[0]) != 2 || st[0][0] != "alpha" {
+		t.Errorf("SortedRecordTokens[0] = %v", st[0])
+	}
+}
+
+// Property: MakePair always yields A <= B and is order-insensitive.
+func TestMakePairProperty(t *testing.T) {
+	f := func(a, b int16) bool {
+		p := MakePair(ID(a), ID(b))
+		q := MakePair(ID(b), ID(a))
+		return p == q && p.A <= p.B
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Normalize output contains only [a-z0-9 ] and is idempotent.
+func TestNormalizeProperty(t *testing.T) {
+	f := func(s string) bool {
+		n := Normalize(s)
+		for _, r := range n {
+			ok := r == ' ' || (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9')
+			if !ok {
+				return false
+			}
+		}
+		return Normalize(n) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: intersection <= min size, union >= max size, and
+// |A| + |B| = |A∩B| + |A∪B|.
+func TestTokenSetSizeProperty(t *testing.T) {
+	f := func(xs, ys []string) bool {
+		a, b := NewTokenSet(xs...), NewTokenSet(ys...)
+		i, u := a.IntersectionSize(b), a.UnionSize(b)
+		min := a.Len()
+		if b.Len() < min {
+			min = b.Len()
+		}
+		max := a.Len()
+		if b.Len() > max {
+			max = b.Len()
+		}
+		return i <= min && u >= max && a.Len()+b.Len() == i+u
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

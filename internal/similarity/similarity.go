@@ -1,0 +1,207 @@
+// Package similarity implements the string- and set-similarity functions
+// used by CrowdER's machine pass and by the learning-based baseline:
+// Jaccard, Dice, overlap and cosine set similarities, TF cosine similarity,
+// Levenshtein edit distance (raw and normalized), and q-gram extraction.
+//
+// All similarity functions return values in [0, 1], are symmetric, and
+// return 1 for identical non-empty inputs.
+package similarity
+
+import (
+	"math"
+
+	"github.com/crowder/crowder/internal/record"
+)
+
+// Jaccard returns |a ∩ b| / |a ∪ b|. By convention two empty sets have
+// similarity 1 (they are identical).
+func Jaccard(a, b record.TokenSet) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	inter := a.IntersectionSize(b)
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// Dice returns 2·|a ∩ b| / (|a| + |b|).
+func Dice(a, b record.TokenSet) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	denom := len(a) + len(b)
+	if denom == 0 {
+		return 1
+	}
+	return 2 * float64(a.IntersectionSize(b)) / float64(denom)
+}
+
+// Overlap returns |a ∩ b| / min(|a|, |b|), the overlap coefficient.
+func Overlap(a, b record.TokenSet) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	min := len(a)
+	if len(b) < min {
+		min = len(b)
+	}
+	if min == 0 {
+		return 0
+	}
+	return float64(a.IntersectionSize(b)) / float64(min)
+}
+
+// CosineSet returns |a ∩ b| / sqrt(|a|·|b|), the set (binary-vector)
+// cosine similarity.
+func CosineSet(a, b record.TokenSet) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	return float64(a.IntersectionSize(b)) / math.Sqrt(float64(len(a))*float64(len(b)))
+}
+
+// TF is a term-frequency vector over tokens.
+type TF map[string]float64
+
+// NewTF builds a term-frequency vector from a token slice (with multiplicity).
+func NewTF(tokens []string) TF {
+	tf := make(TF, len(tokens))
+	for _, t := range tokens {
+		tf[t]++
+	}
+	return tf
+}
+
+// CosineTF returns the cosine similarity between two term-frequency vectors.
+func CosineTF(a, b TF) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	small, large := a, b
+	if len(large) < len(small) {
+		small, large = large, small
+	}
+	var dot float64
+	for t, w := range small {
+		if w2, ok := large[t]; ok {
+			dot += w * w2
+		}
+	}
+	var na, nb float64
+	for _, w := range a {
+		na += w * w
+	}
+	for _, w := range b {
+		nb += w * w
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// CosineStrings tokenizes both strings (with normalization) and returns the
+// TF cosine similarity. This is the "cosine similarity" feature used by the
+// SVM baseline in Section 7.3 (following Köpcke et al.).
+func CosineStrings(a, b string) float64 {
+	return CosineTF(NewTF(record.Tokenize(a)), NewTF(record.Tokenize(b)))
+}
+
+// Levenshtein returns the edit distance between a and b: the minimum
+// number of single-rune insertions, deletions and substitutions needed to
+// transform a into b.
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	// Keep the shorter string in the inner dimension to bound memory.
+	if len(rb) > len(ra) {
+		ra, rb = rb, ra
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			del := prev[j] + 1
+			ins := cur[j-1] + 1
+			sub := prev[j-1] + cost
+			m := del
+			if ins < m {
+				m = ins
+			}
+			if sub < m {
+				m = sub
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+// LevenshteinSim returns 1 − d(a,b)/max(|a|,|b|), a similarity in [0, 1].
+// Two empty strings have similarity 1.
+func LevenshteinSim(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	max := len(ra)
+	if len(rb) > max {
+		max = len(rb)
+	}
+	if max == 0 {
+		return 1
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(max)
+}
+
+// QGrams returns the padded q-grams of s. The string is padded with q−1
+// copies of '#' on the left and '$' on the right, the standard construction
+// for q-gram indexing (Christen's survey, cited as [7]).
+func QGrams(s string, q int) []string {
+	if q <= 0 {
+		return nil
+	}
+	rs := []rune(s)
+	padded := make([]rune, 0, len(rs)+2*(q-1))
+	for i := 0; i < q-1; i++ {
+		padded = append(padded, '#')
+	}
+	padded = append(padded, rs...)
+	for i := 0; i < q-1; i++ {
+		padded = append(padded, '$')
+	}
+	if len(padded) < q {
+		return nil
+	}
+	out := make([]string, 0, len(padded)-q+1)
+	for i := 0; i+q <= len(padded); i++ {
+		out = append(out, string(padded[i:i+q]))
+	}
+	return out
+}
+
+// QGramJaccard returns the Jaccard similarity between the q-gram sets of
+// two strings.
+func QGramJaccard(a, b string, q int) float64 {
+	return Jaccard(record.NewTokenSet(QGrams(a, q)...), record.NewTokenSet(QGrams(b, q)...))
+}

@@ -1,0 +1,298 @@
+package similarity
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/crowder/crowder/internal/record"
+)
+
+func tokset(ts ...string) record.TokenSet { return record.NewTokenSet(ts...) }
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestJaccardPaperExample(t *testing.T) {
+	// Section 2.1.1: J(r1, r2) over Product Names.
+	r1 := tokset("ipad", "two", "16gb", "wifi", "white")
+	r2 := tokset("ipad", "2nd", "generation", "16gb", "wifi", "white")
+	got := Jaccard(r1, r2)
+	want := 4.0 / 7.0 // the paper rounds to 0.57
+	if !almostEq(got, want) {
+		t.Fatalf("J(r1,r2) = %v; want %v", got, want)
+	}
+	if got < 0.5 {
+		t.Fatal("paper says J(r1,r2) >= 0.5, so the pair matches at threshold 0.5")
+	}
+}
+
+func TestJaccardPaperNonMatch(t *testing.T) {
+	// Section 2.1.1: J(r1, r3) = 0.25 < 0.5.
+	r1 := tokset("ipad", "two", "16gb", "wifi", "white")
+	r3 := tokset("iphone", "4th", "generation", "white", "16gb")
+	got := Jaccard(r1, r3)
+	if !almostEq(got, 0.25) {
+		t.Fatalf("J(r1,r3) = %v; want 0.25", got)
+	}
+}
+
+func TestJaccardEdgeCases(t *testing.T) {
+	if got := Jaccard(tokset(), tokset()); got != 1 {
+		t.Errorf("J(∅,∅) = %v; want 1", got)
+	}
+	if got := Jaccard(tokset("a"), tokset()); got != 0 {
+		t.Errorf("J({a},∅) = %v; want 0", got)
+	}
+	if got := Jaccard(tokset("a", "b"), tokset("a", "b")); got != 1 {
+		t.Errorf("J(X,X) = %v; want 1", got)
+	}
+}
+
+func TestDice(t *testing.T) {
+	a := tokset("a", "b", "c")
+	b := tokset("b", "c", "d")
+	if got := Dice(a, b); !almostEq(got, 2.0*2/6) {
+		t.Errorf("Dice = %v; want %v", got, 2.0*2/6)
+	}
+	if Dice(tokset(), tokset()) != 1 {
+		t.Error("Dice(∅,∅) should be 1")
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	a := tokset("a", "b")
+	b := tokset("a", "b", "c", "d")
+	if got := Overlap(a, b); got != 1 {
+		t.Errorf("Overlap = %v; want 1 (a ⊆ b)", got)
+	}
+	if Overlap(tokset(), tokset("x")) != 0 {
+		t.Error("Overlap(∅, X) should be 0")
+	}
+	if Overlap(tokset(), tokset()) != 1 {
+		t.Error("Overlap(∅, ∅) should be 1")
+	}
+}
+
+func TestCosineSet(t *testing.T) {
+	a := tokset("a", "b")
+	b := tokset("a", "c")
+	want := 1.0 / math.Sqrt(4)
+	if got := CosineSet(a, b); !almostEq(got, want) {
+		t.Errorf("CosineSet = %v; want %v", got, want)
+	}
+	if CosineSet(tokset(), tokset()) != 1 {
+		t.Error("CosineSet(∅,∅) should be 1")
+	}
+	if CosineSet(tokset("a"), tokset()) != 0 {
+		t.Error("CosineSet(X,∅) should be 0")
+	}
+}
+
+func TestCosineTF(t *testing.T) {
+	a := NewTF([]string{"x", "x", "y"})
+	b := NewTF([]string{"x", "y", "y"})
+	// dot = 2*1 + 1*2 = 4; |a| = sqrt(5); |b| = sqrt(5).
+	if got := CosineTF(a, b); !almostEq(got, 4.0/5.0) {
+		t.Errorf("CosineTF = %v; want 0.8", got)
+	}
+	if CosineTF(TF{}, TF{}) != 1 {
+		t.Error("CosineTF(∅,∅) should be 1")
+	}
+	if CosineTF(NewTF([]string{"a"}), TF{}) != 0 {
+		t.Error("CosineTF(X,∅) should be 0")
+	}
+}
+
+func TestCosineStrings(t *testing.T) {
+	if got := CosineStrings("Apple iPad", "apple ipad"); !almostEq(got, 1) {
+		t.Errorf("CosineStrings(same after normalize) = %v; want 1", got)
+	}
+	if got := CosineStrings("alpha", "beta"); got != 0 {
+		t.Errorf("CosineStrings(disjoint) = %v; want 0", got)
+	}
+}
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"", "abc", 3},
+		{"abc", "", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"abc", "abc", 0},
+		{"ab", "ba", 2},
+		{"oceana", "oceania", 1},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d; want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinSim(t *testing.T) {
+	if got := LevenshteinSim("", ""); got != 1 {
+		t.Errorf("LevenshteinSim(∅,∅) = %v; want 1", got)
+	}
+	if got := LevenshteinSim("abcd", "abcd"); got != 1 {
+		t.Errorf("identical = %v; want 1", got)
+	}
+	if got := LevenshteinSim("abcd", "wxyz"); got != 0 {
+		t.Errorf("totally different = %v; want 0", got)
+	}
+	if got := LevenshteinSim("kitten", "sitting"); !almostEq(got, 1-3.0/7.0) {
+		t.Errorf("kitten/sitting = %v; want %v", got, 1-3.0/7.0)
+	}
+}
+
+func TestQGrams(t *testing.T) {
+	got := QGrams("ab", 2)
+	want := []string{"#a", "ab", "b$"}
+	if len(got) != len(want) {
+		t.Fatalf("QGrams = %v; want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("QGrams = %v; want %v", got, want)
+		}
+	}
+	if QGrams("abc", 0) != nil {
+		t.Error("q=0 should return nil")
+	}
+	// Empty string with q=2 still yields the padding gram "#$".
+	if g := QGrams("", 2); len(g) != 1 || g[0] != "#$" {
+		t.Errorf(`QGrams("",2) = %v; want ["#$"]`, g)
+	}
+}
+
+func TestQGramJaccard(t *testing.T) {
+	if got := QGramJaccard("abc", "abc", 2); got != 1 {
+		t.Errorf("identical q-gram Jaccard = %v; want 1", got)
+	}
+	got := QGramJaccard("abc", "xyz", 2)
+	if got != 0 {
+		t.Errorf("disjoint q-gram Jaccard = %v; want 0", got)
+	}
+}
+
+// randomSets builds two token sets from quick-generated string slices.
+func randomSets(xs, ys []string) (record.TokenSet, record.TokenSet) {
+	return record.NewTokenSet(xs...), record.NewTokenSet(ys...)
+}
+
+func TestSetSimilarityProperties(t *testing.T) {
+	type simFn struct {
+		name string
+		fn   func(a, b record.TokenSet) float64
+	}
+	fns := []simFn{
+		{"Jaccard", Jaccard},
+		{"Dice", Dice},
+		{"Overlap", Overlap},
+		{"CosineSet", CosineSet},
+	}
+	for _, sf := range fns {
+		sf := sf
+		t.Run(sf.name, func(t *testing.T) {
+			f := func(xs, ys []string) bool {
+				a, b := randomSets(xs, ys)
+				v := sf.fn(a, b)
+				// Bounds, symmetry, identity.
+				if v < 0 || v > 1 {
+					return false
+				}
+				if !almostEq(v, sf.fn(b, a)) {
+					return false
+				}
+				return almostEq(sf.fn(a, a), 1)
+			}
+			if err := quick.Check(f, nil); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// Property: Jaccard <= Dice <= Overlap ordering for non-empty sets, and
+// Jaccard <= CosineSet (AM–GM).
+func TestSimilarityOrderingProperty(t *testing.T) {
+	f := func(xs, ys []string) bool {
+		a, b := randomSets(xs, ys)
+		if len(a) == 0 || len(b) == 0 {
+			return true
+		}
+		j, d, o, c := Jaccard(a, b), Dice(a, b), Overlap(a, b), CosineSet(a, b)
+		const eps = 1e-12
+		return j <= d+eps && d <= o+eps && j <= c+eps
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Levenshtein is a metric — symmetric, zero iff equal, and
+// satisfies the triangle inequality.
+func TestLevenshteinMetricProperty(t *testing.T) {
+	f := func(a, b, c string) bool {
+		dab := Levenshtein(a, b)
+		dba := Levenshtein(b, a)
+		if dab != dba {
+			return false
+		}
+		if (dab == 0) != (a == b) {
+			// Equal strings after rune conversion; byte-identical implies 0.
+			if a == b && dab != 0 {
+				return false
+			}
+			if dab == 0 && a != b {
+				return false
+			}
+		}
+		dac := Levenshtein(a, c)
+		dcb := Levenshtein(c, b)
+		return dab <= dac+dcb
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Levenshtein bounded by max length; at least |len(a)-len(b)|.
+func TestLevenshteinBoundsProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		ra, rb := []rune(a), []rune(b)
+		d := Levenshtein(a, b)
+		diff := len(ra) - len(rb)
+		if diff < 0 {
+			diff = -diff
+		}
+		max := len(ra)
+		if len(rb) > max {
+			max = len(rb)
+		}
+		return d >= diff && d <= max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkJaccard(b *testing.B) {
+	x := tokset("apple", "ipad2", "16gb", "wifi", "white", "tablet", "2011")
+	y := tokset("ipad", "2nd", "generation", "16gb", "wifi", "white")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Jaccard(x, y)
+	}
+}
+
+func BenchmarkLevenshtein(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Levenshtein("apple ipad2 16gb wifi white", "ipad 2nd generation 16gb wifi white")
+	}
+}

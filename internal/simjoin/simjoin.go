@@ -1,0 +1,230 @@
+// Package simjoin implements the machine pass of CrowdER's hybrid
+// workflow: computing a likelihood (Jaccard similarity over record token
+// sets) for every candidate pair and retaining pairs at or above a
+// threshold (Section 7.1's "simjoin").
+//
+// Rather than comparing all O(n²) pairs, Join uses prefix filtering with an
+// inverted index plus a length filter — the indexing the paper's footnote 1
+// alludes to ("we can adopt some indexing techniques ... to avoid all-pairs
+// comparison"). BruteForce provides the reference all-pairs implementation
+// used for testing equivalence and for self-joins of tiny tables.
+package simjoin
+
+import (
+	"sort"
+
+	"github.com/crowder/crowder/internal/record"
+	"github.com/crowder/crowder/internal/similarity"
+)
+
+// ScoredPair is a candidate pair with its machine likelihood.
+type ScoredPair struct {
+	Pair       record.Pair
+	Likelihood float64
+}
+
+// SortScored orders pairs by likelihood descending, tie-breaking on the
+// canonical pair order, in place. The workflow's ranked output and the
+// precision-recall evaluation both rely on this ordering.
+func SortScored(ps []ScoredPair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Likelihood != ps[j].Likelihood {
+			return ps[i].Likelihood > ps[j].Likelihood
+		}
+		if ps[i].Pair.A != ps[j].Pair.A {
+			return ps[i].Pair.A < ps[j].Pair.A
+		}
+		return ps[i].Pair.B < ps[j].Pair.B
+	})
+}
+
+// Options configures a join.
+type Options struct {
+	// Threshold is the minimum Jaccard likelihood to retain (inclusive).
+	Threshold float64
+	// CrossSourceOnly restricts the join to pairs whose records come from
+	// different sources (Table.Source), matching the Product dataset where
+	// only abt×buy pairs are candidates (1081 × 1092 pairs, Section 7.1).
+	CrossSourceOnly bool
+}
+
+// Join returns all pairs of distinct records in t whose Jaccard likelihood
+// is at least opts.Threshold, sorted by likelihood descending. It uses
+// prefix filtering: tokens are ordered by ascending global frequency, each
+// record indexes only its first ⌊(1−τ)·|x|⌋+1 tokens, and candidates are
+// generated from index collisions. With τ = 0 this degenerates to indexing
+// every token, which still only compares records sharing at least one
+// token; pairs of records with disjoint token sets (Jaccard 0) are then
+// added in a final sweep only if the threshold is exactly 0.
+func Join(t *record.Table, opts Options) []ScoredPair {
+	tokens := record.TableTokens(t)
+	n := t.Len()
+
+	// Global token frequencies for the prefix ordering: rare tokens first
+	// minimizes index collisions.
+	freq := make(map[string]int)
+	for _, ts := range tokens {
+		for tok := range ts {
+			freq[tok]++
+		}
+	}
+	sorted := make([][]string, n)
+	for i, ts := range tokens {
+		s := ts.Sorted()
+		sort.SliceStable(s, func(a, b int) bool {
+			fa, fb := freq[s[a]], freq[s[b]]
+			if fa != fb {
+				return fa < fb
+			}
+			return s[a] < s[b]
+		})
+		sorted[i] = s
+	}
+
+	tau := opts.Threshold
+	// Inverted index: token → record IDs that indexed it.
+	index := make(map[string][]record.ID)
+	seen := make(record.PairSet)
+	var out []ScoredPair
+
+	crossOK := func(a, b record.ID) bool {
+		if !opts.CrossSourceOnly || len(t.Source) == 0 {
+			return true
+		}
+		return t.Source[a] != t.Source[b]
+	}
+
+	for i := 0; i < n; i++ {
+		toks := sorted[i]
+		plen := prefixLen(len(toks), tau)
+		for p := 0; p < plen && p < len(toks); p++ {
+			for _, j := range index[toks[p]] {
+				pr := record.MakePair(record.ID(i), j)
+				if _, dup := seen[pr]; dup {
+					continue
+				}
+				seen[pr] = struct{}{}
+				if !crossOK(pr.A, pr.B) {
+					continue
+				}
+				// Length filter: Jaccard ≥ τ requires τ·|x| ≤ |y| ≤ |x|/τ.
+				la, lb := len(tokens[pr.A]), len(tokens[pr.B])
+				if tau > 0 {
+					lo, hi := la, lb
+					if lo > hi {
+						lo, hi = hi, lo
+					}
+					if float64(lo) < tau*float64(hi) {
+						continue
+					}
+				}
+				sim := similarity.Jaccard(tokens[pr.A], tokens[pr.B])
+				if sim >= tau {
+					out = append(out, ScoredPair{Pair: pr, Likelihood: sim})
+				}
+			}
+			index[toks[p]] = append(index[toks[p]], record.ID(i))
+		}
+	}
+
+	if tau == 0 {
+		// Threshold 0 means "all pairs" (Table 2's last row); token-disjoint
+		// pairs have likelihood 0 and were never candidates above.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				pr := record.Pair{A: record.ID(i), B: record.ID(j)}
+				if _, dup := seen[pr]; dup {
+					continue
+				}
+				if !crossOK(pr.A, pr.B) {
+					continue
+				}
+				out = append(out, ScoredPair{Pair: pr, Likelihood: similarity.Jaccard(tokens[i], tokens[j])})
+			}
+		}
+	}
+
+	SortScored(out)
+	return out
+}
+
+// prefixLen returns the number of tokens a record of the given size must
+// index so that any pair with Jaccard ≥ tau shares an indexed token:
+// ⌊(1−τ)·len⌋ + 1 (standard prefix-filtering bound).
+func prefixLen(length int, tau float64) int {
+	if length == 0 {
+		return 0
+	}
+	p := int(float64(length)*(1-tau)) + 1
+	if p > length {
+		p = length
+	}
+	return p
+}
+
+// ScoreCandidates computes the Jaccard likelihood of each candidate pair
+// (e.g. from a blocking scheme) and keeps those at or above the threshold,
+// sorted by likelihood descending. Combined with a complete blocking
+// scheme this is equivalent to Join; with a lossy scheme (capped blocks,
+// sorted neighborhood) it trades a little recall for scale.
+func ScoreCandidates(t *record.Table, candidates []record.Pair, threshold float64) []ScoredPair {
+	tokens := record.TableTokens(t)
+	var out []ScoredPair
+	for _, p := range candidates {
+		cp := record.MakePair(p.A, p.B)
+		sim := similarity.Jaccard(tokens[cp.A], tokens[cp.B])
+		if sim >= threshold {
+			out = append(out, ScoredPair{Pair: cp, Likelihood: sim})
+		}
+	}
+	SortScored(out)
+	return out
+}
+
+// BruteForce computes the join by comparing every pair of records,
+// respecting the same options. It is the testing oracle for Join and is
+// also convenient for tiny tables.
+func BruteForce(t *record.Table, opts Options) []ScoredPair {
+	tokens := record.TableTokens(t)
+	n := t.Len()
+	var out []ScoredPair
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if opts.CrossSourceOnly && len(t.Source) > 0 && t.Source[i] == t.Source[j] {
+				continue
+			}
+			sim := similarity.Jaccard(tokens[i], tokens[j])
+			if sim >= opts.Threshold {
+				out = append(out, ScoredPair{
+					Pair:       record.Pair{A: record.ID(i), B: record.ID(j)},
+					Likelihood: sim,
+				})
+			}
+		}
+	}
+	SortScored(out)
+	return out
+}
+
+// Pairs extracts just the pairs from a scored slice, preserving order.
+func Pairs(sp []ScoredPair) []record.Pair {
+	out := make([]record.Pair, len(sp))
+	for i, s := range sp {
+		out[i] = s.Pair
+	}
+	return out
+}
+
+// FilterThreshold returns the scored pairs with likelihood ≥ tau,
+// preserving order. Useful for sweeping thresholds over a single
+// low-threshold join result (Table 2's sweep reuses one join at the
+// lowest threshold).
+func FilterThreshold(sp []ScoredPair, tau float64) []ScoredPair {
+	var out []ScoredPair
+	for _, s := range sp {
+		if s.Likelihood >= tau {
+			out = append(out, s)
+		}
+	}
+	return out
+}

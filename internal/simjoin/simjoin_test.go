@@ -1,0 +1,257 @@
+package simjoin
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/crowder/crowder/internal/record"
+)
+
+// paperTable builds Table 1 of the paper (nine product records).
+func paperTable() *record.Table {
+	t := record.NewTable("product_name", "price")
+	t.Append("iPad Two 16GB WiFi White", "$490")               // r1 (ID 0)
+	t.Append("iPad 2nd generation 16GB WiFi White", "$469")    // r2 (ID 1)
+	t.Append("iPhone 4th generation White 16GB", "$545")       // r3 (ID 2)
+	t.Append("Apple iPhone 4 16GB White", "$520")              // r4 (ID 3)
+	t.Append("Apple iPhone 3rd generation Black 16GB", "$375") // r5 (ID 4)
+	t.Append("iPhone 4 32GB White", "$599")                    // r6 (ID 5)
+	t.Append("Apple iPad2 16GB WiFi White", "$499")            // r7 (ID 6)
+	t.Append("Apple iPod shuffle 2GB Blue", "$49")             // r8 (ID 7)
+	t.Append("Apple iPod shuffle USB Cable", "$19")            // r9 (ID 8)
+	return t
+}
+
+func TestJoinMatchesBruteForce(t *testing.T) {
+	tab := paperTable()
+	for _, tau := range []float64{0, 0.1, 0.2, 0.3, 0.5, 0.8} {
+		got := Join(tab, Options{Threshold: tau})
+		want := BruteForce(tab, Options{Threshold: tau})
+		if len(got) != len(want) {
+			t.Fatalf("tau=%v: Join found %d pairs, BruteForce %d", tau, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Pair != want[i].Pair || got[i].Likelihood != want[i].Likelihood {
+				t.Fatalf("tau=%v: mismatch at %d: %v vs %v", tau, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestJoinThresholdZeroIsAllPairs(t *testing.T) {
+	tab := paperTable()
+	got := Join(tab, Options{Threshold: 0})
+	n := tab.Len()
+	if len(got) != n*(n-1)/2 {
+		t.Fatalf("threshold 0 should return all %d pairs; got %d", n*(n-1)/2, len(got))
+	}
+}
+
+func TestJoinSortedByLikelihood(t *testing.T) {
+	tab := paperTable()
+	got := Join(tab, Options{Threshold: 0.1})
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Likelihood < got[i].Likelihood {
+			t.Fatal("results not sorted by likelihood descending")
+		}
+	}
+}
+
+func TestJoinPaperExamplePairKnown(t *testing.T) {
+	// In the paper's workflow example (Example 1, threshold 0.3), (r1, r2)
+	// survives. Note: the paper computes Jaccard on Product Name only; our
+	// simjoin follows Section 7.1 and uses tokens from all attributes, so we
+	// assert presence rather than the exact value.
+	tab := paperTable()
+	got := Join(tab, Options{Threshold: 0.3})
+	found := false
+	for _, sp := range got {
+		if sp.Pair == record.MakePair(0, 1) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("(r1, r2) should survive threshold 0.3")
+	}
+}
+
+func TestCrossSourceOnly(t *testing.T) {
+	tab := record.NewTable("name")
+	tab.AppendFrom(0, "apple ipod touch 8gb")
+	tab.AppendFrom(0, "apple ipod touch 8gb black")
+	tab.AppendFrom(1, "apple ipod touch 8gb 2nd gen")
+	all := Join(tab, Options{Threshold: 0.1})
+	cross := Join(tab, Options{Threshold: 0.1, CrossSourceOnly: true})
+	if len(all) != 3 {
+		t.Fatalf("all-pairs join found %d pairs; want 3", len(all))
+	}
+	if len(cross) != 2 {
+		t.Fatalf("cross-source join found %d pairs; want 2", len(cross))
+	}
+	for _, sp := range cross {
+		if tab.Source[sp.Pair.A] == tab.Source[sp.Pair.B] {
+			t.Fatal("cross-source join returned a same-source pair")
+		}
+	}
+	bf := BruteForce(tab, Options{Threshold: 0.1, CrossSourceOnly: true})
+	if len(bf) != len(cross) {
+		t.Fatalf("brute force cross-source found %d; want %d", len(bf), len(cross))
+	}
+}
+
+func TestFilterThreshold(t *testing.T) {
+	sp := []ScoredPair{
+		{Pair: record.Pair{A: 0, B: 1}, Likelihood: 0.9},
+		{Pair: record.Pair{A: 0, B: 2}, Likelihood: 0.5},
+		{Pair: record.Pair{A: 1, B: 2}, Likelihood: 0.2},
+	}
+	got := FilterThreshold(sp, 0.5)
+	if len(got) != 2 {
+		t.Fatalf("FilterThreshold(0.5) kept %d pairs; want 2", len(got))
+	}
+	if got[1].Likelihood != 0.5 {
+		t.Error("threshold should be inclusive")
+	}
+}
+
+func TestPairsExtraction(t *testing.T) {
+	sp := []ScoredPair{
+		{Pair: record.Pair{A: 3, B: 7}, Likelihood: 0.4},
+		{Pair: record.Pair{A: 1, B: 2}, Likelihood: 0.3},
+	}
+	ps := Pairs(sp)
+	if len(ps) != 2 || ps[0] != (record.Pair{A: 3, B: 7}) {
+		t.Fatalf("Pairs = %v", ps)
+	}
+}
+
+func TestSortScoredTieBreak(t *testing.T) {
+	sp := []ScoredPair{
+		{Pair: record.Pair{A: 2, B: 3}, Likelihood: 0.5},
+		{Pair: record.Pair{A: 0, B: 1}, Likelihood: 0.5},
+		{Pair: record.Pair{A: 0, B: 9}, Likelihood: 0.7},
+	}
+	SortScored(sp)
+	if sp[0].Likelihood != 0.7 {
+		t.Fatal("highest likelihood should come first")
+	}
+	if sp[1].Pair != (record.Pair{A: 0, B: 1}) {
+		t.Fatal("ties should break on canonical pair order")
+	}
+}
+
+// randomTable builds a table of records with random tokens drawn from a
+// small vocabulary, so that pairs span the full similarity range.
+func randomTable(seed int64, n int) *record.Table {
+	rng := rand.New(rand.NewSource(seed))
+	vocab := []string{"apple", "ipad", "iphone", "ipod", "16gb", "32gb",
+		"white", "black", "wifi", "generation", "shuffle", "cable", "usb"}
+	tab := record.NewTable("name")
+	for i := 0; i < n; i++ {
+		k := 2 + rng.Intn(6)
+		toks := make([]string, 0, k)
+		for j := 0; j < k; j++ {
+			toks = append(toks, vocab[rng.Intn(len(vocab))])
+		}
+		tab.Append(fmt.Sprint(toks))
+	}
+	return tab
+}
+
+// Property: prefix-filtered join ≡ brute force for random tables and
+// random thresholds.
+func TestJoinEquivalenceProperty(t *testing.T) {
+	f := func(seed int64, tRaw uint8) bool {
+		tau := float64(tRaw%11) / 10 // 0.0 .. 1.0
+		tab := randomTable(seed, 25)
+		got := Join(tab, Options{Threshold: tau})
+		want := BruteForce(tab, Options{Threshold: tau})
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i].Pair != want[i].Pair || got[i].Likelihood != want[i].Likelihood {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: monotonicity — raising the threshold never adds pairs, and the
+// retained set at a higher threshold is a subset of the lower one.
+func TestJoinMonotonicityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		tab := randomTable(seed, 20)
+		lo := Join(tab, Options{Threshold: 0.2})
+		hi := Join(tab, Options{Threshold: 0.6})
+		if len(hi) > len(lo) {
+			return false
+		}
+		loSet := make(map[record.Pair]bool, len(lo))
+		for _, sp := range lo {
+			loSet[sp.Pair] = true
+		}
+		for _, sp := range hi {
+			if !loSet[sp.Pair] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkJoinPrefixFiltered(b *testing.B) {
+	tab := randomTable(42, 500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Join(tab, Options{Threshold: 0.4})
+	}
+}
+
+func BenchmarkJoinBruteForce(b *testing.B) {
+	tab := randomTable(42, 500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BruteForce(tab, Options{Threshold: 0.4})
+	}
+}
+
+func TestScoreCandidatesMatchesJoin(t *testing.T) {
+	// With the complete candidate set, ScoreCandidates ≡ Join.
+	tab := paperTable()
+	var all []record.Pair
+	for i := 0; i < tab.Len(); i++ {
+		for j := i + 1; j < tab.Len(); j++ {
+			all = append(all, record.MakePair(record.ID(i), record.ID(j)))
+		}
+	}
+	got := ScoreCandidates(tab, all, 0.3)
+	want := Join(tab, Options{Threshold: 0.3})
+	if len(got) != len(want) {
+		t.Fatalf("ScoreCandidates found %d pairs; Join found %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("mismatch at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScoreCandidatesCanonicalizes(t *testing.T) {
+	tab := paperTable()
+	got := ScoreCandidates(tab, []record.Pair{{A: 1, B: 0}}, 0)
+	if len(got) != 1 || got[0].Pair != record.MakePair(0, 1) {
+		t.Fatalf("ScoreCandidates = %v; want canonical (0,1)", got)
+	}
+}

@@ -1,0 +1,155 @@
+// Package svm implements the learning-based entity-resolution baseline of
+// Section 7.3: record pairs are represented as similarity feature vectors
+// (edit distance and cosine similarity per attribute, following Köpcke et
+// al.) and classified by a linear soft-margin SVM trained with the Pegasos
+// stochastic sub-gradient algorithm. The classifier's margin score ranks
+// pairs by match likelihood, producing the ranked list that precision-
+// recall evaluation consumes.
+package svm
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// Example is a labelled training instance. Label is +1 for a matching pair
+// and −1 for a non-matching pair.
+type Example struct {
+	X     []float64
+	Label float64
+}
+
+// Model is a trained linear SVM: Score(x) = W·x + B.
+type Model struct {
+	W []float64
+	B float64
+}
+
+// TrainOptions configures Pegasos training.
+type TrainOptions struct {
+	// Lambda is the regularization strength (default 1e-4).
+	Lambda float64
+	// Epochs is the number of passes over the training set (default 50).
+	Epochs int
+	// Seed drives the stochastic example order.
+	Seed int64
+	// BalanceClasses scales the loss of the minority class up by the class
+	// ratio, compensating for heavily skewed ER training sets where
+	// non-matches dominate.
+	BalanceClasses bool
+}
+
+func (o *TrainOptions) defaults() {
+	if o.Lambda <= 0 {
+		o.Lambda = 1e-4
+	}
+	if o.Epochs <= 0 {
+		o.Epochs = 50
+	}
+}
+
+// Train fits a linear SVM with the Pegasos algorithm: at step t it samples
+// an example, uses learning rate 1/(λt), applies the hinge-loss
+// sub-gradient, shrinks the weights and projects them onto the 1/√λ ball.
+// The bias is learned as an augmented constant-1 feature so it shares the
+// regularization and projection — leaving it free lets the enormous early
+// learning rates (η = 1/(λt) with t small) blow it up irrecoverably on
+// class-imbalanced data.
+func Train(examples []Example, opts TrainOptions) (*Model, error) {
+	if len(examples) == 0 {
+		return nil, errors.New("svm: no training examples")
+	}
+	opts.defaults()
+	dim := len(examples[0].X)
+	for _, e := range examples {
+		if len(e.X) != dim {
+			return nil, errors.New("svm: inconsistent feature dimensions")
+		}
+		if e.Label != 1 && e.Label != -1 {
+			return nil, errors.New("svm: labels must be +1 or -1")
+		}
+	}
+
+	var posW, negW float64 = 1, 1
+	if opts.BalanceClasses {
+		pos, neg := 0, 0
+		for _, e := range examples {
+			if e.Label > 0 {
+				pos++
+			} else {
+				neg++
+			}
+		}
+		if pos > 0 && neg > 0 {
+			if neg > pos {
+				posW = float64(neg) / float64(pos)
+			} else {
+				negW = float64(pos) / float64(neg)
+			}
+		}
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	// w has dim weights plus the bias in the last slot.
+	w := make([]float64, dim+1)
+	bound := 1 / math.Sqrt(opts.Lambda)
+	t := 0
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		perm := rng.Perm(len(examples))
+		for _, idx := range perm {
+			t++
+			e := examples[idx]
+			eta := 1 / (opts.Lambda * float64(t))
+			margin := e.Label * (dot(w[:dim], e.X) + w[dim])
+			// Regularization shrink (applies to the bias slot too).
+			shrink := 1 - eta*opts.Lambda
+			if shrink < 0 {
+				shrink = 0
+			}
+			for j := range w {
+				w[j] *= shrink
+			}
+			if margin < 1 {
+				cw := posW
+				if e.Label < 0 {
+					cw = negW
+				}
+				step := eta * cw * e.Label
+				for j := 0; j < dim; j++ {
+					w[j] += step * e.X[j]
+				}
+				w[dim] += step
+			}
+			// Projection onto the 1/sqrt(λ) ball (Pegasos).
+			norm := math.Sqrt(dot(w, w))
+			if norm > bound {
+				scale := bound / norm
+				for j := range w {
+					w[j] *= scale
+				}
+			}
+		}
+	}
+	return &Model{W: w[:dim], B: w[dim]}, nil
+}
+
+// Score returns the signed margin W·x + B; larger means more likely a
+// match. The magnitude orders pairs for precision-recall curves.
+func (m *Model) Score(x []float64) float64 { return dot(m.W, x) + m.B }
+
+// Predict returns +1 if the score is non-negative, else −1.
+func (m *Model) Predict(x []float64) float64 {
+	if m.Score(x) >= 0 {
+		return 1
+	}
+	return -1
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
