@@ -1,0 +1,130 @@
+// Command bench records the repository's performance baseline: ns/op for
+// the similarity join (the seed repo's legacy map-of-strings path, the
+// interned sequential path, and the sharded parallel path) and for the
+// end-to-end Resolve workflow. It writes the results as JSON so the
+// speedups of this and future PRs are pinned in the repository.
+//
+//	go run ./cmd/bench                 # prints JSON to stdout
+//	go run ./cmd/bench -o BENCH_baseline.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"testing"
+
+	crowder "github.com/crowder/crowder"
+	"github.com/crowder/crowder/internal/dataset"
+	"github.com/crowder/crowder/internal/simjoin"
+)
+
+// Benchmark is one recorded measurement.
+type Benchmark struct {
+	Name        string `json:"name"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	// SpeedupVsSeed is NsPerOp of the seed baseline divided by this
+	// benchmark's NsPerOp, where a seed baseline exists (simjoin rows).
+	SpeedupVsSeed float64 `json:"speedup_vs_seed,omitempty"`
+}
+
+// Baseline is the file layout of BENCH_baseline.json.
+type Baseline struct {
+	GoVersion  string      `json:"go_version"`
+	NumCPU     int         `json:"num_cpu"`
+	GoMaxProcs int         `json:"go_max_procs"`
+	Records    int         `json:"records"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func measure(name string, f func(b *testing.B)) Benchmark {
+	r := testing.Benchmark(f)
+	return Benchmark{
+		Name:        name,
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+func main() {
+	out := flag.String("o", "", "write JSON to this file instead of stdout")
+	n := flag.Int("n", 1000, "records in the benchmark table")
+	flag.Parse()
+
+	d := dataset.RestaurantN(1, *n, *n/8)
+	tab := d.Table
+	tab.TokenIDs() // warm the token cache; the legacy path re-tokenizes regardless
+
+	base := Baseline{
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Records:    *n,
+	}
+
+	const tau = 0.3
+	seed := measure("simjoin/legacy-seed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			simjoin.LegacyJoin(tab, simjoin.Options{Threshold: tau})
+		}
+	})
+	seq := measure("simjoin/interned-seq", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			simjoin.Join(tab, simjoin.Options{Threshold: tau, Parallelism: 1})
+		}
+	})
+	par := measure("simjoin/interned-parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			simjoin.Join(tab, simjoin.Options{Threshold: tau})
+		}
+	})
+	seq.SpeedupVsSeed = float64(seed.NsPerOp) / float64(seq.NsPerOp)
+	par.SpeedupVsSeed = float64(seed.NsPerOp) / float64(par.NsPerOp)
+	base.Benchmarks = append(base.Benchmarks, seed, seq, par)
+
+	// End-to-end Resolve on a crowdable slice of the dataset.
+	small := dataset.RestaurantN(2, 300, 40)
+	var oracle []crowder.Pair
+	for _, p := range small.Matches.Slice() {
+		oracle = append(oracle, crowder.Pair{A: int(p.A), B: int(p.B)})
+	}
+	ctab := crowder.NewTable(small.Table.Schema...)
+	for i := range small.Table.Records {
+		ctab.Append(small.Table.Records[i].Values...)
+	}
+	resolveOpts := crowder.Options{Threshold: 0.4, ClusterSize: 10, Oracle: oracle, Seed: 1}
+	base.Benchmarks = append(base.Benchmarks,
+		measure("resolve/end-to-end", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := crowder.Resolve(ctab, resolveOpts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+	)
+
+	enc, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		fmt.Print(string(enc))
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (simjoin speedup vs seed: seq %.2fx, parallel %.2fx at GOMAXPROCS=%d)\n",
+		*out, seq.SpeedupVsSeed, par.SpeedupVsSeed, base.GoMaxProcs)
+}

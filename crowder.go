@@ -19,6 +19,16 @@
 //     combined with the Dawid–Skene EM algorithm into ranked match
 //     decisions.
 //
+// Internally Resolve runs as a staged engine (internal/engine): four named
+// stages — prune (the machine pass), generate (HIT batching), execute
+// (simulated crowd) and aggregate (Dawid–Skene EM) — connected by
+// channels, with per-stage wall-clock timings surfaced on Result.Stages.
+// The machine pass operates on interned token IDs cached on the table and
+// shards its prefix-filtered join across Options.Parallelism goroutines;
+// the crowd stage executes HITs concurrently with a deterministic per-HIT
+// RNG stream. Results are bit-identical at every parallelism level: runs
+// are deterministic in (table, Options) alone.
+//
 // The minimal entry point is Resolve:
 //
 //	table := crowder.NewTable("name", "price")
@@ -43,6 +53,7 @@ import (
 	"github.com/crowder/crowder/internal/aggregate"
 	"github.com/crowder/crowder/internal/blocking"
 	"github.com/crowder/crowder/internal/crowd"
+	"github.com/crowder/crowder/internal/engine"
 	"github.com/crowder/crowder/internal/hitgen"
 	"github.com/crowder/crowder/internal/record"
 	"github.com/crowder/crowder/internal/simjoin"
@@ -175,6 +186,11 @@ type Options struct {
 	// MachineOnly skips the crowd entirely and returns the machine
 	// likelihood ranking (the "simjoin" baseline of Section 7.3).
 	MachineOnly bool
+	// Parallelism bounds the worker goroutines used by the machine pass
+	// (sharded similarity join) and the simulated crowd (concurrent HIT
+	// execution). 0 means GOMAXPROCS. Results are bit-identical at every
+	// parallelism level.
+	Parallelism int
 }
 
 func (o *Options) defaults() {
@@ -202,6 +218,14 @@ type Match struct {
 	Confidence float64
 }
 
+// StageStat is the measured wall-clock time of one engine stage.
+type StageStat struct {
+	// Name is the stage: "prune", "generate", "execute" or "aggregate".
+	Name string
+	// Seconds is the stage's wall-clock processing time.
+	Seconds float64
+}
+
 // Result is the outcome of the hybrid workflow.
 type Result struct {
 	// TotalPairs is the number of candidate pairs before pruning.
@@ -219,6 +243,9 @@ type Result struct {
 	// Matches lists all judged pairs ranked by confidence descending.
 	// Callers typically keep those with Confidence ≥ 0.5.
 	Matches []Match
+	// Stages reports the engine's per-stage wall-clock timings, in
+	// execution order (prune, generate, execute, aggregate).
+	Stages []StageStat
 }
 
 // Accepted returns the matches with confidence at least 0.5.
@@ -232,6 +259,154 @@ func (r *Result) Accepted() []Match {
 	return out
 }
 
+// resolveState is the value threaded through the engine stages. Each
+// stage reads what its predecessors produced and fills in its own slice
+// of the state.
+type resolveState struct {
+	table *Table
+	opts  Options
+
+	// prune →
+	scored []simjoin.ScoredPair
+	pairs  []record.Pair
+	// generate →
+	pairHITs    []hitgen.PairHIT
+	clusterHITs []hitgen.ClusterHIT
+	// execute →
+	run *crowd.Result
+
+	res *Result
+}
+
+// skipCrowd reports whether the crowd stages have nothing to do: the
+// machine-only baseline, or an empty candidate set.
+func (st *resolveState) skipCrowd() bool {
+	return st.opts.MachineOnly || len(st.scored) == 0
+}
+
+// stagePrune is the machine pass: generate candidate pairs, score them,
+// and drop everything below the likelihood threshold.
+func stagePrune(st *resolveState) (*resolveState, error) {
+	scored, err := machinePass(st.table, st.opts)
+	if err != nil {
+		return nil, err
+	}
+	st.scored = scored
+	st.res.TotalPairs = totalPairs(st.table, st.opts.CrossSourceOnly)
+	st.res.Candidates = len(scored)
+	if st.opts.MachineOnly {
+		for _, sp := range scored {
+			st.res.Matches = append(st.res.Matches, Match{
+				Pair:       Pair{A: int(sp.Pair.A), B: int(sp.Pair.B)},
+				Confidence: sp.Likelihood,
+			})
+		}
+		return st, nil
+	}
+	st.pairs = simjoin.Pairs(scored)
+	return st, nil
+}
+
+// stageGenerate batches the surviving pairs into HITs.
+func stageGenerate(st *resolveState) (*resolveState, error) {
+	if st.skipCrowd() {
+		return st, nil
+	}
+	switch st.opts.HITType {
+	case PairHITs:
+		hits, err := hitgen.GeneratePairHITs(st.pairs, st.opts.ClusterSize)
+		if err != nil {
+			return nil, err
+		}
+		st.pairHITs = hits
+		st.res.HITs = len(hits)
+	case ClusterHITs:
+		gen := generatorFor(st.opts.Generator, st.opts.Seed)
+		hits, err := gen.Generate(st.pairs, st.opts.ClusterSize)
+		if err != nil {
+			return nil, err
+		}
+		if verr := hitgen.ValidateCover(st.pairs, hits, st.opts.ClusterSize); verr != nil {
+			return nil, fmt.Errorf("crowder: generated HITs violate the covering invariant: %w", verr)
+		}
+		st.clusterHITs = hits
+		st.res.HITs = len(hits)
+	default:
+		return nil, fmt.Errorf("crowder: unknown HIT type %d", st.opts.HITType)
+	}
+	return st, nil
+}
+
+// stageExecute runs the HITs through the simulated crowd.
+func stageExecute(st *resolveState) (*resolveState, error) {
+	if st.skipCrowd() {
+		return st, nil
+	}
+	truth := record.NewPairSet()
+	for _, p := range st.opts.Oracle {
+		truth.Add(record.ID(p.A), record.ID(p.B))
+	}
+	pop := crowd.NewPopulation(st.opts.Seed, crowd.PopulationOptions{
+		Size:        st.opts.Workers,
+		SpammerRate: st.opts.SpammerRate,
+	})
+	// Simulated workers err most on genuinely ambiguous pairs; the machine
+	// likelihoods from the prune stage calibrate that per-pair difficulty.
+	likelihood := make(map[record.Pair]float64, len(st.scored))
+	for _, sp := range st.scored {
+		likelihood[sp.Pair] = sp.Likelihood
+	}
+	cfg := crowd.Config{
+		Assignments:       st.opts.Assignments,
+		QualificationTest: st.opts.QualificationTest,
+		Seed:              st.opts.Seed,
+		Parallelism:       st.opts.Parallelism,
+		Difficulty:        crowd.DifficultyFromLikelihood(likelihood),
+	}
+	var (
+		run *crowd.Result
+		err error
+	)
+	if st.opts.HITType == PairHITs {
+		run, err = crowd.RunPairHITs(st.pairHITs, truth, pop, cfg)
+	} else {
+		run, err = crowd.RunClusterHITs(st.clusterHITs, st.pairs, truth, pop, cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	st.run = run
+	st.res.CostDollars = run.CostDollars
+	st.res.ElapsedSeconds = run.TotalSeconds
+	return st, nil
+}
+
+// stageAggregate combines the replicated answers with Dawid–Skene EM into
+// ranked match decisions.
+func stageAggregate(st *resolveState) (*resolveState, error) {
+	if st.skipCrowd() {
+		return st, nil
+	}
+	post := aggregate.DawidSkene(st.run.Answers, aggregate.DawidSkeneOptions{})
+	for _, pr := range post.Ranked() {
+		st.res.Matches = append(st.res.Matches, Match{
+			Pair:       Pair{A: int(pr.A), B: int(pr.B)},
+			Confidence: post[pr],
+		})
+	}
+	return st, nil
+}
+
+// resolvePipeline builds the four-stage engine Resolve runs.
+func resolvePipeline() *engine.Pipeline[*resolveState] {
+	return engine.New(
+		engine.Stage[*resolveState]{Name: "prune", Run: stagePrune},
+		engine.Stage[*resolveState]{Name: "generate", Run: stageGenerate},
+		engine.Stage[*resolveState]{Name: "execute", Run: stageExecute},
+		engine.Stage[*resolveState]{Name: "aggregate", Run: stageAggregate},
+	)
+}
+
 // Resolve runs the hybrid human–machine workflow on the table.
 func Resolve(t *Table, opts Options) (*Result, error) {
 	opts.defaults()
@@ -241,92 +416,15 @@ func Resolve(t *Table, opts Options) (*Result, error) {
 	if !opts.MachineOnly && opts.Oracle == nil {
 		return nil, errors.New("crowder: Options.Oracle is required (the simulated crowd needs reference labels); set MachineOnly for the pure machine baseline")
 	}
-
-	// Stage 1: machine pass.
-	scored, err := machinePass(t, opts)
+	st := &resolveState{table: t, opts: opts, res: &Result{}}
+	final, stats, err := resolvePipeline().Run(st)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{
-		TotalPairs: totalPairs(t, opts.CrossSourceOnly),
-		Candidates: len(scored),
+	for _, s := range stats {
+		final.res.Stages = append(final.res.Stages, StageStat{Name: s.Name, Seconds: s.Duration.Seconds()})
 	}
-	if opts.MachineOnly {
-		for _, sp := range scored {
-			res.Matches = append(res.Matches, Match{
-				Pair:       Pair{A: int(sp.Pair.A), B: int(sp.Pair.B)},
-				Confidence: sp.Likelihood,
-			})
-		}
-		return res, nil
-	}
-	if len(scored) == 0 {
-		return res, nil
-	}
-
-	pairs := simjoin.Pairs(scored)
-	truth := record.NewPairSet()
-	for _, p := range opts.Oracle {
-		truth.Add(record.ID(p.A), record.ID(p.B))
-	}
-	pop := crowd.NewPopulation(opts.Seed, crowd.PopulationOptions{
-		Size:        opts.Workers,
-		SpammerRate: opts.SpammerRate,
-	})
-	// Simulated workers err most on genuinely ambiguous pairs; the machine
-	// likelihoods just computed calibrate that per-pair difficulty.
-	likelihood := make(map[record.Pair]float64, len(scored))
-	for _, sp := range scored {
-		likelihood[sp.Pair] = sp.Likelihood
-	}
-	cfg := crowd.Config{
-		Assignments:       opts.Assignments,
-		QualificationTest: opts.QualificationTest,
-		Seed:              opts.Seed,
-		Difficulty:        crowd.DifficultyFromLikelihood(likelihood),
-	}
-
-	// Stages 2–3: HIT generation and crowd execution.
-	var run *crowd.Result
-	switch opts.HITType {
-	case PairHITs:
-		var hits []hitgen.PairHIT
-		hits, err = hitgen.GeneratePairHITs(pairs, opts.ClusterSize)
-		if err != nil {
-			return nil, err
-		}
-		res.HITs = len(hits)
-		run, err = crowd.RunPairHITs(hits, truth, pop, cfg)
-	case ClusterHITs:
-		gen := generatorFor(opts.Generator, opts.Seed)
-		var hits []hitgen.ClusterHIT
-		hits, err = gen.Generate(pairs, opts.ClusterSize)
-		if err != nil {
-			return nil, err
-		}
-		if verr := hitgen.ValidateCover(pairs, hits, opts.ClusterSize); verr != nil {
-			return nil, fmt.Errorf("crowder: generated HITs violate the covering invariant: %w", verr)
-		}
-		res.HITs = len(hits)
-		run, err = crowd.RunClusterHITs(hits, pairs, truth, pop, cfg)
-	default:
-		return nil, fmt.Errorf("crowder: unknown HIT type %d", opts.HITType)
-	}
-	if err != nil {
-		return nil, err
-	}
-	res.CostDollars = run.CostDollars
-	res.ElapsedSeconds = run.TotalSeconds
-
-	// Aggregation: Dawid–Skene EM over the replicated answers.
-	post := aggregate.DawidSkene(run.Answers, aggregate.DawidSkeneOptions{})
-	for _, pr := range post.Ranked() {
-		res.Matches = append(res.Matches, Match{
-			Pair:       Pair{A: int(pr.A), B: int(pr.B)},
-			Confidence: post[pr],
-		})
-	}
-	return res, nil
+	return final.res, nil
 }
 
 // machinePass generates and scores candidate pairs per the configured
@@ -337,6 +435,7 @@ func machinePass(t *Table, opts Options) ([]simjoin.ScoredPair, error) {
 		return simjoin.Join(t.inner, simjoin.Options{
 			Threshold:       opts.Threshold,
 			CrossSourceOnly: opts.CrossSourceOnly,
+			Parallelism:     opts.Parallelism,
 		}), nil
 	case SourceTokenBlocking:
 		cands := blocking.TokenBlocking(t.inner, blocking.Options{

@@ -150,6 +150,69 @@ func TestResolveDeterministic(t *testing.T) {
 	}
 }
 
+// The whole workflow must be bit-identical at every parallelism level:
+// the sharded join merges deterministically and every HIT has its own
+// seeded RNG stream.
+func TestResolveParallelismInvariance(t *testing.T) {
+	tab, oracle := paperTable()
+	base, err := Resolve(tab, Options{
+		Threshold: 0.3, ClusterSize: 4, Oracle: oracle, Seed: 7, Parallelism: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, 8} {
+		got, err := Resolve(tab, Options{
+			Threshold: 0.3, ClusterSize: 4, Oracle: oracle, Seed: 7, Parallelism: par,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Candidates != base.Candidates || got.HITs != base.HITs ||
+			got.CostDollars != base.CostDollars || got.ElapsedSeconds != base.ElapsedSeconds {
+			t.Fatalf("parallelism %d changed the workflow footprint", par)
+		}
+		if len(got.Matches) != len(base.Matches) {
+			t.Fatalf("parallelism %d: %d matches vs %d", par, len(got.Matches), len(base.Matches))
+		}
+		for i := range base.Matches {
+			if got.Matches[i] != base.Matches[i] {
+				t.Fatalf("parallelism %d: match %d differs: %v vs %v",
+					par, i, got.Matches[i], base.Matches[i])
+			}
+		}
+	}
+}
+
+func TestResolveStageStats(t *testing.T) {
+	tab, oracle := paperTable()
+	res, err := Resolve(tab, Options{Threshold: 0.3, ClusterSize: 4, Oracle: oracle, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"prune", "generate", "execute", "aggregate"}
+	if len(res.Stages) != len(want) {
+		t.Fatalf("Stages = %+v; want %d entries", res.Stages, len(want))
+	}
+	for i, name := range want {
+		if res.Stages[i].Name != name {
+			t.Errorf("stage %d = %q; want %q", i, res.Stages[i].Name, name)
+		}
+		if res.Stages[i].Seconds < 0 {
+			t.Errorf("stage %q has negative duration", name)
+		}
+	}
+	// Machine-only runs still report all four stages (the crowd ones as
+	// ~zero-cost no-ops).
+	mo, err := Resolve(tab, Options{Threshold: 0.3, MachineOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mo.Stages) != len(want) {
+		t.Fatalf("machine-only Stages = %+v", mo.Stages)
+	}
+}
+
 func TestResolveThresholdPruning(t *testing.T) {
 	tab, _ := paperTable()
 	lo, err := Resolve(tab, Options{Threshold: 0.1, MachineOnly: true})

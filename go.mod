@@ -1,0 +1,3 @@
+module github.com/crowder/crowder
+
+go 1.24

@@ -37,22 +37,26 @@ type Options struct {
 }
 
 func (o Options) crossOK(t *record.Table, a, b record.ID) bool {
-	if !o.CrossSourceOnly || len(t.Source) == 0 {
-		return true
-	}
-	return t.Source[a] != t.Source[b]
+	return t.CrossOK(o.CrossSourceOnly, a, b)
 }
 
 // TokenBlocking returns all pairs of records sharing at least one token,
-// in canonical order.
+// in canonical order. Blocks are built over the table's interned token IDs
+// (cached on the table), so the blocking index is a flat slice rather than
+// a string-keyed map and records are never re-tokenized.
 func TokenBlocking(t *record.Table, opts Options) []record.Pair {
-	blocks := make(map[string][]record.ID)
-	for i := range t.Records {
-		for tok := range record.RecordTokens(&t.Records[i]) {
+	ids := t.TokenIDs()
+	blocks := make([][]record.ID, t.TokenUniverse())
+	for i, ts := range ids {
+		for _, tok := range ts {
 			blocks[tok] = append(blocks[tok], record.ID(i))
 		}
 	}
-	return pairsFromBlocks(t, blocks, opts)
+	out := record.NewPairSet()
+	for _, ids := range blocks {
+		expandBlock(t, ids, opts, out)
+	}
+	return out.Slice()
 }
 
 // QGramBlocking returns all pairs of records sharing at least one padded
@@ -112,18 +116,23 @@ func SortedNeighborhood(t *record.Table, window int, opts Options) []record.Pair
 func pairsFromBlocks(t *record.Table, blocks map[string][]record.ID, opts Options) []record.Pair {
 	out := record.NewPairSet()
 	for _, ids := range blocks {
-		if opts.MaxBlock > 0 && len(ids) > opts.MaxBlock {
-			continue
-		}
-		for i := 0; i < len(ids); i++ {
-			for j := i + 1; j < len(ids); j++ {
-				if opts.crossOK(t, ids[i], ids[j]) {
-					out.Add(ids[i], ids[j])
-				}
+		expandBlock(t, ids, opts, out)
+	}
+	return out.Slice()
+}
+
+// expandBlock adds every admissible pair within one block to out.
+func expandBlock(t *record.Table, ids []record.ID, opts Options, out record.PairSet) {
+	if opts.MaxBlock > 0 && len(ids) > opts.MaxBlock {
+		return
+	}
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			if opts.crossOK(t, ids[i], ids[j]) {
+				out.Add(ids[i], ids[j])
 			}
 		}
 	}
-	return out.Slice()
 }
 
 // Stats summarizes a blocking result against ground truth: the candidate

@@ -44,11 +44,11 @@ func TestTokenBlockingCompleteness(t *testing.T) {
 	d := dataset.RestaurantN(3, 120, 15)
 	pairs := TokenBlocking(d.Table, Options{})
 	set := record.NewPairSet(pairs...)
-	tokens := record.TableTokens(d.Table)
+	ids := d.Table.TokenIDs()
 	n := d.Table.Len()
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			if similarity.Jaccard(tokens[i], tokens[j]) > 0 {
+			if similarity.Jaccard(ids[i], ids[j]) > 0 {
 				if !set.Has(record.ID(i), record.ID(j)) {
 					t.Fatalf("pair (%d,%d) has positive similarity but is not a candidate", i, j)
 				}

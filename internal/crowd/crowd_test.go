@@ -276,6 +276,91 @@ func TestPreparePoolErrors(t *testing.T) {
 	}
 }
 
+// Acceptance: concurrent crowd execution is bit-identical to the
+// sequential path at every parallelism level, for both HIT formats. Run
+// with -race to catch unsynchronized writes in the per-HIT executor.
+func TestRunParallelismEquivalence(t *testing.T) {
+	pairs := testPairs()
+	truth := testTruth()
+	pop := NewPopulation(1, PopulationOptions{Size: 60})
+
+	pairHITs, err := hitgen.GeneratePairHITs(pairs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusterHITs, err := hitgen.TwoTiered{}.Generate(pairs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	assertSame := func(t *testing.T, base, got *Result, par int) {
+		t.Helper()
+		if len(got.Answers) != len(base.Answers) {
+			t.Fatalf("parallelism %d: %d answers vs %d", par, len(got.Answers), len(base.Answers))
+		}
+		for i := range base.Answers {
+			if got.Answers[i] != base.Answers[i] {
+				t.Fatalf("parallelism %d: answer %d differs: %v vs %v", par, i, got.Answers[i], base.Answers[i])
+			}
+		}
+		if len(got.AssignmentSeconds) != len(base.AssignmentSeconds) {
+			t.Fatalf("parallelism %d: assignment count differs", par)
+		}
+		for i := range base.AssignmentSeconds {
+			if got.AssignmentSeconds[i] != base.AssignmentSeconds[i] {
+				t.Fatalf("parallelism %d: assignment %d seconds differ", par, i)
+			}
+		}
+		if got.TotalSeconds != base.TotalSeconds || got.CostDollars != base.CostDollars ||
+			got.WorkersUsed != base.WorkersUsed {
+			t.Fatalf("parallelism %d: aggregate figures differ", par)
+		}
+	}
+
+	t.Run("PairHITs", func(t *testing.T) {
+		base, err := RunPairHITs(pairHITs, truth, pop, Config{Seed: 11, Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, par := range []int{2, 8} {
+			got, err := RunPairHITs(pairHITs, truth, pop, Config{Seed: 11, Parallelism: par})
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSame(t, base, got, par)
+		}
+	})
+	t.Run("ClusterHITs", func(t *testing.T) {
+		base, err := RunClusterHITs(clusterHITs, pairs, truth, pop, Config{Seed: 11, Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, par := range []int{2, 8} {
+			got, err := RunClusterHITs(clusterHITs, pairs, truth, pop, Config{Seed: 11, Parallelism: par})
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSame(t, base, got, par)
+		}
+	})
+}
+
+func TestHitSeedDecorrelates(t *testing.T) {
+	seen := map[int64]bool{}
+	for stream := 1; stream <= 2; stream++ {
+		for h := 0; h < 1000; h++ {
+			s := hitSeed(42, stream, h)
+			if seen[s] {
+				t.Fatalf("duplicate seed for stream=%d hit=%d", stream, h)
+			}
+			seen[s] = true
+		}
+	}
+	if hitSeed(1, streamPairHITs, 0) == hitSeed(2, streamPairHITs, 0) {
+		t.Error("different base seeds should give different HIT seeds")
+	}
+}
+
 func TestRunDeterministicPerSeed(t *testing.T) {
 	pairs := testPairs()
 	hits, _ := hitgen.GeneratePairHITs(pairs, 2)

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"github.com/crowder/crowder/internal/aggregate"
+	"github.com/crowder/crowder/internal/engine"
 	"github.com/crowder/crowder/internal/hitgen"
 	"github.com/crowder/crowder/internal/record"
 )
@@ -25,6 +26,11 @@ type Config struct {
 	QualificationTest bool
 	// Seed drives all stochastic choices (worker selection, answers).
 	Seed int64
+	// Parallelism bounds the goroutines executing HITs concurrently.
+	// 0 (the default) means GOMAXPROCS. Every HIT draws from its own RNG
+	// stream seeded by (Seed, HIT index), so the answers are bit-identical
+	// at every parallelism level.
+	Parallelism int
 
 	// BaseSeconds is the fixed per-assignment overhead: reading the
 	// instructions, loading the page, submitting (default 20).
@@ -146,45 +152,107 @@ func (r *Result) MedianAssignmentSeconds() float64 {
 	return (s[n/2-1] + s[n/2]) / 2
 }
 
+// RNG stream tags keeping the pair- and cluster-based answer streams
+// distinct for the same base seed (the legacy code used Seed+1 / Seed+2).
+const (
+	streamPairHITs    = 1
+	streamClusterHITs = 2
+)
+
+// hitSeed derives the RNG seed for one HIT from the base seed, the stream
+// tag, and the HIT's index, with a splitmix64-style finalizer so adjacent
+// indexes yield decorrelated streams. Seeding per HIT — rather than
+// advancing one shared RNG — is what makes concurrent execution
+// bit-identical to sequential: a HIT's randomness no longer depends on how
+// many draws earlier HITs consumed.
+func hitSeed(base int64, stream, hit int) int64 {
+	z := uint64(base) + 0x9e3779b97f4a7c15*uint64(hit+1) + 0xbf58476d1ce4e5b9*uint64(stream)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// hitOutcome is one HIT's simulated result, produced independently of
+// every other HIT so HITs can execute on any goroutine in any order.
+type hitOutcome struct {
+	answers []aggregate.Answer
+	seconds []float64
+	workers []int
+	effort  float64
+}
+
+// forEachHIT executes fn(h) for every HIT index across min(parallelism,
+// len) worker goroutines. fn must only write state owned by index h.
+func forEachHIT(n, parallelism int, fn func(h int)) {
+	if n == 0 {
+		return
+	}
+	workers := engine.WorkerCount(parallelism, n)
+	engine.Workers(workers, func(w int) {
+		for h := w; h < n; h += workers {
+			fn(h)
+		}
+	})
+}
+
+// mergeOutcomes flattens per-HIT outcomes into a Result in HIT order and
+// computes the derived cost, attraction and makespan figures.
+func mergeOutcomes(outcomes []hitOutcome, pool *Population, cfg Config, attractionBase float64) *Result {
+	res := &Result{}
+	used := make(map[int]bool)
+	var effort float64
+	for _, o := range outcomes {
+		res.Answers = append(res.Answers, o.answers...)
+		res.AssignmentSeconds = append(res.AssignmentSeconds, o.seconds...)
+		for _, id := range o.workers {
+			used[id] = true
+		}
+		effort += o.effort
+	}
+	res.WorkersUsed = len(used)
+	res.CostDollars = float64(len(outcomes)*cfg.Assignments) * DollarsPerAssignment
+	avgEffort := 0.0
+	if len(outcomes) > 0 {
+		avgEffort = effort / float64(len(outcomes))
+	}
+	attraction := attractionBase * effortDiscount(avgEffort, cfg.FairComparisons)
+	res.TotalSeconds = makespan(res.AssignmentSeconds, pool, attraction)
+	return res
+}
+
 // RunPairHITs crowdsources pair-based HITs: each HIT is replicated to
 // Assignments distinct workers; each worker answers every pair in the HIT
-// independently through their confusion matrix.
+// independently through their confusion matrix. HITs execute concurrently
+// (Config.Parallelism); per-HIT RNG streams keep the result deterministic.
 func RunPairHITs(hits []hitgen.PairHIT, truth record.PairSet, pop *Population, cfg Config) (*Result, error) {
 	cfg.defaults()
 	pool, err := preparePool(pop, cfg)
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed + 1))
 
-	res := &Result{}
-	used := make(map[int]bool)
-	var effort float64
-	for _, h := range hits {
-		workers := pickDistinct(pool, cfg.Assignments, rng)
-		for _, w := range workers {
-			used[w.ID] = true
+	outcomes := make([]hitOutcome, len(hits))
+	forEachHIT(len(hits), cfg.Parallelism, func(hi int) {
+		h := hits[hi]
+		rng := rand.New(rand.NewSource(hitSeed(cfg.Seed, streamPairHITs, hi)))
+		o := &outcomes[hi]
+		for _, w := range pickDistinct(pool, cfg.Assignments, rng) {
+			o.workers = append(o.workers, w.ID)
 			for _, p := range h.Pairs {
-				res.Answers = append(res.Answers, aggregate.Answer{
+				o.answers = append(o.answers, aggregate.Answer{
 					Pair:   p,
 					Worker: w.ID,
 					Match:  w.AnswerWithDifficulty(truth.Has(p.A, p.B), cfg.difficultyOf(p), rng),
 				})
 			}
-			secs := (cfg.BaseSeconds + cfg.SecondsPerPairComparison*float64(len(h.Pairs))) * w.Speed
-			res.AssignmentSeconds = append(res.AssignmentSeconds, secs)
+			o.seconds = append(o.seconds, (cfg.BaseSeconds+cfg.SecondsPerPairComparison*float64(len(h.Pairs)))*w.Speed)
 		}
-		effort += float64(len(h.Pairs))
-	}
-	res.WorkersUsed = len(used)
-	res.CostDollars = float64(len(hits)*cfg.Assignments) * DollarsPerAssignment
-	avgEffort := 0.0
-	if len(hits) > 0 {
-		avgEffort = effort / float64(len(hits))
-	}
-	attraction := cfg.PairAttraction * effortDiscount(avgEffort, cfg.FairComparisons)
-	res.TotalSeconds = makespan(res.AssignmentSeconds, pool, attraction)
-	return res, nil
+		o.effort = float64(len(h.Pairs))
+	})
+	return mergeOutcomes(outcomes, pool, cfg, cfg.PairAttraction), nil
 }
 
 // RunClusterHITs crowdsources cluster-based HITs. Each worker labels the
@@ -199,18 +267,17 @@ func RunClusterHITs(hits []hitgen.ClusterHIT, pairs []record.Pair, truth record.
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed + 2))
 
-	res := &Result{}
-	used := make(map[int]bool)
-	var effort float64
-	for _, h := range hits {
+	outcomes := make([]hitOutcome, len(hits))
+	forEachHIT(len(hits), cfg.Parallelism, func(hi int) {
+		h := hits[hi]
+		rng := rand.New(rand.NewSource(hitSeed(cfg.Seed, streamClusterHITs, hi)))
+		o := &outcomes[hi]
 		covered := h.CoveredPairs(pairs)
-		workers := pickDistinct(pool, cfg.Assignments, rng)
-		for _, w := range workers {
-			used[w.ID] = true
+		for _, w := range pickDistinct(pool, cfg.Assignments, rng) {
+			o.workers = append(o.workers, w.ID)
 			answers := clusterAnswers(h, covered, truth, w, &cfg, rng)
-			res.Answers = append(res.Answers, answers...)
+			o.answers = append(o.answers, answers...)
 			// Worker's own partition determines their comparison count.
 			own := record.NewPairSet()
 			for _, a := range answers {
@@ -219,21 +286,12 @@ func RunClusterHITs(hits []hitgen.ClusterHIT, pairs []record.Pair, truth record.
 				}
 			}
 			comparisons := hitgen.BestOrderComparisons(hitgen.EntitySizes(h, own))
-			secs := (cfg.BaseSeconds + cfg.SecondsPerClusterComparison*float64(comparisons)) * w.Speed
-			res.AssignmentSeconds = append(res.AssignmentSeconds, secs)
+			o.seconds = append(o.seconds, (cfg.BaseSeconds+cfg.SecondsPerClusterComparison*float64(comparisons))*w.Speed)
 		}
-		effort += float64(hitgen.BestOrderComparisons(hitgen.EntitySizes(h, truth))) *
+		o.effort = float64(hitgen.BestOrderComparisons(hitgen.EntitySizes(h, truth))) *
 			cfg.SecondsPerClusterComparison / cfg.SecondsPerPairComparison
-	}
-	res.WorkersUsed = len(used)
-	res.CostDollars = float64(len(hits)*cfg.Assignments) * DollarsPerAssignment
-	avgEffort := 0.0
-	if len(hits) > 0 {
-		avgEffort = effort / float64(len(hits))
-	}
-	attraction := cfg.ClusterAttraction * effortDiscount(avgEffort, cfg.FairComparisons)
-	res.TotalSeconds = makespan(res.AssignmentSeconds, pool, attraction)
-	return res, nil
+	})
+	return mergeOutcomes(outcomes, pool, cfg, cfg.ClusterAttraction), nil
 }
 
 // clusterAnswers simulates one worker completing one cluster-based HIT:

@@ -1,0 +1,141 @@
+// Package engine provides the staged execution framework behind
+// crowder.Resolve: a pipeline of named stages connected by channels, with
+// per-stage wall-clock accounting.
+//
+// Each stage runs in its own goroutine and receives work from its
+// predecessor over a buffered channel, so when several states stream
+// through a pipeline (RunAll), stage N processes state k while stage N−1
+// is already working on state k+1 — classic pipeline parallelism. A
+// single-state Run degenerates to sequential execution but keeps the
+// uniform timing and error plumbing.
+//
+// The pipeline is generic over the state type S; crowder threads one
+// resolve-state struct through prune → generate → execute → aggregate.
+package engine
+
+import (
+	"fmt"
+	"time"
+)
+
+// StageStat is the measured wall-clock time a stage spent processing, as
+// reported by Run/RunAll. For RunAll it is cumulative across states.
+type StageStat struct {
+	Name     string
+	Duration time.Duration
+}
+
+// Stage is one step of a pipeline: a named transformation of the state.
+// Run receives the state produced by the previous stage and returns the
+// state handed to the next one.
+type Stage[S any] struct {
+	Name string
+	Run  func(S) (S, error)
+}
+
+// Pipeline chains stages over a state type S.
+type Pipeline[S any] struct {
+	stages []Stage[S]
+}
+
+// New builds a pipeline from the given stages, executed in order.
+func New[S any](stages ...Stage[S]) *Pipeline[S] {
+	return &Pipeline[S]{stages: stages}
+}
+
+// item carries one state through the channel chain. A state whose stage
+// errored keeps flowing (so ordering and stats stay intact) but skips all
+// remaining stages.
+type item[S any] struct {
+	state S
+	err   error
+}
+
+// runStage invokes one stage, converting a panic into an error. Stages
+// execute on pipeline goroutines, so without this a stage panic would
+// bypass any recover() the pipeline's caller installed and kill the
+// process.
+func runStage[S any](st Stage[S], s S) (out S, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return st.Run(s)
+}
+
+// Run sends a single state through the pipeline and returns the final
+// state plus per-stage timings. On stage error the remaining stages are
+// skipped and the error is returned.
+func (p *Pipeline[S]) Run(s S) (S, []StageStat, error) {
+	out, stats, err := p.RunAll([]S{s})
+	if err != nil {
+		var zero S
+		return zero, stats, err
+	}
+	return out[0], stats, nil
+}
+
+// RunAll streams every state through the pipeline, preserving input
+// order in the output. Each stage runs in its own goroutine connected to
+// its neighbours by buffered channels, so distinct states overlap across
+// stages. The returned error is the first one any stage produced (in
+// input order); states that errored carry their zero value in the output
+// slice.
+func (p *Pipeline[S]) RunAll(states []S) ([]S, []StageStat, error) {
+	stats := make([]StageStat, len(p.stages))
+	for i, st := range p.stages {
+		stats[i].Name = st.Name
+	}
+	if len(p.stages) == 0 {
+		out := append([]S(nil), states...)
+		return out, stats, nil
+	}
+
+	// Small buffers decouple neighbouring stages without letting a fast
+	// producer run arbitrarily far ahead of a slow consumer.
+	const stageBuffer = 4
+	in := make(chan item[S], stageBuffer)
+	ch := in
+	for i, st := range p.stages {
+		out := make(chan item[S], stageBuffer)
+		go func(st Stage[S], idx int, in <-chan item[S], out chan<- item[S]) {
+			var elapsed time.Duration
+			for it := range in {
+				if it.err == nil {
+					start := time.Now()
+					next, err := runStage(st, it.state)
+					elapsed += time.Since(start)
+					if err != nil {
+						it.err = fmt.Errorf("%s stage: %w", st.Name, err)
+						var zero S
+						it.state = zero
+					} else {
+						it.state = next
+					}
+				}
+				out <- it
+			}
+			stats[idx].Duration = elapsed // write after in closes; read after out drains
+			close(out)
+		}(st, i, ch, out)
+		ch = out
+	}
+
+	go func() {
+		for _, s := range states {
+			in <- item[S]{state: s}
+		}
+		close(in)
+	}()
+
+	outs := make([]S, 0, len(states))
+	var firstErr error
+	for it := range ch {
+		if it.err != nil && firstErr == nil {
+			firstErr = it.err
+		}
+		outs = append(outs, it.state)
+	}
+	return outs, stats, firstErr
+}

@@ -1,0 +1,147 @@
+package engine
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleState(t *testing.T) {
+	p := New(
+		Stage[int]{Name: "double", Run: func(x int) (int, error) { return 2 * x, nil }},
+		Stage[int]{Name: "inc", Run: func(x int) (int, error) { return x + 1, nil }},
+	)
+	out, stats, err := p.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != 21 {
+		t.Fatalf("out = %d; want 21", out)
+	}
+	if len(stats) != 2 || stats[0].Name != "double" || stats[1].Name != "inc" {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestRunAllPreservesOrder(t *testing.T) {
+	p := New(
+		Stage[int]{Name: "square", Run: func(x int) (int, error) { return x * x, nil }},
+	)
+	in := []int{3, 1, 4, 1, 5, 9, 2, 6}
+	out, _, err := p.RunAll(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d outputs; want %d", len(out), len(in))
+	}
+	for i, x := range in {
+		if out[i] != x*x {
+			t.Fatalf("out[%d] = %d; want %d", i, out[i], x*x)
+		}
+	}
+}
+
+func TestStageErrorSkipsRemaining(t *testing.T) {
+	boom := errors.New("boom")
+	ran := false
+	p := New(
+		Stage[int]{Name: "fail", Run: func(x int) (int, error) {
+			if x == 2 {
+				return 0, boom
+			}
+			return x, nil
+		}},
+		Stage[int]{Name: "after", Run: func(x int) (int, error) {
+			if x == 0 {
+				ran = true // would only see 0 if the failed state leaked through
+			}
+			return x + 100, nil
+		}},
+	)
+	out, _, err := p.RunAll([]int{1, 2, 3})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v; want wrapped boom", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "fail stage") {
+		t.Fatalf("error should name the failing stage: %v", err)
+	}
+	if ran {
+		t.Error("downstream stage ran on an errored state")
+	}
+	// Healthy states still complete.
+	if out[0] != 101 || out[2] != 103 {
+		t.Fatalf("healthy states mangled: %v", out)
+	}
+}
+
+func TestRunErrorReturnsZeroState(t *testing.T) {
+	p := New(
+		Stage[string]{Name: "fail", Run: func(string) (string, error) { return "x", errors.New("no") }},
+	)
+	out, _, err := p.Run("in")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if out != "" {
+		t.Fatalf("errored Run should return the zero state, got %q", out)
+	}
+}
+
+// Stages must overlap: with buffered channels, stage A can finish all
+// items while stage B is still holding the first — if execution were
+// stage-by-stage with a barrier, the signal below would never arrive and
+// the pipeline would deadlock instead of completing.
+func TestStagesOverlap(t *testing.T) {
+	aDone := make(chan struct{})
+	p := New(
+		Stage[int]{Name: "a", Run: func(x int) (int, error) {
+			if x == 3 { // last item: stage A has seen everything
+				close(aDone)
+			}
+			return x, nil
+		}},
+		Stage[int]{Name: "b", Run: func(x int) (int, error) {
+			if x == 0 {
+				<-aDone // block the first item until A has drained its input
+			}
+			return x, nil
+		}},
+	)
+	out, _, err := p.RunAll([]int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 4 {
+		t.Fatalf("got %d outputs", len(out))
+	}
+}
+
+// A stage panic must surface as an error on the caller's goroutine, not
+// kill the process from a pipeline goroutine.
+func TestStagePanicBecomesError(t *testing.T) {
+	p := New(
+		Stage[int]{Name: "boomy", Run: func(x int) (int, error) {
+			var s []int
+			return s[5], nil // index out of range
+		}},
+	)
+	_, _, err := p.Run(1)
+	if err == nil {
+		t.Fatal("stage panic should surface as an error")
+	}
+	if !strings.Contains(err.Error(), "boomy stage") || !strings.Contains(err.Error(), "panic") {
+		t.Fatalf("error should name the stage and the panic: %v", err)
+	}
+}
+
+func TestEmptyPipeline(t *testing.T) {
+	p := New[int]()
+	out, stats, err := p.RunAll([]int{7, 8})
+	if err != nil || len(stats) != 0 {
+		t.Fatalf("empty pipeline: %v, %v", err, stats)
+	}
+	if out[0] != 7 || out[1] != 8 {
+		t.Fatalf("empty pipeline should pass states through: %v", out)
+	}
+}

@@ -1,0 +1,120 @@
+package record
+
+import "sort"
+
+// Interner assigns dense int32 IDs to token strings. Dense IDs let the
+// similarity and join layers replace hash-map token sets with sorted
+// []int32 slices: intersections become linear merges, inverted indexes
+// become flat slices, and the per-token memory drops from a map entry to
+// four bytes. IDs are assigned in first-seen order, starting at 0.
+//
+// An Interner is not safe for concurrent mutation; concurrent read-only
+// use (Lookup, Token, Len) is safe once interning is complete.
+type Interner struct {
+	ids  map[string]int32
+	toks []string
+}
+
+// NewInterner creates an empty interner.
+func NewInterner() *Interner {
+	return &Interner{ids: make(map[string]int32)}
+}
+
+// Intern returns the ID of tok, assigning the next dense ID if unseen.
+func (in *Interner) Intern(tok string) int32 {
+	if id, ok := in.ids[tok]; ok {
+		return id
+	}
+	id := int32(len(in.toks))
+	in.ids[tok] = id
+	in.toks = append(in.toks, tok)
+	return id
+}
+
+// Lookup returns the ID of tok if it has been interned.
+func (in *Interner) Lookup(tok string) (int32, bool) {
+	id, ok := in.ids[tok]
+	return id, ok
+}
+
+// Token returns the string for an interned ID. It panics on out-of-range
+// IDs, which indicates a programming error at the call site.
+func (in *Interner) Token(id int32) string {
+	return in.toks[id]
+}
+
+// Len returns the number of distinct interned tokens; valid IDs are
+// [0, Len).
+func (in *Interner) Len() int { return len(in.toks) }
+
+// IDSet interns every token and returns the deduplicated IDs sorted
+// ascending — the canonical set representation used by the similarity
+// merge-intersection functions.
+func (in *Interner) IDSet(tokens ...string) []int32 {
+	if len(tokens) == 0 {
+		return nil
+	}
+	out := make([]int32, 0, len(tokens))
+	for _, t := range tokens {
+		out = append(out, in.Intern(t))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	// Compact duplicates in place.
+	w := 1
+	for r := 1; r < len(out); r++ {
+		if out[r] != out[r-1] {
+			out[w] = out[r]
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// ensureTokenIDs extends the table's token-ID cache to cover every record,
+// tokenizing each record exactly once over the table's lifetime. The
+// caller must hold t.mu.
+func (t *Table) ensureTokenIDs() {
+	if t.interner == nil {
+		t.interner = NewInterner()
+	}
+	for i := len(t.tokenIDs); i < len(t.Records); i++ {
+		r := &t.Records[i]
+		var toks []string
+		for _, v := range r.Values {
+			toks = append(toks, Tokenize(v)...)
+		}
+		t.tokenIDs = append(t.tokenIDs, t.interner.IDSet(toks...))
+	}
+}
+
+// TokenIDs returns each record's token set as sorted dense IDs, indexed by
+// record ID. The result is cached on the table: every record is tokenized
+// once no matter how many times TokenIDs is called, and appending records
+// later only tokenizes the new ones. Tables are append-only as far as the
+// cache is concerned — mutating an already-tokenized record's Values in
+// place is unsupported and would leave the cache stale. The returned
+// slices must not be mutated. Safe for concurrent callers as long as the
+// table itself is not being mutated concurrently.
+func (t *Table) TokenIDs() [][]int32 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ensureTokenIDs()
+	return t.tokenIDs[:len(t.Records):len(t.Records)]
+}
+
+// Tokens returns the table's token interner, building the token cache
+// first so every record's tokens are present. Valid token IDs are
+// [0, Tokens().Len()).
+func (t *Table) Tokens() *Interner {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ensureTokenIDs()
+	return t.interner
+}
+
+// TokenUniverse returns the number of distinct tokens across the table —
+// the exclusive upper bound on the IDs in TokenIDs. Dense layers (inverted
+// indexes, frequency tables) size their arrays with it.
+func (t *Table) TokenUniverse() int {
+	return t.Tokens().Len()
+}

@@ -1,0 +1,121 @@
+package record
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestInternerDenseIDs(t *testing.T) {
+	in := NewInterner()
+	a := in.Intern("apple")
+	b := in.Intern("ipad")
+	if a != 0 || b != 1 {
+		t.Fatalf("IDs not dense from 0: %d, %d", a, b)
+	}
+	if got := in.Intern("apple"); got != a {
+		t.Errorf("re-interning changed the ID: %d vs %d", got, a)
+	}
+	if in.Len() != 2 {
+		t.Errorf("Len = %d; want 2", in.Len())
+	}
+	if in.Token(a) != "apple" || in.Token(b) != "ipad" {
+		t.Error("Token does not invert Intern")
+	}
+	if id, ok := in.Lookup("ipad"); !ok || id != b {
+		t.Errorf("Lookup(ipad) = %d, %v", id, ok)
+	}
+	if _, ok := in.Lookup("absent"); ok {
+		t.Error("Lookup of an unseen token should fail")
+	}
+}
+
+func TestInternerIDSet(t *testing.T) {
+	in := NewInterner()
+	got := in.IDSet("wifi", "apple", "wifi", "ipad", "apple")
+	if len(got) != 3 {
+		t.Fatalf("IDSet kept %d IDs; want 3 (dedup)", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("IDSet not strictly sorted: %v", got)
+		}
+	}
+	if in.IDSet() != nil {
+		t.Error("empty IDSet should be nil")
+	}
+}
+
+func TestTableTokenIDsCached(t *testing.T) {
+	tab := NewTable("name")
+	tab.Append("iPad Two 16GB WiFi White")
+	tab.Append("iPad 2nd generation 16GB WiFi White")
+
+	ids := tab.TokenIDs()
+	if len(ids) != 2 {
+		t.Fatalf("TokenIDs covers %d records; want 2", len(ids))
+	}
+	again := tab.TokenIDs()
+	for i := range ids {
+		if len(again[i]) != len(ids[i]) {
+			t.Fatal("second call disagrees with first")
+		}
+		// Cached: the same backing arrays are returned, not rebuilt.
+		if len(ids[i]) > 0 && &again[i][0] != &ids[i][0] {
+			t.Fatal("TokenIDs re-tokenized instead of reading the cache")
+		}
+	}
+
+	// The ID sets must agree with the string token sets.
+	in := tab.Tokens()
+	for i := range ids {
+		want := RecordTokens(&tab.Records[i])
+		if len(ids[i]) != want.Len() {
+			t.Fatalf("record %d: %d IDs vs %d tokens", i, len(ids[i]), want.Len())
+		}
+		for _, id := range ids[i] {
+			if !want.Has(in.Token(id)) {
+				t.Fatalf("record %d: ID %d maps to %q, not in token set", i, id, in.Token(id))
+			}
+		}
+	}
+}
+
+func TestTableTokenIDsExtendsAfterAppend(t *testing.T) {
+	tab := NewTable("name")
+	tab.Append("apple ipad")
+	first := tab.TokenIDs()
+	if len(first) != 1 {
+		t.Fatal("expected one record")
+	}
+	tab.Append("apple iphone")
+	second := tab.TokenIDs()
+	if len(second) != 2 {
+		t.Fatalf("cache did not extend: %d records", len(second))
+	}
+	// Previously returned slice is still valid and unchanged.
+	if len(first) != 1 || len(first[0]) != 2 {
+		t.Error("earlier snapshot corrupted by append")
+	}
+	if tab.TokenUniverse() != 3 { // apple, ipad, iphone
+		t.Errorf("TokenUniverse = %d; want 3", tab.TokenUniverse())
+	}
+}
+
+func TestTableTokenIDsConcurrentReaders(t *testing.T) {
+	tab := NewTable("name")
+	for i := 0; i < 50; i++ {
+		tab.Append("apple ipad wifi", "16gb white")
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ids := tab.TokenIDs()
+			if len(ids) != 50 {
+				t.Errorf("TokenIDs covers %d records; want 50", len(ids))
+			}
+		}()
+	}
+	wg.Wait()
+}

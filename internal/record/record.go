@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // ID identifies a record within a Table. IDs are dense, starting at 0.
@@ -50,6 +51,13 @@ type Table struct {
 	// the table has a single source. When non-empty, len(Source) equals
 	// len(Records) and Source[i] is the source index of Records[i].
 	Source []int
+
+	// Token cache (see TokenIDs): every record is tokenized and interned at
+	// most once. mu guards lazy construction so concurrent readers are safe;
+	// mutating the table itself concurrently with reads is not.
+	mu       sync.Mutex
+	interner *Interner
+	tokenIDs [][]int32
 }
 
 // NewTable creates an empty table with the given schema.
@@ -86,6 +94,17 @@ func (t *Table) Get(id ID) *Record {
 		return nil
 	}
 	return &t.Records[id]
+}
+
+// CrossOK reports whether the pair (a, b) is admissible under an optional
+// cross-source-only restriction: always true when the restriction is off
+// or the table is single-source, otherwise true iff the records come from
+// different sources. The join and blocking layers share this predicate.
+func (t *Table) CrossOK(crossOnly bool, a, b ID) bool {
+	if !crossOnly || len(t.Source) == 0 {
+		return true
+	}
+	return t.Source[a] != t.Source[b]
 }
 
 // AttrIndex returns the position of the named attribute in the schema, or

@@ -3,23 +3,51 @@
 // Jaccard, Dice, overlap and cosine set similarities, TF cosine similarity,
 // Levenshtein edit distance (raw and normalized), and q-gram extraction.
 //
+// The set functions operate on the interned representation of the data
+// model (record.Table.TokenIDs): a token set is a strictly ascending
+// []int32 of dense token IDs, and every intersection is a branch-light
+// linear merge over two sorted slices — no hashing on the hot path.
+//
 // All similarity functions return values in [0, 1], are symmetric, and
 // return 1 for identical non-empty inputs.
 package similarity
 
 import (
+	"cmp"
 	"math"
 
 	"github.com/crowder/crowder/internal/record"
 )
 
-// Jaccard returns |a ∩ b| / |a ∪ b|. By convention two empty sets have
-// similarity 1 (they are identical).
-func Jaccard(a, b record.TokenSet) float64 {
+// intersectSorted returns |a ∩ b| for two strictly ascending sorted
+// slices by a linear merge.
+func intersectSorted[E cmp.Ordered](a, b []E) int {
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			n++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return n
+}
+
+// IntersectSize returns |a ∩ b| for two sorted token-ID sets.
+func IntersectSize(a, b []int32) int { return intersectSorted(a, b) }
+
+// jaccardSorted is the Jaccard formula shared by the token-ID and q-gram
+// paths, including the empty-set convention.
+func jaccardSorted[E cmp.Ordered](a, b []E) float64 {
 	if len(a) == 0 && len(b) == 0 {
 		return 1
 	}
-	inter := a.IntersectionSize(b)
+	inter := intersectSorted(a, b)
 	union := len(a) + len(b) - inter
 	if union == 0 {
 		return 1
@@ -27,8 +55,12 @@ func Jaccard(a, b record.TokenSet) float64 {
 	return float64(inter) / float64(union)
 }
 
-// Dice returns 2·|a ∩ b| / (|a| + |b|).
-func Dice(a, b record.TokenSet) float64 {
+// Jaccard returns |a ∩ b| / |a ∪ b| over sorted token-ID sets. By
+// convention two empty sets have similarity 1 (they are identical).
+func Jaccard(a, b []int32) float64 { return jaccardSorted(a, b) }
+
+// Dice returns 2·|a ∩ b| / (|a| + |b|) over sorted token-ID sets.
+func Dice(a, b []int32) float64 {
 	if len(a) == 0 && len(b) == 0 {
 		return 1
 	}
@@ -36,11 +68,12 @@ func Dice(a, b record.TokenSet) float64 {
 	if denom == 0 {
 		return 1
 	}
-	return 2 * float64(a.IntersectionSize(b)) / float64(denom)
+	return 2 * float64(intersectSorted(a, b)) / float64(denom)
 }
 
-// Overlap returns |a ∩ b| / min(|a|, |b|), the overlap coefficient.
-func Overlap(a, b record.TokenSet) float64 {
+// Overlap returns |a ∩ b| / min(|a|, |b|), the overlap coefficient, over
+// sorted token-ID sets.
+func Overlap(a, b []int32) float64 {
 	if len(a) == 0 && len(b) == 0 {
 		return 1
 	}
@@ -51,19 +84,19 @@ func Overlap(a, b record.TokenSet) float64 {
 	if min == 0 {
 		return 0
 	}
-	return float64(a.IntersectionSize(b)) / float64(min)
+	return float64(intersectSorted(a, b)) / float64(min)
 }
 
 // CosineSet returns |a ∩ b| / sqrt(|a|·|b|), the set (binary-vector)
-// cosine similarity.
-func CosineSet(a, b record.TokenSet) float64 {
+// cosine similarity, over sorted token-ID sets.
+func CosineSet(a, b []int32) float64 {
 	if len(a) == 0 && len(b) == 0 {
 		return 1
 	}
 	if len(a) == 0 || len(b) == 0 {
 		return 0
 	}
-	return float64(a.IntersectionSize(b)) / math.Sqrt(float64(len(a))*float64(len(b)))
+	return float64(intersectSorted(a, b)) / math.Sqrt(float64(len(a))*float64(len(b)))
 }
 
 // TF is a term-frequency vector over tokens.
@@ -203,5 +236,7 @@ func QGrams(s string, q int) []string {
 // QGramJaccard returns the Jaccard similarity between the q-gram sets of
 // two strings.
 func QGramJaccard(a, b string, q int) float64 {
-	return Jaccard(record.NewTokenSet(QGrams(a, q)...), record.NewTokenSet(QGrams(b, q)...))
+	ga := record.NewTokenSet(QGrams(a, q)...).Sorted()
+	gb := record.NewTokenSet(QGrams(b, q)...).Sorted()
+	return jaccardSorted(ga, gb)
 }

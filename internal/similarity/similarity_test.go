@@ -8,14 +8,21 @@ import (
 	"github.com/crowder/crowder/internal/record"
 )
 
-func tokset(ts ...string) record.TokenSet { return record.NewTokenSet(ts...) }
+// sets interns two token slices through a shared interner, returning the
+// sorted ID-set representation the set-similarity functions operate on.
+func sets(xs, ys []string) ([]int32, []int32) {
+	in := record.NewInterner()
+	return in.IDSet(xs...), in.IDSet(ys...)
+}
 
 func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
 
 func TestJaccardPaperExample(t *testing.T) {
 	// Section 2.1.1: J(r1, r2) over Product Names.
-	r1 := tokset("ipad", "two", "16gb", "wifi", "white")
-	r2 := tokset("ipad", "2nd", "generation", "16gb", "wifi", "white")
+	r1, r2 := sets(
+		[]string{"ipad", "two", "16gb", "wifi", "white"},
+		[]string{"ipad", "2nd", "generation", "16gb", "wifi", "white"},
+	)
 	got := Jaccard(r1, r2)
 	want := 4.0 / 7.0 // the paper rounds to 0.57
 	if !almostEq(got, want) {
@@ -28,8 +35,10 @@ func TestJaccardPaperExample(t *testing.T) {
 
 func TestJaccardPaperNonMatch(t *testing.T) {
 	// Section 2.1.1: J(r1, r3) = 0.25 < 0.5.
-	r1 := tokset("ipad", "two", "16gb", "wifi", "white")
-	r3 := tokset("iphone", "4th", "generation", "white", "16gb")
+	r1, r3 := sets(
+		[]string{"ipad", "two", "16gb", "wifi", "white"},
+		[]string{"iphone", "4th", "generation", "white", "16gb"},
+	)
 	got := Jaccard(r1, r3)
 	if !almostEq(got, 0.25) {
 		t.Fatalf("J(r1,r3) = %v; want 0.25", got)
@@ -37,53 +46,64 @@ func TestJaccardPaperNonMatch(t *testing.T) {
 }
 
 func TestJaccardEdgeCases(t *testing.T) {
-	if got := Jaccard(tokset(), tokset()); got != 1 {
+	if got := Jaccard(nil, nil); got != 1 {
 		t.Errorf("J(∅,∅) = %v; want 1", got)
 	}
-	if got := Jaccard(tokset("a"), tokset()); got != 0 {
+	a, empty := sets([]string{"a"}, nil)
+	if got := Jaccard(a, empty); got != 0 {
 		t.Errorf("J({a},∅) = %v; want 0", got)
 	}
-	if got := Jaccard(tokset("a", "b"), tokset("a", "b")); got != 1 {
+	x, y := sets([]string{"a", "b"}, []string{"a", "b"})
+	if got := Jaccard(x, y); got != 1 {
 		t.Errorf("J(X,X) = %v; want 1", got)
 	}
 }
 
+func TestIntersectSize(t *testing.T) {
+	a, b := sets([]string{"a", "b", "c", "e"}, []string{"b", "c", "d"})
+	if got := IntersectSize(a, b); got != 2 {
+		t.Errorf("IntersectSize = %d; want 2", got)
+	}
+	if got := IntersectSize(a, nil); got != 0 {
+		t.Errorf("IntersectSize(X,∅) = %d; want 0", got)
+	}
+}
+
 func TestDice(t *testing.T) {
-	a := tokset("a", "b", "c")
-	b := tokset("b", "c", "d")
+	a, b := sets([]string{"a", "b", "c"}, []string{"b", "c", "d"})
 	if got := Dice(a, b); !almostEq(got, 2.0*2/6) {
 		t.Errorf("Dice = %v; want %v", got, 2.0*2/6)
 	}
-	if Dice(tokset(), tokset()) != 1 {
+	if Dice(nil, nil) != 1 {
 		t.Error("Dice(∅,∅) should be 1")
 	}
 }
 
 func TestOverlap(t *testing.T) {
-	a := tokset("a", "b")
-	b := tokset("a", "b", "c", "d")
+	a, b := sets([]string{"a", "b"}, []string{"a", "b", "c", "d"})
 	if got := Overlap(a, b); got != 1 {
 		t.Errorf("Overlap = %v; want 1 (a ⊆ b)", got)
 	}
-	if Overlap(tokset(), tokset("x")) != 0 {
+	empty, x := sets(nil, []string{"x"})
+	if Overlap(empty, x) != 0 {
 		t.Error("Overlap(∅, X) should be 0")
 	}
-	if Overlap(tokset(), tokset()) != 1 {
+	if Overlap(nil, nil) != 1 {
 		t.Error("Overlap(∅, ∅) should be 1")
 	}
 }
 
 func TestCosineSet(t *testing.T) {
-	a := tokset("a", "b")
-	b := tokset("a", "c")
+	a, b := sets([]string{"a", "b"}, []string{"a", "c"})
 	want := 1.0 / math.Sqrt(4)
 	if got := CosineSet(a, b); !almostEq(got, want) {
 		t.Errorf("CosineSet = %v; want %v", got, want)
 	}
-	if CosineSet(tokset(), tokset()) != 1 {
+	if CosineSet(nil, nil) != 1 {
 		t.Error("CosineSet(∅,∅) should be 1")
 	}
-	if CosineSet(tokset("a"), tokset()) != 0 {
+	x, empty := sets([]string{"a"}, nil)
+	if CosineSet(x, empty) != 0 {
 		t.Error("CosineSet(X,∅) should be 0")
 	}
 }
@@ -176,17 +196,16 @@ func TestQGramJaccard(t *testing.T) {
 	if got != 0 {
 		t.Errorf("disjoint q-gram Jaccard = %v; want 0", got)
 	}
-}
-
-// randomSets builds two token sets from quick-generated string slices.
-func randomSets(xs, ys []string) (record.TokenSet, record.TokenSet) {
-	return record.NewTokenSet(xs...), record.NewTokenSet(ys...)
+	// q=0 yields no grams on either side: identical empty sets.
+	if got := QGramJaccard("abc", "xyz", 0); got != 1 {
+		t.Errorf("no-gram Jaccard = %v; want 1", got)
+	}
 }
 
 func TestSetSimilarityProperties(t *testing.T) {
 	type simFn struct {
 		name string
-		fn   func(a, b record.TokenSet) float64
+		fn   func(a, b []int32) float64
 	}
 	fns := []simFn{
 		{"Jaccard", Jaccard},
@@ -198,7 +217,7 @@ func TestSetSimilarityProperties(t *testing.T) {
 		sf := sf
 		t.Run(sf.name, func(t *testing.T) {
 			f := func(xs, ys []string) bool {
-				a, b := randomSets(xs, ys)
+				a, b := sets(xs, ys)
 				v := sf.fn(a, b)
 				// Bounds, symmetry, identity.
 				if v < 0 || v > 1 {
@@ -216,11 +235,24 @@ func TestSetSimilarityProperties(t *testing.T) {
 	}
 }
 
+// Property: the merge intersection agrees with the hash-set intersection
+// that the interned representation replaced.
+func TestIntersectAgreesWithTokenSet(t *testing.T) {
+	f := func(xs, ys []string) bool {
+		a, b := sets(xs, ys)
+		want := record.NewTokenSet(xs...).IntersectionSize(record.NewTokenSet(ys...))
+		return IntersectSize(a, b) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 // Property: Jaccard <= Dice <= Overlap ordering for non-empty sets, and
 // Jaccard <= CosineSet (AM–GM).
 func TestSimilarityOrderingProperty(t *testing.T) {
 	f := func(xs, ys []string) bool {
-		a, b := randomSets(xs, ys)
+		a, b := sets(xs, ys)
 		if len(a) == 0 || len(b) == 0 {
 			return true
 		}
@@ -282,8 +314,10 @@ func TestLevenshteinBoundsProperty(t *testing.T) {
 }
 
 func BenchmarkJaccard(b *testing.B) {
-	x := tokset("apple", "ipad2", "16gb", "wifi", "white", "tablet", "2011")
-	y := tokset("ipad", "2nd", "generation", "16gb", "wifi", "white")
+	x, y := sets(
+		[]string{"apple", "ipad2", "16gb", "wifi", "white", "tablet", "2011"},
+		[]string{"ipad", "2nd", "generation", "16gb", "wifi", "white"},
+	)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		Jaccard(x, y)

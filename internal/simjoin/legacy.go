@@ -1,0 +1,116 @@
+package simjoin
+
+import (
+	"sort"
+
+	"github.com/crowder/crowder/internal/record"
+)
+
+// jaccardTokenSets is the hash-set Jaccard the legacy path scores with,
+// kept here so LegacyJoin remains a faithful copy of the original code.
+func jaccardTokenSets(a, b record.TokenSet) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	inter := a.IntersectionSize(b)
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// LegacyJoin is the original single-threaded implementation of Join: token
+// sets as map[string]struct{} built fresh on every call, a string-keyed
+// inverted index, and a hash-set PairSet for deduplication. It is retained
+// as the baseline the cmd/bench runner measures speedups against, and as a
+// second differential-testing oracle for Join. It shares prefixLen and
+// passesLengthFilter with Join, so it carries the same floating-point
+// correctness fixes; the data structures and costs are the seed's. Unlike
+// Join it predates the empty-set convention: at tau > 0 it omits pairs of
+// token-less records, so the oracle relationship holds on tables where
+// every record has at least one token. New code should call Join.
+func LegacyJoin(t *record.Table, opts Options) []ScoredPair {
+	tokens := record.TableTokens(t)
+	n := t.Len()
+
+	// Global token frequencies for the prefix ordering: rare tokens first
+	// minimizes index collisions.
+	freq := make(map[string]int)
+	for _, ts := range tokens {
+		for tok := range ts {
+			freq[tok]++
+		}
+	}
+	sorted := make([][]string, n)
+	for i, ts := range tokens {
+		s := ts.Sorted()
+		sort.SliceStable(s, func(a, b int) bool {
+			fa, fb := freq[s[a]], freq[s[b]]
+			if fa != fb {
+				return fa < fb
+			}
+			return s[a] < s[b]
+		})
+		sorted[i] = s
+	}
+
+	tau := opts.Threshold
+	// Inverted index: token → record IDs that indexed it.
+	index := make(map[string][]record.ID)
+	seen := make(record.PairSet)
+	var out []ScoredPair
+
+	crossOK := func(a, b record.ID) bool {
+		if !opts.CrossSourceOnly || len(t.Source) == 0 {
+			return true
+		}
+		return t.Source[a] != t.Source[b]
+	}
+
+	for i := 0; i < n; i++ {
+		toks := sorted[i]
+		plen := prefixLen(len(toks), tau)
+		for p := 0; p < plen && p < len(toks); p++ {
+			for _, j := range index[toks[p]] {
+				pr := record.MakePair(record.ID(i), j)
+				if _, dup := seen[pr]; dup {
+					continue
+				}
+				seen[pr] = struct{}{}
+				if !crossOK(pr.A, pr.B) {
+					continue
+				}
+				// Length filter: Jaccard ≥ τ requires τ·|x| ≤ |y| ≤ |x|/τ.
+				if !passesLengthFilter(len(tokens[pr.A]), len(tokens[pr.B]), tau) {
+					continue
+				}
+				sim := jaccardTokenSets(tokens[pr.A], tokens[pr.B])
+				if sim >= tau {
+					out = append(out, ScoredPair{Pair: pr, Likelihood: sim})
+				}
+			}
+			index[toks[p]] = append(index[toks[p]], record.ID(i))
+		}
+	}
+
+	if tau == 0 {
+		// Threshold 0 means "all pairs" (Table 2's last row); token-disjoint
+		// pairs have likelihood 0 and were never candidates above.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				pr := record.Pair{A: record.ID(i), B: record.ID(j)}
+				if _, dup := seen[pr]; dup {
+					continue
+				}
+				if !crossOK(pr.A, pr.B) {
+					continue
+				}
+				out = append(out, ScoredPair{Pair: pr, Likelihood: jaccardTokenSets(tokens[i], tokens[j])})
+			}
+		}
+	}
+
+	SortScored(out)
+	return out
+}

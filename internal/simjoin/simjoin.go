@@ -6,13 +6,21 @@
 // Rather than comparing all O(n²) pairs, Join uses prefix filtering with an
 // inverted index plus a length filter — the indexing the paper's footnote 1
 // alludes to ("we can adopt some indexing techniques ... to avoid all-pairs
-// comparison"). BruteForce provides the reference all-pairs implementation
-// used for testing equivalence and for self-joins of tiny tables.
+// comparison"). The implementation runs over the table's interned token IDs
+// (record.Table.TokenIDs): the inverted index is a flat slice keyed by
+// dense token ID, similarities are linear merges over sorted []int32, and
+// the probe phase is sharded across Options.Parallelism workers with
+// deterministic merged output. BruteForce provides the reference all-pairs
+// implementation used for testing equivalence and for self-joins of tiny
+// tables; LegacyJoin preserves the original single-threaded map-of-strings
+// implementation as a benchmark baseline and differential-testing oracle.
 package simjoin
 
 import (
+	"math"
 	"sort"
 
+	"github.com/crowder/crowder/internal/engine"
 	"github.com/crowder/crowder/internal/record"
 	"github.com/crowder/crowder/internal/similarity"
 )
@@ -46,100 +54,124 @@ type Options struct {
 	// different sources (Table.Source), matching the Product dataset where
 	// only abt×buy pairs are candidates (1081 × 1092 pairs, Section 7.1).
 	CrossSourceOnly bool
+	// Parallelism is the number of worker goroutines the probe phase is
+	// sharded across. 0 (the default) means GOMAXPROCS. The output is
+	// bit-identical at every parallelism level: workers partition the
+	// probing records, and the merged result is canonically sorted.
+	Parallelism int
+}
+
+func (o Options) workers(n int) int {
+	return engine.WorkerCount(o.Parallelism, n)
+}
+
+func (o Options) crossOK(t *record.Table, a, b record.ID) bool {
+	return t.CrossOK(o.CrossSourceOnly, a, b)
 }
 
 // Join returns all pairs of distinct records in t whose Jaccard likelihood
 // is at least opts.Threshold, sorted by likelihood descending. It uses
 // prefix filtering: tokens are ordered by ascending global frequency, each
 // record indexes only its first ⌊(1−τ)·|x|⌋+1 tokens, and candidates are
-// generated from index collisions. With τ = 0 this degenerates to indexing
-// every token, which still only compares records sharing at least one
-// token; pairs of records with disjoint token sets (Jaccard 0) are then
-// added in a final sweep only if the threshold is exactly 0.
+// generated from index collisions, then confirmed with a length filter and
+// an exact merge-intersection. Records with empty token sets pair with each
+// other at likelihood 1 (the empty-set convention), keeping Join ≡
+// BruteForce on every input. With τ = 0 the prefix degenerates to every
+// token, so Join switches to a sharded all-pairs scan instead.
 func Join(t *record.Table, opts Options) []ScoredPair {
-	tokens := record.TableTokens(t)
 	n := t.Len()
-
-	// Global token frequencies for the prefix ordering: rare tokens first
-	// minimizes index collisions.
-	freq := make(map[string]int)
-	for _, ts := range tokens {
-		for tok := range ts {
-			freq[tok]++
-		}
+	if n == 0 {
+		return nil
 	}
-	sorted := make([][]string, n)
-	for i, ts := range tokens {
-		s := ts.Sorted()
-		sort.SliceStable(s, func(a, b int) bool {
-			fa, fb := freq[s[a]], freq[s[b]]
-			if fa != fb {
-				return fa < fb
-			}
-			return s[a] < s[b]
-		})
-		sorted[i] = s
-	}
-
+	ids := t.TokenIDs()
 	tau := opts.Threshold
-	// Inverted index: token → record IDs that indexed it.
-	index := make(map[string][]record.ID)
-	seen := make(record.PairSet)
-	var out []ScoredPair
-
-	crossOK := func(a, b record.ID) bool {
-		if !opts.CrossSourceOnly || len(t.Source) == 0 {
-			return true
-		}
-		return t.Source[a] != t.Source[b]
+	if tau <= 0 {
+		return allPairs(t, ids, opts)
 	}
 
+	universe := t.TokenUniverse()
+	freq := make([]int32, universe)
+	for _, ts := range ids {
+		for _, id := range ts {
+			freq[id]++
+		}
+	}
+
+	// Per-record prefix: tokens ordered by (global frequency asc, ID asc)
+	// so rare tokens come first and index collisions stay small.
+	prefs := make([][]int32, n)
+	for i, ts := range ids {
+		p := append([]int32(nil), ts...)
+		sort.Slice(p, func(a, b int) bool {
+			if freq[p[a]] != freq[p[b]] {
+				return freq[p[a]] < freq[p[b]]
+			}
+			return p[a] < p[b]
+		})
+		prefs[i] = p[:prefixLen(len(p), tau)]
+	}
+
+	// Inverted index over prefix tokens; postings ascend by record ID, so
+	// a probe of record i stops at the first posting ≥ i.
+	index := make([][]int32, universe)
 	for i := 0; i < n; i++ {
-		toks := sorted[i]
-		plen := prefixLen(len(toks), tau)
-		for p := 0; p < plen && p < len(toks); p++ {
-			for _, j := range index[toks[p]] {
-				pr := record.MakePair(record.ID(i), j)
-				if _, dup := seen[pr]; dup {
-					continue
-				}
-				seen[pr] = struct{}{}
-				if !crossOK(pr.A, pr.B) {
-					continue
-				}
-				// Length filter: Jaccard ≥ τ requires τ·|x| ≤ |y| ≤ |x|/τ.
-				la, lb := len(tokens[pr.A]), len(tokens[pr.B])
-				if tau > 0 {
-					lo, hi := la, lb
-					if lo > hi {
-						lo, hi = hi, lo
+		for _, tok := range prefs[i] {
+			index[tok] = append(index[tok], int32(i))
+		}
+	}
+
+	out := shardedScan(n, opts.workers(n), func() func(i int, out *[]ScoredPair) {
+		// stamp[j] = latest probe i that already considered pair (j, i),
+		// deduplicating multi-token collisions without a hash set.
+		stamp := make([]int32, n)
+		for i := range stamp {
+			stamp[i] = -1
+		}
+		return func(i int, out *[]ScoredPair) {
+			li := len(ids[i])
+			for _, tok := range prefs[i] {
+				for _, j32 := range index[tok] {
+					j := int(j32)
+					if j >= i {
+						break
 					}
-					if float64(lo) < tau*float64(hi) {
+					if stamp[j] == int32(i) {
 						continue
 					}
-				}
-				sim := similarity.Jaccard(tokens[pr.A], tokens[pr.B])
-				if sim >= tau {
-					out = append(out, ScoredPair{Pair: pr, Likelihood: sim})
+					stamp[j] = int32(i)
+					if !opts.crossOK(t, record.ID(j), record.ID(i)) {
+						continue
+					}
+					if !passesLengthFilter(li, len(ids[j]), tau) {
+						continue
+					}
+					sim := similarity.Jaccard(ids[i], ids[j])
+					if sim >= tau {
+						*out = append(*out, ScoredPair{
+							Pair:       record.Pair{A: record.ID(j), B: record.ID(i)},
+							Likelihood: sim,
+						})
+					}
 				}
 			}
-			index[toks[p]] = append(index[toks[p]], record.ID(i))
 		}
-	}
+	})
 
-	if tau == 0 {
-		// Threshold 0 means "all pairs" (Table 2's last row); token-disjoint
-		// pairs have likelihood 0 and were never candidates above.
-		for i := 0; i < n; i++ {
-			for j := i + 1; j < n; j++ {
-				pr := record.Pair{A: record.ID(i), B: record.ID(j)}
-				if _, dup := seen[pr]; dup {
-					continue
+	// Token-less records never collide in the index, but the empty-set
+	// convention gives them similarity 1 with each other.
+	if tau <= 1 {
+		var empties []int
+		for i, ts := range ids {
+			if len(ts) == 0 {
+				empties = append(empties, i)
+			}
+		}
+		for x := 0; x < len(empties); x++ {
+			for y := x + 1; y < len(empties); y++ {
+				a, b := record.ID(empties[x]), record.ID(empties[y])
+				if opts.crossOK(t, a, b) {
+					out = append(out, ScoredPair{Pair: record.Pair{A: a, B: b}, Likelihood: 1})
 				}
-				if !crossOK(pr.A, pr.B) {
-					continue
-				}
-				out = append(out, ScoredPair{Pair: pr, Likelihood: similarity.Jaccard(tokens[i], tokens[j])})
 			}
 		}
 	}
@@ -148,31 +180,107 @@ func Join(t *record.Table, opts Options) []ScoredPair {
 	return out
 }
 
+// shardedScan fans the probe-record loop out across workers: each worker
+// builds its probe once (holding any per-worker scratch state, e.g. the
+// dedup stamp array), scans a strided partition of [0, n), and the shard
+// outputs are concatenated. The caller canonically sorts the merged
+// result, so the output is independent of the worker count.
+func shardedScan(n, workers int, newProbe func() func(i int, out *[]ScoredPair)) []ScoredPair {
+	shards := make([][]ScoredPair, workers)
+	engine.Workers(workers, func(w int) {
+		probe := newProbe()
+		var out []ScoredPair
+		for i := w; i < n; i += workers {
+			probe(i, &out)
+		}
+		shards[w] = out
+	})
+	var out []ScoredPair
+	for _, s := range shards {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// allPairs scores every admissible pair, sharded across workers; at
+// threshold ≤ 0 every pair survives, so prefix filtering buys nothing.
+func allPairs(t *record.Table, ids [][]int32, opts Options) []ScoredPair {
+	n := t.Len()
+	out := shardedScan(n, opts.workers(n), func() func(i int, out *[]ScoredPair) {
+		return func(i int, out *[]ScoredPair) {
+			for j := 0; j < i; j++ {
+				if !opts.crossOK(t, record.ID(j), record.ID(i)) {
+					continue
+				}
+				*out = append(*out, ScoredPair{
+					Pair:       record.Pair{A: record.ID(j), B: record.ID(i)},
+					Likelihood: similarity.Jaccard(ids[i], ids[j]),
+				})
+			}
+		}
+	})
+	SortScored(out)
+	return out
+}
+
 // prefixLen returns the number of tokens a record of the given size must
 // index so that any pair with Jaccard ≥ tau shares an indexed token:
-// ⌊(1−τ)·len⌋ + 1 (standard prefix-filtering bound).
+// len − ⌈τ·len⌉ + 1 (standard prefix-filtering bound). The ceiling is
+// biased downward by an epsilon so floating-point noise can only lengthen
+// the prefix, never shorten it: the seed computed ⌊(1−τ)·len⌋ + 1
+// directly, and e.g. 5·(1−0.8) evaluates to 0.99999…, truncating the
+// prefix one short and silently dropping pairs at exactly the threshold.
+// Unsatisfiable thresholds (τ > 1) yield 0: nothing needs indexing
+// because nothing can match.
 func prefixLen(length int, tau float64) int {
 	if length == 0 {
 		return 0
 	}
-	p := int(float64(length)*(1-tau)) + 1
+	if tau <= 0 {
+		return length
+	}
+	ceil := int(math.Ceil(tau*float64(length) - 1e-9))
+	if ceil < 0 {
+		ceil = 0
+	}
+	p := length - ceil + 1
 	if p > length {
 		p = length
 	}
+	if p < 0 {
+		p = 0
+	}
 	return p
+}
+
+// passesLengthFilter reports whether a pair with token-set sizes la, lb
+// can reach Jaccard ≥ tau: τ·|x| ≤ |y| ≤ |x|/τ. The epsilon keeps
+// floating-point noise in τ·hi from pruning pairs at exactly the bound.
+func passesLengthFilter(la, lb int, tau float64) bool {
+	if tau <= 0 {
+		return true
+	}
+	lo, hi := la, lb
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return float64(lo)+1e-9 >= tau*float64(hi)
 }
 
 // ScoreCandidates computes the Jaccard likelihood of each candidate pair
 // (e.g. from a blocking scheme) and keeps those at or above the threshold,
 // sorted by likelihood descending. Combined with a complete blocking
-// scheme this is equivalent to Join; with a lossy scheme (capped blocks,
-// sorted neighborhood) it trades a little recall for scale.
+// scheme this is equivalent to Join on tables where every record has at
+// least one token (blocking can never propose the token-less pairs that
+// Join scores at likelihood 1 under the empty-set convention); with a
+// lossy scheme (capped blocks, sorted neighborhood) it trades a little
+// recall for scale.
 func ScoreCandidates(t *record.Table, candidates []record.Pair, threshold float64) []ScoredPair {
-	tokens := record.TableTokens(t)
+	ids := t.TokenIDs()
 	var out []ScoredPair
 	for _, p := range candidates {
 		cp := record.MakePair(p.A, p.B)
-		sim := similarity.Jaccard(tokens[cp.A], tokens[cp.B])
+		sim := similarity.Jaccard(ids[cp.A], ids[cp.B])
 		if sim >= threshold {
 			out = append(out, ScoredPair{Pair: cp, Likelihood: sim})
 		}
@@ -183,17 +291,18 @@ func ScoreCandidates(t *record.Table, candidates []record.Pair, threshold float6
 
 // BruteForce computes the join by comparing every pair of records,
 // respecting the same options. It is the testing oracle for Join and is
-// also convenient for tiny tables.
+// also convenient for tiny tables. It is deliberately sequential and
+// straightforward — its value is being obviously correct.
 func BruteForce(t *record.Table, opts Options) []ScoredPair {
-	tokens := record.TableTokens(t)
+	ids := t.TokenIDs()
 	n := t.Len()
 	var out []ScoredPair
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			if opts.CrossSourceOnly && len(t.Source) > 0 && t.Source[i] == t.Source[j] {
+			if !opts.crossOK(t, record.ID(i), record.ID(j)) {
 				continue
 			}
-			sim := similarity.Jaccard(tokens[i], tokens[j])
+			sim := similarity.Jaccard(ids[i], ids[j])
 			if sim >= opts.Threshold {
 				out = append(out, ScoredPair{
 					Pair:       record.Pair{A: record.ID(i), B: record.ID(j)},

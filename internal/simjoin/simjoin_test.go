@@ -3,9 +3,12 @@ package simjoin
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 	"testing/quick"
+	"time"
 
+	"github.com/crowder/crowder/internal/dataset"
 	"github.com/crowder/crowder/internal/record"
 )
 
@@ -209,6 +212,144 @@ func TestJoinMonotonicityProperty(t *testing.T) {
 	}
 }
 
+// equalScored fails the test unless two scored slices are identical.
+func equalScored(t *testing.T, label string, got, want []ScoredPair) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d pairs vs %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: mismatch at %d: %v vs %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// Acceptance: parallel Join is deterministic and equal to BruteForce on
+// the Restaurant and Product generators at thresholds {0, 0.3, 0.5, 0.8},
+// at parallelism 1 and 8. Run with -race to catch sharding races.
+func TestJoinParallelEquivalenceDatasets(t *testing.T) {
+	cases := []struct {
+		name  string
+		table *record.Table
+		cross bool
+	}{
+		{"Restaurant", dataset.RestaurantN(1, 200, 30).Table, false},
+		{"Product", dataset.ProductN(1, 110, 110, 40).Table, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			for _, tau := range []float64{0, 0.3, 0.5, 0.8} {
+				opts := Options{Threshold: tau, CrossSourceOnly: c.cross}
+				want := BruteForce(c.table, opts)
+				for _, par := range []int{1, 2, 8} {
+					opts.Parallelism = par
+					got := Join(c.table, opts)
+					equalScored(t, fmt.Sprintf("tau=%v par=%d", tau, par), got, want)
+				}
+			}
+		})
+	}
+}
+
+// The retained legacy implementation must agree with the interned one —
+// it is only useful as a baseline if it computes the same join.
+func TestJoinMatchesLegacy(t *testing.T) {
+	tab := dataset.RestaurantN(7, 150, 25).Table
+	for _, tau := range []float64{0, 0.3, 0.6} {
+		got := Join(tab, Options{Threshold: tau})
+		want := LegacyJoin(tab, Options{Threshold: tau})
+		equalScored(t, fmt.Sprintf("tau=%v", tau), got, want)
+	}
+}
+
+// Records with empty token sets follow the empty-set convention
+// (similarity 1 with each other) on both the indexed and brute-force
+// paths.
+func TestJoinEmptyRecords(t *testing.T) {
+	tab := record.NewTable("name")
+	tab.Append("apple ipad")
+	tab.Append("") // no tokens
+	tab.Append("~~ ~~")
+	tab.Append("apple ipad wifi")
+	for _, tau := range []float64{0, 0.4, 1} {
+		got := Join(tab, Options{Threshold: tau})
+		want := BruteForce(tab, Options{Threshold: tau})
+		equalScored(t, fmt.Sprintf("tau=%v", tau), got, want)
+	}
+	got := Join(tab, Options{Threshold: 0.5})
+	found := false
+	for _, sp := range got {
+		if sp.Pair == record.MakePair(1, 2) {
+			found = true
+			if sp.Likelihood != 1 {
+				t.Fatalf("empty-empty likelihood = %v; want 1", sp.Likelihood)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("empty-record pair missing from join output")
+	}
+}
+
+// Regression: the seed computed the prefix length as ⌊(1−τ)·len⌋+1 in
+// floating point, where 5·(1−0.8) evaluates to 0.99999… and truncates the
+// prefix one short — silently dropping pairs whose Jaccard is exactly the
+// threshold (here J = 4/5 = τ = 0.8 with token-set sizes 4 and 5).
+func TestJoinPrefixLenFloatBoundary(t *testing.T) {
+	tab := record.NewTable("name")
+	tab.Append("a b c d")   // 4 tokens
+	tab.Append("a b c d e") // 5 tokens, J = 4/5 with the first
+	tab.Append("q r s t u v w")
+	got := Join(tab, Options{Threshold: 0.8})
+	want := BruteForce(tab, Options{Threshold: 0.8})
+	equalScored(t, "tau=0.8 boundary", got, want)
+	if len(got) != 1 || got[0].Pair != record.MakePair(0, 1) {
+		t.Fatalf("boundary pair missing: %v", got)
+	}
+	if p := prefixLen(5, 0.8); p != 2 {
+		t.Fatalf("prefixLen(5, 0.8) = %d; want 2", p)
+	}
+	if !passesLengthFilter(4, 5, 0.8) {
+		t.Fatal("length filter pruned the exact-threshold pair")
+	}
+}
+
+// Thresholds above 1 are unsatisfiable for non-empty records; they must
+// return the same (near-empty) result as BruteForce, not panic on a
+// negative prefix length.
+func TestJoinThresholdAboveOne(t *testing.T) {
+	tab := paperTable()
+	got := Join(tab, Options{Threshold: 1.5})
+	want := BruteForce(tab, Options{Threshold: 1.5})
+	equalScored(t, "tau=1.5", got, want)
+	if len(got) != 0 {
+		t.Fatalf("tau=1.5 returned %d pairs; want none", len(got))
+	}
+	if p := prefixLen(4, 1.5); p != 0 {
+		t.Fatalf("prefixLen(4, 1.5) = %d; want 0", p)
+	}
+}
+
+func TestJoinParallelismDoesNotLeakGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	tab := randomTable(3, 100)
+	for i := 0; i < 5; i++ {
+		Join(tab, Options{Threshold: 0.3, Parallelism: 8})
+	}
+	// Workers signal completion from a defer, so a few may still be
+	// unwinding when Join returns; poll briefly before declaring a leak.
+	deadline := time.Now().Add(2 * time.Second)
+	after := runtime.NumGoroutine()
+	for after > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+		after = runtime.NumGoroutine()
+	}
+	if after > before+2 {
+		t.Errorf("goroutines grew from %d to %d", before, after)
+	}
+}
+
 func BenchmarkJoinPrefixFiltered(b *testing.B) {
 	tab := randomTable(42, 500)
 	b.ReportAllocs()
@@ -224,6 +365,41 @@ func BenchmarkJoinBruteForce(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		BruteForce(tab, Options{Threshold: 0.4})
+	}
+}
+
+// BenchmarkJoinLegacySeed measures the seed repo's original map-of-strings
+// implementation — the baseline BENCH_baseline.json records speedups
+// against.
+func BenchmarkJoinLegacySeed(b *testing.B) {
+	tab := randomTable(42, 500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LegacyJoin(tab, Options{Threshold: 0.4})
+	}
+}
+
+func BenchmarkJoinParallel(b *testing.B) {
+	tab := randomTable(42, 500)
+	tab.TokenIDs() // warm the cache outside the timing loop
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Join(tab, Options{Threshold: 0.4})
+	}
+}
+
+func BenchmarkJoinRestaurantScales(b *testing.B) {
+	for _, n := range []int{500, 1000, 2000} {
+		tab := dataset.RestaurantN(1, n, n/8).Table
+		tab.TokenIDs()
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Join(tab, Options{Threshold: 0.3})
+			}
+		})
 	}
 }
 
