@@ -6,6 +6,15 @@
 //
 //	go run ./cmd/bench                 # prints JSON to stdout
 //	go run ./cmd/bench -o BENCH_baseline.json
+//
+// With -delta it instead benchmarks the incremental resolver: small
+// record batches appended to a large already-resolved table, comparing
+// each ResolveDelta against a from-scratch Resolve of the union. The run
+// fails (exit 1) unless the delta path is at least -min-speedup× faster,
+// produces bit-identical matches, and re-issues zero HITs for
+// already-judged pairs.
+//
+//	go run ./cmd/bench -delta -o BENCH_incremental.json
 package main
 
 import (
@@ -16,6 +25,7 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	crowder "github.com/crowder/crowder"
 	"github.com/crowder/crowder/internal/dataset"
@@ -52,10 +62,188 @@ func measure(name string, f func(b *testing.B)) Benchmark {
 	}
 }
 
+// DeltaReport is the file layout of BENCH_incremental.json.
+type DeltaReport struct {
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	GoMaxProcs int    `json:"go_max_procs"`
+
+	BaseRecords int     `json:"base_records"`
+	BatchSize   int     `json:"batch_size"`
+	Batches     int     `json:"batches"`
+	Threshold   float64 `json:"threshold"`
+
+	// FullResolveNs is a from-scratch Resolve of the final union table.
+	FullResolveNs int64 `json:"full_resolve_ns"`
+	// DeltaResolveNs lists each 100-record ResolveDelta's wall time.
+	DeltaResolveNs     []int64 `json:"delta_resolve_ns"`
+	DeltaResolveNsMean int64   `json:"delta_resolve_ns_mean"`
+	// Speedup is FullResolveNs / DeltaResolveNsMean.
+	Speedup float64 `json:"speedup"`
+
+	// MatchesIdentical reports whether the final incremental Matches are
+	// bit-identical to the from-scratch union resolve.
+	MatchesIdentical bool `json:"matches_identical"`
+	// ReissuedHITs counts delta HITs beyond what the genuinely new
+	// candidate pairs required — zero means cached verdicts fully
+	// shielded already-judged pairs from the crowd.
+	ReissuedHITs int `json:"reissued_hits"`
+
+	SessionHITs          int   `json:"session_hits"`
+	FullHITs             int   `json:"full_hits"`
+	NewCandidatesByBatch []int `json:"new_candidates_by_batch"`
+	JudgedPairs          int   `json:"judged_pairs"`
+}
+
+// runDelta benchmarks the incremental resolver and enforces its
+// acceptance criteria, returning the report and whether they held.
+func runDelta(base, batch, batches int, minSpeedup float64) (*DeltaReport, bool) {
+	if base < 1 || batch < 1 || batches < 1 {
+		log.Fatalf("delta mode needs -base, -batch and -batches >= 1 (got %d, %d, %d)", base, batch, batches)
+	}
+	const tau = 0.5
+	total := base + batch*batches
+	d := dataset.RestaurantN(3, total, total/10)
+	rows := make([][]string, d.Table.Len())
+	for i := range d.Table.Records {
+		rows[i] = d.Table.Records[i].Values
+	}
+	var oracle []crowder.Pair
+	for _, p := range d.Matches.Slice() {
+		oracle = append(oracle, crowder.Pair{A: int(p.A), B: int(p.B)})
+	}
+	opts := crowder.Options{
+		Threshold:   tau,
+		HITType:     crowder.PairHITs,
+		ClusterSize: 10,
+		Oracle:      oracle,
+		Seed:        1,
+	}
+
+	rep := &DeltaReport{
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+
+		BaseRecords: base,
+		BatchSize:   batch,
+		Batches:     batches,
+		Threshold:   tau,
+	}
+
+	// Incremental session: resolve the base table once (untimed — that is
+	// the long-lived service's steady state), then time each delta batch.
+	rv, err := crowder.NewResolver(crowder.NewTable(d.Table.Schema...), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rv.AppendBatch(rows[:base]...)
+	baseRes, err := rv.ResolveDelta()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep.SessionHITs = baseRes.HITs
+
+	var last *crowder.Result
+	var totalDelta int64
+	for b := 0; b < batches; b++ {
+		lo := base + b*batch
+		rv.AppendBatch(rows[lo : lo+batch]...)
+		start := time.Now()
+		last, err = rv.ResolveDelta()
+		if err != nil {
+			log.Fatal(err)
+		}
+		ns := time.Since(start).Nanoseconds()
+		rep.DeltaResolveNs = append(rep.DeltaResolveNs, ns)
+		totalDelta += ns
+		rep.SessionHITs += last.HITs
+		rep.NewCandidatesByBatch = append(rep.NewCandidatesByBatch, last.NewCandidates)
+		// Pair-based HITs pack ClusterSize new pairs per task: any HIT
+		// beyond ⌈new/k⌉ would mean an already-judged pair went back to
+		// the crowd.
+		need := (last.NewCandidates + opts.ClusterSize - 1) / opts.ClusterSize
+		rep.ReissuedHITs += last.HITs - need
+	}
+	rep.DeltaResolveNsMean = totalDelta / int64(batches)
+	rep.JudgedPairs = rv.JudgedPairs()
+
+	// From-scratch baseline over the same final union table.
+	union := crowder.NewTable(d.Table.Schema...)
+	for _, row := range rows {
+		union.Append(row...)
+	}
+	start := time.Now()
+	full, err := crowder.Resolve(union, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep.FullResolveNs = time.Since(start).Nanoseconds()
+	rep.FullHITs = full.HITs
+	rep.Speedup = float64(rep.FullResolveNs) / float64(rep.DeltaResolveNsMean)
+
+	rep.MatchesIdentical = len(full.Matches) == len(last.Matches)
+	if rep.MatchesIdentical {
+		for i := range full.Matches {
+			if full.Matches[i] != last.Matches[i] {
+				rep.MatchesIdentical = false
+				break
+			}
+		}
+	}
+
+	ok := true
+	if !rep.MatchesIdentical {
+		fmt.Fprintln(os.Stderr, "FAIL: incremental matches differ from the from-scratch union resolve")
+		ok = false
+	}
+	if rep.ReissuedHITs != 0 {
+		fmt.Fprintf(os.Stderr, "FAIL: %d HITs re-issued for already-judged pairs\n", rep.ReissuedHITs)
+		ok = false
+	}
+	if rep.Speedup < minSpeedup {
+		fmt.Fprintf(os.Stderr, "FAIL: delta speedup %.2fx below required %.2fx\n", rep.Speedup, minSpeedup)
+		ok = false
+	}
+	return rep, ok
+}
+
+func writeJSON(out string, v any, summary string) {
+	enc, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if out == "" {
+		fmt.Print(string(enc))
+		return
+	}
+	if err := os.WriteFile(out, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(summary)
+}
+
 func main() {
 	out := flag.String("o", "", "write JSON to this file instead of stdout")
 	n := flag.Int("n", 1000, "records in the benchmark table")
+	delta := flag.Bool("delta", false, "benchmark the incremental resolver instead of the batch baseline")
+	baseN := flag.Int("base", 10000, "delta mode: records resolved before the timed deltas")
+	batchN := flag.Int("batch", 100, "delta mode: records per delta batch")
+	batches := flag.Int("batches", 5, "delta mode: number of timed delta batches")
+	minSpeedup := flag.Float64("min-speedup", 1, "delta mode: fail unless delta resolve is at least this many times faster than from-scratch")
 	flag.Parse()
+
+	if *delta {
+		rep, ok := runDelta(*baseN, *batchN, *batches, *minSpeedup)
+		writeJSON(*out, rep, fmt.Sprintf(
+			"wrote %s (delta resolve %.2fx faster than from-scratch; matches identical: %v; reissued HITs: %d)",
+			*out, rep.Speedup, rep.MatchesIdentical, rep.ReissuedHITs))
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
 
 	d := dataset.RestaurantN(1, *n, *n/8)
 	tab := d.Table
@@ -113,18 +301,6 @@ func main() {
 		}),
 	)
 
-	enc, err := json.MarshalIndent(base, "", "  ")
-	if err != nil {
-		log.Fatal(err)
-	}
-	enc = append(enc, '\n')
-	if *out == "" {
-		fmt.Print(string(enc))
-		return
-	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("wrote %s (simjoin speedup vs seed: seq %.2fx, parallel %.2fx at GOMAXPROCS=%d)\n",
-		*out, seq.SpeedupVsSeed, par.SpeedupVsSeed, base.GoMaxProcs)
+	writeJSON(*out, base, fmt.Sprintf("wrote %s (simjoin speedup vs seed: seq %.2fx, parallel %.2fx at GOMAXPROCS=%d)",
+		*out, seq.SpeedupVsSeed, par.SpeedupVsSeed, base.GoMaxProcs))
 }

@@ -19,15 +19,22 @@
 //     combined with the Dawid–Skene EM algorithm into ranked match
 //     decisions.
 //
-// Internally Resolve runs as a staged engine (internal/engine): four named
-// stages — prune (the machine pass), generate (HIT batching), execute
-// (simulated crowd) and aggregate (Dawid–Skene EM) — connected by
+// Internally every resolution runs as a staged engine (internal/engine):
+// four named stages — prune (the machine pass), generate (HIT batching),
+// execute (simulated crowd) and aggregate (Dawid–Skene EM) — connected by
 // channels, with per-stage wall-clock timings surfaced on Result.Stages.
 // The machine pass operates on interned token IDs cached on the table and
 // shards its prefix-filtered join across Options.Parallelism goroutines;
-// the crowd stage executes HITs concurrently with a deterministic per-HIT
-// RNG stream. Results are bit-identical at every parallelism level: runs
-// are deterministic in (table, Options) alone.
+// the crowd stage executes HITs concurrently with deterministic RNG
+// streams (per pair for pair-based HITs, per HIT for cluster-based ones).
+// Results are bit-identical at every parallelism level: runs are
+// deterministic in (table, Options) alone.
+//
+// Resolve is the one-shot form. For a long-running service absorbing
+// appends, the Resolver type keeps the join index and the crowd's
+// verdicts alive across batches: ResolveDelta resolves only the newly
+// appended records against the existing table, reusing every verdict
+// already paid for. See Resolver.
 //
 // The minimal entry point is Resolve:
 //
@@ -51,7 +58,6 @@ import (
 	"sort"
 
 	"github.com/crowder/crowder/internal/aggregate"
-	"github.com/crowder/crowder/internal/blocking"
 	"github.com/crowder/crowder/internal/crowd"
 	"github.com/crowder/crowder/internal/engine"
 	"github.com/crowder/crowder/internal/hitgen"
@@ -176,7 +182,10 @@ type Options struct {
 	Seed int64
 	// Workers is the simulated crowd pool size. Default 120.
 	Workers int
-	// SpammerRate is the fraction of spammers in the pool. Default 0.12.
+	// SpammerRate is the fraction of spammers in the pool. The zero value
+	// keeps the 0.12 default; a negative value (NoSpammers) requests an
+	// explicitly clean, spammer-free pool — previously inexpressible
+	// because 0 was silently overwritten by the default.
 	SpammerRate float64
 	// Oracle is the reference truth the simulated crowd perturbs: the set
 	// of genuinely matching pairs. Required (the simulator cannot invent
@@ -206,10 +215,17 @@ func (o *Options) defaults() {
 	if o.Workers <= 0 {
 		o.Workers = 120
 	}
-	if o.SpammerRate <= 0 {
+	if o.SpammerRate == 0 {
 		o.SpammerRate = 0.12
 	}
+	// Negative SpammerRate (NoSpammers) passes through unchanged; the
+	// population layer normalizes it to an actually clean pool, so the
+	// sentinel keeps one meaning everywhere.
 }
+
+// NoSpammers is the Options.SpammerRate sentinel for a clean pool: no
+// simulated spammers at all. (Options.SpammerRate = 0 keeps the default.)
+const NoSpammers = crowd.NoSpammers
 
 // Match is one output pair with the workflow's confidence that it is a
 // true match (crowd posterior, or machine likelihood under MachineOnly).
@@ -226,19 +242,33 @@ type StageStat struct {
 	Seconds float64
 }
 
-// Result is the outcome of the hybrid workflow.
+// Result is the outcome of the hybrid workflow. For an incremental
+// session (Resolver.ResolveDelta) the match fields cover the whole
+// session while the work fields (HITs, CostDollars, ElapsedSeconds,
+// NewCandidates) account only for the delta just resolved.
 type Result struct {
-	// TotalPairs is the number of candidate pairs before pruning.
+	// TotalPairs is the number of candidate pairs before pruning, over
+	// the whole table.
 	TotalPairs int
 	// Candidates is the number of pairs whose likelihood passed the
-	// threshold and were sent to the crowd.
+	// threshold — every judged pair of the session, cached and new.
 	Candidates int
-	// HITs is the number of tasks generated.
+	// NewCandidates is the number of candidate pairs first discovered by
+	// this resolve; only these were batched into HITs. For a one-shot
+	// Resolve it equals Candidates.
+	NewCandidates int
+	// CachedCandidates is the number of pairs whose verdicts were reused
+	// from earlier deltas (Candidates − NewCandidates); their HITs were
+	// paid for once and never re-issued.
+	CachedCandidates int
+	// HITs is the number of tasks generated for this resolve's new
+	// candidate pairs.
 	HITs int
-	// CostDollars is the simulated crowd cost (HITs × assignments ×
-	// $0.025, Section 7.1's AMT pricing).
+	// CostDollars is the simulated crowd cost of this resolve (HITs ×
+	// assignments × $0.025, Section 7.1's AMT pricing).
 	CostDollars float64
-	// ElapsedSeconds is the simulated crowd completion time (makespan).
+	// ElapsedSeconds is the simulated crowd completion time (makespan)
+	// of this resolve's HITs.
 	ElapsedSeconds float64
 	// Matches lists all judged pairs ranked by confidence descending.
 	// Callers typically keep those with Confidence ≥ 0.5.
@@ -259,14 +289,24 @@ func (r *Result) Accepted() []Match {
 	return out
 }
 
-// resolveState is the value threaded through the engine stages. Each
-// stage reads what its predecessors produced and fills in its own slice
-// of the state.
-type resolveState struct {
-	table *Table
-	opts  Options
+// resolverPipeline is the concrete engine pipeline type threading
+// resolveState through the stages.
+type resolverPipeline = engine.Pipeline[*resolveState]
 
-	// prune →
+// resolveState is the value threaded through the engine stages of one
+// delta. Each stage reads what its predecessors produced and fills in its
+// own slice of the state; the embedded Resolver carries the persistent
+// session state (live join index, verdict cache, pending pairs) across
+// deltas.
+type resolveState struct {
+	rv *Resolver
+	// planOnly marks an EstimateCost run: prune and generate execute
+	// normally but nothing is judged, so the verdict cache and pending
+	// set must stay untouched.
+	planOnly bool
+
+	// prune → the delta's genuinely new candidate pairs (not in the
+	// verdict cache), ranked by likelihood.
 	scored []simjoin.ScoredPair
 	pairs  []record.Pair
 	// generate →
@@ -279,76 +319,90 @@ type resolveState struct {
 }
 
 // skipCrowd reports whether the crowd stages have nothing to do: the
-// machine-only baseline, or an empty candidate set.
+// machine-only baseline, or no new candidate pairs this delta.
 func (st *resolveState) skipCrowd() bool {
-	return st.opts.MachineOnly || len(st.scored) == 0
+	return st.rv.opts.MachineOnly || len(st.scored) == 0
 }
 
-// stagePrune is the machine pass: generate candidate pairs, score them,
-// and drop everything below the likelihood threshold.
+// stagePrune is the machine pass: generate the delta's candidate pairs,
+// score them, drop everything below the likelihood threshold, and split
+// off the pairs whose verdicts are already cached. Candidates discovered
+// by a previously failed delta (still pending) are folded in for retry.
 func stagePrune(st *resolveState) (*resolveState, error) {
-	scored, err := machinePass(st.table, st.opts)
+	rv := st.rv
+	scored, err := rv.deltaCandidates()
 	if err != nil {
 		return nil, err
 	}
-	st.scored = scored
-	st.res.TotalPairs = totalPairs(st.table, st.opts.CrossSourceOnly)
-	st.res.Candidates = len(scored)
-	if st.opts.MachineOnly {
-		for _, sp := range scored {
-			st.res.Matches = append(st.res.Matches, Match{
-				Pair:       Pair{A: int(sp.Pair.A), B: int(sp.Pair.B)},
-				Confidence: sp.Likelihood,
-			})
-		}
-		return st, nil
+	if !st.planOnly {
+		rv.pending = append(rv.pending, scored...)
+		scored = rv.pending
 	}
-	st.pairs = simjoin.Pairs(scored)
+	var fresh []simjoin.ScoredPair
+	for _, sp := range scored {
+		if !rv.cache.Has(sp.Pair) {
+			fresh = append(fresh, sp)
+		}
+	}
+	simjoin.SortScored(fresh)
+	st.scored = fresh
+	st.pairs = simjoin.Pairs(fresh)
+	st.res.TotalPairs = rv.table.inner.PairUniverse(rv.opts.CrossSourceOnly)
+	st.res.NewCandidates = len(fresh)
+	st.res.CachedCandidates = rv.cache.Len()
+	st.res.Candidates = st.res.NewCandidates + st.res.CachedCandidates
 	return st, nil
 }
 
-// stageGenerate batches the surviving pairs into HITs.
+// stageGenerate batches the new candidate pairs into HITs. Cached pairs
+// never reach this stage: their HITs were issued (and paid for) by the
+// delta that first discovered them.
 func stageGenerate(st *resolveState) (*resolveState, error) {
 	if st.skipCrowd() {
 		return st, nil
 	}
-	switch st.opts.HITType {
+	opts := st.rv.opts
+	switch opts.HITType {
 	case PairHITs:
-		hits, err := hitgen.GeneratePairHITs(st.pairs, st.opts.ClusterSize)
+		hits, err := hitgen.GeneratePairHITs(st.pairs, opts.ClusterSize)
 		if err != nil {
 			return nil, err
 		}
 		st.pairHITs = hits
 		st.res.HITs = len(hits)
 	case ClusterHITs:
-		gen := generatorFor(st.opts.Generator, st.opts.Seed)
-		hits, err := gen.Generate(st.pairs, st.opts.ClusterSize)
+		gen := generatorFor(opts.Generator, opts.Seed)
+		hits, err := gen.Generate(st.pairs, opts.ClusterSize)
 		if err != nil {
 			return nil, err
 		}
-		if verr := hitgen.ValidateCover(st.pairs, hits, st.opts.ClusterSize); verr != nil {
+		if verr := hitgen.ValidateCover(st.pairs, hits, opts.ClusterSize); verr != nil {
 			return nil, fmt.Errorf("crowder: generated HITs violate the covering invariant: %w", verr)
 		}
 		st.clusterHITs = hits
 		st.res.HITs = len(hits)
 	default:
-		return nil, fmt.Errorf("crowder: unknown HIT type %d", st.opts.HITType)
+		return nil, fmt.Errorf("crowder: unknown HIT type %d", opts.HITType)
 	}
 	return st, nil
 }
 
-// stageExecute runs the HITs through the simulated crowd.
+// stageExecute runs the delta's HITs through the simulated crowd and
+// commits the collected answers to the verdict cache, marking the new
+// pairs judged.
 func stageExecute(st *resolveState) (*resolveState, error) {
 	if st.skipCrowd() {
 		return st, nil
 	}
+	rv := st.rv
+	opts := rv.opts
 	truth := record.NewPairSet()
-	for _, p := range st.opts.Oracle {
+	for _, p := range opts.Oracle {
 		truth.Add(record.ID(p.A), record.ID(p.B))
 	}
-	pop := crowd.NewPopulation(st.opts.Seed, crowd.PopulationOptions{
-		Size:        st.opts.Workers,
-		SpammerRate: st.opts.SpammerRate,
+	pop := crowd.NewPopulation(opts.Seed, crowd.PopulationOptions{
+		Size:        opts.Workers,
+		SpammerRate: opts.SpammerRate,
 	})
 	// Simulated workers err most on genuinely ambiguous pairs; the machine
 	// likelihoods from the prune stage calibrate that per-pair difficulty.
@@ -357,17 +411,17 @@ func stageExecute(st *resolveState) (*resolveState, error) {
 		likelihood[sp.Pair] = sp.Likelihood
 	}
 	cfg := crowd.Config{
-		Assignments:       st.opts.Assignments,
-		QualificationTest: st.opts.QualificationTest,
-		Seed:              st.opts.Seed,
-		Parallelism:       st.opts.Parallelism,
+		Assignments:       opts.Assignments,
+		QualificationTest: opts.QualificationTest,
+		Seed:              opts.Seed,
+		Parallelism:       opts.Parallelism,
 		Difficulty:        crowd.DifficultyFromLikelihood(likelihood),
 	}
 	var (
 		run *crowd.Result
 		err error
 	)
-	if st.opts.HITType == PairHITs {
+	if opts.HITType == PairHITs {
 		run, err = crowd.RunPairHITs(st.pairHITs, truth, pop, cfg)
 	} else {
 		run, err = crowd.RunClusterHITs(st.clusterHITs, st.pairs, truth, pop, cfg)
@@ -378,16 +432,45 @@ func stageExecute(st *resolveState) (*resolveState, error) {
 	st.run = run
 	st.res.CostDollars = run.CostDollars
 	st.res.ElapsedSeconds = run.TotalSeconds
+	// Commit: the delta's pairs are now judged; nothing stays pending.
+	for _, sp := range st.scored {
+		rv.cache.Put(sp.Pair, sp.Likelihood)
+	}
+	rv.cache.AddAnswers(run.Answers)
+	rv.pending = rv.pending[:0]
 	return st, nil
 }
 
-// stageAggregate combines the replicated answers with Dawid–Skene EM into
-// ranked match decisions.
+// stageAggregate combines the replicated answers of every judged pair —
+// cached and new — with Dawid–Skene EM into ranked match decisions. The
+// answers are re-aggregated in canonical order each delta, so cached
+// pairs' posteriors keep sharpening as fresh evidence about the workers
+// arrives, and a k-batch session aggregates exactly what a from-scratch
+// run would.
 func stageAggregate(st *resolveState) (*resolveState, error) {
-	if st.skipCrowd() {
+	rv := st.rv
+	if rv.opts.MachineOnly {
+		// The machine baseline "judges" a pair by recording its
+		// likelihood; the ranking covers every pair seen so far.
+		for _, sp := range st.scored {
+			rv.cache.Put(sp.Pair, sp.Likelihood).Posterior = sp.Likelihood
+		}
+		rv.pending = rv.pending[:0]
+		for _, p := range rv.cache.Pairs() {
+			st.res.Matches = append(st.res.Matches, Match{
+				Pair:       Pair{A: int(p.A), B: int(p.B)},
+				Confidence: rv.cache.Get(p).Likelihood,
+			})
+		}
+		SortMatches(st.res.Matches)
 		return st, nil
 	}
-	post := aggregate.DawidSkene(st.run.Answers, aggregate.DawidSkeneOptions{})
+	answers := rv.cache.AllAnswers()
+	if len(answers) == 0 {
+		return st, nil
+	}
+	post := aggregate.DawidSkene(answers, aggregate.DawidSkeneOptions{})
+	rv.cache.SetPosteriors(post)
 	for _, pr := range post.Ranked() {
 		st.res.Matches = append(st.res.Matches, Match{
 			Pair:       Pair{A: int(pr.A), B: int(pr.B)},
@@ -397,8 +480,8 @@ func stageAggregate(st *resolveState) (*resolveState, error) {
 	return st, nil
 }
 
-// resolvePipeline builds the four-stage engine Resolve runs.
-func resolvePipeline() *engine.Pipeline[*resolveState] {
+// resolvePipeline builds the four-stage engine every resolve runs.
+func resolvePipeline() *resolverPipeline {
 	return engine.New(
 		engine.Stage[*resolveState]{Name: "prune", Run: stagePrune},
 		engine.Stage[*resolveState]{Name: "generate", Run: stageGenerate},
@@ -407,45 +490,21 @@ func resolvePipeline() *engine.Pipeline[*resolveState] {
 	)
 }
 
-// Resolve runs the hybrid human–machine workflow on the table.
+// Resolve runs the hybrid human–machine workflow on the table: a one-shot
+// resolution session. It is the single-batch form of the incremental
+// Resolver — it adopts the table into a fresh session and resolves
+// everything as one delta, so the batch and streaming paths share one
+// prune → generate → execute → aggregate implementation.
 func Resolve(t *Table, opts Options) (*Result, error) {
-	opts.defaults()
-	if t == nil || t.Len() == 0 {
-		return nil, errors.New("crowder: empty table")
-	}
-	if !opts.MachineOnly && opts.Oracle == nil {
-		return nil, errors.New("crowder: Options.Oracle is required (the simulated crowd needs reference labels); set MachineOnly for the pure machine baseline")
-	}
-	st := &resolveState{table: t, opts: opts, res: &Result{}}
-	final, stats, err := resolvePipeline().Run(st)
+	r, err := NewResolver(t, opts)
 	if err != nil {
 		return nil, err
 	}
-	for _, s := range stats {
-		final.res.Stages = append(final.res.Stages, StageStat{Name: s.Name, Seconds: s.Duration.Seconds()})
-	}
-	return final.res, nil
+	return r.ResolveDelta()
 }
 
-// machinePass generates and scores candidate pairs per the configured
-// candidate source and threshold.
-func machinePass(t *Table, opts Options) ([]simjoin.ScoredPair, error) {
-	switch opts.Candidates {
-	case SourceSimJoin:
-		return simjoin.Join(t.inner, simjoin.Options{
-			Threshold:       opts.Threshold,
-			CrossSourceOnly: opts.CrossSourceOnly,
-			Parallelism:     opts.Parallelism,
-		}), nil
-	case SourceTokenBlocking:
-		cands := blocking.TokenBlocking(t.inner, blocking.Options{
-			MaxBlock:        opts.MaxBlock,
-			CrossSourceOnly: opts.CrossSourceOnly,
-		})
-		return simjoin.ScoreCandidates(t.inner, cands, opts.Threshold), nil
-	default:
-		return nil, fmt.Errorf("crowder: unknown candidate source %d", opts.Candidates)
-	}
+func errUnknownCandidateSource(c CandidateSource) error {
+	return fmt.Errorf("crowder: unknown candidate source %d", c)
 }
 
 // generatorFor maps the public enum to the internal strategy.
@@ -464,21 +523,6 @@ func generatorFor(g Generator, seed int64) hitgen.ClusterGenerator {
 	}
 }
 
-// totalPairs counts the candidate-pair universe.
-func totalPairs(t *Table, cross bool) int {
-	if cross && len(t.inner.Source) > 0 {
-		counts := map[int]int{}
-		for _, s := range t.inner.Source {
-			counts[s]++
-		}
-		if len(counts) == 2 {
-			return counts[0] * counts[1]
-		}
-	}
-	n := t.Len()
-	return n * (n - 1) / 2
-}
-
 // Estimate is the projected footprint of a workflow configuration,
 // computed without running the crowd. It supports the budget-based
 // workflow the paper lists as future work: sweep thresholds, estimate,
@@ -494,37 +538,26 @@ type Estimate struct {
 
 // EstimateCost prunes at the configured threshold and generates (but does
 // not crowdsource) the HITs, returning the projected task count and cost.
+// It runs the same prune → generate stages as Resolve — truncated before
+// the crowd ever executes — so the estimate agrees with an actual run by
+// construction.
 func EstimateCost(t *Table, opts Options) (*Estimate, error) {
-	opts.defaults()
-	if t == nil || t.Len() == 0 {
-		return nil, errors.New("crowder: empty table")
-	}
-	scored, err := machinePass(t, opts)
+	r, err := NewResolver(t, opts)
 	if err != nil {
 		return nil, err
 	}
-	est := &Estimate{Candidates: len(scored)}
-	if len(scored) == 0 {
-		return est, nil
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.table.Len() == 0 {
+		return nil, errors.New("crowder: empty table")
 	}
-	pairs := simjoin.Pairs(scored)
-	switch opts.HITType {
-	case PairHITs:
-		hits, err := hitgen.GeneratePairHITs(pairs, opts.ClusterSize)
-		if err != nil {
-			return nil, err
-		}
-		est.HITs = len(hits)
-	case ClusterHITs:
-		hits, err := generatorFor(opts.Generator, opts.Seed).Generate(pairs, opts.ClusterSize)
-		if err != nil {
-			return nil, err
-		}
-		est.HITs = len(hits)
-	default:
-		return nil, fmt.Errorf("crowder: unknown HIT type %d", opts.HITType)
+	st := &resolveState{rv: r, planOnly: true, res: &Result{}}
+	final, _, err := resolvePipeline().Upto("generate").Run(st)
+	if err != nil {
+		return nil, err
 	}
-	est.CostDollars = float64(est.HITs*opts.Assignments) * crowd.DollarsPerAssignment
+	est := &Estimate{Candidates: final.res.NewCandidates, HITs: final.res.HITs}
+	est.CostDollars = float64(est.HITs*r.opts.Assignments) * crowd.DollarsPerAssignment
 	return est, nil
 }
 

@@ -41,20 +41,39 @@ func (o Options) crossOK(t *record.Table, a, b record.ID) bool {
 }
 
 // TokenBlocking returns all pairs of records sharing at least one token,
-// in canonical order. Blocks are built over the table's interned token IDs
-// (cached on the table), so the blocking index is a flat slice rather than
-// a string-keyed map and records are never re-tokenized.
+// in canonical order. Blocks are read from the table's live inverted index
+// (record.Table.Postings — incrementally maintained and shared with the
+// resolver's delta machinery), so the blocking index is a flat slice
+// rather than a string-keyed map and records are never re-tokenized or
+// re-indexed across calls.
 func TokenBlocking(t *record.Table, opts Options) []record.Pair {
-	ids := t.TokenIDs()
-	blocks := make([][]record.ID, t.TokenUniverse())
-	for i, ts := range ids {
-		for _, tok := range ts {
-			blocks[tok] = append(blocks[tok], record.ID(i))
-		}
-	}
+	return TokenBlockingSince(t, opts, 0)
+}
+
+// TokenBlockingSince returns the token-blocking pairs with at least one
+// endpoint ≥ since: the delta candidates introduced by the records
+// appended after the first `since` records. TokenBlockingSince(t, opts, 0)
+// is the full TokenBlocking; across a sequence of appends the union of the
+// deltas equals the full blocking of the final table (for uncapped
+// blocking — a MaxBlock cap is evaluated against the block size at call
+// time, so a block crossing the cap between deltas stops contributing new
+// pairs from then on, while a batch run would drop the block wholesale).
+func TokenBlockingSince(t *record.Table, opts Options, since int) []record.Pair {
 	out := record.NewPairSet()
-	for _, ids := range blocks {
-		expandBlock(t, ids, opts, out)
+	for _, ids := range t.Postings() {
+		if opts.MaxBlock > 0 && len(ids) > opts.MaxBlock {
+			continue
+		}
+		// Postings ascend by record ID: pair every in-delta record with
+		// all earlier records of the block.
+		for j := len(ids) - 1; j >= 0 && int(ids[j]) >= since; j-- {
+			for i := 0; i < j; i++ {
+				a, b := record.ID(ids[i]), record.ID(ids[j])
+				if t.CrossOK(opts.CrossSourceOnly, a, b) {
+					out.Add(a, b)
+				}
+			}
+		}
 	}
 	return out.Slice()
 }
@@ -147,16 +166,7 @@ type Stats struct {
 
 // Evaluate computes blocking quality metrics for a candidate set.
 func Evaluate(t *record.Table, candidates []record.Pair, truth record.PairSet, crossSourceOnly bool) Stats {
-	total := t.Len() * (t.Len() - 1) / 2
-	if crossSourceOnly && len(t.Source) > 0 {
-		counts := map[int]int{}
-		for _, s := range t.Source {
-			counts[s]++
-		}
-		if len(counts) == 2 {
-			total = counts[0] * counts[1]
-		}
-	}
+	total := t.PairUniverse(crossSourceOnly)
 	found := 0
 	for _, p := range candidates {
 		if truth.Has(p.A, p.B) {

@@ -176,3 +176,57 @@ func BenchmarkSortedNeighborhoodRestaurant(b *testing.B) {
 		SortedNeighborhood(d.Table, 10, Options{})
 	}
 }
+
+// The union of TokenBlockingSince deltas over a sequence of appends must
+// equal the full TokenBlocking of the final table, and each delta must
+// only contain pairs touching the new records.
+func TestTokenBlockingSinceEquivalence(t *testing.T) {
+	d := dataset.RestaurantN(7, 120, 25)
+	full := TokenBlocking(d.Table, Options{})
+
+	inc := record.NewTable(d.Table.Schema...)
+	union := record.NewPairSet()
+	for _, cut := range []int{40, 41, 90, d.Table.Len()} {
+		since := inc.Len()
+		for i := inc.Len(); i < cut; i++ {
+			inc.Append(d.Table.Records[i].Values...)
+		}
+		for _, p := range TokenBlockingSince(inc, Options{}, since) {
+			if int(p.B) < since {
+				t.Fatalf("delta since %d emitted old-only pair %v", since, p)
+			}
+			if union.Has(p.A, p.B) {
+				t.Fatalf("pair %v emitted by two deltas", p)
+			}
+			union.Add(p.A, p.B)
+		}
+	}
+	if union.Len() != len(full) {
+		t.Fatalf("delta union has %d pairs; full blocking %d", union.Len(), len(full))
+	}
+	for _, p := range full {
+		if !union.Has(p.A, p.B) {
+			t.Fatalf("full pair %v missing from delta union", p)
+		}
+	}
+}
+
+// PairUniverse-based Evaluate totals: arbitrary source tags and 3+
+// sources no longer zero out the reduction ratio.
+func TestEvaluateArbitrarySourceTags(t *testing.T) {
+	tab := record.NewTable("name")
+	tab.AppendFrom(5, "alpha beta")
+	tab.AppendFrom(5, "alpha beta gamma")
+	tab.AppendFrom(8, "alpha delta")
+	tab.AppendFrom(2, "epsilon zeta")
+	cands := TokenBlocking(tab, Options{CrossSourceOnly: true})
+	stats := Evaluate(tab, cands, record.NewPairSet(), true)
+	// Cross universe: 2·1 + 2·1 + 1·1 = 5; "alpha" links records 0,1,2 but
+	// only the cross-source pairs (0,2) and (1,2) qualify.
+	if stats.Candidates != 2 {
+		t.Fatalf("candidates = %d; want 2", stats.Candidates)
+	}
+	if want := 1 - 2.0/5.0; stats.ReductionRatio != want {
+		t.Errorf("reduction ratio = %v; want %v", stats.ReductionRatio, want)
+	}
+}

@@ -376,3 +376,71 @@ func TestRunDeterministicPerSeed(t *testing.T) {
 		}
 	}
 }
+
+// Acceptance: a pair's verdicts are a pure function of (seed, pair) —
+// re-batching the same candidate set into different HIT sizes, or
+// presenting the pairs in a different order, changes no answer. This is
+// the invariant the incremental resolver's verdict cache relies on.
+func TestPairAnswersInvariantUnderBatching(t *testing.T) {
+	pairs := testPairs()
+	truth := testTruth()
+	pop := NewPopulation(1, PopulationOptions{Size: 60})
+
+	canonical := func(hits []hitgen.PairHIT) map[record.Pair][]aggregate.Answer {
+		res, err := RunPairHITs(hits, truth, pop, Config{Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		byPair := map[record.Pair][]aggregate.Answer{}
+		for _, a := range res.Answers {
+			byPair[a.Pair] = append(byPair[a.Pair], a)
+		}
+		return byPair
+	}
+
+	base, err := hitgen.GeneratePairHITs(pairs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := canonical(base)
+
+	reversed := make([]record.Pair, len(pairs))
+	for i, p := range pairs {
+		reversed[len(pairs)-1-i] = p
+	}
+	for name, alt := range map[string][]record.Pair{"one-per-hit": pairs, "reversed": reversed, "single-hit": pairs} {
+		k := map[string]int{"one-per-hit": 1, "reversed": 3, "single-hit": len(pairs)}[name]
+		hits, err := hitgen.GeneratePairHITs(alt, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := canonical(hits)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d judged pairs vs %d", name, len(got), len(want))
+		}
+		for p, wa := range want {
+			ga := got[p]
+			if len(ga) != len(wa) {
+				t.Fatalf("%s: pair %v has %d answers vs %d", name, p, len(ga), len(wa))
+			}
+			for i := range wa {
+				if ga[i] != wa[i] {
+					t.Fatalf("%s: pair %v answer %d differs: %v vs %v", name, p, i, ga[i], wa[i])
+				}
+			}
+		}
+	}
+}
+
+// The NoSpammers sentinel must produce a genuinely clean pool, while the
+// zero value keeps the 0.12 default.
+func TestNoSpammersSentinel(t *testing.T) {
+	clean := NewPopulation(1, PopulationOptions{Size: 800, SpammerRate: NoSpammers})
+	if got := clean.CountClass(Spammer); got != 0 {
+		t.Errorf("NoSpammers pool has %d spammers", got)
+	}
+	def := NewPopulation(1, PopulationOptions{Size: 800})
+	if got := def.CountClass(Spammer); got == 0 {
+		t.Error("zero-value options should keep the default spammer rate")
+	}
+}

@@ -159,6 +159,23 @@ const (
 	streamClusterHITs = 2
 )
 
+// pairSeed derives the RNG seed for one pair's judgments from the base
+// seed and the pair's endpoints, with a splitmix64-style finalizer.
+// Seeding per pair — rather than per HIT — makes a pair's verdicts a pure
+// function of (seed, pair): re-batching the same pairs into different
+// HITs, or judging them in a later delta batch, yields bit-identical
+// answers. The incremental resolver's verdict cache relies on exactly
+// this property to make k-batch resolution reproduce a from-scratch run.
+func pairSeed(base int64, p record.Pair) int64 {
+	z := uint64(base) ^ 0x9e3779b97f4a7c15*(uint64(p.A)+1) ^ 0xbf58476d1ce4e5b9*(uint64(p.B)+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
 // hitSeed derives the RNG seed for one HIT from the base seed, the stream
 // tag, and the HIT's index, with a splitmix64-style finalizer so adjacent
 // indexes yield decorrelated streams. Seeding per HIT — rather than
@@ -223,10 +240,19 @@ func mergeOutcomes(outcomes []hitOutcome, pool *Population, cfg Config, attracti
 	return res
 }
 
-// RunPairHITs crowdsources pair-based HITs: each HIT is replicated to
-// Assignments distinct workers; each worker answers every pair in the HIT
-// independently through their confusion matrix. HITs execute concurrently
-// (Config.Parallelism); per-HIT RNG streams keep the result deterministic.
+// RunPairHITs crowdsources pair-based HITs: every pair in a HIT is
+// replicated to Assignments distinct workers, each answering through
+// their confusion matrix. Worker selection and answers draw from a
+// per-pair RNG stream (pairSeed), so a pair's verdicts depend only on
+// (Config.Seed, pair) — never on which HIT the pair was batched into or
+// when that HIT ran. Re-batching the same candidate set therefore
+// reproduces the same answers bit-for-bit, the invariant behind the
+// incremental resolver's verdict cache. HITs execute concurrently
+// (Config.Parallelism) with deterministic output.
+//
+// The scheduling model stays at HIT granularity: each HIT still reports
+// Assignments completion times (the per-pair workers' mean speed applied
+// to the HIT's comparison load) and costs Assignments × $0.025.
 func RunPairHITs(hits []hitgen.PairHIT, truth record.PairSet, pop *Population, cfg Config) (*Result, error) {
 	cfg.defaults()
 	pool, err := preparePool(pop, cfg)
@@ -237,18 +263,29 @@ func RunPairHITs(hits []hitgen.PairHIT, truth record.PairSet, pop *Population, c
 	outcomes := make([]hitOutcome, len(hits))
 	forEachHIT(len(hits), cfg.Parallelism, func(hi int) {
 		h := hits[hi]
-		rng := rand.New(rand.NewSource(hitSeed(cfg.Seed, streamPairHITs, hi)))
 		o := &outcomes[hi]
-		for _, w := range pickDistinct(pool, cfg.Assignments, rng) {
-			o.workers = append(o.workers, w.ID)
-			for _, p := range h.Pairs {
+		slotSpeed := make([]float64, cfg.Assignments)
+		for _, p := range h.Pairs {
+			rng := rand.New(rand.NewSource(pairSeed(cfg.Seed, p)))
+			isMatch := truth.Has(p.A, p.B)
+			difficulty := cfg.difficultyOf(p)
+			for slot, w := range pickDistinct(pool, cfg.Assignments, rng) {
+				o.workers = append(o.workers, w.ID)
 				o.answers = append(o.answers, aggregate.Answer{
 					Pair:   p,
 					Worker: w.ID,
-					Match:  w.AnswerWithDifficulty(truth.Has(p.A, p.B), cfg.difficultyOf(p), rng),
+					Match:  w.AnswerWithDifficulty(isMatch, difficulty, rng),
 				})
+				slotSpeed[slot] += w.Speed
 			}
-			o.seconds = append(o.seconds, (cfg.BaseSeconds+cfg.SecondsPerPairComparison*float64(len(h.Pairs)))*w.Speed)
+		}
+		hitSeconds := cfg.BaseSeconds + cfg.SecondsPerPairComparison*float64(len(h.Pairs))
+		for slot := 0; slot < cfg.Assignments; slot++ {
+			speed := 1.0
+			if len(h.Pairs) > 0 {
+				speed = slotSpeed[slot] / float64(len(h.Pairs))
+			}
+			o.seconds = append(o.seconds, hitSeconds*speed)
 		}
 		o.effort = float64(len(h.Pairs))
 	})

@@ -90,11 +90,18 @@ func (w *Worker) AnswerWithDifficulty(isMatch bool, difficulty float64, rng *ran
 	return rng.Float64() < errProb
 }
 
+// NoSpammers is the SpammerRate sentinel for an explicitly clean,
+// spammer-free pool. The zero value keeps the 0.12 default (so the empty
+// options literal behaves as before); any negative value means exactly
+// zero spammers.
+const NoSpammers = -1.0
+
 // PopulationOptions configures worker-pool generation.
 type PopulationOptions struct {
 	// Size is the number of workers (default 120).
 	Size int
-	// SpammerRate is the fraction of spammers (default 0.12).
+	// SpammerRate is the fraction of spammers. 0 means the default 0.12;
+	// a negative value (NoSpammers) means a clean pool with no spammers.
 	SpammerRate float64
 	// SloppyRate is the fraction of sloppy workers (default 0.20).
 	SloppyRate float64
@@ -104,7 +111,9 @@ func (o *PopulationOptions) defaults() {
 	if o.Size <= 0 {
 		o.Size = 120
 	}
-	if o.SpammerRate == 0 {
+	if o.SpammerRate < 0 {
+		o.SpammerRate = 0
+	} else if o.SpammerRate == 0 {
 		o.SpammerRate = 0.12
 	}
 	if o.SloppyRate == 0 {

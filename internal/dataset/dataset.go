@@ -36,20 +36,10 @@ type Dataset struct {
 }
 
 // NumPairs returns the number of candidate pairs the dataset defines:
-// cross-source pairs for two-source datasets (Product: 1081 × 1092),
+// cross-source pairs for multi-source datasets (Product: 1081 × 1092),
 // all distinct pairs otherwise (Restaurant: n·(n−1)/2).
 func (d *Dataset) NumPairs() int {
-	if len(d.Table.Source) > 0 {
-		counts := map[int]int{}
-		for _, s := range d.Table.Source {
-			counts[s]++
-		}
-		if len(counts) == 2 {
-			return counts[0] * counts[1]
-		}
-	}
-	n := d.Table.Len()
-	return n * (n - 1) / 2
+	return d.Table.PairUniverse(len(d.Table.Source) > 0)
 }
 
 // PaperTable1 returns the nine-record product table of Table 1 with its

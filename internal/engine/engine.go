@@ -43,6 +43,21 @@ func New[S any](stages ...Stage[S]) *Pipeline[S] {
 	return &Pipeline[S]{stages: stages}
 }
 
+// Upto returns the sub-pipeline consisting of the stages up to and
+// including the first stage with the given name, sharing the underlying
+// stage definitions. Callers that only need a prefix of a workflow — cost
+// estimation runs prune→generate without ever executing the crowd —
+// derive it from the canonical pipeline instead of duplicating stage
+// wiring. If no stage has the name, the whole pipeline is returned.
+func (p *Pipeline[S]) Upto(name string) *Pipeline[S] {
+	for i, st := range p.stages {
+		if st.Name == name {
+			return &Pipeline[S]{stages: p.stages[:i+1]}
+		}
+	}
+	return p
+}
+
 // item carries one state through the channel chain. A state whose stage
 // errored keeps flowing (so ordering and stats stay intact) but skips all
 // remaining stages.

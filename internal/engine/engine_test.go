@@ -145,3 +145,29 @@ func TestEmptyPipeline(t *testing.T) {
 		t.Fatalf("empty pipeline should pass states through: %v", out)
 	}
 }
+
+func TestUpto(t *testing.T) {
+	trace := ""
+	stage := func(name string) Stage[int] {
+		return Stage[int]{Name: name, Run: func(x int) (int, error) {
+			trace += name + ";"
+			return x + 1, nil
+		}}
+	}
+	p := New(stage("prune"), stage("generate"), stage("execute"))
+	out, stats, err := p.Upto("generate").Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != 2 || trace != "prune;generate;" {
+		t.Fatalf("Upto ran the wrong stages: out=%d trace=%q", out, trace)
+	}
+	if len(stats) != 2 || stats[0].Name != "prune" || stats[1].Name != "generate" {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// Unknown names fall back to the whole pipeline.
+	trace = ""
+	if out, _, _ := p.Upto("nope").Run(0); out != 3 || trace != "prune;generate;execute;" {
+		t.Fatalf("Upto(unknown) should run everything: out=%d trace=%q", out, trace)
+	}
+}

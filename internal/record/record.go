@@ -54,10 +54,14 @@ type Table struct {
 
 	// Token cache (see TokenIDs): every record is tokenized and interned at
 	// most once. mu guards lazy construction so concurrent readers are safe;
-	// mutating the table itself concurrently with reads is not.
+	// mutating the table itself concurrently with reads is not. postings is
+	// the live full inverted index (see Postings); posted counts the records
+	// already inserted into it.
 	mu       sync.Mutex
 	interner *Interner
 	tokenIDs [][]int32
+	postings [][]int32
+	posted   int
 }
 
 // NewTable creates an empty table with the given schema.

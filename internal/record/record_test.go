@@ -279,3 +279,57 @@ func TestTokenSetSizeProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestPairUniverse(t *testing.T) {
+	tab := NewTable("name")
+	tab.Append("a")
+	tab.Append("b")
+	tab.Append("c")
+	if got := tab.PairUniverse(false); got != 3 {
+		t.Errorf("all-pairs universe = %d; want 3", got)
+	}
+	// Single-source tables ignore crossOnly.
+	if got := tab.PairUniverse(true); got != 3 {
+		t.Errorf("crossOnly without sources = %d; want 3", got)
+	}
+
+	multi := NewTable("name")
+	// Tags deliberately not {0, 1}: counts {4: 2, 9: 3, 11: 1}.
+	for _, src := range []int{4, 9, 4, 9, 9, 11} {
+		multi.AppendFrom(src, "x")
+	}
+	// Cross products: 2·3 + 2·1 + 3·1 = 11.
+	if got := multi.PairUniverse(true); got != 11 {
+		t.Errorf("cross universe = %d; want 11", got)
+	}
+	if got := multi.PairUniverse(false); got != 15 {
+		t.Errorf("all-pairs universe = %d; want 15", got)
+	}
+}
+
+func TestPostingsIncremental(t *testing.T) {
+	tab := NewTable("name")
+	tab.Append("alpha beta")
+	tab.Append("beta gamma")
+	posts := tab.Postings()
+	if len(posts) != tab.TokenUniverse() {
+		t.Fatalf("postings cover %d tokens; universe %d", len(posts), tab.TokenUniverse())
+	}
+	beta, ok := tab.Tokens().Lookup("beta")
+	if !ok {
+		t.Fatal("beta not interned")
+	}
+	if got := posts[beta]; len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("postings[beta] = %v", got)
+	}
+	// Appending extends the live index without rebuilding.
+	tab.Append("beta delta")
+	posts = tab.Postings()
+	if got := posts[beta]; len(got) != 3 || got[2] != 2 {
+		t.Fatalf("postings[beta] after append = %v", got)
+	}
+	delta, _ := tab.Tokens().Lookup("delta")
+	if got := posts[delta]; len(got) != 1 || got[0] != 2 {
+		t.Fatalf("postings[delta] = %v", got)
+	}
+}

@@ -1,0 +1,202 @@
+package simjoin
+
+import (
+	"sort"
+
+	"github.com/crowder/crowder/internal/record"
+	"github.com/crowder/crowder/internal/similarity"
+)
+
+// Index is a persistent, incrementally maintained prefix-filtered join
+// index over a table. It turns the one-shot Join into a streaming
+// operation: each Update call indexes and probes only the records appended
+// to the table since the previous call, so resolving a delta of d records
+// against a table of n costs O(d·candidates) instead of re-scanning all
+// n·(n−1)/2 pairs. Calling Update on a fresh Index with the table fully
+// loaded is exactly the batch join.
+//
+// Completeness across deltas relies on every record's prefix being taken
+// under one immutable total token order. Batch prefix filtering orders
+// tokens by global frequency, but global frequencies drift as records
+// arrive, so the Index freezes each token's weight the first time the
+// token is indexed (its frequency within that delta; the first delta —
+// usually the whole initial table — reproduces the batch ordering
+// exactly). Frozen weights keep every already-built prefix valid: a
+// record's prefix depends only on the relative order of its own tokens,
+// and that order never changes once assigned. Tokens first seen in later
+// deltas carry their in-delta frequency, which is typically small, so new
+// rare tokens still sort toward the front of prefixes where they prune
+// best.
+//
+// An Index is not safe for concurrent use; the owning resolver serializes
+// Update calls. The table must only grow (append-only), matching the
+// contract of record.Table's token cache.
+type Index struct {
+	t    *record.Table
+	opts Options
+
+	// n is the number of records already indexed and probed.
+	n int
+	// weight[tok] is the token's frozen ordering weight, or -1 if the
+	// token has not been indexed yet.
+	weight []int32
+	// postings[tok] lists, ascending, the records whose prefix contains
+	// tok. Only prefix tokens are indexed (standard prefix filtering).
+	postings [][]int32
+	// empties lists the records with empty token sets, which pair with
+	// each other at likelihood 1 under the empty-set convention.
+	empties []int32
+}
+
+// NewIndex creates an empty join index over the table. No records are
+// indexed until the first Update call.
+func NewIndex(t *record.Table, opts Options) *Index {
+	return &Index{t: t, opts: opts}
+}
+
+// Indexed returns the number of records the index has absorbed so far.
+func (ix *Index) Indexed() int { return ix.n }
+
+// Update indexes the records appended to the table since the last call
+// and returns every admissible pair {old or new, new} whose likelihood is
+// at least the threshold, sorted by likelihood descending. Pairs between
+// two already-indexed records are never re-emitted: across a sequence of
+// Updates every qualifying pair of the final table is returned exactly
+// once, and the union of all Update results equals the batch Join of the
+// final table.
+func (ix *Index) Update() []ScoredPair {
+	t := ix.t
+	n := t.Len()
+	lo := ix.n
+	if n <= lo {
+		return nil
+	}
+	ix.n = n
+	ids := t.TokenIDs()
+	tau := ix.opts.Threshold
+	if tau <= 0 {
+		// Every pair survives a non-positive threshold, so the prefix
+		// index buys nothing: score new×all directly.
+		return ix.deltaAllPairs(ids, lo, n)
+	}
+
+	// Freeze ordering weights for tokens first seen in this delta: their
+	// frequency within the delta. On the first Update over a whole table
+	// this is the global frequency ordering of the batch join.
+	universe := t.TokenUniverse()
+	for len(ix.weight) < universe {
+		ix.weight = append(ix.weight, -1)
+	}
+	for len(ix.postings) < universe {
+		ix.postings = append(ix.postings, nil)
+	}
+	fresh := make(map[int32]int32)
+	for i := lo; i < n; i++ {
+		for _, tok := range ids[i] {
+			if ix.weight[tok] < 0 {
+				fresh[tok]++
+			}
+		}
+	}
+	for tok, f := range fresh {
+		ix.weight[tok] = f
+	}
+
+	// Compute the new records' prefixes under the frozen order and insert
+	// them into the postings before any probing, so pairs between two
+	// records of the same delta are found too (the probe of record i only
+	// looks at postings entries j < i).
+	prefs := make([][]int32, n-lo)
+	for i := lo; i < n; i++ {
+		p := append([]int32(nil), ids[i]...)
+		sort.Slice(p, func(a, b int) bool {
+			if ix.weight[p[a]] != ix.weight[p[b]] {
+				return ix.weight[p[a]] < ix.weight[p[b]]
+			}
+			return p[a] < p[b]
+		})
+		pref := p[:prefixLen(len(p), tau)]
+		prefs[i-lo] = pref
+		for _, tok := range pref {
+			ix.postings[tok] = append(ix.postings[tok], int32(i))
+		}
+	}
+
+	out := shardedScan(lo, n, ix.opts.workers(n-lo), func() func(i int, out *[]ScoredPair) {
+		// stamp[j] = latest probe i that already considered pair (j, i),
+		// deduplicating multi-token collisions without a hash set.
+		stamp := make([]int32, n)
+		for i := range stamp {
+			stamp[i] = -1
+		}
+		return func(i int, out *[]ScoredPair) {
+			li := len(ids[i])
+			for _, tok := range prefs[i-lo] {
+				for _, j32 := range ix.postings[tok] {
+					j := int(j32)
+					if j >= i {
+						break
+					}
+					if stamp[j] == int32(i) {
+						continue
+					}
+					stamp[j] = int32(i)
+					if !ix.opts.crossOK(t, record.ID(j), record.ID(i)) {
+						continue
+					}
+					if !passesLengthFilter(li, len(ids[j]), tau) {
+						continue
+					}
+					sim := similarity.Jaccard(ids[i], ids[j])
+					if sim >= tau {
+						*out = append(*out, ScoredPair{
+							Pair:       record.Pair{A: record.ID(j), B: record.ID(i)},
+							Likelihood: sim,
+						})
+					}
+				}
+			}
+		}
+	})
+
+	// Token-less records never collide in the index, but the empty-set
+	// convention gives them similarity 1 with each other.
+	if tau <= 1 {
+		for i := lo; i < n; i++ {
+			if len(ids[i]) != 0 {
+				continue
+			}
+			for _, j32 := range ix.empties {
+				a, b := record.ID(j32), record.ID(i)
+				if ix.opts.crossOK(t, a, b) {
+					out = append(out, ScoredPair{Pair: record.Pair{A: a, B: b}, Likelihood: 1})
+				}
+			}
+			ix.empties = append(ix.empties, int32(i))
+		}
+	}
+
+	SortScored(out)
+	return out
+}
+
+// deltaAllPairs scores every admissible pair with a new endpoint; at
+// threshold ≤ 0 every pair survives, so prefix filtering buys nothing.
+func (ix *Index) deltaAllPairs(ids [][]int32, lo, n int) []ScoredPair {
+	t := ix.t
+	out := shardedScan(lo, n, ix.opts.workers(n-lo), func() func(i int, out *[]ScoredPair) {
+		return func(i int, out *[]ScoredPair) {
+			for j := 0; j < i; j++ {
+				if !ix.opts.crossOK(t, record.ID(j), record.ID(i)) {
+					continue
+				}
+				*out = append(*out, ScoredPair{
+					Pair:       record.Pair{A: record.ID(j), B: record.ID(i)},
+					Likelihood: similarity.Jaccard(ids[i], ids[j]),
+				})
+			}
+		}
+	})
+	SortScored(out)
+	return out
+}

@@ -10,7 +10,11 @@
 // (record.Table.TokenIDs): the inverted index is a flat slice keyed by
 // dense token ID, similarities are linear merges over sorted []int32, and
 // the probe phase is sharded across Options.Parallelism workers with
-// deterministic merged output. BruteForce provides the reference all-pairs
+// deterministic merged output. The Index type is the persistent,
+// incrementally maintained form of the same join: new records probe the
+// postings built by earlier batches and then insert themselves, so a
+// delta of d records costs O(d·candidates) instead of a full re-join;
+// Join itself is a one-shot Index update. BruteForce provides the reference all-pairs
 // implementation used for testing equivalence and for self-joins of tiny
 // tables; LegacyJoin preserves the original single-threaded map-of-strings
 // implementation as a benchmark baseline and differential-testing oracle.
@@ -72,125 +76,34 @@ func (o Options) crossOK(t *record.Table, a, b record.ID) bool {
 // Join returns all pairs of distinct records in t whose Jaccard likelihood
 // is at least opts.Threshold, sorted by likelihood descending. It uses
 // prefix filtering: tokens are ordered by ascending global frequency, each
-// record indexes only its first ⌊(1−τ)·|x|⌋+1 tokens, and candidates are
+// record indexes only its first len−⌈τ·len⌉+1 tokens, and candidates are
 // generated from index collisions, then confirmed with a length filter and
 // an exact merge-intersection. Records with empty token sets pair with each
 // other at likelihood 1 (the empty-set convention), keeping Join ≡
 // BruteForce on every input. With τ = 0 the prefix degenerates to every
 // token, so Join switches to a sharded all-pairs scan instead.
+//
+// Join is the one-shot form of the incremental Index: it builds a fresh
+// Index over the table and absorbs every record in a single Update, so the
+// batch and delta paths share one implementation.
 func Join(t *record.Table, opts Options) []ScoredPair {
-	n := t.Len()
-	if n == 0 {
+	if t.Len() == 0 {
 		return nil
 	}
-	ids := t.TokenIDs()
-	tau := opts.Threshold
-	if tau <= 0 {
-		return allPairs(t, ids, opts)
-	}
-
-	universe := t.TokenUniverse()
-	freq := make([]int32, universe)
-	for _, ts := range ids {
-		for _, id := range ts {
-			freq[id]++
-		}
-	}
-
-	// Per-record prefix: tokens ordered by (global frequency asc, ID asc)
-	// so rare tokens come first and index collisions stay small.
-	prefs := make([][]int32, n)
-	for i, ts := range ids {
-		p := append([]int32(nil), ts...)
-		sort.Slice(p, func(a, b int) bool {
-			if freq[p[a]] != freq[p[b]] {
-				return freq[p[a]] < freq[p[b]]
-			}
-			return p[a] < p[b]
-		})
-		prefs[i] = p[:prefixLen(len(p), tau)]
-	}
-
-	// Inverted index over prefix tokens; postings ascend by record ID, so
-	// a probe of record i stops at the first posting ≥ i.
-	index := make([][]int32, universe)
-	for i := 0; i < n; i++ {
-		for _, tok := range prefs[i] {
-			index[tok] = append(index[tok], int32(i))
-		}
-	}
-
-	out := shardedScan(n, opts.workers(n), func() func(i int, out *[]ScoredPair) {
-		// stamp[j] = latest probe i that already considered pair (j, i),
-		// deduplicating multi-token collisions without a hash set.
-		stamp := make([]int32, n)
-		for i := range stamp {
-			stamp[i] = -1
-		}
-		return func(i int, out *[]ScoredPair) {
-			li := len(ids[i])
-			for _, tok := range prefs[i] {
-				for _, j32 := range index[tok] {
-					j := int(j32)
-					if j >= i {
-						break
-					}
-					if stamp[j] == int32(i) {
-						continue
-					}
-					stamp[j] = int32(i)
-					if !opts.crossOK(t, record.ID(j), record.ID(i)) {
-						continue
-					}
-					if !passesLengthFilter(li, len(ids[j]), tau) {
-						continue
-					}
-					sim := similarity.Jaccard(ids[i], ids[j])
-					if sim >= tau {
-						*out = append(*out, ScoredPair{
-							Pair:       record.Pair{A: record.ID(j), B: record.ID(i)},
-							Likelihood: sim,
-						})
-					}
-				}
-			}
-		}
-	})
-
-	// Token-less records never collide in the index, but the empty-set
-	// convention gives them similarity 1 with each other.
-	if tau <= 1 {
-		var empties []int
-		for i, ts := range ids {
-			if len(ts) == 0 {
-				empties = append(empties, i)
-			}
-		}
-		for x := 0; x < len(empties); x++ {
-			for y := x + 1; y < len(empties); y++ {
-				a, b := record.ID(empties[x]), record.ID(empties[y])
-				if opts.crossOK(t, a, b) {
-					out = append(out, ScoredPair{Pair: record.Pair{A: a, B: b}, Likelihood: 1})
-				}
-			}
-		}
-	}
-
-	SortScored(out)
-	return out
+	return NewIndex(t, opts).Update()
 }
 
 // shardedScan fans the probe-record loop out across workers: each worker
 // builds its probe once (holding any per-worker scratch state, e.g. the
-// dedup stamp array), scans a strided partition of [0, n), and the shard
+// dedup stamp array), scans a strided partition of [lo, n), and the shard
 // outputs are concatenated. The caller canonically sorts the merged
 // result, so the output is independent of the worker count.
-func shardedScan(n, workers int, newProbe func() func(i int, out *[]ScoredPair)) []ScoredPair {
+func shardedScan(lo, n, workers int, newProbe func() func(i int, out *[]ScoredPair)) []ScoredPair {
 	shards := make([][]ScoredPair, workers)
 	engine.Workers(workers, func(w int) {
 		probe := newProbe()
 		var out []ScoredPair
-		for i := w; i < n; i += workers {
+		for i := lo + w; i < n; i += workers {
 			probe(i, &out)
 		}
 		shards[w] = out
@@ -199,27 +112,6 @@ func shardedScan(n, workers int, newProbe func() func(i int, out *[]ScoredPair))
 	for _, s := range shards {
 		out = append(out, s...)
 	}
-	return out
-}
-
-// allPairs scores every admissible pair, sharded across workers; at
-// threshold ≤ 0 every pair survives, so prefix filtering buys nothing.
-func allPairs(t *record.Table, ids [][]int32, opts Options) []ScoredPair {
-	n := t.Len()
-	out := shardedScan(n, opts.workers(n), func() func(i int, out *[]ScoredPair) {
-		return func(i int, out *[]ScoredPair) {
-			for j := 0; j < i; j++ {
-				if !opts.crossOK(t, record.ID(j), record.ID(i)) {
-					continue
-				}
-				*out = append(*out, ScoredPair{
-					Pair:       record.Pair{A: record.ID(j), B: record.ID(i)},
-					Likelihood: similarity.Jaccard(ids[i], ids[j]),
-				})
-			}
-		}
-	})
-	SortScored(out)
 	return out
 }
 

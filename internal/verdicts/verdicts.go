@@ -1,0 +1,146 @@
+// Package verdicts caches crowd judgments keyed by record pair, the
+// persistence layer that lets the incremental resolver skip the
+// generate/execute stages for pairs an earlier batch already paid the
+// crowd to judge. A long-running resolution service appends records
+// continuously; without this cache every delta would re-issue (and re-pay
+// for) HITs covering pairs whose answers are already known.
+//
+// The cache stores the raw per-pair answers rather than only the
+// aggregated posterior: Dawid–Skene jointly estimates worker confusion
+// matrices from the full answer matrix, so each delta re-aggregates the
+// union of cached and fresh answers — cheap relative to crowdsourcing —
+// and the posteriors of old pairs keep improving as new evidence about
+// the workers arrives. The last aggregated posterior is stored alongside
+// for inspection.
+package verdicts
+
+import (
+	"sort"
+
+	"github.com/crowder/crowder/internal/aggregate"
+	"github.com/crowder/crowder/internal/record"
+)
+
+// Entry is the cached state of one judged pair.
+type Entry struct {
+	// Pair is the canonical pair this entry describes.
+	Pair record.Pair
+	// Likelihood is the machine similarity computed when the pair first
+	// became a candidate.
+	Likelihood float64
+	// Answers are the raw crowd judgments collected for the pair. Empty
+	// for machine-only resolution.
+	Answers []aggregate.Answer
+	// Posterior is the pair's match probability from the most recent
+	// aggregation over the whole cache.
+	Posterior float64
+}
+
+// Cache is a verdict store keyed by pair. It is not safe for concurrent
+// mutation; the owning resolver serializes access.
+type Cache struct {
+	entries map[record.Pair]*Entry
+}
+
+// NewCache creates an empty verdict cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[record.Pair]*Entry)}
+}
+
+// Len returns the number of judged pairs.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Has reports whether the pair already has a cache entry.
+func (c *Cache) Has(p record.Pair) bool {
+	_, ok := c.entries[p]
+	return ok
+}
+
+// Get returns the entry for the pair, or nil if the pair has never been
+// judged.
+func (c *Cache) Get(p record.Pair) *Entry {
+	return c.entries[p]
+}
+
+// Put creates (or returns) the entry for the pair, recording its machine
+// likelihood on first insertion.
+func (c *Cache) Put(p record.Pair, likelihood float64) *Entry {
+	if e, ok := c.entries[p]; ok {
+		return e
+	}
+	e := &Entry{Pair: p, Likelihood: likelihood}
+	c.entries[p] = e
+	return e
+}
+
+// AddAnswers appends crowd answers to their pairs' entries. Answers for
+// pairs without an entry create one (with zero likelihood), so cluster
+// HITs that incidentally cover extra pairs are still recorded.
+func (c *Cache) AddAnswers(answers []aggregate.Answer) {
+	for _, a := range answers {
+		e, ok := c.entries[a.Pair]
+		if !ok {
+			e = c.Put(a.Pair, 0)
+		}
+		e.Answers = append(e.Answers, a)
+	}
+}
+
+// AllAnswers returns every cached answer in canonical order — sorted by
+// (pair, worker, verdict). The order is a pure function of the answer
+// *set*, independent of the batch sequence that produced it, which is
+// what makes re-aggregation after k deltas bit-identical to aggregating a
+// single from-scratch run: Dawid–Skene's floating-point accumulations see
+// the same operands in the same order.
+func (c *Cache) AllAnswers() []aggregate.Answer {
+	var out []aggregate.Answer
+	for _, e := range c.entries {
+		out = append(out, e.Answers...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pair.A != out[j].Pair.A {
+			return out[i].Pair.A < out[j].Pair.A
+		}
+		if out[i].Pair.B != out[j].Pair.B {
+			return out[i].Pair.B < out[j].Pair.B
+		}
+		if out[i].Worker != out[j].Worker {
+			return out[i].Worker < out[j].Worker
+		}
+		return !out[i].Match && out[j].Match
+	})
+	return out
+}
+
+// Pairs returns every judged pair in canonical order.
+func (c *Cache) Pairs() []record.Pair {
+	out := make([]record.Pair, 0, len(c.entries))
+	for p := range c.entries {
+		out = append(out, p)
+	}
+	record.SortPairs(out)
+	return out
+}
+
+// SetPosteriors records the latest aggregation result on the entries.
+func (c *Cache) SetPosteriors(post aggregate.Posterior) {
+	for p, prob := range post {
+		if e, ok := c.entries[p]; ok {
+			e.Posterior = prob
+		}
+	}
+}
+
+// Split partitions candidate pairs into those already judged (cached) and
+// those genuinely new, preserving input order. Only the fresh pairs need
+// HIT generation and crowd execution.
+func (c *Cache) Split(pairs []record.Pair) (cached, fresh []record.Pair) {
+	for _, p := range pairs {
+		if c.Has(p) {
+			cached = append(cached, p)
+		} else {
+			fresh = append(fresh, p)
+		}
+	}
+	return cached, fresh
+}

@@ -1,0 +1,81 @@
+package verdicts
+
+import (
+	"testing"
+
+	"github.com/crowder/crowder/internal/aggregate"
+	"github.com/crowder/crowder/internal/record"
+)
+
+func mk(a, b int) record.Pair { return record.MakePair(record.ID(a), record.ID(b)) }
+
+func TestCachePutGetSplit(t *testing.T) {
+	c := NewCache()
+	p1, p2, p3 := mk(0, 1), mk(1, 2), mk(2, 3)
+	e := c.Put(p1, 0.7)
+	if e.Likelihood != 0.7 || c.Len() != 1 || !c.Has(p1) {
+		t.Fatalf("Put/Has/Len broken: %+v", e)
+	}
+	// Put is idempotent: the first likelihood wins.
+	if again := c.Put(p1, 0.2); again != e || again.Likelihood != 0.7 {
+		t.Fatal("re-Put should return the existing entry unchanged")
+	}
+	c.Put(p2, 0.5)
+	cached, fresh := c.Split([]record.Pair{p1, p3, p2})
+	if len(cached) != 2 || len(fresh) != 1 || fresh[0] != p3 {
+		t.Fatalf("Split = %v / %v", cached, fresh)
+	}
+	if c.Get(p3) != nil {
+		t.Error("Get of unseen pair should be nil")
+	}
+}
+
+// AllAnswers must depend only on the answer set, not on insertion order —
+// the property that makes k-batch re-aggregation bit-identical to a
+// from-scratch run.
+func TestAllAnswersCanonicalOrder(t *testing.T) {
+	answers := []aggregate.Answer{
+		{Pair: mk(3, 4), Worker: 2, Match: true},
+		{Pair: mk(0, 1), Worker: 9, Match: false},
+		{Pair: mk(0, 1), Worker: 4, Match: true},
+		{Pair: mk(1, 2), Worker: 1, Match: true},
+	}
+	a := NewCache()
+	a.AddAnswers(answers)
+	b := NewCache()
+	for i := len(answers) - 1; i >= 0; i-- {
+		b.AddAnswers(answers[i : i+1])
+	}
+	wa, wb := a.AllAnswers(), b.AllAnswers()
+	if len(wa) != len(answers) || len(wb) != len(answers) {
+		t.Fatalf("lost answers: %d / %d", len(wa), len(wb))
+	}
+	for i := range wa {
+		if wa[i] != wb[i] {
+			t.Fatalf("order depends on insertion: %v vs %v", wa, wb)
+		}
+	}
+	for i := 1; i < len(wa); i++ {
+		prev, cur := wa[i-1], wa[i]
+		if prev.Pair.A > cur.Pair.A || (prev.Pair == cur.Pair && prev.Worker > cur.Worker) {
+			t.Fatalf("not canonically sorted: %v before %v", prev, cur)
+		}
+	}
+}
+
+func TestSetPosteriorsAndPairs(t *testing.T) {
+	c := NewCache()
+	c.Put(mk(1, 2), 0.6)
+	c.Put(mk(0, 1), 0.4)
+	c.SetPosteriors(aggregate.Posterior{mk(1, 2): 0.93, mk(5, 6): 0.2})
+	if got := c.Get(mk(1, 2)).Posterior; got != 0.93 {
+		t.Errorf("posterior = %v; want 0.93", got)
+	}
+	if c.Has(mk(5, 6)) {
+		t.Error("SetPosteriors must not create entries")
+	}
+	ps := c.Pairs()
+	if len(ps) != 2 || ps[0] != mk(0, 1) || ps[1] != mk(1, 2) {
+		t.Errorf("Pairs = %v", ps)
+	}
+}

@@ -22,32 +22,32 @@ type CSVOptions struct {
 }
 
 // ReadCSV loads records from CSV into a Table. Every row becomes one
-// record; ragged rows are rejected.
+// record; ragged rows are rejected. Rows are streamed into the table one
+// at a time — the reader's row buffer is reused and each record's values
+// are copied out — so loading an n-row catalog takes O(row) transient
+// memory on top of the table itself, never a second full copy of the
+// file.
 func ReadCSV(r io.Reader, opts CSVOptions) (*Table, error) {
 	cr := csv.NewReader(r)
 	if opts.Comma != 0 {
 		cr.Comma = opts.Comma
 	}
 	cr.FieldsPerRecord = -1
+	cr.ReuseRecord = true
 
-	rows, err := cr.ReadAll()
+	first, err := cr.Read()
+	if err == io.EOF {
+		return nil, fmt.Errorf("crowder: empty csv input")
+	}
 	if err != nil {
 		return nil, fmt.Errorf("crowder: reading csv: %w", err)
 	}
-	if len(rows) == 0 {
-		return nil, fmt.Errorf("crowder: empty csv input")
-	}
 
 	var schema []string
-	start := 0
 	if opts.Header {
-		schema = rows[0]
-		start = 1
-		if len(rows) == 1 {
-			return nil, fmt.Errorf("crowder: csv has a header but no data rows")
-		}
+		schema = append(schema, first...)
 	} else {
-		for i := range rows[0] {
+		for i := range first {
 			schema = append(schema, "col"+strconv.Itoa(i))
 		}
 	}
@@ -75,20 +75,44 @@ func ReadCSV(r io.Reader, opts CSVOptions) (*Table, error) {
 	}
 
 	t := NewTable(schema...)
-	for rowNum, row := range rows[start:] {
+	appendRow := func(rowNum int, row []string) error {
 		if len(row) != len(schema)+btoi(srcIdx >= 0) {
-			return nil, fmt.Errorf("crowder: row %d has %d fields; want %d", rowNum+start+1, len(row), len(schema)+btoi(srcIdx >= 0))
+			return fmt.Errorf("crowder: row %d has %d fields; want %d", rowNum, len(row), len(schema)+btoi(srcIdx >= 0))
 		}
 		if srcIdx >= 0 {
 			src, err := strconv.Atoi(row[srcIdx])
 			if err != nil {
-				return nil, fmt.Errorf("crowder: row %d: source %q is not an integer", rowNum+start+1, row[srcIdx])
+				return fmt.Errorf("crowder: row %d: source %q is not an integer", rowNum, row[srcIdx])
 			}
 			vals := append(append([]string(nil), row[:srcIdx]...), row[srcIdx+1:]...)
 			t.AppendFrom(src, vals...)
 		} else {
 			t.Append(row...)
 		}
+		return nil
+	}
+
+	rowNum := 1
+	if !opts.Header {
+		if err := appendRow(rowNum, first); err != nil {
+			return nil, err
+		}
+	}
+	for {
+		rowNum++
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("crowder: reading csv: %w", err)
+		}
+		if err := appendRow(rowNum, row); err != nil {
+			return nil, err
+		}
+	}
+	if t.Len() == 0 {
+		return nil, fmt.Errorf("crowder: csv has a header but no data rows")
 	}
 	return t, nil
 }

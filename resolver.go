@@ -1,0 +1,216 @@
+package crowder
+
+import (
+	"errors"
+	"sync"
+
+	"github.com/crowder/crowder/internal/blocking"
+	"github.com/crowder/crowder/internal/record"
+	"github.com/crowder/crowder/internal/simjoin"
+	"github.com/crowder/crowder/internal/verdicts"
+)
+
+// Resolver is a long-lived entity-resolution session: it owns a table
+// plus the derived state the workflow builds over it — the interned token
+// cache, the similarity-join inverted index, and a cache of crowd
+// verdicts keyed by pair — and keeps all of it incrementally maintained
+// as records arrive. Where Resolve is a one-shot batch, a Resolver
+// absorbs appends over time: ResolveDelta probes only the newly appended
+// records against the existing index (new×all candidate generation
+// instead of an all×all re-join) and sends only genuinely new candidate
+// pairs to the crowd, reusing the cached verdicts of everything judged in
+// earlier batches. Previously paid-for HITs are never re-issued.
+//
+// With pair-based HITs, resolving k batches incrementally produces
+// bit-identical Matches to a from-scratch Resolve of the union table with
+// the same Options: candidate generation is exact (the delta join finds
+// the same qualifying pairs), every pair's crowd answers are a pure
+// function of (Seed, pair) regardless of batching, and aggregation runs
+// over the canonically ordered union of all answers. Cluster-based HITs
+// remain fully deterministic in the batch sequence, but their answers
+// couple pairs within a HIT (the worker's transitive closure), so a
+// different batching can legitimately reach different judgments on
+// borderline pairs. Likewise, SourceTokenBlocking with a MaxBlock cap
+// evaluates the cap against block sizes at delta time: a block that
+// grows past the cap mid-session stops contributing new pairs, whereas
+// a batch run would have dropped it wholesale — already-judged pairs are
+// never retracted. The exact-equivalence guarantee therefore covers
+// SourceSimJoin and uncapped token blocking.
+//
+// If a delta fails mid-flight (e.g. HIT generation rejects an option),
+// the candidate pairs already discovered stay pending and are retried by
+// the next ResolveDelta; the join index never re-scans them.
+//
+// A Resolver is safe for concurrent use; every method takes the session
+// lock. Mutating the table other than through the Resolver is not
+// supported.
+type Resolver struct {
+	mu    sync.Mutex
+	table *Table
+	opts  Options
+
+	// idx is the persistent similarity-join index (SourceSimJoin).
+	idx *simjoin.Index
+	// blocked counts the records already consumed by the delta blocking
+	// path (SourceTokenBlocking).
+	blocked int
+	// cache holds the verdicts of every judged pair.
+	cache *verdicts.Cache
+	// pending lists candidate pairs discovered but not yet judged —
+	// normally emptied by the same ResolveDelta that discovers them, it
+	// preserves work across a failed delta.
+	pending []simjoin.ScoredPair
+}
+
+// NewResolver creates a resolution session owning the given table. The
+// table may be empty (records appended later) or pre-loaded (the first
+// ResolveDelta then resolves it wholesale); either way the Resolver takes
+// ownership — append through the Resolver from here on. Options are fixed
+// for the session so that every batch draws from the same simulated crowd.
+func NewResolver(t *Table, opts Options) (*Resolver, error) {
+	if t == nil {
+		return nil, errors.New("crowder: nil table")
+	}
+	opts.defaults()
+	return &Resolver{
+		table: t,
+		opts:  opts,
+		idx: simjoin.NewIndex(t.inner, simjoin.Options{
+			Threshold:       opts.Threshold,
+			CrossSourceOnly: opts.CrossSourceOnly,
+			Parallelism:     opts.Parallelism,
+		}),
+		cache: verdicts.NewCache(),
+	}, nil
+}
+
+// Append adds a record and returns its ID. The record is resolved by the
+// next ResolveDelta call.
+func (r *Resolver) Append(values ...string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.table.Append(values...)
+}
+
+// AppendFrom adds a record tagged with a source index (see
+// Table.AppendFrom).
+func (r *Resolver) AppendFrom(source int, values ...string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.table.AppendFrom(source, values...)
+}
+
+// AppendBatch adds the rows in order and returns the ID of the first one
+// (rows occupy IDs first..first+len(rows)-1). An empty batch returns the
+// would-be next ID.
+func (r *Resolver) AppendBatch(rows ...[]string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	first := r.table.Len()
+	for _, row := range rows {
+		r.table.Append(row...)
+	}
+	return first
+}
+
+// Len returns the number of records in the owned table.
+func (r *Resolver) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.table.Len()
+}
+
+// Record returns the attribute values of the record with the given ID.
+func (r *Resolver) Record(id int) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.table.Record(id)
+}
+
+// JudgedPairs returns the number of pairs with cached verdicts.
+func (r *Resolver) JudgedPairs() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cache.Len()
+}
+
+// PendingPairs returns the number of candidate pairs discovered but not
+// yet judged — non-zero only after a failed delta.
+func (r *Resolver) PendingPairs() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, sp := range r.pending {
+		if !r.cache.Has(sp.Pair) {
+			n++
+		}
+	}
+	return n
+}
+
+// Verdict returns the cached confidence for a pair (crowd posterior, or
+// machine likelihood under MachineOnly) and whether the pair has been
+// judged.
+func (r *Resolver) Verdict(p Pair) (float64, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.cache.Get(record.MakePair(record.ID(p.A), record.ID(p.B)))
+	if e == nil {
+		return 0, false
+	}
+	return e.Posterior, true
+}
+
+// ResolveDelta resolves the records appended since the previous call
+// against the whole table: the delta probes the live join index (or delta
+// blocking), pairs already judged reuse their cached verdicts, and only
+// genuinely new candidate pairs are batched into HITs and crowdsourced.
+// The returned Result covers the full session — Matches ranks every
+// judged pair, while HITs, CostDollars and ElapsedSeconds account only
+// for the work this delta actually performed (all zero when the delta
+// introduced no new candidate pairs). Calling it with no new records
+// re-aggregates and returns the current state at no crowd cost.
+func (r *Resolver) ResolveDelta() (*Result, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.resolveLocked(resolvePipeline())
+}
+
+// resolveLocked runs the staged workflow; the caller holds r.mu.
+func (r *Resolver) resolveLocked(p *resolverPipeline) (*Result, error) {
+	if r.table.Len() == 0 {
+		return nil, errors.New("crowder: empty table")
+	}
+	if !r.opts.MachineOnly && r.opts.Oracle == nil {
+		return nil, errors.New("crowder: Options.Oracle is required (the simulated crowd needs reference labels); set MachineOnly for the pure machine baseline")
+	}
+	st := &resolveState{rv: r, res: &Result{}}
+	final, stats, err := p.Run(st)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range stats {
+		final.res.Stages = append(final.res.Stages, StageStat{Name: s.Name, Seconds: s.Duration.Seconds()})
+	}
+	return final.res, nil
+}
+
+// deltaCandidates generates and scores the candidate pairs introduced by
+// the records appended since the last delta, per the configured candidate
+// source. The caller holds r.mu.
+func (r *Resolver) deltaCandidates() ([]simjoin.ScoredPair, error) {
+	switch r.opts.Candidates {
+	case SourceSimJoin:
+		return r.idx.Update(), nil
+	case SourceTokenBlocking:
+		since := r.blocked
+		r.blocked = r.table.Len()
+		cands := blocking.TokenBlockingSince(r.table.inner, blocking.Options{
+			MaxBlock:        r.opts.MaxBlock,
+			CrossSourceOnly: r.opts.CrossSourceOnly,
+		}, since)
+		return simjoin.ScoreCandidates(r.table.inner, cands, r.opts.Threshold), nil
+	default:
+		return nil, errUnknownCandidateSource(r.opts.Candidates)
+	}
+}

@@ -1,0 +1,317 @@
+package crowder
+
+import (
+	"testing"
+
+	"github.com/crowder/crowder/internal/dataset"
+)
+
+// resolverDataset builds a crowdable synthetic dataset plus its oracle in
+// the public API's types.
+func resolverDataset(seed int64, records, dups int) ([][]string, []string, []Pair) {
+	d := dataset.RestaurantN(seed, records, dups)
+	rows := make([][]string, d.Table.Len())
+	for i := range d.Table.Records {
+		row := make([]string, len(d.Table.Records[i].Values))
+		copy(row, d.Table.Records[i].Values)
+		rows[i] = row
+	}
+	var oracle []Pair
+	for _, p := range d.Matches.Slice() {
+		oracle = append(oracle, Pair{A: int(p.A), B: int(p.B)})
+	}
+	return rows, d.Table.Schema, oracle
+}
+
+func assertSameMatches(t *testing.T, label string, want, got []Match) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d matches vs %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: match %d differs: %+v vs %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// Acceptance: resolving k delta batches incrementally produces
+// bit-identical Matches to a from-scratch Resolve of the union table, at
+// every parallelism level. Pair-based HITs make crowd verdicts a pure
+// function of (Seed, pair), so re-batching across deltas cannot change
+// any judgment. Run with -race: ResolveDelta shards the join probe and
+// the crowd execution across goroutines.
+func TestResolveDeltaEquivalentToFromScratch(t *testing.T) {
+	rows, schema, oracle := resolverDataset(11, 240, 40)
+	batches := [][][]string{rows[:100], rows[100:140], rows[140:141], rows[141:]}
+
+	for _, par := range []int{1, 2, 8} {
+		opts := Options{
+			Threshold:   0.4,
+			HITType:     PairHITs,
+			ClusterSize: 5,
+			Oracle:      oracle,
+			Seed:        7,
+			Parallelism: par,
+		}
+
+		union := NewTable(schema...)
+		for _, row := range rows {
+			union.Append(row...)
+		}
+		want, err := Resolve(union, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		rv, err := NewResolver(NewTable(schema...), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got *Result
+		totalHITs, totalCost := 0, 0.0
+		for _, batch := range batches {
+			rv.AppendBatch(batch...)
+			got, err = rv.ResolveDelta()
+			if err != nil {
+				t.Fatal(err)
+			}
+			totalHITs += got.HITs
+			totalCost += got.CostDollars
+		}
+
+		assertSameMatches(t, "parallelism", want.Matches, got.Matches)
+		if got.Candidates != want.Candidates {
+			t.Fatalf("parallelism %d: session candidates %d vs from-scratch %d", par, got.Candidates, want.Candidates)
+		}
+		if got.TotalPairs != want.TotalPairs {
+			t.Fatalf("parallelism %d: TotalPairs %d vs %d", par, got.TotalPairs, want.TotalPairs)
+		}
+		// Every candidate pair was judged exactly once across the deltas:
+		// the session's total crowd spend covers the same pairs the batch
+		// run paid for (HIT packing differs, pair coverage must not).
+		if totalHITs == 0 || totalCost <= 0 {
+			t.Fatalf("parallelism %d: incremental session did no crowd work", par)
+		}
+	}
+}
+
+// Machine-only deltas must likewise reproduce the from-scratch likelihood
+// ranking bit-for-bit, for both candidate sources.
+func TestResolveDeltaMachineOnlyEquivalence(t *testing.T) {
+	rows, schema, _ := resolverDataset(3, 180, 30)
+	for _, src := range []CandidateSource{SourceSimJoin, SourceTokenBlocking} {
+		opts := Options{Threshold: 0.3, MachineOnly: true, Candidates: src}
+
+		union := NewTable(schema...)
+		for _, row := range rows {
+			union.Append(row...)
+		}
+		want, err := Resolve(union, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		rv, err := NewResolver(NewTable(schema...), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got *Result
+		for _, batch := range [][][]string{rows[:60], rows[60:61], rows[61:]} {
+			rv.AppendBatch(batch...)
+			if got, err = rv.ResolveDelta(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		assertSameMatches(t, "source", want.Matches, got.Matches)
+	}
+}
+
+// Acceptance: a delta that introduces no new candidate pairs issues zero
+// HITs and costs nothing — the verdict cache answers everything.
+func TestResolveDeltaNoNewCandidatesIssuesNoHITs(t *testing.T) {
+	rows, schema, oracle := resolverDataset(5, 120, 20)
+	opts := Options{Threshold: 0.4, HITType: PairHITs, Oracle: oracle, Seed: 2}
+	rv, err := NewResolver(NewTable(schema...), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv.AppendBatch(rows...)
+	first, err := rv.ResolveDelta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.HITs == 0 {
+		t.Fatal("setup: initial resolve generated no HITs")
+	}
+
+	// No appends at all: pure re-aggregation.
+	again, err := rv.ResolveDelta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.HITs != 0 || again.CostDollars != 0 || again.NewCandidates != 0 {
+		t.Fatalf("idle delta did crowd work: %d HITs, $%v, %d new candidates",
+			again.HITs, again.CostDollars, again.NewCandidates)
+	}
+	if again.CachedCandidates != first.Candidates {
+		t.Fatalf("CachedCandidates = %d; want %d", again.CachedCandidates, first.Candidates)
+	}
+	assertSameMatches(t, "idle delta", first.Matches, again.Matches)
+
+	// A delta whose records share no tokens with anything: no candidate
+	// pairs survive the threshold, so still zero HITs.
+	rv.Append("zzzqx vvwpt", "qqaby", "krrgl", "xx")
+	disjoint, err := rv.ResolveDelta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disjoint.HITs != 0 || disjoint.NewCandidates != 0 {
+		t.Fatalf("disjoint delta issued %d HITs for %d new candidates", disjoint.HITs, disjoint.NewCandidates)
+	}
+	assertSameMatches(t, "disjoint delta", first.Matches, disjoint.Matches)
+}
+
+// The delta accounting must tie out: Candidates = New + Cached, and a
+// pair judged in batch i is cached (never re-issued) in batch j > i.
+func TestResolveDeltaAccounting(t *testing.T) {
+	rows, schema, oracle := resolverDataset(9, 160, 30)
+	opts := Options{Threshold: 0.4, HITType: PairHITs, Oracle: oracle, Seed: 4}
+	rv, err := NewResolver(NewTable(schema...), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	judged := 0
+	for _, batch := range [][][]string{rows[:80], rows[80:]} {
+		rv.AppendBatch(batch...)
+		res, err := rv.ResolveDelta()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Candidates != res.NewCandidates+res.CachedCandidates {
+			t.Fatalf("accounting broken: %d != %d + %d", res.Candidates, res.NewCandidates, res.CachedCandidates)
+		}
+		if res.CachedCandidates != judged {
+			t.Fatalf("CachedCandidates = %d; want %d (pairs judged so far)", res.CachedCandidates, judged)
+		}
+		judged += res.NewCandidates
+		if rv.JudgedPairs() != judged {
+			t.Fatalf("JudgedPairs = %d; want %d", rv.JudgedPairs(), judged)
+		}
+	}
+}
+
+func TestResolverVerdictAccess(t *testing.T) {
+	tab, oracle := paperTable()
+	rv, err := NewResolver(tab, Options{Threshold: 0.3, ClusterSize: 4, Oracle: oracle, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rv.ResolveDelta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range res.Matches {
+		conf, ok := rv.Verdict(m.Pair)
+		if !ok || conf != m.Confidence {
+			t.Fatalf("Verdict(%v) = %v, %v; want %v, true", m.Pair, conf, ok, m.Confidence)
+		}
+	}
+	if _, ok := rv.Verdict(Pair{A: 4, B: 8}); ok {
+		t.Error("unjudged pair should not have a verdict")
+	}
+	if rv.PendingPairs() != 0 {
+		t.Errorf("PendingPairs = %d after a clean resolve; want 0", rv.PendingPairs())
+	}
+}
+
+// A failed delta must not lose discovered candidates: they stay pending
+// for the next attempt.
+func TestResolverFailedDeltaKeepsPending(t *testing.T) {
+	tab, _ := paperTable()
+	rv, err := NewResolver(tab, Options{Threshold: 0.3, HITType: HITType(99), Oracle: []Pair{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rv.ResolveDelta(); err == nil {
+		t.Fatal("unknown HIT type should fail the delta")
+	}
+	if rv.PendingPairs() == 0 {
+		t.Error("failed delta should leave its candidates pending")
+	}
+	if rv.JudgedPairs() != 0 {
+		t.Error("failed delta must not mark pairs judged")
+	}
+}
+
+func TestResolverAppendAccessors(t *testing.T) {
+	rv, err := NewResolver(NewTable("name", "price"), Options{MachineOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rv.ResolveDelta(); err == nil {
+		t.Error("empty resolver should error on ResolveDelta")
+	}
+	if id := rv.Append("ipad 2", "$499"); id != 0 {
+		t.Errorf("first Append ID = %d; want 0", id)
+	}
+	if first := rv.AppendBatch([]string{"ipad two", "$490"}, []string{"ipod", "$49"}); first != 1 {
+		t.Errorf("AppendBatch first ID = %d; want 1", first)
+	}
+	if rv.Len() != 3 {
+		t.Errorf("Len = %d; want 3", rv.Len())
+	}
+	if got := rv.Record(1); len(got) != 2 || got[0] != "ipad two" {
+		t.Errorf("Record(1) = %v", got)
+	}
+	if _, err := rv.ResolveDelta(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewResolver(nil, Options{}); err == nil {
+		t.Error("nil table should error")
+	}
+}
+
+// Cross-source sessions: the delta join honors CrossSourceOnly and the
+// fixed TotalPairs accounting handles arbitrary tag values and 3+
+// sources.
+func TestResolveCrossSourceUniverse(t *testing.T) {
+	tab := NewTable("name")
+	tab.AppendFrom(3, "apple ipod touch 8gb")
+	tab.AppendFrom(3, "apple ipod touch 8gb black")
+	tab.AppendFrom(7, "apple ipod touch 8gb 2nd gen")
+	tab.AppendFrom(9, "apple ipod nano 4gb")
+	res, err := Resolve(tab, Options{Threshold: 0.1, CrossSourceOnly: true, MachineOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sources {3:2, 7:1, 9:1}: cross pairs = 2·1 + 2·1 + 1·1 = 5.
+	if res.TotalPairs != 5 {
+		t.Errorf("TotalPairs = %d; want 5", res.TotalPairs)
+	}
+	for _, m := range res.Matches {
+		if m.Pair.A < 2 && m.Pair.B < 2 {
+			t.Errorf("same-source pair leaked: %v", m.Pair)
+		}
+	}
+}
+
+func TestNoSpammersOption(t *testing.T) {
+	tab, oracle := paperTable()
+	clean, err := Resolve(tab, Options{Threshold: 0.3, Oracle: oracle, Seed: 1, SpammerRate: NoSpammers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean.Matches) == 0 {
+		t.Fatal("clean-pool resolve produced no matches")
+	}
+	// The sentinel must reach the population: a clean pool answers the
+	// easy iPad trio correctly with high confidence.
+	acc := map[Pair]bool{}
+	for _, m := range clean.Accepted() {
+		acc[m.Pair] = true
+	}
+	if !acc[Pair{0, 1}] || !acc[Pair{0, 6}] || !acc[Pair{1, 6}] {
+		t.Errorf("clean pool missed the iPad trio: %v", clean.Accepted())
+	}
+}
