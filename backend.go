@@ -1,0 +1,75 @@
+package crowder
+
+import (
+	"github.com/crowder/crowder/internal/crowd"
+)
+
+// Backend abstracts the crowd marketplace executing HITs: tasks are
+// posted asynchronously and assignments stream back as workers complete
+// them. Two implementations ship with the package:
+//
+//   - the reference simulator (the default when Options.Backend is nil),
+//     which replays the paper's Section 7.1 worker model on a virtual
+//     clock — results are bit-identical to the synchronous executor it
+//     replaced, at every parallelism level;
+//   - the queue backend (NewQueueBackend), which holds HITs open for
+//     external workers to claim and answer — in-process, or over HTTP
+//     through the crowderd service.
+//
+// Custom backends (e.g. a real Mechanical Turk bridge) implement Post
+// and Collect; the engine's lifecycle manager handles replication
+// accounting, expiry top-ups and aggregation on top.
+type Backend = crowd.Backend
+
+// HIT is one crowdsourcing task as posted to a Backend.
+type HIT = crowd.HIT
+
+// Assignment is one worker's completed (or expired) assignment of a HIT.
+type Assignment = crowd.Assignment
+
+// HITKind distinguishes pair-based from cluster-based tasks.
+type HITKind = crowd.HITKind
+
+// HIT kinds.
+const (
+	PairKind    = crowd.PairKind
+	ClusterKind = crowd.ClusterKind
+)
+
+// HITState is one task's position in the asynchronous lifecycle.
+type HITState = crowd.HITState
+
+// HIT lifecycle states: posted → answering (k of r) → complete.
+const (
+	HITPosted    = crowd.HITPosted
+	HITAnswering = crowd.HITAnswering
+	HITComplete  = crowd.HITComplete
+)
+
+// Progress is a lifecycle event delivered to Options.Progress after
+// every HIT state transition during the execute stage.
+type Progress = crowd.Progress
+
+// QueueBackend is the in-memory queue backend: posted HITs stay open for
+// external workers to claim (with a lease) and answer. It is the engine
+// side of crowderd's worker API and is safe for concurrent use.
+type QueueBackend = crowd.Queue
+
+// QueueOptions configures a queue backend (lease duration, test clock).
+type QueueOptions = crowd.QueueOptions
+
+// OpenHIT describes a claimable task on a queue backend.
+type OpenHIT = crowd.OpenHIT
+
+// ClaimedHIT is a worker's hold on one assignment of an open HIT.
+type ClaimedHIT = crowd.Claimed
+
+// Verdict is one worker-submitted judgment on a pair of a claimed HIT.
+type Verdict = crowd.Verdict
+
+// NewQueueBackend creates an empty queue backend to pass as
+// Options.Backend. Workers drive it with Claim and Answer — directly, or
+// through the crowderd HTTP API.
+func NewQueueBackend(opts QueueOptions) *QueueBackend {
+	return crowd.NewQueue(opts)
+}

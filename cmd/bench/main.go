@@ -15,20 +15,35 @@
 // already-judged pairs.
 //
 //	go run ./cmd/bench -delta -o BENCH_incremental.json
+//
+// With -serve it benchmarks the crowderd service path: a local HTTP
+// daemon absorbs append→resolve→poll→matches round-trips, reporting
+// requests/sec and p50/p99 latencies. The run fails (exit 1) unless the
+// matches the service returns are bit-identical to a library-mode
+// Resolve of the same table — the service smoke check.
+//
+//	go run ./cmd/bench -serve -o BENCH_service.json
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"math"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
+	"sort"
+	"sync"
 	"testing"
 	"time"
 
 	crowder "github.com/crowder/crowder"
 	"github.com/crowder/crowder/internal/dataset"
+	"github.com/crowder/crowder/internal/service"
 	"github.com/crowder/crowder/internal/simjoin"
 )
 
@@ -208,6 +223,254 @@ func runDelta(base, batch, batches int, minSpeedup float64) (*DeltaReport, bool)
 	return rep, ok
 }
 
+// ServiceReport is the file layout of BENCH_service.json.
+type ServiceReport struct {
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	GoMaxProcs int    `json:"go_max_procs"`
+
+	BaseRecords int `json:"base_records"`
+	BatchSize   int `json:"batch_size"`
+	Rounds      int `json:"rounds"`
+
+	// Append+resolve+poll round-trip latency (one delta resolution job
+	// end to end over HTTP).
+	ResolveRoundMeanMs float64 `json:"resolve_round_mean_ms"`
+	ResolveRoundP50Ms  float64 `json:"resolve_round_p50_ms"`
+	ResolveRoundP99Ms  float64 `json:"resolve_round_p99_ms"`
+	ResolveRoundsPerS  float64 `json:"resolve_rounds_per_sec"`
+
+	// Read-path throughput: concurrent GET /matches.
+	MatchReads        int     `json:"match_reads"`
+	MatchReadRPS      float64 `json:"match_read_rps"`
+	MatchReadP50Ms    float64 `json:"match_read_p50_ms"`
+	MatchReadP99Ms    float64 `json:"match_read_p99_ms"`
+	MatchReadClients  int     `json:"match_read_clients"`
+	MatchesIdentical  bool    `json:"matches_identical"`
+	SessionHITs       int     `json:"session_hits"`
+	SessionCandidates int     `json:"session_candidates"`
+}
+
+// percentile returns the nearest-rank percentile (ceil convention), so
+// small samples report their tail honestly: p99 of 5 samples is the
+// maximum, not the second-largest.
+func percentile(ms []float64, q float64) float64 {
+	if len(ms) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), ms...)
+	sort.Float64s(s)
+	i := int(math.Ceil(q*float64(len(s)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}
+
+// benchCall issues one JSON request against the bench service and decodes
+// the response.
+func benchCall(client *http.Client, method, url string, body, out any) error {
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			return err
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var e map[string]any
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("%s %s: %d %v", method, url, resp.StatusCode, e)
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+// runServe benchmarks a local crowderd: timed append+resolve+poll rounds
+// against a simulated-backend table, then concurrent match reads, then
+// the equality gate against library-mode Resolve.
+func runServe(base, batch, rounds, reads int) (*ServiceReport, bool) {
+	if base < 1 || batch < 1 || rounds < 1 {
+		log.Fatalf("serve mode needs -base, -batch and -rounds >= 1 (got %d, %d, %d)", base, batch, rounds)
+	}
+	const tau = 0.5
+	total := base + batch*rounds
+	d := dataset.RestaurantN(3, total, total/10)
+	rows := make([][]string, d.Table.Len())
+	for i := range d.Table.Records {
+		rows[i] = d.Table.Records[i].Values
+	}
+	var oracle [][2]int
+	var libOracle []crowder.Pair
+	for _, p := range d.Matches.Slice() {
+		oracle = append(oracle, [2]int{int(p.A), int(p.B)})
+		libOracle = append(libOracle, crowder.Pair{A: int(p.A), B: int(p.B)})
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: service.New(service.Options{})}
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer httpSrv.Close()
+	url := "http://" + ln.Addr().String()
+	client := &http.Client{}
+
+	rep := &ServiceReport{
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+
+		BaseRecords: base,
+		BatchSize:   batch,
+		Rounds:      rounds,
+		MatchReads:  reads,
+	}
+
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	must(benchCall(client, "POST", url+"/tables/bench", map[string]any{
+		"schema": d.Table.Schema,
+		"options": map[string]any{
+			"threshold": tau, "hit_type": "pair", "cluster_size": 10,
+			"seed": 1, "oracle": oracle,
+		},
+	}, nil))
+
+	// resolveRound appends a slice of rows (if any), starts a resolution
+	// job and polls it to completion, returning total HITs and candidates.
+	resolveRound := func(lo, hi int) {
+		if hi > lo {
+			must(benchCall(client, "POST", url+"/tables/bench/records",
+				map[string]any{"rows": rows[lo:hi]}, nil))
+		}
+		var kicked struct {
+			Job int `json:"job"`
+		}
+		must(benchCall(client, "POST", url+"/tables/bench/resolve", map[string]any{}, &kicked))
+		for {
+			var status struct {
+				State  string `json:"state"`
+				Error  string `json:"error"`
+				Result struct {
+					HITs       int `json:"hits"`
+					Candidates int `json:"candidates"`
+				} `json:"result"`
+			}
+			must(benchCall(client, "GET", fmt.Sprintf("%s/tables/bench/jobs/%d", url, kicked.Job), nil, &status))
+			switch status.State {
+			case "done":
+				rep.SessionHITs += status.Result.HITs
+				rep.SessionCandidates = status.Result.Candidates
+				return
+			case "running":
+				time.Sleep(time.Millisecond)
+			default:
+				log.Fatalf("job %d ended %s: %s", kicked.Job, status.State, status.Error)
+			}
+		}
+	}
+
+	// Untimed: the steady-state base resolution.
+	resolveRound(0, base)
+
+	// Timed: append+resolve+poll rounds.
+	var roundMs []float64
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		lo := base + r*batch
+		t0 := time.Now()
+		resolveRound(lo, lo+batch)
+		roundMs = append(roundMs, float64(time.Since(t0).Microseconds())/1000)
+	}
+	elapsed := time.Since(start).Seconds()
+	var sum float64
+	for _, ms := range roundMs {
+		sum += ms
+	}
+	rep.ResolveRoundMeanMs = sum / float64(rounds)
+	rep.ResolveRoundP50Ms = percentile(roundMs, 0.50)
+	rep.ResolveRoundP99Ms = percentile(roundMs, 0.99)
+	rep.ResolveRoundsPerS = float64(rounds) / elapsed
+
+	// Read path: concurrent GET /matches.
+	const clients = 8
+	rep.MatchReadClients = clients
+	readMs := make([]float64, reads)
+	var wg sync.WaitGroup
+	readStart := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; i < reads; i += clients {
+				t0 := time.Now()
+				if err := benchCall(client, "GET", url+"/tables/bench/matches?min=0.5", nil, &map[string]any{}); err != nil {
+					log.Fatal(err)
+				}
+				readMs[i] = float64(time.Since(t0).Microseconds()) / 1000
+			}
+		}(c)
+	}
+	wg.Wait()
+	rep.MatchReadRPS = float64(reads) / time.Since(readStart).Seconds()
+	rep.MatchReadP50Ms = percentile(readMs, 0.50)
+	rep.MatchReadP99Ms = percentile(readMs, 0.99)
+
+	// Equality gate: the service's matches must equal library-mode
+	// resolution of the same table.
+	var got struct {
+		Matches []struct {
+			A          int     `json:"a"`
+			B          int     `json:"b"`
+			Confidence float64 `json:"confidence"`
+		} `json:"matches"`
+	}
+	must(benchCall(client, "GET", url+"/tables/bench/matches", nil, &got))
+	union := crowder.NewTable(d.Table.Schema...)
+	for _, row := range rows {
+		union.Append(row...)
+	}
+	want, err := crowder.Resolve(union, crowder.Options{
+		Threshold: tau, HITType: crowder.PairHITs, ClusterSize: 10,
+		Oracle: libOracle, Seed: 1,
+	})
+	must(err)
+	rep.MatchesIdentical = len(got.Matches) == len(want.Matches)
+	if rep.MatchesIdentical {
+		for i, m := range want.Matches {
+			if got.Matches[i].A != m.Pair.A || got.Matches[i].B != m.Pair.B || got.Matches[i].Confidence != m.Confidence {
+				rep.MatchesIdentical = false
+				break
+			}
+		}
+	}
+
+	ok := true
+	if !rep.MatchesIdentical {
+		fmt.Fprintln(os.Stderr, "FAIL: service matches differ from library-mode Resolve of the same table")
+		ok = false
+	}
+	return rep, ok
+}
+
 func writeJSON(out string, v any, summary string) {
 	enc, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
@@ -228,11 +491,25 @@ func main() {
 	out := flag.String("o", "", "write JSON to this file instead of stdout")
 	n := flag.Int("n", 1000, "records in the benchmark table")
 	delta := flag.Bool("delta", false, "benchmark the incremental resolver instead of the batch baseline")
-	baseN := flag.Int("base", 10000, "delta mode: records resolved before the timed deltas")
-	batchN := flag.Int("batch", 100, "delta mode: records per delta batch")
+	baseN := flag.Int("base", 10000, "delta/serve mode: records resolved before the timed batches")
+	batchN := flag.Int("batch", 100, "delta/serve mode: records per batch")
 	batches := flag.Int("batches", 5, "delta mode: number of timed delta batches")
 	minSpeedup := flag.Float64("min-speedup", 1, "delta mode: fail unless delta resolve is at least this many times faster than from-scratch")
+	serve := flag.Bool("serve", false, "benchmark the crowderd service path instead of the batch baseline")
+	rounds := flag.Int("rounds", 5, "serve mode: timed append+resolve+poll rounds")
+	reads := flag.Int("reads", 2000, "serve mode: GET /matches requests for the read-path throughput")
 	flag.Parse()
+
+	if *serve {
+		rep, ok := runServe(*baseN, *batchN, *rounds, *reads)
+		writeJSON(*out, rep, fmt.Sprintf(
+			"wrote %s (append+resolve p50 %.1fms p99 %.1fms; matches read %.0f req/s p50 %.2fms; matches identical: %v)",
+			*out, rep.ResolveRoundP50Ms, rep.ResolveRoundP99Ms, rep.MatchReadRPS, rep.MatchReadP50Ms, rep.MatchesIdentical))
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *delta {
 		rep, ok := runDelta(*baseN, *batchN, *batches, *minSpeedup)

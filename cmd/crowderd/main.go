@@ -1,0 +1,73 @@
+// Command crowderd runs the crowder engine as a long-running HTTP
+// resolution service: tables are incremental resolution sessions, delta
+// resolutions run as asynchronous cancellable jobs, and — for tables on
+// the queue backend — external crowd workers claim and answer the open
+// HITs through the same API. See the package comment of internal/service
+// for the endpoint reference and the README's "Service mode" section for
+// an end-to-end curl session.
+//
+//	crowderd -addr :8080 -lease 5m
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/crowder/crowder/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	lease := flag.Duration("lease", 5*time.Minute, "claim lease for queue-backend HITs")
+	sweep := flag.Duration("sweep", 5*time.Second, "how often to expire lapsed claims")
+	flag.Parse()
+
+	srv := service.New(service.Options{Lease: *lease})
+
+	// Expire lapsed claims even when no worker traffic arrives, so
+	// in-flight jobs hear about expiries and top up replication promptly.
+	sweepCtx, stopSweep := context.WithCancel(context.Background())
+	defer stopSweep()
+	go func() {
+		t := time.NewTicker(*sweep)
+		defer t.Stop()
+		for {
+			select {
+			case <-sweepCtx.Done():
+				return
+			case <-t.C:
+				srv.SweepQueues()
+			}
+		}
+	}()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("crowderd listening on %s (lease %s)", *addr, *lease)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	case s := <-sig:
+		log.Printf("received %v; shutting down", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}
+}

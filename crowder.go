@@ -21,14 +21,23 @@
 //
 // Internally every resolution runs as a staged engine (internal/engine):
 // four named stages — prune (the machine pass), generate (HIT batching),
-// execute (simulated crowd) and aggregate (Dawid–Skene EM) — connected by
+// execute (the crowd) and aggregate (Dawid–Skene EM) — connected by
 // channels, with per-stage wall-clock timings surfaced on Result.Stages.
 // The machine pass operates on interned token IDs cached on the table and
-// shards its prefix-filtered join across Options.Parallelism goroutines;
-// the crowd stage executes HITs concurrently with deterministic RNG
-// streams (per pair for pair-based HITs, per HIT for cluster-based ones).
-// Results are bit-identical at every parallelism level: runs are
-// deterministic in (table, Options) alone.
+// shards its prefix-filtered join across Options.Parallelism goroutines.
+//
+// The execute stage is an asynchronous HIT lifecycle behind the Backend
+// interface: HITs are posted, assignments stream back as workers finish
+// them (each HIT stepping through posted → answering → complete), lapsed
+// assignments are topped up, and the whole run is cancellable through
+// ResolveContext / Resolver.ResolveDeltaContext. The default backend is
+// the reference simulator — the paper's AMT worker model replayed on a
+// virtual clock, with deterministic RNG streams per pair (pair-based
+// HITs) or per HIT (cluster-based ones), so results are bit-identical at
+// every parallelism level: runs are deterministic in (table, Options)
+// alone. NewQueueBackend instead holds HITs open for external workers to
+// claim and answer — the engine side of the crowderd HTTP service
+// (internal/service, cmd/crowderd).
 //
 // Resolve is the one-shot form. For a long-running service absorbing
 // appends, the Resolver type keeps the join index and the crowd's
@@ -53,6 +62,7 @@
 package crowder
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -200,6 +210,44 @@ type Options struct {
 	// execution). 0 means GOMAXPROCS. Results are bit-identical at every
 	// parallelism level.
 	Parallelism int
+	// Backend selects the crowd executing the HITs. nil (the default)
+	// uses the reference simulator driven by Oracle; NewQueueBackend
+	// returns a backend where external workers claim and answer HITs
+	// (crowderd's worker API). With a custom backend the Oracle is not
+	// required — real workers supply the judgment.
+	Backend Backend
+	// Progress, when non-nil, receives a lifecycle event after every HIT
+	// state transition during the execute stage (posted → answering →
+	// complete). Called from the engine's goroutines; keep it fast.
+	Progress func(Progress)
+	// InterimAggregation enables incremental Dawid–Skene re-aggregation
+	// as answers land: each HIT completion recomputes the posterior over
+	// the answers collected so far and attaches it to the Progress event.
+	// The final result always re-aggregates the full canonical answer
+	// set, so this affects observability only, never the outcome.
+	InterimAggregation bool
+}
+
+// validate rejects option values that previously fell through to
+// defaults or misbehaved silently. It is the single validation path
+// shared by Resolve, NewResolver and EstimateCost.
+func (o *Options) validate() error {
+	if o.Workers < 0 {
+		return fmt.Errorf("crowder: Options.Workers = %d; must not be negative (0 selects the default pool of 120)", o.Workers)
+	}
+	if o.Assignments < 0 {
+		return fmt.Errorf("crowder: Options.Assignments = %d; must not be negative (0 selects the default replication of 3)", o.Assignments)
+	}
+	if o.ClusterSize < 0 {
+		return fmt.Errorf("crowder: Options.ClusterSize = %d; must not be negative (0 selects the default of 10)", o.ClusterSize)
+	}
+	if o.Threshold < 0 || o.Threshold > 1 {
+		return fmt.Errorf("crowder: Options.Threshold = %v; must be in [0, 1] (0 selects the default 0.3)", o.Threshold)
+	}
+	if o.Parallelism < 0 {
+		return fmt.Errorf("crowder: Options.Parallelism = %d; must not be negative (0 means GOMAXPROCS)", o.Parallelism)
+	}
+	return nil
 }
 
 func (o *Options) defaults() {
@@ -328,7 +376,7 @@ func (st *resolveState) skipCrowd() bool {
 // score them, drop everything below the likelihood threshold, and split
 // off the pairs whose verdicts are already cached. Candidates discovered
 // by a previously failed delta (still pending) are folded in for retry.
-func stagePrune(st *resolveState) (*resolveState, error) {
+func stagePrune(_ context.Context, st *resolveState) (*resolveState, error) {
 	rv := st.rv
 	scored, err := rv.deltaCandidates()
 	if err != nil {
@@ -357,7 +405,7 @@ func stagePrune(st *resolveState) (*resolveState, error) {
 // stageGenerate batches the new candidate pairs into HITs. Cached pairs
 // never reach this stage: their HITs were issued (and paid for) by the
 // delta that first discovered them.
-func stageGenerate(st *resolveState) (*resolveState, error) {
+func stageGenerate(_ context.Context, st *resolveState) (*resolveState, error) {
 	if st.skipCrowd() {
 		return st, nil
 	}
@@ -387,46 +435,81 @@ func stageGenerate(st *resolveState) (*resolveState, error) {
 	return st, nil
 }
 
-// stageExecute runs the delta's HITs through the simulated crowd and
-// commits the collected answers to the verdict cache, marking the new
-// pairs judged.
-func stageExecute(st *resolveState) (*resolveState, error) {
+// stageExecute drives the delta's HITs through the asynchronous crowd
+// lifecycle — post to the backend, collect assignments as they land, top
+// up expired replication — and commits the collected answers to the
+// verdict cache, marking the new pairs judged. With Options.Backend nil
+// the backend is the reference simulator, fed by the Oracle; results are
+// bit-identical to the synchronous executor this stage replaced.
+//
+// If the run fails — most importantly, if ctx is cancelled while answers
+// are still outstanding — the answers already collected are persisted as
+// partial assignment sets (crowd work is paid for on assignment, not on
+// batch completion) and the delta's candidates stay pending for retry.
+func stageExecute(ctx context.Context, st *resolveState) (*resolveState, error) {
 	if st.skipCrowd() {
 		return st, nil
 	}
 	rv := st.rv
 	opts := rv.opts
-	truth := record.NewPairSet()
-	for _, p := range opts.Oracle {
-		truth.Add(record.ID(p.A), record.ID(p.B))
-	}
-	pop := crowd.NewPopulation(opts.Seed, crowd.PopulationOptions{
-		Size:        opts.Workers,
-		SpammerRate: opts.SpammerRate,
-	})
-	// Simulated workers err most on genuinely ambiguous pairs; the machine
-	// likelihoods from the prune stage calibrate that per-pair difficulty.
-	likelihood := make(map[record.Pair]float64, len(st.scored))
-	for _, sp := range st.scored {
-		likelihood[sp.Pair] = sp.Likelihood
-	}
-	cfg := crowd.Config{
-		Assignments:       opts.Assignments,
-		QualificationTest: opts.QualificationTest,
-		Seed:              opts.Seed,
-		Parallelism:       opts.Parallelism,
-		Difficulty:        crowd.DifficultyFromLikelihood(likelihood),
-	}
-	var (
-		run *crowd.Result
-		err error
-	)
+
+	var hits []crowd.HIT
 	if opts.HITType == PairHITs {
-		run, err = crowd.RunPairHITs(st.pairHITs, truth, pop, cfg)
+		pairLists := make([][]record.Pair, len(st.pairHITs))
+		for i, h := range st.pairHITs {
+			pairLists[i] = h.Pairs
+		}
+		hits = crowd.PairHITsFromGen(pairLists, opts.Assignments)
 	} else {
-		run, err = crowd.RunClusterHITs(st.clusterHITs, st.pairs, truth, pop, cfg)
+		records := make([][]record.ID, len(st.clusterHITs))
+		covered := make([][]record.Pair, len(st.clusterHITs))
+		for i, h := range st.clusterHITs {
+			records[i] = h.Records
+			covered[i] = h.CoveredPairs(st.pairs)
+		}
+		hits = crowd.ClusterHITsFromGen(records, covered, opts.Assignments)
 	}
+
+	backend := opts.Backend
+	if backend == nil {
+		truth := record.NewPairSet()
+		for _, p := range opts.Oracle {
+			truth.Add(record.ID(p.A), record.ID(p.B))
+		}
+		pop := crowd.NewPopulation(opts.Seed, crowd.PopulationOptions{
+			Size:        opts.Workers,
+			SpammerRate: opts.SpammerRate,
+		})
+		// Simulated workers err most on genuinely ambiguous pairs; the
+		// machine likelihoods from the prune stage calibrate that per-pair
+		// difficulty.
+		likelihood := make(map[record.Pair]float64, len(st.scored))
+		for _, sp := range st.scored {
+			likelihood[sp.Pair] = sp.Likelihood
+		}
+		sim, err := crowd.NewSimulator(truth, pop, crowd.Config{
+			Assignments:       opts.Assignments,
+			QualificationTest: opts.QualificationTest,
+			Seed:              opts.Seed,
+			Parallelism:       opts.Parallelism,
+			Difficulty:        crowd.DifficultyFromLikelihood(likelihood),
+		})
+		if err != nil {
+			return nil, err
+		}
+		backend = sim
+	}
+
+	run, err := crowd.ExecuteHITs(ctx, backend, hits, crowd.ExecuteOptions{
+		OnProgress: opts.Progress,
+		Interim:    opts.InterimAggregation,
+	})
 	if err != nil {
+		if run != nil {
+			// Partial assignment sets survive the failure: the crowd work
+			// is already paid for, and the pairs stay pending for retry.
+			rv.cache.AddPartialAnswers(run.Answers)
+		}
 		return nil, err
 	}
 	st.run = run
@@ -447,7 +530,7 @@ func stageExecute(st *resolveState) (*resolveState, error) {
 // pairs' posteriors keep sharpening as fresh evidence about the workers
 // arrives, and a k-batch session aggregates exactly what a from-scratch
 // run would.
-func stageAggregate(st *resolveState) (*resolveState, error) {
+func stageAggregate(_ context.Context, st *resolveState) (*resolveState, error) {
 	rv := st.rv
 	if rv.opts.MachineOnly {
 		// The machine baseline "judges" a pair by recording its
@@ -496,11 +579,20 @@ func resolvePipeline() *resolverPipeline {
 // everything as one delta, so the batch and streaming paths share one
 // prune → generate → execute → aggregate implementation.
 func Resolve(t *Table, opts Options) (*Result, error) {
+	return ResolveContext(context.Background(), t, opts)
+}
+
+// ResolveContext is Resolve bound to a context: cancelling ctx aborts the
+// resolution mid-stage. A cancelled run returns ctx's error; any answers
+// the crowd already delivered are persisted as partial assignment sets
+// on the session (observable through a Resolver; a one-shot session is
+// discarded with them).
+func ResolveContext(ctx context.Context, t *Table, opts Options) (*Result, error) {
 	r, err := NewResolver(t, opts)
 	if err != nil {
 		return nil, err
 	}
-	return r.ResolveDelta()
+	return r.ResolveDeltaContext(ctx)
 }
 
 func errUnknownCandidateSource(c CandidateSource) error {
@@ -552,7 +644,7 @@ func EstimateCost(t *Table, opts Options) (*Estimate, error) {
 		return nil, errors.New("crowder: empty table")
 	}
 	st := &resolveState{rv: r, planOnly: true, res: &Result{}}
-	final, _, err := resolvePipeline().Upto("generate").Run(st)
+	final, _, err := resolvePipeline().Upto("generate").Run(context.Background(), st)
 	if err != nil {
 		return nil, err
 	}

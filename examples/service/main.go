@@ -1,0 +1,182 @@
+// Service example: run crowderd in-process and drive the full HIT
+// lifecycle over HTTP — create a queue-backend table, append the paper's
+// Table 1, start an asynchronous resolution job, play the crowd by
+// claiming and answering the open HITs through the worker API, poll the
+// job, and fetch the matches.
+//
+//	go run ./examples/service
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"github.com/crowder/crowder/internal/service"
+)
+
+// post sends a JSON body and decodes the JSON reply into out (if non-nil).
+func post(client *http.Client, url string, body, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var e map[string]any
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("%s: %d %v", url, resp.StatusCode, e)
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+func get(client *http.Client, url string, out any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func main() {
+	// An in-process crowderd; `go run ./cmd/crowderd` serves the same API
+	// on a real port.
+	srv := httptest.NewServer(service.New(service.Options{Lease: time.Minute}))
+	defer srv.Close()
+	client := srv.Client()
+	fmt.Printf("crowderd (in-process) at %s\n\n", srv.URL)
+
+	// 1. Create a table on the queue backend: HITs wait for real workers.
+	err := post(client, srv.URL+"/tables/products", map[string]any{
+		"schema": []string{"product_name", "price"},
+		"options": map[string]any{
+			"threshold": 0.3, "hit_type": "pair", "cluster_size": 2,
+			"backend": "queue", "interim": true,
+		},
+	}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Append the paper's Table 1.
+	rows := [][]string{
+		{"iPad Two 16GB WiFi White", "$490"},
+		{"iPad 2nd generation 16GB WiFi White", "$469"},
+		{"iPhone 4th generation White 16GB", "$545"},
+		{"Apple iPhone 4 16GB White", "$520"},
+		{"Apple iPhone 3rd generation Black 16GB", "$375"},
+		{"iPhone 4 32GB White", "$599"},
+		{"Apple iPad2 16GB WiFi White", "$499"},
+		{"Apple iPod shuffle 2GB Blue", "$49"},
+		{"Apple iPod shuffle USB Cable", "$19"},
+	}
+	var appended struct {
+		FirstID int `json:"first_id"`
+		Count   int `json:"count"`
+	}
+	if err := post(client, srv.URL+"/tables/products/records", map[string]any{"rows": rows}, &appended); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("appended %d records (ids %d..%d)\n", appended.Count, appended.FirstID, appended.FirstID+appended.Count-1)
+
+	// 3. Kick off the asynchronous resolution job.
+	var kicked struct {
+		Job int `json:"job"`
+	}
+	if err := post(client, srv.URL+"/tables/products/resolve", map[string]any{}, &kicked); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("resolution job %d started; the engine is waiting on the crowd\n\n", kicked.Job)
+
+	// 4. Play the crowd: the true duplicates a human would recognize.
+	matches := map[[2]int]bool{
+		{0, 1}: true, {0, 6}: true, {1, 6}: true, // the iPad trio
+		{2, 3}: true, // the iPhone pair
+	}
+	answered := 0
+	for {
+		var claim struct {
+			Token string `json:"token"`
+			HIT   struct {
+				ID    int `json:"id"`
+				Pairs []struct {
+					A     int      `json:"a"`
+					B     int      `json:"b"`
+					Left  []string `json:"left"`
+					Right []string `json:"right"`
+				} `json:"pairs"`
+			} `json:"hit"`
+		}
+		err := post(client, srv.URL+"/tables/products/hits/claim",
+			map[string]any{"worker": fmt.Sprintf("worker-%d", answered%3)}, &claim)
+		if err != nil {
+			// No open HITs: either the job hasn't posted yet or all
+			// assignments are answered — poll the job to find out.
+			var status struct {
+				State string `json:"state"`
+			}
+			if err := get(client, fmt.Sprintf("%s/tables/products/jobs/%d", srv.URL, kicked.Job), &status); err != nil {
+				log.Fatal(err)
+			}
+			if status.State != "running" {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		var verdicts []map[string]any
+		for _, p := range claim.HIT.Pairs {
+			verdicts = append(verdicts, map[string]any{
+				"a": p.A, "b": p.B, "match": matches[[2]int{p.A, p.B}],
+			})
+		}
+		if err := post(client, srv.URL+"/tables/products/hits/answer",
+			map[string]any{"token": claim.Token, "answers": verdicts}, nil); err != nil {
+			log.Fatal(err)
+		}
+		answered++
+	}
+	fmt.Printf("crowd answered %d assignments over HTTP\n", answered)
+
+	// 5. The job finished; read its accounting and the ranked matches.
+	var status struct {
+		State  string `json:"state"`
+		Result struct {
+			Candidates  int     `json:"candidates"`
+			HITs        int     `json:"hits"`
+			CostDollars float64 `json:"cost_dollars"`
+		} `json:"result"`
+	}
+	if err := get(client, fmt.Sprintf("%s/tables/products/jobs/%d", srv.URL, kicked.Job), &status); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("job state: %s (%d candidates, %d HITs, $%.2f)\n",
+		status.State, status.Result.Candidates, status.Result.HITs, status.Result.CostDollars)
+
+	var got struct {
+		Matches []struct {
+			A          int     `json:"a"`
+			B          int     `json:"b"`
+			Confidence float64 `json:"confidence"`
+		} `json:"matches"`
+	}
+	if err := get(client, srv.URL+"/tables/products/matches?min=0.5", &got); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("matches:")
+	for _, m := range got.Matches {
+		fmt.Printf("  %s = %s  (confidence %.2f)\n", rows[m.A][0], rows[m.B][0], m.Confidence)
+	}
+}

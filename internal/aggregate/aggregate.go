@@ -20,6 +20,28 @@ type Answer struct {
 	Match  bool
 }
 
+// SortCanonical orders answers by (pair, worker, verdict), in place. The
+// order is a pure function of the answer *set*, independent of the
+// sequence that produced it — the invariant that makes re-aggregating
+// after k incremental batches bit-identical to aggregating a one-shot
+// run: Dawid–Skene's floating-point accumulations see the same operands
+// in the same order. Every caller that aggregates a union of answer
+// sources sorts through this one helper.
+func SortCanonical(answers []Answer) {
+	sort.Slice(answers, func(i, j int) bool {
+		if answers[i].Pair.A != answers[j].Pair.A {
+			return answers[i].Pair.A < answers[j].Pair.A
+		}
+		if answers[i].Pair.B != answers[j].Pair.B {
+			return answers[i].Pair.B < answers[j].Pair.B
+		}
+		if answers[i].Worker != answers[j].Worker {
+			return answers[i].Worker < answers[j].Worker
+		}
+		return !answers[i].Match && answers[j].Match
+	})
+}
+
 // Posterior maps each judged pair to its estimated probability of being a
 // true match.
 type Posterior map[record.Pair]float64

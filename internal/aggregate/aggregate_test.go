@@ -180,3 +180,61 @@ func TestWorkerAccuracy(t *testing.T) {
 		t.Errorf("worker 2 accuracy = %v; want 0.5", acc[2])
 	}
 }
+
+// Satellite: incremental Dawid–Skene re-aggregation under partial answer
+// sets — the async execute stage re-aggregates the answers collected so
+// far each time a HIT completes. Re-aggregating the growing union after
+// each batch must (a) stay well-formed at every step, (b) agree with the
+// one-shot aggregation on decisively judged pairs once a pair's answers
+// are all in, and (c) converge bit-identically to the one-shot posterior
+// of the full set when the last batch lands.
+func TestDawidSkeneIncrementalReaggregationConverges(t *testing.T) {
+	answers, _ := buildNoisyAnswers(17, 120, 3, 1, 0.9)
+	canonical := func(as []Answer) []Answer {
+		out := append([]Answer(nil), as...)
+		SortCanonical(out)
+		return out
+	}
+	oneShot := DawidSkene(canonical(answers), DawidSkeneOptions{})
+
+	// Answers land HIT by HIT: each batch is the complete answer set of a
+	// group of pairs (4 answers per pair × 10 pairs per batch).
+	const perPair, pairsPerBatch = 4, 10
+	batch := perPair * pairsPerBatch
+	var sofar []Answer
+	var final Posterior
+	for start := 0; start < len(answers); start += batch {
+		end := start + batch
+		if end > len(answers) {
+			end = len(answers)
+		}
+		sofar = append(sofar, answers[start:end]...)
+		final = DawidSkene(canonical(sofar), DawidSkeneOptions{})
+		if len(final) != len(sofar)/perPair {
+			t.Fatalf("partial aggregation covers %d pairs; want %d", len(final), len(sofar)/perPair)
+		}
+		for p, v := range final {
+			if v < 0 || v > 1 {
+				t.Fatalf("partial posterior(%v) = %v outside [0,1]", p, v)
+			}
+			// Decisively judged pairs keep their decision as more
+			// evidence about the workers accumulates.
+			if ref := oneShot[p]; ref > 0.9 || ref < 0.1 {
+				if (v >= 0.5) != (ref >= 0.5) {
+					t.Errorf("pair %v flips decision under partial evidence: %v vs one-shot %v", p, v, ref)
+				}
+			}
+		}
+	}
+
+	// The last re-aggregation saw exactly the full canonical answer set,
+	// so it must equal the one-shot posterior bit-for-bit.
+	if len(final) != len(oneShot) {
+		t.Fatalf("final incremental aggregation covers %d pairs; one-shot %d", len(final), len(oneShot))
+	}
+	for p, v := range oneShot {
+		if got := final[p]; got != v {
+			t.Fatalf("incremental posterior(%v) = %v; one-shot %v — re-aggregation is not order-invariant", p, got, v)
+		}
+	}
+}

@@ -1,0 +1,340 @@
+package crowd
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/crowder/crowder/internal/aggregate"
+	"github.com/crowder/crowder/internal/record"
+)
+
+// QueueOptions configures a queue backend.
+type QueueOptions struct {
+	// Lease is how long a claimed assignment stays reserved for its
+	// worker before it expires and is reported for a replication top-up.
+	// 0 means claims never expire.
+	Lease time.Duration
+	// Now overrides the clock (tests inject a fake one). nil = time.Now.
+	Now func() time.Time
+}
+
+// Verdict is one worker-submitted judgment on a pair of a claimed HIT.
+type Verdict struct {
+	A, B  record.ID
+	Match bool
+}
+
+// Claimed is a worker's hold on one assignment of an open HIT.
+type Claimed struct {
+	// Token authenticates the eventual Answer call.
+	Token string
+	// HIT is the claimed task's content.
+	HIT HIT
+	// Worker is the claiming worker's name.
+	Worker string
+	// Deadline is when the claim expires (zero when leases are disabled).
+	Deadline time.Time
+
+	claimedAt time.Time
+}
+
+// OpenHIT describes a claimable task: its content plus how many
+// assignments are still open.
+type OpenHIT struct {
+	HIT
+	Open int
+}
+
+// Queue is the in-memory crowd backend for live deployments: HITs posted
+// by the lifecycle manager are held open for external workers — typically
+// talking to the crowderd HTTP API — to claim and answer. Claims carry a
+// lease; a lapsed lease surfaces as an expired assignment on the Collect
+// stream, which the lifecycle manager answers with a replication top-up.
+// A Queue is safe for concurrent use.
+type Queue struct {
+	mu       sync.Mutex
+	opts     QueueOptions
+	st       *stream
+	hits     map[int]HIT
+	open     map[int]int // HIT ID → open (unclaimed) assignments
+	order    []int       // HIT IDs in first-post order, for deterministic claims
+	claims   map[string]*Claimed
+	answered map[int]int             // HIT ID → completed assignments (next slot)
+	touched  map[int]map[string]bool // HIT ID → workers who claimed it
+	workers  map[string]int          // worker name → interned worker ID
+}
+
+// NewQueue creates an empty queue backend.
+func NewQueue(opts QueueOptions) *Queue {
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	return &Queue{
+		opts:     opts,
+		st:       newStream(),
+		hits:     make(map[int]HIT),
+		open:     make(map[int]int),
+		claims:   make(map[string]*Claimed),
+		answered: make(map[int]int),
+		touched:  make(map[int]map[string]bool),
+		workers:  make(map[string]int),
+	}
+}
+
+// Post opens the HITs' assignments for claiming. Re-posting a known HIT
+// ID (a replication top-up) adds assignments to the existing task.
+func (q *Queue) Post(ctx context.Context, hits []HIT) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, h := range hits {
+		if _, known := q.hits[h.ID]; !known {
+			q.hits[h.ID] = h
+			q.order = append(q.order, h.ID)
+		}
+		q.open[h.ID] += h.Assignments
+	}
+	return nil
+}
+
+// Collect returns the answered-assignment stream.
+func (q *Queue) Collect(ctx context.Context) <-chan Assignment {
+	return q.st.channel(ctx)
+}
+
+// Retract withdraws the given HITs: open assignments close, outstanding
+// claims are voided, and all per-HIT bookkeeping is freed. The lifecycle
+// manager retracts a run's HITs — answered or not — when the run ends,
+// so a long-lived queue absorbing run after run holds state only for the
+// HITs currently in flight.
+func (q *Queue) Retract(ids []int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, id := range ids {
+		delete(q.open, id)
+		delete(q.hits, id)
+		delete(q.answered, id)
+		delete(q.touched, id)
+	}
+	for tok, c := range q.claims {
+		if _, live := q.hits[c.HIT.ID]; !live {
+			delete(q.claims, tok)
+		}
+	}
+	live := q.order[:0]
+	for _, id := range q.order {
+		if _, ok := q.hits[id]; ok {
+			live = append(live, id)
+		}
+	}
+	q.order = live
+}
+
+// Open lists the claimable HITs in first-post order.
+func (q *Queue) Open() []OpenHIT {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.sweepLocked(q.opts.Now())
+	var out []OpenHIT
+	for _, id := range q.order {
+		if n := q.open[id]; n > 0 {
+			out = append(out, OpenHIT{HIT: q.hits[id], Open: n})
+		}
+	}
+	return out
+}
+
+// Claim reserves one assignment of the oldest open HIT the worker is
+// eligible for, starting its lease. Replicated assignments exist to
+// collect *independent* judgments — Dawid–Skene's spammer resistance
+// rests on it — so a worker holding a live claim on a HIT, or who has
+// already answered it, never gets another of its assignments. A lapsed
+// claim lifts the bar again: barring deserters forever could leave a
+// topped-up slot no worker may take and hang the resolution, and a
+// deserter who returns still contributes at most one answer. The second
+// return is false when nothing is claimable by this worker.
+func (q *Queue) Claim(worker string) (*Claimed, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.opts.Now()
+	q.sweepLocked(now)
+	for _, id := range q.order {
+		if q.open[id] <= 0 || q.touched[id][worker] {
+			continue
+		}
+		q.open[id]--
+		if q.touched[id] == nil {
+			q.touched[id] = make(map[string]bool)
+		}
+		q.touched[id][worker] = true
+		c := &Claimed{
+			Token:     newToken(),
+			HIT:       q.hits[id],
+			Worker:    worker,
+			claimedAt: now,
+		}
+		if q.opts.Lease > 0 {
+			c.Deadline = now.Add(q.opts.Lease)
+		}
+		q.claims[c.Token] = c
+		return c, true
+	}
+	return nil, false
+}
+
+// Answer submits a claimed assignment's verdicts. Every pair of the HIT
+// must be judged; for cluster HITs the verdicts are transitively closed
+// over the HIT's records (same-entity labels are an equivalence), exactly
+// as the simulator treats a worker's colour labelling. The completed
+// assignment is delivered on the Collect stream.
+func (q *Queue) Answer(token string, verdicts []Verdict) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.opts.Now()
+	q.sweepLocked(now)
+	c, ok := q.claims[token]
+	if !ok {
+		return fmt.Errorf("crowd: unknown or expired claim token %q", token)
+	}
+	byPair := make(map[record.Pair]bool, len(verdicts))
+	for _, v := range verdicts {
+		byPair[record.MakePair(v.A, v.B)] = v.Match
+	}
+	h := c.HIT
+	for _, p := range h.Pairs {
+		if _, ok := byPair[p]; !ok {
+			return fmt.Errorf("crowd: answer is missing a verdict for pair (%d,%d)", p.A, p.B)
+		}
+	}
+	if h.Kind == ClusterKind {
+		byPair = closeOverRecords(h, byPair)
+	}
+	wid, ok := q.workers[c.Worker]
+	if !ok {
+		wid = len(q.workers)
+		q.workers[c.Worker] = wid
+	}
+	a := Assignment{
+		HIT:     h.ID,
+		Slot:    q.answered[h.ID],
+		Worker:  wid,
+		Seconds: now.Sub(c.claimedAt).Seconds(),
+	}
+	q.answered[h.ID]++
+	a.Answers = make([]aggregate.Answer, len(h.Pairs))
+	for i, p := range h.Pairs {
+		a.Answers[i] = aggregate.Answer{Pair: p, Worker: wid, Match: byPair[p]}
+	}
+	delete(q.claims, token)
+	q.st.push(a)
+	return nil
+}
+
+// Sweep expires lapsed claims now; also invoked implicitly by every
+// Open/Claim/Answer. A long-idle queue with no worker traffic should be
+// swept periodically (crowderd runs a ticker) so the lifecycle manager
+// hears about expiries promptly.
+func (q *Queue) Sweep() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.sweepLocked(q.opts.Now())
+}
+
+// sweepLocked drops claims past their deadline and reports each as an
+// expired assignment. The slot is not silently re-opened: the lifecycle
+// manager owns replication policy and responds with a top-up Post.
+func (q *Queue) sweepLocked(now time.Time) {
+	if q.opts.Lease <= 0 {
+		return
+	}
+	var lapsed []string
+	for tok, c := range q.claims {
+		if now.After(c.Deadline) {
+			lapsed = append(lapsed, tok)
+		}
+	}
+	sort.Strings(lapsed)
+	for _, tok := range lapsed {
+		c := q.claims[tok]
+		delete(q.claims, tok)
+		// The deserter may claim this HIT again later (they still hold no
+		// answer on it); keeping the bar could make the slot permanently
+		// unclaimable once every worker has lapsed on it.
+		delete(q.touched[c.HIT.ID], c.Worker)
+		q.st.push(Assignment{HIT: c.HIT.ID, Worker: -1, Expired: true})
+	}
+}
+
+// WorkerID returns the interned numeric ID for a worker name, interning
+// it on first use. Answers aggregate per numeric worker ID, so a worker's
+// confusion matrix spans every assignment they answered.
+func (q *Queue) WorkerID(worker string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	wid, ok := q.workers[worker]
+	if !ok {
+		wid = len(q.workers)
+		q.workers[worker] = wid
+	}
+	return wid
+}
+
+// newToken returns an unguessable claim token. The token is the only
+// credential authenticating an Answer call — over the crowderd HTTP API
+// a predictable token would let any client hijack another worker's
+// claimed assignment and forge its verdicts.
+func newToken() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("crowd: claim token entropy unavailable: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// closeOverRecords applies the cluster-interface semantics to raw pair
+// verdicts: union-find over the HIT's records joins every matched pair,
+// then each covered pair is re-read from the closure.
+func closeOverRecords(h HIT, byPair map[record.Pair]bool) map[record.Pair]bool {
+	idx := make(map[record.ID]int, len(h.Records))
+	for i, r := range h.Records {
+		idx[r] = i
+	}
+	parent := make([]int, len(h.Records))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, p := range h.Pairs {
+		if byPair[p] {
+			ia, okA := idx[p.A]
+			ib, okB := idx[p.B]
+			if okA && okB {
+				a, b := find(ia), find(ib)
+				if a != b {
+					parent[a] = b
+				}
+			}
+		}
+	}
+	out := make(map[record.Pair]bool, len(h.Pairs))
+	for _, p := range h.Pairs {
+		ia, okA := idx[p.A]
+		ib, okB := idx[p.B]
+		out[p] = okA && okB && find(ia) == find(ib)
+	}
+	return out
+}

@@ -1,6 +1,7 @@
 package crowd
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"sort"
@@ -135,6 +136,9 @@ type Result struct {
 	// WorkersUsed is the number of distinct workers who completed at
 	// least one assignment.
 	WorkersUsed int
+	// TopUps counts replication top-ups posted for expired assignments
+	// (always 0 under the simulated backend).
+	TopUps int
 }
 
 // MedianAssignmentSeconds returns the median per-assignment completion
@@ -215,39 +219,15 @@ func forEachHIT(n, parallelism int, fn func(h int)) {
 	})
 }
 
-// mergeOutcomes flattens per-HIT outcomes into a Result in HIT order and
-// computes the derived cost, attraction and makespan figures.
-func mergeOutcomes(outcomes []hitOutcome, pool *Population, cfg Config, attractionBase float64) *Result {
-	res := &Result{}
-	used := make(map[int]bool)
-	var effort float64
-	for _, o := range outcomes {
-		res.Answers = append(res.Answers, o.answers...)
-		res.AssignmentSeconds = append(res.AssignmentSeconds, o.seconds...)
-		for _, id := range o.workers {
-			used[id] = true
-		}
-		effort += o.effort
-	}
-	res.WorkersUsed = len(used)
-	res.CostDollars = float64(len(outcomes)*cfg.Assignments) * DollarsPerAssignment
-	avgEffort := 0.0
-	if len(outcomes) > 0 {
-		avgEffort = effort / float64(len(outcomes))
-	}
-	attraction := attractionBase * effortDiscount(avgEffort, cfg.FairComparisons)
-	res.TotalSeconds = makespan(res.AssignmentSeconds, pool, attraction)
-	return res
-}
-
-// RunPairHITs crowdsources pair-based HITs: every pair in a HIT is
-// replicated to Assignments distinct workers, each answering through
+// RunPairHITs crowdsources pair-based HITs through the asynchronous
+// lifecycle against the reference simulated backend: every pair in a HIT
+// is replicated to Assignments distinct workers, each answering through
 // their confusion matrix. Worker selection and answers draw from a
 // per-pair RNG stream (pairSeed), so a pair's verdicts depend only on
 // (Config.Seed, pair) — never on which HIT the pair was batched into or
 // when that HIT ran. Re-batching the same candidate set therefore
 // reproduces the same answers bit-for-bit, the invariant behind the
-// incremental resolver's verdict cache. HITs execute concurrently
+// incremental resolver's verdict cache. HITs simulate concurrently
 // (Config.Parallelism) with deterministic output.
 //
 // The scheduling model stays at HIT granularity: each HIT still reports
@@ -255,80 +235,37 @@ func mergeOutcomes(outcomes []hitOutcome, pool *Population, cfg Config, attracti
 // to the HIT's comparison load) and costs Assignments × $0.025.
 func RunPairHITs(hits []hitgen.PairHIT, truth record.PairSet, pop *Population, cfg Config) (*Result, error) {
 	cfg.defaults()
-	pool, err := preparePool(pop, cfg)
+	sim, err := NewSimulator(truth, pop, cfg)
 	if err != nil {
 		return nil, err
 	}
-
-	outcomes := make([]hitOutcome, len(hits))
-	forEachHIT(len(hits), cfg.Parallelism, func(hi int) {
-		h := hits[hi]
-		o := &outcomes[hi]
-		slotSpeed := make([]float64, cfg.Assignments)
-		for _, p := range h.Pairs {
-			rng := rand.New(rand.NewSource(pairSeed(cfg.Seed, p)))
-			isMatch := truth.Has(p.A, p.B)
-			difficulty := cfg.difficultyOf(p)
-			for slot, w := range pickDistinct(pool, cfg.Assignments, rng) {
-				o.workers = append(o.workers, w.ID)
-				o.answers = append(o.answers, aggregate.Answer{
-					Pair:   p,
-					Worker: w.ID,
-					Match:  w.AnswerWithDifficulty(isMatch, difficulty, rng),
-				})
-				slotSpeed[slot] += w.Speed
-			}
-		}
-		hitSeconds := cfg.BaseSeconds + cfg.SecondsPerPairComparison*float64(len(h.Pairs))
-		for slot := 0; slot < cfg.Assignments; slot++ {
-			speed := 1.0
-			if len(h.Pairs) > 0 {
-				speed = slotSpeed[slot] / float64(len(h.Pairs))
-			}
-			o.seconds = append(o.seconds, hitSeconds*speed)
-		}
-		o.effort = float64(len(h.Pairs))
-	})
-	return mergeOutcomes(outcomes, pool, cfg, cfg.PairAttraction), nil
+	pairLists := make([][]record.Pair, len(hits))
+	for i, h := range hits {
+		pairLists[i] = h.Pairs
+	}
+	return ExecuteHITs(context.Background(), sim, PairHITsFromGen(pairLists, cfg.Assignments), ExecuteOptions{})
 }
 
-// RunClusterHITs crowdsources cluster-based HITs. Each worker labels the
-// records of the HIT: we simulate noisy pairwise judgments on the covered
-// pairs and then transitively close them (the colour-labelling interface
-// of Figure 4 forces records with the same label into one entity). The
-// worker's completion time follows the Section 6 comparison model applied
-// to their own inferred partition.
+// RunClusterHITs crowdsources cluster-based HITs through the asynchronous
+// lifecycle against the reference simulated backend. Each worker labels
+// the records of the HIT: the simulator draws noisy pairwise judgments on
+// the covered pairs and then transitively closes them (the
+// colour-labelling interface of Figure 4 forces records with the same
+// label into one entity). The worker's completion time follows the
+// Section 6 comparison model applied to their own inferred partition.
 func RunClusterHITs(hits []hitgen.ClusterHIT, pairs []record.Pair, truth record.PairSet, pop *Population, cfg Config) (*Result, error) {
 	cfg.defaults()
-	pool, err := preparePool(pop, cfg)
+	sim, err := NewSimulator(truth, pop, cfg)
 	if err != nil {
 		return nil, err
 	}
-
-	outcomes := make([]hitOutcome, len(hits))
-	forEachHIT(len(hits), cfg.Parallelism, func(hi int) {
-		h := hits[hi]
-		rng := rand.New(rand.NewSource(hitSeed(cfg.Seed, streamClusterHITs, hi)))
-		o := &outcomes[hi]
-		covered := h.CoveredPairs(pairs)
-		for _, w := range pickDistinct(pool, cfg.Assignments, rng) {
-			o.workers = append(o.workers, w.ID)
-			answers := clusterAnswers(h, covered, truth, w, &cfg, rng)
-			o.answers = append(o.answers, answers...)
-			// Worker's own partition determines their comparison count.
-			own := record.NewPairSet()
-			for _, a := range answers {
-				if a.Match {
-					own.Add(a.Pair.A, a.Pair.B)
-				}
-			}
-			comparisons := hitgen.BestOrderComparisons(hitgen.EntitySizes(h, own))
-			o.seconds = append(o.seconds, (cfg.BaseSeconds+cfg.SecondsPerClusterComparison*float64(comparisons))*w.Speed)
-		}
-		o.effort = float64(hitgen.BestOrderComparisons(hitgen.EntitySizes(h, truth))) *
-			cfg.SecondsPerClusterComparison / cfg.SecondsPerPairComparison
-	})
-	return mergeOutcomes(outcomes, pool, cfg, cfg.ClusterAttraction), nil
+	records := make([][]record.ID, len(hits))
+	covered := make([][]record.Pair, len(hits))
+	for i, h := range hits {
+		records[i] = h.Records
+		covered[i] = h.CoveredPairs(pairs)
+	}
+	return ExecuteHITs(context.Background(), sim, ClusterHITsFromGen(records, covered, cfg.Assignments), ExecuteOptions{})
 }
 
 // clusterAnswers simulates one worker completing one cluster-based HIT:

@@ -1,0 +1,195 @@
+package crowd
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"github.com/crowder/crowder/internal/aggregate"
+	"github.com/crowder/crowder/internal/hitgen"
+	"github.com/crowder/crowder/internal/record"
+)
+
+// Simulator is the reference Backend: the Section 7.1 worker-model
+// simulator repackaged behind the asynchronous HIT lifecycle. Posting
+// simulates every assignment immediately (concurrently across HITs,
+// deterministic per-HIT/per-pair RNG streams) and delivers the results on
+// the Collect stream ordered by a virtual clock — each assignment's
+// simulated completion time — so the lifecycle manager observes the same
+// answers-arrive-over-time shape a live crowd produces, without wall-clock
+// delay and bit-identically at every parallelism level.
+type Simulator struct {
+	truth record.PairSet
+	pool  *Population
+	cfg   Config
+	st    *stream
+
+	mu          sync.Mutex
+	kind        HITKind
+	kindSet     bool
+	totalEffort float64
+	hitCount    int
+}
+
+// NewSimulator builds the reference backend from the ground truth the
+// simulated workers perturb, the worker population, and the run
+// configuration (qualification test applied here, as in the synchronous
+// path).
+func NewSimulator(truth record.PairSet, pop *Population, cfg Config) (*Simulator, error) {
+	cfg.defaults()
+	pool, err := preparePool(pop, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{truth: truth, pool: pool, cfg: cfg, st: newStream()}, nil
+}
+
+// Post simulates every assignment of the posted HITs and schedules their
+// delivery in virtual-completion-time order.
+func (s *Simulator) Post(ctx context.Context, hits []HIT) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	outcomes := make([]hitOutcome, len(hits))
+	forEachHIT(len(hits), s.cfg.Parallelism, func(i int) {
+		h := hits[i]
+		if h.Kind == ClusterKind {
+			outcomes[i] = s.simulateClusterHIT(h)
+		} else {
+			outcomes[i] = s.simulatePairHIT(h)
+		}
+	})
+
+	var asgs []Assignment
+	for i, o := range outcomes {
+		h := hits[i]
+		r := h.Assignments
+		n := len(h.Pairs)
+		for slot := 0; slot < r; slot++ {
+			a := Assignment{HIT: h.ID, Slot: slot, Worker: -1, Seconds: o.seconds[slot]}
+			if h.Kind == ClusterKind {
+				// Cluster assignments are one worker's pass over the whole
+				// group: answers are stored assignment-major.
+				a.Answers = append([]aggregate.Answer(nil), o.answers[slot*n:(slot+1)*n]...)
+				a.Worker = o.workers[slot]
+			} else {
+				// Pair assignments replicate each pair to its own worker
+				// set: answers are stored pair-major, so slot s holds every
+				// pair's s-th replica.
+				a.Answers = make([]aggregate.Answer, n)
+				for p := 0; p < n; p++ {
+					a.Answers[p] = o.answers[p*r+slot]
+				}
+			}
+			asgs = append(asgs, a)
+		}
+	}
+	// The virtual clock: deliver in simulated completion order. The sort
+	// is stable over (Ord, slot) construction order, so ties — and thus
+	// the whole stream — are deterministic.
+	sort.SliceStable(asgs, func(i, j int) bool { return asgs[i].Seconds < asgs[j].Seconds })
+
+	s.mu.Lock()
+	for i, o := range outcomes {
+		s.totalEffort += o.effort
+		s.hitCount++
+		if !s.kindSet {
+			s.kind = hits[i].Kind
+			s.kindSet = true
+		}
+	}
+	s.mu.Unlock()
+
+	s.st.push(asgs...)
+	return nil
+}
+
+// Collect returns the virtual-clock-ordered assignment stream.
+func (s *Simulator) Collect(ctx context.Context) <-chan Assignment {
+	return s.st.channel(ctx)
+}
+
+// TotalSeconds implements Scheduler: the batch makespan under the
+// attraction-scaled list-scheduling model (workers drawn by the interface
+// kind, deterred by over-fair effort).
+func (s *Simulator) TotalSeconds(assignmentSeconds []float64) float64 {
+	s.mu.Lock()
+	attractionBase := s.cfg.PairAttraction
+	if s.kindSet && s.kind == ClusterKind {
+		attractionBase = s.cfg.ClusterAttraction
+	}
+	avgEffort := 0.0
+	if s.hitCount > 0 {
+		avgEffort = s.totalEffort / float64(s.hitCount)
+	}
+	s.mu.Unlock()
+	attraction := attractionBase * effortDiscount(avgEffort, s.cfg.FairComparisons)
+	return makespan(assignmentSeconds, s.pool, attraction)
+}
+
+// simulatePairHIT simulates one pair-based HIT: every pair is replicated
+// to Assignments distinct workers drawn from the pair's own RNG stream
+// (pairSeed), so a pair's verdicts depend only on (Config.Seed, pair) —
+// never on which HIT the pair was batched into or when that HIT ran.
+func (s *Simulator) simulatePairHIT(h HIT) hitOutcome {
+	cfg := &s.cfg
+	r := h.Assignments
+	var o hitOutcome
+	slotSpeed := make([]float64, r)
+	for _, p := range h.Pairs {
+		rng := rand.New(rand.NewSource(pairSeed(cfg.Seed, p)))
+		isMatch := s.truth.Has(p.A, p.B)
+		difficulty := cfg.difficultyOf(p)
+		for slot, w := range pickDistinct(s.pool, r, rng) {
+			o.workers = append(o.workers, w.ID)
+			o.answers = append(o.answers, aggregate.Answer{
+				Pair:   p,
+				Worker: w.ID,
+				Match:  w.AnswerWithDifficulty(isMatch, difficulty, rng),
+			})
+			slotSpeed[slot] += w.Speed
+		}
+	}
+	hitSeconds := cfg.BaseSeconds + cfg.SecondsPerPairComparison*float64(len(h.Pairs))
+	for slot := 0; slot < r; slot++ {
+		speed := 1.0
+		if len(h.Pairs) > 0 {
+			speed = slotSpeed[slot] / float64(len(h.Pairs))
+		}
+		o.seconds = append(o.seconds, hitSeconds*speed)
+	}
+	o.effort = float64(len(h.Pairs))
+	return o
+}
+
+// simulateClusterHIT simulates one cluster-based HIT: each assigned
+// worker produces noisy pairwise judgments on the covered pairs,
+// transitively closed by union-find (the colour-labelling interface
+// forces records with the same label into one entity). The worker's
+// completion time follows the Section 6 comparison model applied to
+// their own inferred partition. Randomness comes from the HIT's ordinal
+// stream (hitSeed), keeping concurrent execution bit-identical.
+func (s *Simulator) simulateClusterHIT(h HIT) hitOutcome {
+	cfg := &s.cfg
+	ch := hitgen.ClusterHIT{Records: h.Records}
+	rng := rand.New(rand.NewSource(hitSeed(cfg.Seed, streamClusterHITs, h.Ord)))
+	var o hitOutcome
+	for _, w := range pickDistinct(s.pool, h.Assignments, rng) {
+		o.workers = append(o.workers, w.ID)
+		answers := clusterAnswers(ch, h.Pairs, s.truth, w, cfg, rng)
+		o.answers = append(o.answers, answers...)
+		// Worker's own partition determines their comparison count.
+		own := record.NewPairSet()
+		for _, a := range answers {
+			if a.Match {
+				own.Add(a.Pair.A, a.Pair.B)
+			}
+		}
+		comparisons := hitgen.BestOrderComparisons(hitgen.EntitySizes(ch, own))
+		o.seconds = append(o.seconds, (cfg.BaseSeconds+cfg.SecondsPerClusterComparison*float64(comparisons))*w.Speed)
+	}
+	o.effort = float64(hitgen.BestOrderComparisons(hitgen.EntitySizes(ch, s.truth))) *
+		cfg.SecondsPerClusterComparison / cfg.SecondsPerPairComparison
+	return o
+}

@@ -11,9 +11,16 @@
 //
 // The pipeline is generic over the state type S; crowder threads one
 // resolve-state struct through prune → generate → execute → aggregate.
+//
+// Every run is bound to a context.Context: stages receive it and are
+// expected to honour cancellation mid-stage (long-running stages such as
+// asynchronous crowd execution select on ctx.Done), and the pipeline
+// itself stops dispatching further stages to a state once the context is
+// cancelled. A cancelled run returns ctx's error.
 package engine
 
 import (
+	"context"
 	"fmt"
 	"time"
 )
@@ -26,11 +33,13 @@ type StageStat struct {
 }
 
 // Stage is one step of a pipeline: a named transformation of the state.
-// Run receives the state produced by the previous stage and returns the
-// state handed to the next one.
+// Run receives the run's context and the state produced by the previous
+// stage and returns the state handed to the next one. Stages that block —
+// waiting on crowd answers, network calls — must select on ctx.Done so
+// in-flight runs cancel cleanly.
 type Stage[S any] struct {
 	Name string
-	Run  func(S) (S, error)
+	Run  func(context.Context, S) (S, error)
 }
 
 // Pipeline chains stages over a state type S.
@@ -70,20 +79,20 @@ type item[S any] struct {
 // execute on pipeline goroutines, so without this a stage panic would
 // bypass any recover() the pipeline's caller installed and kill the
 // process.
-func runStage[S any](st Stage[S], s S) (out S, err error) {
+func runStage[S any](st Stage[S], ctx context.Context, s S) (out S, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("panic: %v", r)
 		}
 	}()
-	return st.Run(s)
+	return st.Run(ctx, s)
 }
 
 // Run sends a single state through the pipeline and returns the final
 // state plus per-stage timings. On stage error the remaining stages are
 // skipped and the error is returned.
-func (p *Pipeline[S]) Run(s S) (S, []StageStat, error) {
-	out, stats, err := p.RunAll([]S{s})
+func (p *Pipeline[S]) Run(ctx context.Context, s S) (S, []StageStat, error) {
+	out, stats, err := p.RunAll(ctx, []S{s})
 	if err != nil {
 		var zero S
 		return zero, stats, err
@@ -96,8 +105,9 @@ func (p *Pipeline[S]) Run(s S) (S, []StageStat, error) {
 // its neighbours by buffered channels, so distinct states overlap across
 // stages. The returned error is the first one any stage produced (in
 // input order); states that errored carry their zero value in the output
-// slice.
-func (p *Pipeline[S]) RunAll(states []S) ([]S, []StageStat, error) {
+// slice. Once ctx is cancelled, states reaching a stage are failed with
+// ctx's error instead of being processed.
+func (p *Pipeline[S]) RunAll(ctx context.Context, states []S) ([]S, []StageStat, error) {
 	stats := make([]StageStat, len(p.stages))
 	for i, st := range p.stages {
 		stats[i].Name = st.Name
@@ -118,8 +128,15 @@ func (p *Pipeline[S]) RunAll(states []S) ([]S, []StageStat, error) {
 			var elapsed time.Duration
 			for it := range in {
 				if it.err == nil {
+					if cerr := ctx.Err(); cerr != nil {
+						it.err = cerr
+						var zero S
+						it.state = zero
+					}
+				}
+				if it.err == nil {
 					start := time.Now()
-					next, err := runStage(st, it.state)
+					next, err := runStage(st, ctx, it.state)
 					elapsed += time.Since(start)
 					if err != nil {
 						it.err = fmt.Errorf("%s stage: %w", st.Name, err)

@@ -1,17 +1,24 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
 )
 
+// pure adapts a context-free transformation to the Stage signature; most
+// tests don't care about cancellation.
+func pure[S any](f func(S) (S, error)) func(context.Context, S) (S, error) {
+	return func(_ context.Context, s S) (S, error) { return f(s) }
+}
+
 func TestRunSingleState(t *testing.T) {
 	p := New(
-		Stage[int]{Name: "double", Run: func(x int) (int, error) { return 2 * x, nil }},
-		Stage[int]{Name: "inc", Run: func(x int) (int, error) { return x + 1, nil }},
+		Stage[int]{Name: "double", Run: pure(func(x int) (int, error) { return 2 * x, nil })},
+		Stage[int]{Name: "inc", Run: pure(func(x int) (int, error) { return x + 1, nil })},
 	)
-	out, stats, err := p.Run(10)
+	out, stats, err := p.Run(context.Background(), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,10 +32,10 @@ func TestRunSingleState(t *testing.T) {
 
 func TestRunAllPreservesOrder(t *testing.T) {
 	p := New(
-		Stage[int]{Name: "square", Run: func(x int) (int, error) { return x * x, nil }},
+		Stage[int]{Name: "square", Run: pure(func(x int) (int, error) { return x * x, nil })},
 	)
 	in := []int{3, 1, 4, 1, 5, 9, 2, 6}
-	out, _, err := p.RunAll(in)
+	out, _, err := p.RunAll(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,20 +53,20 @@ func TestStageErrorSkipsRemaining(t *testing.T) {
 	boom := errors.New("boom")
 	ran := false
 	p := New(
-		Stage[int]{Name: "fail", Run: func(x int) (int, error) {
+		Stage[int]{Name: "fail", Run: pure(func(x int) (int, error) {
 			if x == 2 {
 				return 0, boom
 			}
 			return x, nil
-		}},
-		Stage[int]{Name: "after", Run: func(x int) (int, error) {
+		})},
+		Stage[int]{Name: "after", Run: pure(func(x int) (int, error) {
 			if x == 0 {
 				ran = true // would only see 0 if the failed state leaked through
 			}
 			return x + 100, nil
-		}},
+		})},
 	)
-	out, _, err := p.RunAll([]int{1, 2, 3})
+	out, _, err := p.RunAll(context.Background(), []int{1, 2, 3})
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v; want wrapped boom", err)
 	}
@@ -77,9 +84,9 @@ func TestStageErrorSkipsRemaining(t *testing.T) {
 
 func TestRunErrorReturnsZeroState(t *testing.T) {
 	p := New(
-		Stage[string]{Name: "fail", Run: func(string) (string, error) { return "x", errors.New("no") }},
+		Stage[string]{Name: "fail", Run: pure(func(string) (string, error) { return "x", errors.New("no") })},
 	)
-	out, _, err := p.Run("in")
+	out, _, err := p.Run(context.Background(), "in")
 	if err == nil {
 		t.Fatal("expected error")
 	}
@@ -95,20 +102,20 @@ func TestRunErrorReturnsZeroState(t *testing.T) {
 func TestStagesOverlap(t *testing.T) {
 	aDone := make(chan struct{})
 	p := New(
-		Stage[int]{Name: "a", Run: func(x int) (int, error) {
+		Stage[int]{Name: "a", Run: pure(func(x int) (int, error) {
 			if x == 3 { // last item: stage A has seen everything
 				close(aDone)
 			}
 			return x, nil
-		}},
-		Stage[int]{Name: "b", Run: func(x int) (int, error) {
+		})},
+		Stage[int]{Name: "b", Run: pure(func(x int) (int, error) {
 			if x == 0 {
 				<-aDone // block the first item until A has drained its input
 			}
 			return x, nil
-		}},
+		})},
 	)
-	out, _, err := p.RunAll([]int{0, 1, 2, 3})
+	out, _, err := p.RunAll(context.Background(), []int{0, 1, 2, 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,12 +128,12 @@ func TestStagesOverlap(t *testing.T) {
 // kill the process from a pipeline goroutine.
 func TestStagePanicBecomesError(t *testing.T) {
 	p := New(
-		Stage[int]{Name: "boomy", Run: func(x int) (int, error) {
+		Stage[int]{Name: "boomy", Run: pure(func(x int) (int, error) {
 			var s []int
 			return s[5], nil // index out of range
-		}},
+		})},
 	)
-	_, _, err := p.Run(1)
+	_, _, err := p.Run(context.Background(), 1)
 	if err == nil {
 		t.Fatal("stage panic should surface as an error")
 	}
@@ -137,7 +144,7 @@ func TestStagePanicBecomesError(t *testing.T) {
 
 func TestEmptyPipeline(t *testing.T) {
 	p := New[int]()
-	out, stats, err := p.RunAll([]int{7, 8})
+	out, stats, err := p.RunAll(context.Background(), []int{7, 8})
 	if err != nil || len(stats) != 0 {
 		t.Fatalf("empty pipeline: %v, %v", err, stats)
 	}
@@ -149,13 +156,13 @@ func TestEmptyPipeline(t *testing.T) {
 func TestUpto(t *testing.T) {
 	trace := ""
 	stage := func(name string) Stage[int] {
-		return Stage[int]{Name: name, Run: func(x int) (int, error) {
+		return Stage[int]{Name: name, Run: pure(func(x int) (int, error) {
 			trace += name + ";"
 			return x + 1, nil
-		}}
+		})}
 	}
 	p := New(stage("prune"), stage("generate"), stage("execute"))
-	out, stats, err := p.Upto("generate").Run(0)
+	out, stats, err := p.Upto("generate").Run(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +174,47 @@ func TestUpto(t *testing.T) {
 	}
 	// Unknown names fall back to the whole pipeline.
 	trace = ""
-	if out, _, _ := p.Upto("nope").Run(0); out != 3 || trace != "prune;generate;execute;" {
+	if out, _, _ := p.Upto("nope").Run(context.Background(), 0); out != 3 || trace != "prune;generate;execute;" {
 		t.Fatalf("Upto(unknown) should run everything: out=%d trace=%q", out, trace)
+	}
+}
+
+// A context cancelled before the run starts fails every state with the
+// context's error and never invokes a stage.
+func TestRunAllPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	p := New(
+		Stage[int]{Name: "never", Run: pure(func(x int) (int, error) { ran = true; return x, nil })},
+	)
+	_, _, err := p.Run(ctx, 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v; want context.Canceled", err)
+	}
+	if ran {
+		t.Error("stage ran under a cancelled context")
+	}
+}
+
+// A stage that blocks must observe cancellation through the ctx it is
+// handed, and downstream stages must not run for the cancelled state.
+func TestRunCancelMidStage(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	downstream := false
+	p := New(
+		Stage[int]{Name: "block", Run: func(ctx context.Context, x int) (int, error) {
+			cancel()
+			<-ctx.Done()
+			return 0, ctx.Err()
+		}},
+		Stage[int]{Name: "after", Run: pure(func(x int) (int, error) { downstream = true; return x, nil })},
+	)
+	_, _, err := p.Run(ctx, 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v; want context.Canceled", err)
+	}
+	if downstream {
+		t.Error("downstream stage ran after cancellation")
 	}
 }

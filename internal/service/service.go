@@ -1,0 +1,626 @@
+// Package service implements crowderd: the crowder engine packaged as a
+// long-running HTTP daemon. Each table is an incremental resolution
+// session (crowder.Resolver) owned by the server; clients append records,
+// kick off delta resolutions as asynchronous jobs, poll job status and
+// matches, and — for tables on the queue backend — external workers claim
+// and answer the open HITs over the same API. This is the layer where
+// service traffic lands: the engine below it already guarantees that
+// resolutions are incremental (only new pairs are crowdsourced), that
+// in-flight jobs are cancellable, and that simulated-backend runs are
+// deterministic.
+//
+// API overview (all bodies JSON):
+//
+//	POST   /tables/{table}              create a session (schema + options)
+//	GET    /tables                      list sessions
+//	POST   /tables/{table}/records      append rows
+//	POST   /tables/{table}/resolve      start an async delta resolution job
+//	GET    /tables/{table}/jobs/{id}    poll job state and progress
+//	DELETE /tables/{table}/jobs/{id}    cancel a running job
+//	GET    /tables/{table}/matches      ranked matches of the last finished job
+//	GET    /tables/{table}/hits         open HITs (queue backend)
+//	POST   /tables/{table}/hits/claim   claim one assignment (worker API)
+//	POST   /tables/{table}/hits/answer  answer a claimed assignment
+//	GET    /healthz                     liveness
+//
+// Concurrency: resolution jobs run on their own goroutine; one job per
+// table at a time (409 otherwise). Worker endpoints and match reads never
+// touch the resolver lock, so they stay responsive while a resolution is
+// waiting on the crowd. Appends to a table whose job is in flight block
+// until the job completes.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	crowder "github.com/crowder/crowder"
+	"github.com/crowder/crowder/internal/record"
+)
+
+// Options configures the server.
+type Options struct {
+	// Lease is the claim lease for queue-backend tables (default 5m).
+	Lease time.Duration
+}
+
+// Server is the crowderd HTTP handler.
+type Server struct {
+	mu     sync.Mutex
+	opts   Options
+	tables map[string]*session
+	mux    *http.ServeMux
+}
+
+// New creates an empty server.
+func New(opts Options) *Server {
+	if opts.Lease <= 0 {
+		opts.Lease = 5 * time.Minute
+	}
+	s := &Server{opts: opts, tables: make(map[string]*session)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("GET /tables", s.handleListTables)
+	mux.HandleFunc("POST /tables/{table}", s.handleCreateTable)
+	mux.HandleFunc("POST /tables/{table}/records", s.withSession(handleAppend))
+	mux.HandleFunc("POST /tables/{table}/resolve", s.withSession(handleResolve))
+	mux.HandleFunc("GET /tables/{table}/jobs/{id}", s.withSession(handleJobStatus))
+	mux.HandleFunc("DELETE /tables/{table}/jobs/{id}", s.withSession(handleJobCancel))
+	mux.HandleFunc("GET /tables/{table}/matches", s.withSession(handleMatches))
+	mux.HandleFunc("GET /tables/{table}/hits", s.withSession(handleOpenHITs))
+	mux.HandleFunc("POST /tables/{table}/hits/claim", s.withSession(handleClaim))
+	mux.HandleFunc("POST /tables/{table}/hits/answer", s.withSession(handleAnswer))
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// SweepQueues expires lapsed claims on every queue-backend table so
+// lifecycle managers hear about expiries even with no worker traffic.
+// crowderd calls this on a ticker.
+func (s *Server) SweepQueues() {
+	s.mu.Lock()
+	sessions := make([]*session, 0, len(s.tables))
+	for _, sess := range s.tables {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	for _, sess := range sessions {
+		if sess.queue != nil {
+			sess.queue.Sweep()
+		}
+	}
+}
+
+// session is one table's long-lived resolution state.
+type session struct {
+	name  string
+	rv    *crowder.Resolver
+	queue *crowder.QueueBackend // nil for the simulated backend
+
+	// current is the running job, observed lock-free by the engine's
+	// progress callback (which fires while the resolver lock is held).
+	current atomic.Pointer[job]
+
+	// appendMu serializes appends so the row mirror and the resolver's
+	// table assign matching record IDs, and so rows reach the mirror
+	// before the records become visible to a resolution (a HIT must never
+	// render with missing record values).
+	appendMu sync.Mutex
+
+	mu       sync.Mutex
+	schema   []string
+	rows     [][]string // mirror of the table, readable during a resolve
+	jobs     map[int]*job
+	jobOrder []int // job IDs oldest-first, for bounded retention
+	nextJob  int
+	last     *crowder.Result // last successfully completed resolution
+	running  bool
+}
+
+// maxRetainedJobs bounds the finished-job history kept per table: each
+// done job retains its full Result (including the ranked match list), so
+// a daemon absorbing jobs for hours must not keep them all. The running
+// job is never evicted.
+const maxRetainedJobs = 50
+
+// pruneJobsLocked evicts the oldest finished jobs beyond the retention
+// cap; the caller holds sess.mu.
+func (sess *session) pruneJobsLocked() {
+	for len(sess.jobOrder) > maxRetainedJobs {
+		evicted := false
+		for i, id := range sess.jobOrder {
+			j := sess.jobs[id]
+			j.mu.Lock()
+			done := j.state != "running"
+			j.mu.Unlock()
+			if done {
+				delete(sess.jobs, id)
+				sess.jobOrder = append(sess.jobOrder[:i], sess.jobOrder[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return
+		}
+	}
+}
+
+// job is one asynchronous delta resolution.
+type job struct {
+	id int
+
+	mu       sync.Mutex
+	state    string // "running", "done", "failed", "cancelled"
+	progress crowder.Progress
+	interim  int // matches ≥ 0.5 in the latest interim aggregation
+	result   *crowder.Result
+	errMsg   string
+	cancel   context.CancelFunc
+}
+
+func (j *job) update(p crowder.Progress) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.progress = p
+	if p.Interim != nil {
+		n := 0
+		for _, prob := range p.Interim {
+			if prob >= 0.5 {
+				n++
+			}
+		}
+		j.interim = n
+	}
+}
+
+// tableRequest is the POST /tables/{table} body.
+type tableRequest struct {
+	Schema  []string       `json:"schema"`
+	Options optionsRequest `json:"options"`
+}
+
+// optionsRequest is the JSON form of crowder.Options accepted by the API.
+type optionsRequest struct {
+	Threshold    float64  `json:"threshold,omitempty"`
+	HITType      string   `json:"hit_type,omitempty"` // "cluster" (default) or "pair"
+	ClusterSize  int      `json:"cluster_size,omitempty"`
+	Assignments  int      `json:"assignments,omitempty"`
+	Seed         int64    `json:"seed,omitempty"`
+	Workers      int      `json:"workers,omitempty"`
+	SpammerRate  float64  `json:"spammer_rate,omitempty"`
+	MachineOnly  bool     `json:"machine_only,omitempty"`
+	Parallelism  int      `json:"parallelism,omitempty"`
+	Backend      string   `json:"backend,omitempty"` // "simulated" (default) or "queue"
+	Oracle       [][2]int `json:"oracle,omitempty"`
+	Interim      bool     `json:"interim,omitempty"`
+	LeaseSeconds int      `json:"lease_seconds,omitempty"`
+}
+
+func (s *Server) handleCreateTable(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("table")
+	var req tableRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		return
+	}
+	if len(req.Schema) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("schema is required"))
+		return
+	}
+
+	opts := crowder.Options{
+		Threshold:          req.Options.Threshold,
+		ClusterSize:        req.Options.ClusterSize,
+		Assignments:        req.Options.Assignments,
+		Seed:               req.Options.Seed,
+		Workers:            req.Options.Workers,
+		SpammerRate:        req.Options.SpammerRate,
+		MachineOnly:        req.Options.MachineOnly,
+		Parallelism:        req.Options.Parallelism,
+		InterimAggregation: req.Options.Interim,
+	}
+	switch req.Options.HITType {
+	case "", "cluster":
+		opts.HITType = crowder.ClusterHITs
+	case "pair":
+		opts.HITType = crowder.PairHITs
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown hit_type %q (want \"pair\" or \"cluster\")", req.Options.HITType))
+		return
+	}
+	if req.Options.Oracle != nil {
+		opts.Oracle = make([]crowder.Pair, len(req.Options.Oracle))
+		for i, p := range req.Options.Oracle {
+			opts.Oracle[i] = crowder.Pair{A: p[0], B: p[1]}
+		}
+	}
+
+	sess := &session{name: name, schema: req.Schema, jobs: make(map[int]*job)}
+	switch req.Options.Backend {
+	case "", "simulated":
+		// Oracle-driven reference simulator; nothing to wire.
+	case "queue":
+		lease := s.opts.Lease
+		if req.Options.LeaseSeconds > 0 {
+			lease = time.Duration(req.Options.LeaseSeconds) * time.Second
+		}
+		sess.queue = crowder.NewQueueBackend(crowder.QueueOptions{Lease: lease})
+		opts.Backend = sess.queue
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown backend %q (want \"simulated\" or \"queue\")", req.Options.Backend))
+		return
+	}
+	opts.Progress = func(p crowder.Progress) {
+		if j := sess.current.Load(); j != nil {
+			j.update(p)
+		}
+	}
+
+	rv, err := crowder.NewResolver(crowder.NewTable(req.Schema...), opts)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sess.rv = rv
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.tables[name]; exists {
+		writeError(w, http.StatusConflict, fmt.Errorf("table %q already exists", name))
+		return
+	}
+	s.tables[name] = sess
+	writeJSON(w, http.StatusCreated, map[string]any{"table": name, "schema": req.Schema})
+}
+
+func (s *Server) handleListTables(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.tables))
+	for name := range s.tables {
+		names = append(names, name)
+	}
+	s.mu.Unlock()
+	sort.Strings(names)
+	writeJSON(w, http.StatusOK, map[string]any{"tables": names})
+}
+
+// withSession resolves the {table} path segment to its session.
+func (s *Server) withSession(h func(*session, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("table")
+		s.mu.Lock()
+		sess := s.tables[name]
+		s.mu.Unlock()
+		if sess == nil {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no table %q", name))
+			return
+		}
+		h(sess, w, r)
+	}
+}
+
+func handleAppend(sess *session, w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Rows [][]string `json:"rows"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		return
+	}
+	if len(req.Rows) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("rows is required"))
+		return
+	}
+	// Mirror first, then publish to the resolver: a resolution that
+	// starts the moment AppendBatch returns may immediately post HITs over
+	// the new records, and workers rendering those HITs read the mirror.
+	// appendMu keeps mirror offsets and record IDs in lockstep (every
+	// append flows through this handler, so the lengths always agree).
+	sess.appendMu.Lock()
+	sess.mu.Lock()
+	first := len(sess.rows)
+	sess.rows = append(sess.rows, req.Rows...)
+	sess.mu.Unlock()
+	got := sess.rv.AppendBatch(req.Rows...)
+	sess.appendMu.Unlock()
+	if got != first {
+		writeError(w, http.StatusInternalServerError,
+			fmt.Errorf("row mirror out of sync: resolver assigned first ID %d, mirror expected %d", got, first))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"first_id": first, "count": len(req.Rows)})
+}
+
+func handleResolve(sess *session, w http.ResponseWriter, r *http.Request) {
+	sess.mu.Lock()
+	if sess.running {
+		sess.mu.Unlock()
+		writeError(w, http.StatusConflict, errors.New("a resolution job is already running for this table"))
+		return
+	}
+	sess.nextJob++
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{id: sess.nextJob, state: "running", cancel: cancel}
+	sess.jobs[j.id] = j
+	sess.jobOrder = append(sess.jobOrder, j.id)
+	sess.pruneJobsLocked()
+	sess.running = true
+	sess.mu.Unlock()
+	sess.current.Store(j)
+
+	go func() {
+		res, err := sess.rv.ResolveDeltaContext(ctx)
+		cancel()
+		sess.current.Store(nil)
+		j.mu.Lock()
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				j.state = "cancelled"
+			} else {
+				j.state = "failed"
+			}
+			j.errMsg = err.Error()
+		} else {
+			j.state = "done"
+			j.result = res
+		}
+		j.mu.Unlock()
+		sess.mu.Lock()
+		sess.running = false
+		if err == nil {
+			sess.last = res
+		}
+		sess.mu.Unlock()
+	}()
+	writeJSON(w, http.StatusAccepted, map[string]any{"job": j.id})
+}
+
+func findJob(sess *session, r *http.Request) (*job, error) {
+	var id int
+	if _, err := fmt.Sscanf(r.PathValue("id"), "%d", &id); err != nil {
+		return nil, fmt.Errorf("bad job id %q", r.PathValue("id"))
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	j := sess.jobs[id]
+	if j == nil {
+		return nil, fmt.Errorf("no job %d", id)
+	}
+	return j, nil
+}
+
+func handleJobStatus(sess *session, w http.ResponseWriter, r *http.Request) {
+	j, err := findJob(sess, r)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	body := map[string]any{
+		"job":   j.id,
+		"state": j.state,
+		"progress": map[string]any{
+			"total_hits":      j.progress.TotalHITs,
+			"completed_hits":  j.progress.CompletedHITs,
+			"answers":         j.progress.Answers,
+			"top_ups":         j.progress.TopUps,
+			"interim_matches": j.interim,
+		},
+	}
+	if j.errMsg != "" {
+		body["error"] = j.errMsg
+	}
+	if j.result != nil {
+		body["result"] = map[string]any{
+			"total_pairs":       j.result.TotalPairs,
+			"candidates":        j.result.Candidates,
+			"new_candidates":    j.result.NewCandidates,
+			"cached_candidates": j.result.CachedCandidates,
+			"hits":              j.result.HITs,
+			"cost_dollars":      j.result.CostDollars,
+			"elapsed_seconds":   j.result.ElapsedSeconds,
+			"matches":           len(j.result.Matches),
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func handleJobCancel(sess *session, w http.ResponseWriter, r *http.Request) {
+	j, err := findJob(sess, r)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	j.mu.Lock()
+	state := j.state
+	cancel := j.cancel
+	j.mu.Unlock()
+	if state != "running" {
+		// Cancelling a finished job is a no-op; saying "cancelling" would
+		// send pollers waiting for state "cancelled" into a spin.
+		writeJSON(w, http.StatusConflict, map[string]any{"job": j.id, "state": state})
+		return
+	}
+	cancel()
+	writeJSON(w, http.StatusOK, map[string]any{"job": j.id, "cancelling": true})
+}
+
+type matchJSON struct {
+	A          int     `json:"a"`
+	B          int     `json:"b"`
+	Confidence float64 `json:"confidence"`
+}
+
+func handleMatches(sess *session, w http.ResponseWriter, r *http.Request) {
+	min := 0.0
+	if q := r.URL.Query().Get("min"); q != "" {
+		if _, err := fmt.Sscanf(q, "%g", &min); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad min %q", q))
+			return
+		}
+	}
+	sess.mu.Lock()
+	last := sess.last
+	sess.mu.Unlock()
+	if last == nil {
+		writeError(w, http.StatusNotFound, errors.New("no completed resolution yet"))
+		return
+	}
+	var ms []matchJSON
+	for _, m := range last.Matches {
+		if m.Confidence >= min {
+			ms = append(ms, matchJSON{A: m.Pair.A, B: m.Pair.B, Confidence: m.Confidence})
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"matches": ms, "total": len(ms)})
+}
+
+// hitJSON renders a HIT with enough content for a worker to judge it.
+type hitJSON struct {
+	ID      int          `json:"id"`
+	Kind    string       `json:"kind"`
+	Open    int          `json:"open,omitempty"`
+	Pairs   []pairJSON   `json:"pairs"`
+	Records []recordJSON `json:"records,omitempty"`
+}
+
+type pairJSON struct {
+	A     int      `json:"a"`
+	B     int      `json:"b"`
+	Left  []string `json:"left,omitempty"`
+	Right []string `json:"right,omitempty"`
+}
+
+type recordJSON struct {
+	ID     int      `json:"id"`
+	Values []string `json:"values"`
+}
+
+// row reads a record's values from the session mirror (never the
+// resolver, which is locked while a resolution waits on the crowd).
+func (sess *session) row(id int) []string {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if id < 0 || id >= len(sess.rows) {
+		return nil
+	}
+	return sess.rows[id]
+}
+
+func (sess *session) renderHIT(h crowder.HIT, open int) hitJSON {
+	out := hitJSON{ID: h.ID, Open: open}
+	if h.Kind == crowder.ClusterKind {
+		out.Kind = "cluster"
+		for _, id := range h.Records {
+			out.Records = append(out.Records, recordJSON{ID: int(id), Values: sess.row(int(id))})
+		}
+	} else {
+		out.Kind = "pair"
+	}
+	for _, p := range h.Pairs {
+		out.Pairs = append(out.Pairs, pairJSON{
+			A: int(p.A), B: int(p.B),
+			Left: sess.row(int(p.A)), Right: sess.row(int(p.B)),
+		})
+	}
+	return out
+}
+
+func requireQueue(sess *session, w http.ResponseWriter) bool {
+	if sess.queue == nil {
+		writeError(w, http.StatusConflict, fmt.Errorf("table %q uses the simulated backend; it has no worker-facing HITs", sess.name))
+		return false
+	}
+	return true
+}
+
+func handleOpenHITs(sess *session, w http.ResponseWriter, r *http.Request) {
+	if !requireQueue(sess, w) {
+		return
+	}
+	var hits []hitJSON
+	for _, oh := range sess.queue.Open() {
+		hits = append(hits, sess.renderHIT(oh.HIT, oh.Open))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"hits": hits, "total": len(hits)})
+}
+
+func handleClaim(sess *session, w http.ResponseWriter, r *http.Request) {
+	if !requireQueue(sess, w) {
+		return
+	}
+	var req struct {
+		Worker string `json:"worker"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		return
+	}
+	if req.Worker == "" {
+		writeError(w, http.StatusBadRequest, errors.New("worker is required"))
+		return
+	}
+	c, ok := sess.queue.Claim(req.Worker)
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("no open HITs"))
+		return
+	}
+	body := map[string]any{"token": c.Token, "hit": sess.renderHIT(c.HIT, 0)}
+	if !c.Deadline.IsZero() {
+		body["deadline"] = c.Deadline.Format(time.RFC3339)
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func handleAnswer(sess *session, w http.ResponseWriter, r *http.Request) {
+	if !requireQueue(sess, w) {
+		return
+	}
+	var req struct {
+		Token   string `json:"token"`
+		Answers []struct {
+			A     int  `json:"a"`
+			B     int  `json:"b"`
+			Match bool `json:"match"`
+		} `json:"answers"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		return
+	}
+	verdicts := make([]crowder.Verdict, len(req.Answers))
+	for i, a := range req.Answers {
+		verdicts[i] = crowder.Verdict{A: record.ID(a.A), B: record.ID(a.B), Match: a.Match}
+	}
+	if err := sess.queue.Answer(req.Token, verdicts); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]any{"error": err.Error()})
+}

@@ -1,0 +1,382 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	crowder "github.com/crowder/crowder"
+	"github.com/crowder/crowder/internal/dataset"
+	"github.com/crowder/crowder/internal/record"
+)
+
+// call issues one JSON request and decodes the JSON response.
+func call(t *testing.T, client *http.Client, method, url string, body any, out any) int {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decoding response: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// pollJob polls a job until it leaves the "running" state.
+func pollJob(t *testing.T, client *http.Client, base, table string, id int) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var status map[string]any
+		code := call(t, client, "GET", fmt.Sprintf("%s/tables/%s/jobs/%d", base, table, id), nil, &status)
+		if code != http.StatusOK {
+			t.Fatalf("job status returned %d: %v", code, status)
+		}
+		if status["state"] != "running" {
+			return status
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %d still running: %v", id, status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func getMatches(t *testing.T, client *http.Client, base, table string) []matchJSON {
+	t.Helper()
+	var body struct {
+		Matches []matchJSON `json:"matches"`
+	}
+	if code := call(t, client, "GET", base+"/tables/"+table+"/matches", nil, &body); code != http.StatusOK {
+		t.Fatalf("matches returned %d", code)
+	}
+	return body.Matches
+}
+
+// serviceDataset returns a small crowdable dataset in wire format.
+func serviceDataset(t *testing.T) (schema []string, rows [][]string, oracle [][2]int, libOracle []crowder.Pair) {
+	t.Helper()
+	d := dataset.RestaurantN(4, 80, 15)
+	for i := range d.Table.Records {
+		rows = append(rows, d.Table.Records[i].Values)
+	}
+	for _, p := range d.Matches.Slice() {
+		oracle = append(oracle, [2]int{int(p.A), int(p.B)})
+		libOracle = append(libOracle, crowder.Pair{A: int(p.A), B: int(p.B)})
+	}
+	return d.Table.Schema, rows, oracle, libOracle
+}
+
+// TestServiceSimulatedRoundTrip is the CI smoke: create a simulated-
+// backend table over HTTP, append, resolve, poll, and assert the
+// returned matches are bit-identical to a library-mode Resolve of the
+// same table with the same options.
+func TestServiceSimulatedRoundTrip(t *testing.T) {
+	schema, rows, oracle, libOracle := serviceDataset(t)
+	srv := httptest.NewServer(New(Options{}))
+	defer srv.Close()
+	c := srv.Client()
+
+	if code := call(t, c, "POST", srv.URL+"/tables/products", tableRequest{
+		Schema: schema,
+		Options: optionsRequest{
+			Threshold: 0.4, HITType: "pair", ClusterSize: 5, Seed: 7,
+			Oracle: oracle,
+		},
+	}, nil); code != http.StatusCreated {
+		t.Fatalf("create table returned %d", code)
+	}
+	if code := call(t, c, "POST", srv.URL+"/tables/products/records",
+		map[string]any{"rows": rows}, nil); code != http.StatusOK {
+		t.Fatalf("append returned %d", code)
+	}
+	var kicked struct {
+		Job int `json:"job"`
+	}
+	if code := call(t, c, "POST", srv.URL+"/tables/products/resolve", map[string]any{}, &kicked); code != http.StatusAccepted {
+		t.Fatalf("resolve returned %d", code)
+	}
+	status := pollJob(t, c, srv.URL, "products", kicked.Job)
+	if status["state"] != "done" {
+		t.Fatalf("job finished in state %v: %v", status["state"], status)
+	}
+	got := getMatches(t, c, srv.URL, "products")
+
+	// Library-mode reference: same table, same options.
+	tab := crowder.NewTable(schema...)
+	for _, row := range rows {
+		tab.Append(row...)
+	}
+	want, err := crowder.Resolve(tab, crowder.Options{
+		Threshold: 0.4, HITType: crowder.PairHITs, ClusterSize: 5, Seed: 7,
+		Oracle: libOracle,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want.Matches) {
+		t.Fatalf("service returned %d matches; library %d", len(got), len(want.Matches))
+	}
+	for i, m := range want.Matches {
+		if got[i].A != m.Pair.A || got[i].B != m.Pair.B || got[i].Confidence != m.Confidence {
+			t.Fatalf("match %d differs: service %+v vs library %+v", i, got[i], m)
+		}
+	}
+}
+
+// drainOverHTTP claims and answers every open assignment through the
+// worker API, answering per ground truth with a deterministic worker
+// rotation, until the job completes.
+func drainOverHTTP(t *testing.T, c *http.Client, base, table string, truth record.PairSet, done func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	worker := 0
+	for !done() {
+		if time.Now().After(deadline) {
+			t.Fatal("queue never drained")
+		}
+		var claim struct {
+			Token string  `json:"token"`
+			HIT   hitJSON `json:"hit"`
+		}
+		code := call(t, c, "POST", base+"/tables/"+table+"/hits/claim",
+			map[string]any{"worker": fmt.Sprintf("w%d", worker%3)}, &claim)
+		if code != http.StatusOK {
+			time.Sleep(2 * time.Millisecond)
+			continue
+		}
+		worker++
+		var answers []map[string]any
+		for _, p := range claim.HIT.Pairs {
+			answers = append(answers, map[string]any{
+				"a": p.A, "b": p.B,
+				"match": truth.Has(record.ID(p.A), record.ID(p.B)),
+			})
+		}
+		if code := call(t, c, "POST", base+"/tables/"+table+"/hits/answer",
+			map[string]any{"token": claim.Token, "answers": answers}, nil); code != http.StatusOK {
+			t.Fatalf("answer returned %d", code)
+		}
+	}
+}
+
+// TestServiceQueueRoundTrip is the acceptance round-trip: records
+// appended over HTTP, HITs answered by external workers through the
+// queue-backend worker API, and the returned matches equal library-mode
+// resolution of the same table (a Resolver on an in-process queue
+// backend, driven by the identical worker schedule).
+func TestServiceQueueRoundTrip(t *testing.T) {
+	schema, rows, _, libOracle := serviceDataset(t)
+	truth := record.NewPairSet()
+	for _, p := range libOracle {
+		truth.Add(record.ID(p.A), record.ID(p.B))
+	}
+
+	srv := httptest.NewServer(New(Options{}))
+	defer srv.Close()
+	c := srv.Client()
+
+	if code := call(t, c, "POST", srv.URL+"/tables/hotels", tableRequest{
+		Schema: schema,
+		Options: optionsRequest{
+			Threshold: 0.4, HITType: "pair", ClusterSize: 5, Seed: 7,
+			Backend: "queue", Interim: true,
+		},
+	}, nil); code != http.StatusCreated {
+		t.Fatalf("create table returned %d", code)
+	}
+	if code := call(t, c, "POST", srv.URL+"/tables/hotels/records",
+		map[string]any{"rows": rows}, nil); code != http.StatusOK {
+		t.Fatalf("append returned %d", code)
+	}
+	var kicked struct {
+		Job int `json:"job"`
+	}
+	if code := call(t, c, "POST", srv.URL+"/tables/hotels/resolve", map[string]any{}, &kicked); code != http.StatusAccepted {
+		t.Fatalf("resolve returned %d", code)
+	}
+
+	jobDone := func() bool {
+		var status map[string]any
+		call(t, c, "GET", fmt.Sprintf("%s/tables/hotels/jobs/%d", srv.URL, kicked.Job), nil, &status)
+		return status["state"] != "running"
+	}
+	drainOverHTTP(t, c, srv.URL, "hotels", truth, jobDone)
+	status := pollJob(t, c, srv.URL, "hotels", kicked.Job)
+	if status["state"] != "done" {
+		t.Fatalf("job finished in state %v: %v", status["state"], status)
+	}
+	got := getMatches(t, c, srv.URL, "hotels")
+
+	// Library-mode reference: an in-process queue backend driven by the
+	// same worker schedule (same claim order, same worker rotation, same
+	// truthful answers), so the answer sets are identical.
+	q := crowder.NewQueueBackend(crowder.QueueOptions{})
+	rv, err := crowder.NewResolver(crowder.NewTable(schema...), crowder.Options{
+		Threshold: 0.4, HITType: crowder.PairHITs, ClusterSize: 5, Seed: 7,
+		Backend: q,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv.AppendBatch(rows...)
+	resCh := make(chan *crowder.Result, 1)
+	go func() {
+		res, err := rv.ResolveDelta()
+		if err != nil {
+			t.Error(err)
+		}
+		resCh <- res
+	}()
+	var want *crowder.Result
+	worker := 0
+	deadline := time.Now().Add(30 * time.Second)
+	for want == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("library-mode queue never drained")
+		}
+		claim, ok := q.Claim(fmt.Sprintf("w%d", worker%3))
+		if ok {
+			worker++
+			var vs []crowder.Verdict
+			for _, p := range claim.HIT.Pairs {
+				vs = append(vs, crowder.Verdict{A: p.A, B: p.B, Match: truth.Has(p.A, p.B)})
+			}
+			if err := q.Answer(claim.Token, vs); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			time.Sleep(time.Millisecond)
+		}
+		select {
+		case want = <-resCh:
+		default:
+		}
+	}
+
+	if len(got) != len(want.Matches) {
+		t.Fatalf("service returned %d matches; library %d", len(got), len(want.Matches))
+	}
+	for i, m := range want.Matches {
+		if got[i].A != m.Pair.A || got[i].B != m.Pair.B || got[i].Confidence != m.Confidence {
+			t.Fatalf("match %d differs: service %+v vs library %+v", i, got[i], m)
+		}
+	}
+}
+
+// TestServiceJobCancel: cancelling a queue-backend job over HTTP stops
+// the resolution; the table reports no matches yet and a later resolve
+// retries the pending candidates.
+func TestServiceJobCancel(t *testing.T) {
+	schema, rows, _, _ := serviceDataset(t)
+	srv := httptest.NewServer(New(Options{}))
+	defer srv.Close()
+	c := srv.Client()
+
+	call(t, c, "POST", srv.URL+"/tables/slow", tableRequest{
+		Schema:  schema,
+		Options: optionsRequest{Threshold: 0.4, HITType: "pair", ClusterSize: 5, Seed: 7, Backend: "queue"},
+	}, nil)
+	call(t, c, "POST", srv.URL+"/tables/slow/records", map[string]any{"rows": rows}, nil)
+	var kicked struct {
+		Job int `json:"job"`
+	}
+	call(t, c, "POST", srv.URL+"/tables/slow/resolve", map[string]any{}, &kicked)
+
+	// Nobody answers; cancel the job.
+	if code := call(t, c, "DELETE", fmt.Sprintf("%s/tables/slow/jobs/%d", srv.URL, kicked.Job), nil, nil); code != http.StatusOK {
+		t.Fatalf("cancel returned %d", code)
+	}
+	status := pollJob(t, c, srv.URL, "slow", kicked.Job)
+	if status["state"] != "cancelled" {
+		t.Fatalf("job state = %v; want cancelled", status["state"])
+	}
+	// No completed resolution → no matches.
+	if code := call(t, c, "GET", srv.URL+"/tables/slow/matches", nil, &map[string]any{}); code != http.StatusNotFound {
+		t.Fatalf("matches after cancel returned %d; want 404", code)
+	}
+	// A fresh resolve job can start (the candidates stayed pending).
+	if code := call(t, c, "POST", srv.URL+"/tables/slow/resolve", map[string]any{}, &kicked); code != http.StatusAccepted {
+		t.Fatalf("retry resolve returned %d", code)
+	}
+}
+
+// TestServiceConcurrentJobRejected: one job per table at a time.
+func TestServiceConcurrentJobRejected(t *testing.T) {
+	schema, rows, _, _ := serviceDataset(t)
+	srv := httptest.NewServer(New(Options{}))
+	defer srv.Close()
+	c := srv.Client()
+
+	call(t, c, "POST", srv.URL+"/tables/busy", tableRequest{
+		Schema:  schema,
+		Options: optionsRequest{Threshold: 0.4, HITType: "pair", Seed: 7, Backend: "queue"},
+	}, nil)
+	call(t, c, "POST", srv.URL+"/tables/busy/records", map[string]any{"rows": rows}, nil)
+	var kicked struct {
+		Job int `json:"job"`
+	}
+	call(t, c, "POST", srv.URL+"/tables/busy/resolve", map[string]any{}, &kicked)
+	if code := call(t, c, "POST", srv.URL+"/tables/busy/resolve", map[string]any{}, nil); code != http.StatusConflict {
+		t.Fatalf("second resolve returned %d; want 409", code)
+	}
+	call(t, c, "DELETE", fmt.Sprintf("%s/tables/busy/jobs/%d", srv.URL, kicked.Job), nil, nil)
+	pollJob(t, c, srv.URL, "busy", kicked.Job)
+}
+
+// TestServiceErrors covers the API's failure envelope.
+func TestServiceErrors(t *testing.T) {
+	srv := httptest.NewServer(New(Options{}))
+	defer srv.Close()
+	c := srv.Client()
+
+	if code := call(t, c, "GET", srv.URL+"/tables/nope/matches", nil, &map[string]any{}); code != http.StatusNotFound {
+		t.Errorf("unknown table returned %d", code)
+	}
+	if code := call(t, c, "POST", srv.URL+"/tables/bad", tableRequest{}, nil); code != http.StatusBadRequest {
+		t.Errorf("missing schema returned %d", code)
+	}
+	if code := call(t, c, "POST", srv.URL+"/tables/bad2", tableRequest{
+		Schema:  []string{"name"},
+		Options: optionsRequest{Workers: -1},
+	}, nil); code != http.StatusBadRequest {
+		t.Errorf("invalid options returned %d (validation must reach the API)", code)
+	}
+	if code := call(t, c, "POST", srv.URL+"/tables/bad3", tableRequest{
+		Schema:  []string{"name"},
+		Options: optionsRequest{Backend: "mturk"},
+	}, nil); code != http.StatusBadRequest {
+		t.Errorf("unknown backend returned %d", code)
+	}
+	// Duplicate table names conflict.
+	call(t, c, "POST", srv.URL+"/tables/dup", tableRequest{Schema: []string{"name"}, Options: optionsRequest{MachineOnly: true}}, nil)
+	if code := call(t, c, "POST", srv.URL+"/tables/dup", tableRequest{Schema: []string{"name"}, Options: optionsRequest{MachineOnly: true}}, nil); code != http.StatusConflict {
+		t.Errorf("duplicate table returned %d", code)
+	}
+	// Worker endpoints require a queue backend.
+	if code := call(t, c, "GET", srv.URL+"/tables/dup/hits", nil, &map[string]any{}); code != http.StatusConflict {
+		t.Errorf("hits on simulated table returned %d", code)
+	}
+	var health map[string]any
+	if code := call(t, c, "GET", srv.URL+"/healthz", nil, &health); code != http.StatusOK {
+		t.Errorf("healthz returned %d", code)
+	}
+}

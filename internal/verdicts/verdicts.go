@@ -15,8 +15,6 @@
 package verdicts
 
 import (
-	"sort"
-
 	"github.com/crowder/crowder/internal/aggregate"
 	"github.com/crowder/crowder/internal/record"
 )
@@ -38,13 +36,25 @@ type Entry struct {
 
 // Cache is a verdict store keyed by pair. It is not safe for concurrent
 // mutation; the owning resolver serializes access.
+//
+// Besides final verdicts, the cache persists partial assignment sets:
+// answers collected by a resolution that was cancelled or failed before
+// every HIT completed. Those answers are real, paid-for crowd work — a
+// live deployment cannot un-ask a worker — so they survive the failure
+// for inspection and accounting, and are dropped only when the pair is
+// eventually judged in full (the complete answer set supersedes the
+// fragment).
 type Cache struct {
 	entries map[record.Pair]*Entry
+	partial map[record.Pair][]aggregate.Answer
 }
 
 // NewCache creates an empty verdict cache.
 func NewCache() *Cache {
-	return &Cache{entries: make(map[record.Pair]*Entry)}
+	return &Cache{
+		entries: make(map[record.Pair]*Entry),
+		partial: make(map[record.Pair][]aggregate.Answer),
+	}
 }
 
 // Len returns the number of judged pairs.
@@ -75,7 +85,9 @@ func (c *Cache) Put(p record.Pair, likelihood float64) *Entry {
 
 // AddAnswers appends crowd answers to their pairs' entries. Answers for
 // pairs without an entry create one (with zero likelihood), so cluster
-// HITs that incidentally cover extra pairs are still recorded.
+// HITs that incidentally cover extra pairs are still recorded. A pair
+// judged in full sheds any partial answers an earlier aborted resolution
+// left behind: the complete set supersedes the fragment.
 func (c *Cache) AddAnswers(answers []aggregate.Answer) {
 	for _, a := range answers {
 		e, ok := c.entries[a.Pair]
@@ -83,32 +95,53 @@ func (c *Cache) AddAnswers(answers []aggregate.Answer) {
 			e = c.Put(a.Pair, 0)
 		}
 		e.Answers = append(e.Answers, a)
+		delete(c.partial, a.Pair)
 	}
 }
 
-// AllAnswers returns every cached answer in canonical order — sorted by
-// (pair, worker, verdict). The order is a pure function of the answer
-// *set*, independent of the batch sequence that produced it, which is
-// what makes re-aggregation after k deltas bit-identical to aggregating a
-// single from-scratch run: Dawid–Skene's floating-point accumulations see
-// the same operands in the same order.
+// AddPartialAnswers records answers from a resolution that ended before
+// all of its HITs completed. Partial answers never feed aggregation (the
+// retry re-issues the pair's HITs and commits the full set); they persist
+// the crowd work already paid for across the failure. A pair's latest
+// fragment replaces any earlier one — repeatedly cancelled retries
+// re-collect overlapping answers, and keeping every attempt's copy would
+// grow without bound and double-count the work.
+func (c *Cache) AddPartialAnswers(answers []aggregate.Answer) {
+	fresh := make(map[record.Pair]bool)
+	for _, a := range answers {
+		if c.Has(a.Pair) {
+			continue // already judged in full; the fragment is moot
+		}
+		if !fresh[a.Pair] {
+			fresh[a.Pair] = true
+			// A fresh slice, not a truncation: slices handed out by
+			// PartialAnswers must not be mutated under their callers.
+			c.partial[a.Pair] = nil
+		}
+		c.partial[a.Pair] = append(c.partial[a.Pair], a)
+	}
+}
+
+// PartialAnswers returns the answers collected for a not-yet-judged pair
+// by aborted resolutions, or nil.
+func (c *Cache) PartialAnswers(p record.Pair) []aggregate.Answer {
+	return c.partial[p]
+}
+
+// PartialLen returns the number of pairs holding partial answer sets.
+func (c *Cache) PartialLen() int { return len(c.partial) }
+
+// AllAnswers returns every cached answer in canonical order
+// (aggregate.SortCanonical): a pure function of the answer *set*,
+// independent of the batch sequence that produced it, which is what
+// makes re-aggregation after k deltas bit-identical to aggregating a
+// single from-scratch run.
 func (c *Cache) AllAnswers() []aggregate.Answer {
 	var out []aggregate.Answer
 	for _, e := range c.entries {
 		out = append(out, e.Answers...)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Pair.A != out[j].Pair.A {
-			return out[i].Pair.A < out[j].Pair.A
-		}
-		if out[i].Pair.B != out[j].Pair.B {
-			return out[i].Pair.B < out[j].Pair.B
-		}
-		if out[i].Worker != out[j].Worker {
-			return out[i].Worker < out[j].Worker
-		}
-		return !out[i].Match && out[j].Match
-	})
+	aggregate.SortCanonical(out)
 	return out
 }
 

@@ -79,3 +79,52 @@ func TestSetPosteriorsAndPairs(t *testing.T) {
 		t.Errorf("Pairs = %v", ps)
 	}
 }
+
+// Partial answer sets — the residue of a cancelled or failed resolution —
+// must persist until the pair is judged in full, then be superseded.
+func TestPartialAnswersLifecycle(t *testing.T) {
+	c := NewCache()
+	p1, p2 := mk(0, 1), mk(1, 2)
+	c.AddPartialAnswers([]aggregate.Answer{
+		{Pair: p1, Worker: 1, Match: true},
+		{Pair: p1, Worker: 2, Match: false},
+		{Pair: p2, Worker: 1, Match: true},
+	})
+	if c.PartialLen() != 2 {
+		t.Fatalf("PartialLen = %d; want 2", c.PartialLen())
+	}
+	if got := c.PartialAnswers(p1); len(got) != 2 {
+		t.Fatalf("PartialAnswers(p1) = %v", got)
+	}
+	// Partial answers never count as judged.
+	if c.Has(p1) || c.Len() != 0 {
+		t.Fatal("partial answers must not create verdict entries")
+	}
+	// Judging p1 in full supersedes its fragment; p2's remains.
+	c.AddAnswers([]aggregate.Answer{
+		{Pair: p1, Worker: 1, Match: true},
+		{Pair: p1, Worker: 2, Match: false},
+		{Pair: p1, Worker: 3, Match: true},
+	})
+	if c.PartialAnswers(p1) != nil {
+		t.Error("full judgment should clear the pair's partial answers")
+	}
+	if c.PartialLen() != 1 || c.PartialAnswers(p2) == nil {
+		t.Error("other pairs' partial answers must survive")
+	}
+	// Fragments arriving for an already-judged pair are moot.
+	c.AddPartialAnswers([]aggregate.Answer{{Pair: p1, Worker: 9, Match: true}})
+	if len(c.PartialAnswers(p1)) != 0 {
+		t.Error("partial answers for a judged pair should be dropped")
+	}
+	// A retried-and-cancelled run's fragment replaces the previous one
+	// instead of accumulating duplicates.
+	c.AddPartialAnswers([]aggregate.Answer{{Pair: p2, Worker: 5, Match: true}})
+	if got := c.PartialAnswers(p2); len(got) != 1 || got[0].Worker != 5 {
+		t.Errorf("latest fragment should replace the old one; got %v", got)
+	}
+	// AllAnswers sees only full judgments.
+	if got := len(c.AllAnswers()); got != 3 {
+		t.Errorf("AllAnswers = %d answers; want 3", got)
+	}
+}

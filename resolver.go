@@ -1,6 +1,7 @@
 package crowder
 
 import (
+	"context"
 	"errors"
 	"sync"
 
@@ -70,6 +71,9 @@ type Resolver struct {
 func NewResolver(t *Table, opts Options) (*Resolver, error) {
 	if t == nil {
 		return nil, errors.New("crowder: nil table")
+	}
+	if err := opts.validate(); err != nil {
+		return nil, err
 	}
 	opts.defaults()
 	return &Resolver{
@@ -148,6 +152,16 @@ func (r *Resolver) PendingPairs() int {
 	return n
 }
 
+// PartialPairs returns the number of pairs holding partial assignment
+// sets: answers collected by a cancelled or failed delta for pairs not
+// yet judged in full. The next successful delta re-issues those pairs'
+// HITs and supersedes the fragments.
+func (r *Resolver) PartialPairs() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cache.PartialLen()
+}
+
 // Verdict returns the cached confidence for a pair (crowd posterior, or
 // machine likelihood under MachineOnly) and whether the pair has been
 // judged.
@@ -171,21 +185,38 @@ func (r *Resolver) Verdict(p Pair) (float64, bool) {
 // introduced no new candidate pairs). Calling it with no new records
 // re-aggregates and returns the current state at no crowd cost.
 func (r *Resolver) ResolveDelta() (*Result, error) {
+	return r.ResolveDeltaContext(context.Background())
+}
+
+// ResolveDeltaContext is ResolveDelta bound to a context: cancelling ctx
+// aborts the delta mid-stage — most usefully while the crowd is still
+// answering HITs, which may take minutes to hours against a live
+// backend. A cancelled delta keeps its contract with failed deltas: the
+// candidate pairs already discovered stay pending and are retried by the
+// next ResolveDelta, and any answers the crowd already delivered are
+// persisted as partial assignment sets (see PartialPairs).
+//
+// The session lock is held for the whole resolution, so every other
+// Resolver method — including reads like Verdict and PendingPairs —
+// blocks until the delta completes or is cancelled. Callers serving
+// reads concurrently with a slow crowd (crowderd does) should snapshot
+// the state they need before starting the delta.
+func (r *Resolver) ResolveDeltaContext(ctx context.Context) (*Result, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.resolveLocked(resolvePipeline())
+	return r.resolveLocked(ctx, resolvePipeline())
 }
 
 // resolveLocked runs the staged workflow; the caller holds r.mu.
-func (r *Resolver) resolveLocked(p *resolverPipeline) (*Result, error) {
+func (r *Resolver) resolveLocked(ctx context.Context, p *resolverPipeline) (*Result, error) {
 	if r.table.Len() == 0 {
 		return nil, errors.New("crowder: empty table")
 	}
-	if !r.opts.MachineOnly && r.opts.Oracle == nil {
-		return nil, errors.New("crowder: Options.Oracle is required (the simulated crowd needs reference labels); set MachineOnly for the pure machine baseline")
+	if !r.opts.MachineOnly && r.opts.Oracle == nil && r.opts.Backend == nil {
+		return nil, errors.New("crowder: Options.Oracle is required (the simulated crowd needs reference labels); set MachineOnly for the pure machine baseline, or supply Options.Backend for real crowd answers")
 	}
 	st := &resolveState{rv: r, res: &Result{}}
-	final, stats, err := p.Run(st)
+	final, stats, err := p.Run(ctx, st)
 	if err != nil {
 		return nil, err
 	}

@@ -1,9 +1,15 @@
 package crowder
 
 import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
 	"testing"
+	"time"
 
 	"github.com/crowder/crowder/internal/dataset"
+	"github.com/crowder/crowder/internal/record"
 )
 
 // resolverDataset builds a crowdable synthetic dataset plus its oracle in
@@ -313,5 +319,156 @@ func TestNoSpammersOption(t *testing.T) {
 	}
 	if !acc[Pair{0, 1}] || !acc[Pair{0, 6}] || !acc[Pair{1, 6}] {
 		t.Errorf("clean pool missed the iPad trio: %v", clean.Accepted())
+	}
+}
+
+// Satellite: negative option values must fail loudly through the shared
+// validation path used by Resolve, NewResolver and EstimateCost — they
+// previously fell through to defaults or misbehaved silently.
+func TestOptionsValidation(t *testing.T) {
+	tab, _ := paperTable()
+	bad := []Options{
+		{Workers: -1, MachineOnly: true},
+		{Assignments: -3, MachineOnly: true},
+		{ClusterSize: -10, MachineOnly: true},
+		{Threshold: -0.5, MachineOnly: true},
+		{Threshold: 1.5, MachineOnly: true},
+		{Parallelism: -2, MachineOnly: true},
+	}
+	for i, opts := range bad {
+		if _, err := Resolve(tab, opts); err == nil {
+			t.Errorf("case %d: Resolve accepted invalid options %+v", i, opts)
+		}
+		if _, err := NewResolver(tab, opts); err == nil {
+			t.Errorf("case %d: NewResolver accepted invalid options %+v", i, opts)
+		}
+		if _, err := EstimateCost(tab, opts); err == nil {
+			t.Errorf("case %d: EstimateCost accepted invalid options %+v", i, opts)
+		}
+	}
+	// Zero values still select defaults.
+	if _, err := Resolve(tab, Options{MachineOnly: true}); err != nil {
+		t.Errorf("zero-value options rejected: %v", err)
+	}
+}
+
+// Satellite: cancelling a delta mid-execute leaves the discovered
+// candidates pending (the failed-delta contract) and persists the
+// answers already collected as partial assignment sets; the next delta
+// retries cleanly.
+func TestResolveDeltaContextCancellation(t *testing.T) {
+	tab, oracle := paperTable()
+	truth := map[Pair]bool{}
+	for _, p := range oracle {
+		truth[p] = true
+	}
+	q := NewQueueBackend(QueueOptions{})
+	opts := Options{
+		Threshold:   0.3,
+		HITType:     PairHITs,
+		ClusterSize: 2,
+		Assignments: 1,
+		Seed:        1,
+		Backend:     q,
+	}
+	rv, err := NewResolver(tab, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	firstComplete := make(chan struct{})
+	var once sync.Once
+	rv.opts.Progress = func(p Progress) {
+		if p.CompletedHITs >= 1 {
+			once.Do(func() { close(firstComplete) })
+		}
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := rv.ResolveDeltaContext(ctx)
+		errCh <- err
+	}()
+
+	answer := func(worker string) bool {
+		c, ok := q.Claim(worker)
+		if !ok {
+			return false
+		}
+		var vs []Verdict
+		for _, p := range c.HIT.Pairs {
+			vs = append(vs, Verdict{A: record.ID(p.A), B: record.ID(p.B), Match: truth[Pair{A: int(p.A), B: int(p.B)}]})
+		}
+		if err := q.Answer(c.Token, vs); err != nil {
+			t.Error(err)
+		}
+		return true
+	}
+
+	// Answer exactly one HIT, wait for the engine to absorb it, cancel.
+	deadline := time.Now().Add(5 * time.Second)
+	for !answer("w0") {
+		if time.Now().After(deadline) {
+			t.Fatal("no HIT became claimable")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	<-firstComplete
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled delta returned %v; want context.Canceled", err)
+	}
+
+	// The failed-delta contract: candidates pending, nothing judged, the
+	// completed HIT's answers persisted as partial assignment sets.
+	if rv.PendingPairs() == 0 {
+		t.Error("cancelled delta should leave its candidates pending")
+	}
+	if rv.JudgedPairs() != 0 {
+		t.Error("cancelled delta must not mark pairs judged")
+	}
+	if rv.PartialPairs() == 0 {
+		t.Error("answers collected before cancellation should persist as partial sets")
+	}
+
+	// Retry: the next delta re-discovers the pending pairs and completes
+	// once workers drain the queue.
+	rv.opts.Progress = nil
+	resCh := make(chan *Result, 1)
+	go func() {
+		res, err := rv.ResolveDelta()
+		if err != nil {
+			t.Error(err)
+		}
+		resCh <- res
+	}()
+	var res *Result
+	worker := 0
+	for res == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("retry never completed")
+		}
+		if !answer(fmt.Sprintf("w%d", worker%3)) {
+			time.Sleep(time.Millisecond)
+		}
+		worker++
+		select {
+		case res = <-resCh:
+		default:
+		}
+	}
+	if rv.PendingPairs() != 0 || rv.PartialPairs() != 0 {
+		t.Errorf("retry should clear pending (%d) and partial (%d) state", rv.PendingPairs(), rv.PartialPairs())
+	}
+	if rv.JudgedPairs() == 0 || len(res.Accepted()) == 0 {
+		t.Fatal("retry resolved nothing")
+	}
+	// Truthful workers recover the oracle's matches among candidates.
+	acc := map[Pair]bool{}
+	for _, m := range res.Accepted() {
+		acc[m.Pair] = true
+	}
+	if !acc[Pair{0, 1}] || !acc[Pair{0, 6}] || !acc[Pair{1, 6}] {
+		t.Errorf("iPad trio not recovered by queue workers: %v", res.Accepted())
 	}
 }
