@@ -23,6 +23,17 @@
 // Resolve of the same table — the service smoke check.
 //
 //	go run ./cmd/bench -serve -o BENCH_service.json
+//
+// With -transitive it benchmarks the transitivity-aware adaptive
+// scheduler on the Restaurant and Product(+Dup) datasets: each dataset
+// resolves once with Options.Transitivity off and once on, recording
+// HITs posted, pairs deduced, crowd cost and F1 against ground truth.
+// The run fails (exit 1) unless transitivity posts strictly fewer HITs
+// at equal-or-better F1 on every dataset, and unless a k-batch
+// incremental session with transitivity reproduces the from-scratch
+// transitive resolution.
+//
+//	go run ./cmd/bench -transitive -o BENCH_transitive.json
 package main
 
 import (
@@ -37,12 +48,15 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	crowder "github.com/crowder/crowder"
 	"github.com/crowder/crowder/internal/dataset"
+	"github.com/crowder/crowder/internal/eval"
+	"github.com/crowder/crowder/internal/record"
 	"github.com/crowder/crowder/internal/service"
 	"github.com/crowder/crowder/internal/simjoin"
 )
@@ -471,6 +485,185 @@ func runServe(base, batch, rounds, reads int) (*ServiceReport, bool) {
 	return rep, ok
 }
 
+// TransitiveRun is one dataset's off-vs-on comparison in
+// BENCH_transitive.json.
+type TransitiveRun struct {
+	Dataset    string  `json:"dataset"`
+	Records    int     `json:"records"`
+	Threshold  float64 `json:"threshold"`
+	Candidates int     `json:"candidates"`
+
+	HITsOff int     `json:"hits_off"`
+	HITsOn  int     `json:"hits_on"`
+	CostOff float64 `json:"cost_off_dollars"`
+	CostOn  float64 `json:"cost_on_dollars"`
+	F1Off   float64 `json:"f1_off"`
+	F1On    float64 `json:"f1_on"`
+
+	DeducedPairs  int `json:"deduced_pairs"`
+	HITsSaved     int `json:"hits_saved"`
+	RetractedHITs int `json:"retracted_hits"`
+}
+
+// TransitiveReport is the file layout of BENCH_transitive.json.
+type TransitiveReport struct {
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	GoMaxProcs int    `json:"go_max_procs"`
+
+	Runs []TransitiveRun `json:"runs"`
+	// DeltaEqualsScratch reports whether a k-batch incremental session
+	// with transitivity reproduced the from-scratch transitive Matches
+	// bit-for-bit on the heavy-transitivity workload.
+	DeltaEqualsScratch bool `json:"delta_equals_scratch"`
+}
+
+// transitiveF1 scores accepted matches against ground truth.
+func transitiveF1(truth record.PairSet, res *crowder.Result) float64 {
+	tp, fp := 0, 0
+	for _, m := range res.Accepted() {
+		if truth.Has(record.ID(m.Pair.A), record.ID(m.Pair.B)) {
+			tp++
+		} else {
+			fp++
+		}
+	}
+	if tp == 0 {
+		return 0
+	}
+	p := float64(tp) / float64(tp+fp)
+	r := float64(tp) / float64(truth.Len())
+	return eval.F1(p, r)
+}
+
+// runTransitive benchmarks the adaptive transitive scheduler and
+// enforces its acceptance criteria: strictly fewer HITs at
+// equal-or-better F1 on every dataset, and k-batch ≡ from-scratch.
+func runTransitive() (*TransitiveReport, bool) {
+	rep := &TransitiveReport{
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+
+	type workload struct {
+		name string
+		d    *dataset.Dataset
+		tau  float64
+	}
+	workloads := []workload{
+		// Restaurant at τ=0.4: duplicate clusters up to ~15 records plus a
+		// borderline hairball — positive chains and negative inference.
+		{"restaurant", dataset.RestaurantN(3, 2000, 400), 0.4},
+		// Product with injected duplicates (the paper's Figure 15(b)
+		// workload): ~74% of candidate pairs are transitively implied. The
+		// plain cross-source Product join is almost all 1:1 components with
+		// nothing to deduce, so the duplicate-injected variant is the
+		// transitivity benchmark.
+		{"product+dup", dataset.ProductDup(2, dataset.Product(1)), 0.5},
+	}
+
+	ok := true
+	for _, w := range workloads {
+		var oracle []crowder.Pair
+		for _, p := range w.d.Matches.Slice() {
+			oracle = append(oracle, crowder.Pair{A: int(p.A), B: int(p.B)})
+		}
+		build := func() *crowder.Table {
+			tab := crowder.NewTable(w.d.Table.Schema...)
+			for i := range w.d.Table.Records {
+				tab.Append(w.d.Table.Records[i].Values...)
+			}
+			return tab
+		}
+		opts := crowder.Options{
+			Threshold: w.tau, HITType: crowder.PairHITs, ClusterSize: 10,
+			Oracle: oracle, Seed: 1,
+		}
+		off, err := crowder.Resolve(build(), opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Transitivity = crowder.TransitivityOn
+		on, err := crowder.Resolve(build(), opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		run := TransitiveRun{
+			Dataset: w.name, Records: w.d.Table.Len(), Threshold: w.tau,
+			Candidates: on.Candidates,
+			HITsOff:    off.HITs, HITsOn: on.HITs,
+			CostOff: off.CostDollars, CostOn: on.CostDollars,
+			F1Off: transitiveF1(w.d.Matches, off), F1On: transitiveF1(w.d.Matches, on),
+			DeducedPairs: on.DeducedPairs, HITsSaved: on.HITsSaved,
+			RetractedHITs: on.RetractedHITs,
+		}
+		rep.Runs = append(rep.Runs, run)
+		if run.HITsOn >= run.HITsOff {
+			fmt.Fprintf(os.Stderr, "FAIL: %s: transitivity posted %d HITs, one-shot %d — no savings\n", w.name, run.HITsOn, run.HITsOff)
+			ok = false
+		}
+		if run.F1On < run.F1Off {
+			fmt.Fprintf(os.Stderr, "FAIL: %s: transitive F1 %.4f below one-shot %.4f\n", w.name, run.F1On, run.F1Off)
+			ok = false
+		}
+	}
+
+	// k-batch ≡ from-scratch under transitivity (clean pool: unanimity
+	// makes every deduction chain reproducible across batchings).
+	d := dataset.ProductDup(2, dataset.Product(1))
+	var oracle []crowder.Pair
+	for _, p := range d.Matches.Slice() {
+		oracle = append(oracle, crowder.Pair{A: int(p.A), B: int(p.B)})
+	}
+	eqOpts := crowder.Options{
+		Threshold: 0.5, HITType: crowder.PairHITs, ClusterSize: 10,
+		Oracle: oracle, Seed: 1,
+		Transitivity: crowder.TransitivityOn, SpammerRate: crowder.NoSpammers,
+	}
+	union := crowder.NewTable(d.Table.Schema...)
+	for i := range d.Table.Records {
+		union.Append(d.Table.Records[i].Values...)
+	}
+	full, err := crowder.Resolve(union, eqOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rv, err := crowder.NewResolver(crowder.NewTable(d.Table.Schema...), eqOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var last *crowder.Result
+	const batches = 4
+	size := (d.Table.Len() + batches - 1) / batches
+	for lo := 0; lo < d.Table.Len(); lo += size {
+		hi := lo + size
+		if hi > d.Table.Len() {
+			hi = d.Table.Len()
+		}
+		for i := lo; i < hi; i++ {
+			rv.Append(d.Table.Records[i].Values...)
+		}
+		if last, err = rv.ResolveDelta(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	rep.DeltaEqualsScratch = len(full.Matches) == len(last.Matches)
+	if rep.DeltaEqualsScratch {
+		for i := range full.Matches {
+			if full.Matches[i] != last.Matches[i] {
+				rep.DeltaEqualsScratch = false
+				break
+			}
+		}
+	}
+	if !rep.DeltaEqualsScratch {
+		fmt.Fprintln(os.Stderr, "FAIL: k-batch transitive ResolveDelta differs from from-scratch transitive Resolve")
+		ok = false
+	}
+	return rep, ok
+}
+
 func writeJSON(out string, v any, summary string) {
 	enc, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
@@ -498,7 +691,22 @@ func main() {
 	serve := flag.Bool("serve", false, "benchmark the crowderd service path instead of the batch baseline")
 	rounds := flag.Int("rounds", 5, "serve mode: timed append+resolve+poll rounds")
 	reads := flag.Int("reads", 2000, "serve mode: GET /matches requests for the read-path throughput")
+	transitive := flag.Bool("transitive", false, "benchmark the transitivity-aware adaptive scheduler instead of the batch baseline")
 	flag.Parse()
+
+	if *transitive {
+		rep, ok := runTransitive()
+		var parts []string
+		for _, r := range rep.Runs {
+			parts = append(parts, fmt.Sprintf("%s %d→%d HITs (F1 %.3f→%.3f)", r.Dataset, r.HITsOff, r.HITsOn, r.F1Off, r.F1On))
+		}
+		writeJSON(*out, rep, fmt.Sprintf("wrote %s (%s; delta≡scratch: %v)",
+			*out, strings.Join(parts, "; "), rep.DeltaEqualsScratch))
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *serve {
 		rep, ok := runServe(*baseN, *batchN, *rounds, *reads)

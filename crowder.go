@@ -145,6 +145,27 @@ const (
 	GenApprox
 )
 
+// TransitivityMode selects whether the workflow deduces verdicts from
+// the pair graph instead of asking the crowd for every candidate pair.
+type TransitivityMode int
+
+const (
+	// TransitivityOff (the default) crowdsources every new candidate
+	// pair, exactly as before: results are bit-identical to a build
+	// without the transitivity feature.
+	TransitivityOff TransitivityMode = iota
+	// TransitivityOn replaces the one-shot execute stage with adaptive
+	// rounds of post → collect → deduce → retract: verdicts implied by
+	// earlier answers (A=B ∧ B=C ⇒ A=C; A=B ∧ B≠D ⇒ A≠D) are deduced
+	// instead of asked, in-flight HITs whose pairs become deducible are
+	// retracted, and the Result reports DeducedPairs and HITsSaved.
+	// Fewer HITs are issued at equal-or-better quality; the price is
+	// that rounds serialize, so simulated crowd latency (ElapsedSeconds)
+	// grows, and — like cluster-based HITs — results depend on the batch
+	// sequence, not on the final table alone.
+	TransitivityOn
+)
+
 // CandidateSource selects how candidate pairs are generated before the
 // likelihood threshold is applied.
 type CandidateSource int
@@ -226,6 +247,11 @@ type Options struct {
 	// The final result always re-aggregates the full canonical answer
 	// set, so this affects observability only, never the outcome.
 	InterimAggregation bool
+	// Transitivity enables deduction of verdicts from the pair graph
+	// (TransitivityOn) instead of crowdsourcing every candidate pair.
+	// The zero value (TransitivityOff) keeps results bit-identical to a
+	// resolution without the feature. See TransitivityMode.
+	Transitivity TransitivityMode
 }
 
 // validate rejects option values that previously fell through to
@@ -247,7 +273,17 @@ func (o *Options) validate() error {
 	if o.Parallelism < 0 {
 		return fmt.Errorf("crowder: Options.Parallelism = %d; must not be negative (0 means GOMAXPROCS)", o.Parallelism)
 	}
+	if o.Transitivity < TransitivityOff || o.Transitivity > TransitivityOn {
+		return fmt.Errorf("crowder: Options.Transitivity = %d; must be TransitivityOff (0) or TransitivityOn (1)", o.Transitivity)
+	}
 	return nil
+}
+
+// transitive reports whether this resolution deduces verdicts from the
+// pair graph. Machine-only runs never reach the crowd, so there is
+// nothing to deduce from.
+func (o *Options) transitive() bool {
+	return o.Transitivity == TransitivityOn && !o.MachineOnly
 }
 
 func (o *Options) defaults() {
@@ -310,8 +346,28 @@ type Result struct {
 	// paid for once and never re-issued.
 	CachedCandidates int
 	// HITs is the number of tasks generated for this resolve's new
-	// candidate pairs.
+	// candidate pairs. With Transitivity on it counts the tasks actually
+	// posted to the crowd (including ones later retracted mid-flight) —
+	// typically fewer than the one-shot batching when pairs were deduced
+	// instead of asked.
 	HITs int
+	// DeducedPairs is the number of this resolve's new candidate pairs
+	// whose verdicts were deduced from the pair graph instead of asked
+	// (Transitivity on; always 0 otherwise).
+	DeducedPairs int
+	// HITsSaved is the number of tasks the one-shot batching would have
+	// generated for this resolve's new candidate pairs minus the tasks
+	// actually posted. It is negative when adaptive rounds fragmented
+	// the batching without deducing enough to pay for it — possible on
+	// workloads with little transitive structure when deferred pairs'
+	// chains fail to confirm (the bench gate pins the reference
+	// workloads where savings must be strictly positive).
+	HITsSaved int
+	// RetractedHITs counts posted tasks withdrawn mid-flight because
+	// their verdicts became deducible while they were answering. Their
+	// collected assignments are still paid for (CostDollars), but their
+	// remaining replication was cancelled.
+	RetractedHITs int
 	// CostDollars is the simulated crowd cost of this resolve (HITs ×
 	// assignments × $0.025, Section 7.1's AMT pricing).
 	CostDollars float64
@@ -360,8 +416,6 @@ type resolveState struct {
 	// generate →
 	pairHITs    []hitgen.PairHIT
 	clusterHITs []hitgen.ClusterHIT
-	// execute →
-	run *crowd.Result
 
 	res *Result
 }
@@ -404,9 +458,16 @@ func stagePrune(_ context.Context, st *resolveState) (*resolveState, error) {
 
 // stageGenerate batches the new candidate pairs into HITs. Cached pairs
 // never reach this stage: their HITs were issued (and paid for) by the
-// delta that first discovered them.
+// delta that first discovered them. With Transitivity on, generation
+// moves inside the execute stage's adaptive rounds — each round batches
+// only the pairs deduction could not resolve — except for plan-only
+// runs (EstimateCost), which report the one-shot batching because the
+// savings depend on answers no estimate can know.
 func stageGenerate(_ context.Context, st *resolveState) (*resolveState, error) {
 	if st.skipCrowd() {
+		return st, nil
+	}
+	if st.rv.opts.transitive() && !st.planOnly {
 		return st, nil
 	}
 	opts := st.rv.opts
@@ -453,6 +514,10 @@ func stageExecute(ctx context.Context, st *resolveState) (*resolveState, error) 
 	rv := st.rv
 	opts := rv.opts
 
+	if opts.transitive() {
+		return stageExecuteTransitive(ctx, st)
+	}
+
 	var hits []crowd.HIT
 	if opts.HITType == PairHITs {
 		pairLists := make([][]record.Pair, len(st.pairHITs))
@@ -470,34 +535,9 @@ func stageExecute(ctx context.Context, st *resolveState) (*resolveState, error) 
 		hits = crowd.ClusterHITsFromGen(records, covered, opts.Assignments)
 	}
 
-	backend := opts.Backend
-	if backend == nil {
-		truth := record.NewPairSet()
-		for _, p := range opts.Oracle {
-			truth.Add(record.ID(p.A), record.ID(p.B))
-		}
-		pop := crowd.NewPopulation(opts.Seed, crowd.PopulationOptions{
-			Size:        opts.Workers,
-			SpammerRate: opts.SpammerRate,
-		})
-		// Simulated workers err most on genuinely ambiguous pairs; the
-		// machine likelihoods from the prune stage calibrate that per-pair
-		// difficulty.
-		likelihood := make(map[record.Pair]float64, len(st.scored))
-		for _, sp := range st.scored {
-			likelihood[sp.Pair] = sp.Likelihood
-		}
-		sim, err := crowd.NewSimulator(truth, pop, crowd.Config{
-			Assignments:       opts.Assignments,
-			QualificationTest: opts.QualificationTest,
-			Seed:              opts.Seed,
-			Parallelism:       opts.Parallelism,
-			Difficulty:        crowd.DifficultyFromLikelihood(likelihood),
-		})
-		if err != nil {
-			return nil, err
-		}
-		backend = sim
+	backend, err := st.newBackend()
+	if err != nil {
+		return nil, err
 	}
 
 	run, err := crowd.ExecuteHITs(ctx, backend, hits, crowd.ExecuteOptions{
@@ -512,7 +552,6 @@ func stageExecute(ctx context.Context, st *resolveState) (*resolveState, error) 
 		}
 		return nil, err
 	}
-	st.run = run
 	st.res.CostDollars = run.CostDollars
 	st.res.ElapsedSeconds = run.TotalSeconds
 	// Commit: the delta's pairs are now judged; nothing stays pending.
@@ -522,6 +561,41 @@ func stageExecute(ctx context.Context, st *resolveState) (*resolveState, error) 
 	rv.cache.AddAnswers(run.Answers)
 	rv.pending = rv.pending[:0]
 	return st, nil
+}
+
+// newBackend returns the crowd executing this resolution's HITs: the
+// caller-supplied Options.Backend, or the reference simulator fed by the
+// Oracle. Simulated workers err most on genuinely ambiguous pairs; the
+// machine likelihoods from the prune stage calibrate that per-pair
+// difficulty.
+func (st *resolveState) newBackend() (crowd.Backend, error) {
+	opts := st.rv.opts
+	if opts.Backend != nil {
+		return opts.Backend, nil
+	}
+	truth := record.NewPairSet()
+	for _, p := range opts.Oracle {
+		truth.Add(record.ID(p.A), record.ID(p.B))
+	}
+	pop := crowd.NewPopulation(opts.Seed, crowd.PopulationOptions{
+		Size:        opts.Workers,
+		SpammerRate: opts.SpammerRate,
+	})
+	likelihood := make(map[record.Pair]float64, len(st.scored))
+	for _, sp := range st.scored {
+		likelihood[sp.Pair] = sp.Likelihood
+	}
+	sim, err := crowd.NewSimulator(truth, pop, crowd.Config{
+		Assignments:       opts.Assignments,
+		QualificationTest: opts.QualificationTest,
+		Seed:              opts.Seed,
+		Parallelism:       opts.Parallelism,
+		Difficulty:        crowd.DifficultyFromLikelihood(likelihood),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sim, nil
 }
 
 // stageAggregate combines the replicated answers of every judged pair —
@@ -559,6 +633,11 @@ func stageAggregate(_ context.Context, st *resolveState) (*resolveState, error) 
 			Pair:       Pair{A: int(pr.A), B: int(pr.B)},
 			Confidence: post[pr],
 		})
+	}
+	if n := appendDeducedMatches(rv.cache, &st.res.Matches); n > 0 {
+		// Deduced verdicts re-derive their confidence from the freshly
+		// aggregated posteriors of their proofs; re-sort the merged list.
+		SortMatches(st.res.Matches)
 	}
 	return st, nil
 }

@@ -217,6 +217,16 @@ func ClusterHITsFromGen(records [][]record.ID, covered [][]record.Pair, assignme
 	return hits
 }
 
+// OffsetOrds shifts the HITs' ordinals by base. An adaptive scheduler
+// posting a delta's HITs over several rounds uses it to keep ordinals
+// dense across the whole delta, so each round's cluster HITs draw from
+// fresh RNG streams instead of replaying round one's.
+func OffsetOrds(hits []HIT, base int) {
+	for i := range hits {
+		hits[i].Ord += base
+	}
+}
+
 // hitIDCounter hands out globally unique HIT IDs so runs sharing a
 // backend (e.g. a retried delta posting to the same queue) never collide.
 var (

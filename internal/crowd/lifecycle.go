@@ -20,6 +20,11 @@ const (
 	HITAnswering
 	// HITComplete: all r assignments are in; the HIT's answers are final.
 	HITComplete
+	// HITRetracted: the run withdrew the task before completion because
+	// its verdicts became deducible from other HITs' answers (adaptive
+	// transitivity scheduling). Assignments already collected are still
+	// paid for; outstanding ones are cancelled and never arrive.
+	HITRetracted
 )
 
 func (s HITState) String() string {
@@ -30,6 +35,8 @@ func (s HITState) String() string {
 		return "answering"
 	case HITComplete:
 		return "complete"
+	case HITRetracted:
+		return "retracted"
 	default:
 		return "unknown"
 	}
@@ -48,6 +55,9 @@ type Progress struct {
 	Answers int
 	// TopUps counts replication top-ups posted for expired assignments.
 	TopUps int
+	// Retracted counts the HITs withdrawn mid-flight because their
+	// verdicts became deducible (adaptive transitivity scheduling).
+	Retracted int
 	// Interim is the Dawid–Skene posterior over the answers collected so
 	// far, recomputed at each HIT completion when ExecuteOptions.Interim
 	// is set; nil otherwise. It lets a long-running service report
@@ -68,6 +78,19 @@ type ExecuteOptions struct {
 	// evenly spaced completions per batch, plus the last — keeping the
 	// collector loop responsive on large batches.
 	Interim bool
+	// OnHITComplete, when non-nil, receives each HIT with its full answer
+	// set the moment it completes — before the batch finishes — so an
+	// adaptive scheduler can fold verdicts into its deduction graph while
+	// sibling HITs are still in flight. Called from the manager's
+	// goroutine; keep it fast.
+	OnHITComplete func(hit HIT, answers []aggregate.Answer)
+	// Retractable, when non-nil, is polled for every in-flight HIT after
+	// each completion: returning true withdraws the task mid-flight (its
+	// verdicts have become deducible, so finishing it would waste crowd
+	// work). Collected assignments stay paid for; outstanding ones are
+	// cancelled, the HIT ends in HITRetracted, and its answers are
+	// excluded from the batch result.
+	Retractable func(hit HIT) bool
 }
 
 // hitRun is one HIT's mutable lifecycle state inside the manager.
@@ -122,13 +145,14 @@ func ExecuteHITs(ctx context.Context, b Backend, hits []HIT, opts ExecuteOptions
 		}
 	}()
 
-	completed, answers, topUps := 0, 0, 0
+	completed, retracted, answers, topUps := 0, 0, 0, 0
 
 	// partial assembles the result of an aborted run: every collected
 	// assignment, regardless of HIT completion.
 	partial := func() *Result {
 		res := assembleResult(b, runs, false)
 		res.TopUps = topUps
+		res.RetractedHITs = retracted
 		return res
 	}
 
@@ -147,12 +171,39 @@ func ExecuteHITs(ctx context.Context, b Backend, hits []HIT, opts ExecuteOptions
 			CompletedHITs: completed,
 			Answers:       answers,
 			TopUps:        topUps,
+			Retracted:     retracted,
 		}
 		if opts.Interim && hr.state == HITComplete &&
 			(completed == len(hits) || completed%interimStride == 0) {
 			ev.Interim = interimPosterior(runs)
 		}
 		opts.OnProgress(ev)
+	}
+
+	// sweepRetractable polls the in-flight HITs after a completion and
+	// withdraws those whose verdicts have become deducible. Sweep order is
+	// the posting order, so retraction is deterministic.
+	sweepRetractable := func() {
+		if opts.Retractable == nil {
+			return
+		}
+		var ids []int
+		for _, hr := range runs {
+			if hr.state == HITComplete || hr.state == HITRetracted {
+				continue
+			}
+			if opts.Retractable(hr.hit) {
+				hr.state = HITRetracted
+				retracted++
+				ids = append(ids, hr.hit.ID)
+				report(hr)
+			}
+		}
+		if len(ids) > 0 {
+			if rt, ok := b.(Retractor); ok {
+				rt.Retract(ids)
+			}
+		}
 	}
 
 	if err := b.Post(ctx, hits); err != nil {
@@ -164,7 +215,7 @@ func ExecuteHITs(ctx context.Context, b Backend, hits []HIT, opts ExecuteOptions
 		}
 	}
 
-	for completed < len(hits) {
+	for completed+retracted < len(hits) {
 		select {
 		case <-ctx.Done():
 			return partial(), ctx.Err()
@@ -179,8 +230,9 @@ func ExecuteHITs(ctx context.Context, b Backend, hits []HIT, opts ExecuteOptions
 				return partial(), errors.New("crowd: backend closed the assignment stream before all HITs completed")
 			}
 			hr := byID[a.HIT]
-			if hr == nil || hr.state == HITComplete {
-				continue // stale: another run's task, or a late extra answer
+			if hr == nil || hr.state == HITComplete || hr.state == HITRetracted {
+				continue // stale: another run's task, a late extra answer, or
+				// an assignment of a withdrawn task still in the pipe
 			}
 			if a.Expired {
 				// Replication top-up: re-post the same task asking for one
@@ -208,19 +260,40 @@ func ExecuteHITs(ctx context.Context, b Backend, hits []HIT, opts ExecuteOptions
 				hr.state = HITAnswering
 			}
 			report(hr)
+			if hr.state == HITComplete {
+				if opts.OnHITComplete != nil {
+					opts.OnHITComplete(hr.hit, hitAnswers(hr))
+				}
+				sweepRetractable()
+			}
 		}
 	}
 
 	res := assembleResult(b, runs, true)
 	res.TopUps = topUps
+	res.RetractedHITs = retracted
 	return res, nil
 }
 
+// hitAnswers flattens one completed HIT's collected answers (all
+// replication slots, slot order).
+func hitAnswers(hr *hitRun) []aggregate.Answer {
+	var all []aggregate.Answer
+	for _, a := range hr.slots {
+		all = append(all, a.Answers...)
+	}
+	return all
+}
+
 // interimPosterior aggregates the answers collected so far, in canonical
-// order so the result is a pure function of the answer set.
+// order so the result is a pure function of the answer set. Retracted
+// HITs' fragments are excluded, matching the final aggregation.
 func interimPosterior(runs []*hitRun) aggregate.Posterior {
 	var all []aggregate.Answer
 	for _, hr := range runs {
+		if hr.state == HITRetracted {
+			continue
+		}
 		for _, a := range hr.slots {
 			all = append(all, a.Answers...)
 		}
@@ -240,13 +313,27 @@ func interimPosterior(runs []*hitRun) aggregate.Posterior {
 // makespan. For an aborted run the layout is loose concatenation and the
 // makespan model does not apply (the batch never finished), so the
 // longest collected assignment stands in. Cost and worker accounting are
-// shared: both paths pay per collected assignment.
+// shared: both paths pay per collected assignment — including the
+// assignments of retracted HITs, whose answers are otherwise excluded
+// (their pairs were resolved by deduction, not by these fragments).
 func assembleResult(b Backend, runs []*hitRun, complete bool) *Result {
 	res := &Result{}
 	used := make(map[int]bool)
 	total := 0
 	for _, hr := range runs {
 		total += len(hr.slots)
+		if hr.state == HITRetracted {
+			for _, a := range hr.slots {
+				res.AssignmentSeconds = append(res.AssignmentSeconds, a.Seconds)
+				if a.Worker >= 0 {
+					used[a.Worker] = true
+				}
+				for _, it := range a.Answers {
+					used[it.Worker] = true
+				}
+			}
+			continue
+		}
 		if complete && hr.hit.Kind == PairKind {
 			for p := range hr.hit.Pairs {
 				for _, a := range hr.slots {

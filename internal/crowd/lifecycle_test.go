@@ -1,0 +1,179 @@
+package crowd
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/crowder/crowder/internal/aggregate"
+	"github.com/crowder/crowder/internal/record"
+)
+
+// TestRetractionMidFlight: after the first HIT completes, the scheduler
+// declares the second HIT's verdicts deducible; the manager withdraws it
+// mid-flight, the run ends without its answers, and the queue backend no
+// longer offers it to workers.
+func TestRetractionMidFlight(t *testing.T) {
+	pairs := testPairs()
+	truth := testTruth()
+	q := NewQueue(QueueOptions{})
+
+	hits := PairHITsFromGen([][]record.Pair{pairs[:2], pairs[2:]}, 1)
+
+	var completed []int
+	retractSecond := false
+	opts := ExecuteOptions{
+		OnHITComplete: func(h HIT, answers []aggregate.Answer) {
+			completed = append(completed, h.ID)
+			if len(answers) != len(h.Pairs) {
+				t.Errorf("OnHITComplete(%d): %d answers for %d pairs", h.ID, len(answers), len(h.Pairs))
+			}
+			retractSecond = true
+		},
+		Retractable: func(h HIT) bool { return retractSecond && h.ID == hits[1].ID },
+	}
+
+	var res *Result
+	var execErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		res, execErr = ExecuteHITs(context.Background(), q, hits, opts)
+	}()
+
+	// One worker answers only the first HIT; the second is never touched.
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case <-deadline:
+			t.Fatal("timed out answering the first HIT")
+		default:
+		}
+		c, ok := q.Claim("w0")
+		if !ok {
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		if c.HIT.ID != hits[0].ID {
+			t.Fatalf("claimed HIT %d; want the first (%d)", c.HIT.ID, hits[0].ID)
+		}
+		truthfulAnswer(t, q, c, truth)
+		break
+	}
+
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not end after the second HIT was retracted")
+	}
+	if execErr != nil {
+		t.Fatal(execErr)
+	}
+	if res.RetractedHITs != 1 {
+		t.Errorf("RetractedHITs = %d; want 1", res.RetractedHITs)
+	}
+	if len(completed) != 1 || completed[0] != hits[0].ID {
+		t.Errorf("OnHITComplete fired for %v; want exactly the first HIT", completed)
+	}
+	// Only the completed HIT's answers are in the result.
+	if len(res.Answers) != len(pairs[:2]) {
+		t.Fatalf("got %d answers; want %d (first HIT only)", len(res.Answers), 2)
+	}
+	got := record.NewPairSet()
+	for _, a := range res.Answers {
+		got.Add(a.Pair.A, a.Pair.B)
+	}
+	for _, p := range pairs[:2] {
+		if !got.Has(p.A, p.B) {
+			t.Errorf("answer for %v missing from the result", p)
+		}
+	}
+	// Cost covers only the one collected assignment.
+	if res.CostDollars != 1*DollarsPerAssignment {
+		t.Errorf("CostDollars = %v; want one assignment", res.CostDollars)
+	}
+	// The backend dropped the withdrawn task: nothing is claimable.
+	if _, ok := q.Claim("w1"); ok {
+		t.Error("retracted HIT still claimable on the queue")
+	}
+}
+
+// TestRetractionPaysCollectedAssignments: a HIT retracted after some of
+// its replicas arrived still pays for those replicas, and its fragment
+// answers stay out of the result.
+func TestRetractionPaysCollectedAssignments(t *testing.T) {
+	pairs := testPairs()
+	truth := testTruth()
+	q := NewQueue(QueueOptions{})
+
+	// Two HITs: the first needs 1 assignment, the second needs 2.
+	h1 := PairHITsFromGen([][]record.Pair{pairs[:2]}, 1)
+	h2 := PairHITsFromGen([][]record.Pair{pairs[2:]}, 2)
+	hits := []HIT{h1[0], h2[0]}
+
+	firstDone := false
+	opts := ExecuteOptions{
+		OnHITComplete: func(h HIT, _ []aggregate.Answer) {
+			if h.ID == hits[0].ID {
+				firstDone = true
+			}
+		},
+		Retractable: func(h HIT) bool { return firstDone && h.ID == hits[1].ID },
+	}
+
+	var res *Result
+	var execErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		res, execErr = ExecuteHITs(context.Background(), q, hits, opts)
+	}()
+
+	// Claim both HITs, then answer in a forced order: the second HIT's
+	// first replica lands while the first HIT's claim is still held, and
+	// only then does the first HIT complete — so the manager retracts the
+	// second with one replica already collected.
+	deadline := time.After(5 * time.Second)
+	claims := map[int]*Claimed{}
+	for w := 0; len(claims) < 2; w++ {
+		select {
+		case <-deadline:
+			t.Fatal("timed out claiming both HITs")
+		default:
+		}
+		c, ok := q.Claim([]string{"w-a", "w-b", "w-c"}[w%3])
+		if !ok {
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		claims[c.HIT.ID] = c
+	}
+	truthfulAnswer(t, q, claims[hits[1].ID], truth) // replica 1 of 2
+	time.Sleep(10 * time.Millisecond)               // let the manager collect it
+	truthfulAnswer(t, q, claims[hits[0].ID], truth) // completes HIT 1 → retract HIT 2
+
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not end after retraction")
+	}
+	if execErr != nil {
+		t.Fatal(execErr)
+	}
+	if res.RetractedHITs != 1 {
+		t.Fatalf("RetractedHITs = %d; want 1", res.RetractedHITs)
+	}
+	// Paid: the first HIT's single assignment plus the second's collected
+	// replica — the crowd work already done cannot be un-paid.
+	if want := 2 * DollarsPerAssignment; res.CostDollars != want {
+		t.Errorf("CostDollars = %v; want %v", res.CostDollars, want)
+	}
+	// The retracted HIT's fragment answers are excluded.
+	for _, a := range res.Answers {
+		for _, p := range pairs[2:] {
+			if a.Pair == p {
+				t.Errorf("fragment answer for retracted pair %v leaked into the result", p)
+			}
+		}
+	}
+}

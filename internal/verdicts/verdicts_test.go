@@ -5,6 +5,7 @@ import (
 
 	"github.com/crowder/crowder/internal/aggregate"
 	"github.com/crowder/crowder/internal/record"
+	"github.com/crowder/crowder/internal/transitivity"
 )
 
 func mk(a, b int) record.Pair { return record.MakePair(record.ID(a), record.ID(b)) }
@@ -126,5 +127,81 @@ func TestPartialAnswersLifecycle(t *testing.T) {
 	// AllAnswers sees only full judgments.
 	if got := len(c.AllAnswers()); got != 3 {
 		t.Errorf("AllAnswers = %d answers; want 3", got)
+	}
+}
+
+func TestProvenanceLifecycle(t *testing.T) {
+	c := NewCache()
+	asked := record.MakePair(0, 1)
+	c.Put(asked, 0.8)
+	if e := c.Get(asked); e.Provenance != Asked || e.Deduction != nil {
+		t.Fatalf("Put produced %v/%v; want asked with no proof", e.Provenance, e.Deduction)
+	}
+
+	ded := transitivity.Deduction{
+		Pair:  record.MakePair(0, 2),
+		Match: true,
+		Path:  []record.Pair{record.MakePair(0, 1), record.MakePair(1, 2)},
+	}
+	e := c.PutDeduced(0.7, ded)
+	if e.Provenance != Deduced || e.Deduction == nil || !e.Deduction.Match {
+		t.Fatalf("PutDeduced produced %+v", e)
+	}
+	if e.Posterior != 1 {
+		t.Errorf("deduced match initial posterior = %v; want 1", e.Posterior)
+	}
+	if got := c.DeducedLen(); got != 1 {
+		t.Errorf("DeducedLen = %d; want 1", got)
+	}
+	if !c.Has(ded.Pair) {
+		t.Error("deduced pair not judged: the resolver would re-ask it")
+	}
+
+	// Asked entries never downgrade to deduced.
+	c.PutDeduced(0, transitivity.Deduction{Pair: asked, Match: false})
+	if e := c.Get(asked); e.Provenance != Asked {
+		t.Error("PutDeduced downgraded an asked entry")
+	}
+	// A deduced entry later asked directly upgrades and sheds its proof.
+	up := c.Put(ded.Pair, 0.9)
+	if up.Provenance != Asked || up.Deduction != nil {
+		t.Errorf("asked upgrade left %v/%v", up.Provenance, up.Deduction)
+	}
+	if up.Likelihood != 0.9 {
+		t.Errorf("upgrade kept likelihood %v; want 0.9", up.Likelihood)
+	}
+}
+
+func TestPutDeducedSupersedesPartialFragments(t *testing.T) {
+	c := NewCache()
+	p := record.MakePair(3, 4)
+	c.AddPartialAnswers([]aggregate.Answer{{Pair: p, Worker: 1, Match: true}})
+	if c.PartialLen() != 1 {
+		t.Fatal("partial fragment not recorded")
+	}
+	c.PutDeduced(0.5, transitivity.Deduction{Pair: p, Match: false, Negative: true, Witness: record.MakePair(2, 3)})
+	if c.PartialLen() != 0 {
+		t.Error("deduced verdict left the partial fragment behind")
+	}
+	if e := c.Get(p); e.Posterior != 0 {
+		t.Errorf("deduced non-match initial posterior = %v; want 0", e.Posterior)
+	}
+}
+
+func TestAskedEntriesCanonicalOrder(t *testing.T) {
+	c := NewCache()
+	c.Put(record.MakePair(5, 6), 0.1)
+	c.Put(record.MakePair(0, 9), 0.2)
+	c.Put(record.MakePair(0, 3), 0.3)
+	c.PutDeduced(0, transitivity.Deduction{Pair: record.MakePair(1, 2), Match: true})
+	es := c.AskedEntries()
+	if len(es) != 3 {
+		t.Fatalf("AskedEntries returned %d entries; want 3 (deduced excluded)", len(es))
+	}
+	want := []record.Pair{record.MakePair(0, 3), record.MakePair(0, 9), record.MakePair(5, 6)}
+	for i, e := range es {
+		if e.Pair != want[i] {
+			t.Errorf("entry %d = %v; want %v", i, e.Pair, want[i])
+		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -322,33 +323,59 @@ func TestNoSpammersOption(t *testing.T) {
 	}
 }
 
-// Satellite: negative option values must fail loudly through the shared
+// Satellite: invalid option values must fail loudly through the shared
 // validation path used by Resolve, NewResolver and EstimateCost — they
-// previously fell through to defaults or misbehaved silently.
+// previously fell through to defaults or misbehaved silently. Table-
+// driven over every rejection branch of Options.validate(), asserting
+// the error names the offending field and value so a caller can fix
+// their configuration from the message alone.
 func TestOptionsValidation(t *testing.T) {
 	tab, _ := paperTable()
-	bad := []Options{
-		{Workers: -1, MachineOnly: true},
-		{Assignments: -3, MachineOnly: true},
-		{ClusterSize: -10, MachineOnly: true},
-		{Threshold: -0.5, MachineOnly: true},
-		{Threshold: 1.5, MachineOnly: true},
-		{Parallelism: -2, MachineOnly: true},
+	cases := []struct {
+		name    string
+		opts    Options
+		wantErr string // substring of the expected error; "" = accepted
+	}{
+		{"negative workers", Options{Workers: -1, MachineOnly: true}, "Options.Workers = -1"},
+		{"negative assignments", Options{Assignments: -3, MachineOnly: true}, "Options.Assignments = -3"},
+		{"negative cluster size", Options{ClusterSize: -10, MachineOnly: true}, "Options.ClusterSize = -10"},
+		{"threshold below zero", Options{Threshold: -0.5, MachineOnly: true}, "Options.Threshold = -0.5"},
+		{"threshold above one", Options{Threshold: 1.5, MachineOnly: true}, "Options.Threshold = 1.5"},
+		{"negative parallelism", Options{Parallelism: -2, MachineOnly: true}, "Options.Parallelism = -2"},
+		{"negative transitivity", Options{Transitivity: -1, MachineOnly: true}, "Options.Transitivity = -1"},
+		{"unknown transitivity mode", Options{Transitivity: 2, MachineOnly: true}, "Options.Transitivity = 2"},
+
+		{"zero values select defaults", Options{MachineOnly: true}, ""},
+		{"transitivity off is valid", Options{Transitivity: TransitivityOff, MachineOnly: true}, ""},
+		{"transitivity on is valid", Options{Transitivity: TransitivityOn, MachineOnly: true}, ""},
+		{"no-spammers sentinel is valid", Options{SpammerRate: NoSpammers, MachineOnly: true}, ""},
+		{"threshold bounds are inclusive", Options{Threshold: 1, MachineOnly: true}, ""},
 	}
-	for i, opts := range bad {
-		if _, err := Resolve(tab, opts); err == nil {
-			t.Errorf("case %d: Resolve accepted invalid options %+v", i, opts)
-		}
-		if _, err := NewResolver(tab, opts); err == nil {
-			t.Errorf("case %d: NewResolver accepted invalid options %+v", i, opts)
-		}
-		if _, err := EstimateCost(tab, opts); err == nil {
-			t.Errorf("case %d: EstimateCost accepted invalid options %+v", i, opts)
-		}
-	}
-	// Zero values still select defaults.
-	if _, err := Resolve(tab, Options{MachineOnly: true}); err != nil {
-		t.Errorf("zero-value options rejected: %v", err)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			check := func(api string, err error) {
+				t.Helper()
+				if tc.wantErr == "" {
+					if err != nil {
+						t.Errorf("%s rejected valid options: %v", api, err)
+					}
+					return
+				}
+				if err == nil {
+					t.Errorf("%s accepted invalid options %+v", api, tc.opts)
+				} else if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Errorf("%s error %q does not name the offending value %q", api, err, tc.wantErr)
+				}
+			}
+			// All three entry points share one validation path; each must
+			// reject identically.
+			_, err := Resolve(tab, tc.opts)
+			check("Resolve", err)
+			_, err = NewResolver(tab, tc.opts)
+			check("NewResolver", err)
+			_, err = EstimateCost(tab, tc.opts)
+			check("EstimateCost", err)
+		})
 	}
 }
 

@@ -1,0 +1,447 @@
+package crowder
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/crowder/crowder/internal/aggregate"
+	"github.com/crowder/crowder/internal/crowd"
+	"github.com/crowder/crowder/internal/hitgen"
+	"github.com/crowder/crowder/internal/record"
+	"github.com/crowder/crowder/internal/simjoin"
+	"github.com/crowder/crowder/internal/transitivity"
+	"github.com/crowder/crowder/internal/verdicts"
+)
+
+// transitiveRoundHITs bounds how many HITs one adaptive round posts at
+// once. Smaller rounds deduce more (every completed round feeds the
+// graph before the next is batched) but serialize more crowd latency;
+// larger rounds lean on mid-flight retraction for their savings. Four
+// keeps several HITs in flight — exercising retraction — while still
+// deducing between rounds.
+const transitiveRoundHITs = 4
+
+// transitiveMaxProof bounds the number of asked pairs a deduction may
+// rest on. Crowd answers are noisy and chains compound error, so
+// verdicts needing a longer proof are asked directly instead of
+// deduced.
+const transitiveMaxProof = 3
+
+// stageExecuteTransitive is the execute stage under TransitivityOn: an
+// adaptive scheduler that replaces the one-shot post-everything batch
+// with rounds of post → collect → deduce → retract. Each round batches
+// the highest-likelihood pairs whose verdicts are still unknown, posts
+// their HITs, folds completed HITs' verdicts into the deduction graph as
+// they land (retracting in-flight HITs whose pairs become deducible),
+// and then sweeps the remaining pairs: everything the graph now implies
+// is recorded as a deduced verdict with provenance instead of being
+// asked. Likelihood ordering makes the early rounds the probable
+// matches, so clusters form fast and the deducible tail grows.
+func stageExecuteTransitive(ctx context.Context, st *resolveState) (*resolveState, error) {
+	rv := st.rv
+	opts := rv.opts
+
+	backend, err := st.newBackend()
+	if err != nil {
+		return nil, err
+	}
+
+	// The deduction graph is rebuilt from the session's asked verdicts in
+	// canonical order: deltas resume deducing from everything the crowd
+	// has already answered. Only unanimous verdicts carry proofs.
+	g := transitivity.New()
+	g.MaxProof = transitiveMaxProof
+	for _, e := range rv.cache.AskedEntries() {
+		match := e.Posterior >= 0.5
+		g.ObserveStrength(e.Pair, match, unanimous(e.Answers, match))
+	}
+
+	// Savings baseline: the HITs the one-shot generate stage would have
+	// produced for the same fresh pairs.
+	baseline, err := oneShotHITCount(st.pairs, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	var (
+		remaining = append([]simjoin.ScoredPair(nil), st.scored...)
+		deduced   []transitivity.Deduction
+		posted    int
+		retracted int
+		topUps    int
+		answers   int
+		completed int
+		cost      float64
+		elapsed   float64
+		ordBase   int
+	)
+
+	// Progress events cross rounds: each round's lifecycle manager counts
+	// from zero, so its events are offset by the running totals — a
+	// client polling job progress sees hits/answers/retractions
+	// accumulate over the delta instead of sawtoothing per round.
+	// TotalHITs is the tasks posted so far; it grows as rounds post
+	// (adaptive scheduling cannot know the final count up front).
+	progress := opts.Progress
+	if progress != nil {
+		outer := progress
+		progress = func(p crowd.Progress) {
+			p.TotalHITs = posted
+			p.CompletedHITs += completed
+			p.Answers += answers
+			p.TopUps += topUps
+			p.Retracted += retracted
+			outer(p)
+		}
+	}
+
+	// deduceSweep records every remaining pair the graph now implies and
+	// returns the still-unknown tail, order preserved.
+	deduceSweep := func() {
+		keep := remaining[:0]
+		for _, sp := range remaining {
+			if d, ok := g.Deduce(sp.Pair); ok {
+				rv.cache.PutDeduced(sp.Likelihood, d)
+				deduced = append(deduced, d)
+			} else {
+				keep = append(keep, sp)
+			}
+		}
+		remaining = keep
+	}
+
+	commitFailure := func(run *crowd.Result) {
+		if run != nil {
+			rv.cache.AddPartialAnswers(run.Answers)
+		}
+	}
+
+	for {
+		deduceSweep()
+		if len(remaining) == 0 {
+			break
+		}
+
+		// Window: the next round's pairs, at most transitiveRoundHITs
+		// HITs' worth, highest likelihood first — minus the pairs that
+		// would close a cycle among the pairs already chosen. If the
+		// chosen pairs come back as the matches their likelihood
+		// predicts, a deferred cycle-closer is deducible for free next
+		// round; if they don't, it is still askable then. Asking only
+		// (would-be) spanning edges first is where most of the HIT
+		// savings on clustered data come from.
+		var window []simjoin.ScoredPair
+		if opts.HITType == ClusterHITs {
+			// Cluster HITs already exploit transitivity *within* each
+			// record group (the worker's labelling is transitively
+			// closed), and any pair deferred to a later round would
+			// fragment the two-tiered packing into strictly more HITs.
+			// So cluster rounds take everything still unknown at once —
+			// identical packing to the one-shot generator — and the
+			// adaptive savings come from the sweep (pairs a delta can
+			// deduce from cached verdicts are never batched at all) and
+			// from mid-flight retraction across the in-flight groups.
+			window, remaining = remaining, nil
+		} else {
+			window, remaining = selectWindow(g, remaining, opts.ClusterSize*transitiveRoundHITs)
+		}
+		pairs := simjoin.Pairs(window)
+
+		hits, err := roundHITs(pairs, opts, ordBase)
+		if err != nil {
+			return nil, err
+		}
+		ordBase += len(hits)
+		posted += len(hits)
+
+		// answered tracks the pairs whose verdicts this round's completed
+		// HITs delivered; retraction treats them as resolved alongside the
+		// graph's deductions.
+		answered := record.NewPairSet()
+		run, err := crowd.ExecuteHITs(ctx, backend, hits, crowd.ExecuteOptions{
+			OnProgress: progress,
+			Interim:    opts.InterimAggregation,
+			OnHITComplete: func(h crowd.HIT, hitAns []aggregate.Answer) {
+				for _, v := range hitVerdicts(h, hitAns) {
+					answered.Add(v.pair.A, v.pair.B)
+					g.ObserveStrength(v.pair, v.match, v.strong)
+				}
+			},
+			// Polled for every in-flight HIT after each completion — the
+			// collector's hot path — so the existence-only Deducible probe
+			// stands in for Deduce (no proof materialization).
+			Retractable: func(h crowd.HIT) bool {
+				for _, p := range h.Pairs {
+					if !answered.Has(p.A, p.B) && !g.Deducible(p) {
+						return false
+					}
+				}
+				return true
+			},
+		})
+		if err != nil {
+			commitFailure(run)
+			return nil, err
+		}
+
+		cost += run.CostDollars
+		elapsed += run.TotalSeconds // rounds serialize: the crowd answers them in sequence
+		retracted += run.RetractedHITs
+		topUps += run.TopUps
+		completed += len(hits) - run.RetractedHITs
+		answers += len(run.Answers)
+
+		// Commit the round: answered pairs become asked verdicts with
+		// their crowd answers; a retracted HIT's unanswered pairs are
+		// deducible by construction and fall to the next sweep (any pair
+		// that somehow is not — a conservative impossibility — stays in
+		// remaining and is simply re-batched).
+		var requeue []simjoin.ScoredPair
+		for _, sp := range window {
+			if answered.Has(sp.Pair.A, sp.Pair.B) {
+				rv.cache.Put(sp.Pair, sp.Likelihood)
+			} else if d, ok := g.Deduce(sp.Pair); ok {
+				rv.cache.PutDeduced(sp.Likelihood, d)
+				deduced = append(deduced, d)
+			} else {
+				requeue = append(requeue, sp)
+			}
+		}
+		rv.cache.AddAnswers(run.Answers)
+		remaining = append(requeue, remaining...)
+	}
+
+	st.res.HITs = posted
+	st.res.DeducedPairs = len(deduced)
+	st.res.HITsSaved = baseline - posted
+	st.res.RetractedHITs = retracted
+	st.res.CostDollars = cost
+	st.res.ElapsedSeconds = elapsed
+
+	// The delta is fully judged — asked or deduced — so nothing stays
+	// pending.
+	rv.pending = rv.pending[:0]
+	return st, nil
+}
+
+// selectWindow picks up to max pairs from remaining (highest likelihood
+// first) for the next round, skipping pairs whose endpoints are already
+// connected by the graph's clusters plus the pairs chosen so far: if
+// those in-flight pairs are confirmed as matches, the skipped pair is
+// deduced for free; if not, it stays in remaining and is batched by a
+// later round. Returns the window and the rest (skipped pairs first,
+// order otherwise preserved). The first remaining pair is always
+// selectable — the sweep already removed everything deducible — so
+// every round makes progress.
+func selectWindow(g *transitivity.Graph, remaining []simjoin.ScoredPair, max int) (window, rest []simjoin.ScoredPair) {
+	// Union-find over cluster roots, seeded lazily: the speculative
+	// "every in-flight pair matches" closure for this window only.
+	spec := make(map[record.ID]record.ID)
+	var root func(record.ID) record.ID
+	root = func(v record.ID) record.ID {
+		r, ok := spec[v]
+		if !ok {
+			return v
+		}
+		r = root(r)
+		spec[v] = r
+		return r
+	}
+
+	i := 0
+	for ; i < len(remaining) && len(window) < max; i++ {
+		sp := remaining[i]
+		ga, gb := g.Root(sp.Pair.A), g.Root(sp.Pair.B)
+		if ga == gb {
+			// Already one cluster in the real graph, yet the sweep could
+			// not deduce the pair (its only proof runs through contested
+			// links, or exceeds the proof bound): ask the crowd directly.
+			window = append(window, sp)
+			continue
+		}
+		ra, rb := root(ga), root(gb)
+		if ra == rb {
+			rest = append(rest, sp) // would close a speculative cycle: defer
+			continue
+		}
+		spec[ra] = rb
+		window = append(window, sp)
+	}
+	rest = append(rest, remaining[i:]...)
+	return window, rest
+}
+
+// roundHITs batches one round's pairs into backend tasks under the
+// configured HIT type, with ordinals offset so every round draws fresh
+// RNG streams.
+func roundHITs(pairs []record.Pair, opts Options, ordBase int) ([]crowd.HIT, error) {
+	var hits []crowd.HIT
+	switch opts.HITType {
+	case PairHITs:
+		gen, err := hitgen.GeneratePairHITs(pairs, opts.ClusterSize)
+		if err != nil {
+			return nil, err
+		}
+		pairLists := make([][]record.Pair, len(gen))
+		for i, h := range gen {
+			pairLists[i] = h.Pairs
+		}
+		hits = crowd.PairHITsFromGen(pairLists, opts.Assignments)
+	case ClusterHITs:
+		gen, err := generatorFor(opts.Generator, opts.Seed).Generate(pairs, opts.ClusterSize)
+		if err != nil {
+			return nil, err
+		}
+		if verr := hitgen.ValidateCover(pairs, gen, opts.ClusterSize); verr != nil {
+			return nil, fmt.Errorf("crowder: generated HITs violate the covering invariant: %w", verr)
+		}
+		records := make([][]record.ID, len(gen))
+		covered := make([][]record.Pair, len(gen))
+		for i, h := range gen {
+			records[i] = h.Records
+			covered[i] = h.CoveredPairs(pairs)
+		}
+		hits = crowd.ClusterHITsFromGen(records, covered, opts.Assignments)
+	default:
+		return nil, fmt.Errorf("crowder: unknown HIT type %d", opts.HITType)
+	}
+	crowd.OffsetOrds(hits, ordBase)
+	return hits, nil
+}
+
+// oneShotHITCount is the number of HITs the non-transitive generate
+// stage would produce for the pairs — the baseline Result.HITsSaved is
+// measured against.
+func oneShotHITCount(pairs []record.Pair, opts Options) (int, error) {
+	if len(pairs) == 0 {
+		return 0, nil
+	}
+	switch opts.HITType {
+	case PairHITs:
+		hits, err := hitgen.GeneratePairHITs(pairs, opts.ClusterSize)
+		if err != nil {
+			return 0, err
+		}
+		return len(hits), nil
+	case ClusterHITs:
+		hits, err := generatorFor(opts.Generator, opts.Seed).Generate(pairs, opts.ClusterSize)
+		if err != nil {
+			return 0, err
+		}
+		return len(hits), nil
+	default:
+		return 0, fmt.Errorf("crowder: unknown HIT type %d", opts.HITType)
+	}
+}
+
+// pairVerdict is one pair's majority verdict from a completed HIT.
+// strong marks a unanimous replica set — the only verdicts deduction
+// proofs are allowed to rest on.
+type pairVerdict struct {
+	pair   record.Pair
+	match  bool
+	strong bool
+}
+
+// hitVerdicts reduces a completed HIT's raw answers to one majority
+// verdict per covered pair, in the HIT's deterministic pair order. Ties
+// (possible with an even replication factor) resolve to non-match: the
+// deduction graph only merges clusters on a strict majority.
+func hitVerdicts(h crowd.HIT, answers []aggregate.Answer) []pairVerdict {
+	matches := make(map[record.Pair]int, len(h.Pairs))
+	total := make(map[record.Pair]int, len(h.Pairs))
+	for _, a := range answers {
+		total[a.Pair]++
+		if a.Match {
+			matches[a.Pair]++
+		}
+	}
+	out := make([]pairVerdict, 0, len(h.Pairs))
+	seen := make(map[record.Pair]bool, len(h.Pairs))
+	for _, p := range h.Pairs {
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		match := 2*matches[p] > total[p]
+		out = append(out, pairVerdict{
+			pair:   p,
+			match:  match,
+			strong: total[p] > 0 && (matches[p] == total[p]) == match && (matches[p] == 0) != match,
+		})
+	}
+	return out
+}
+
+// unanimous reports whether a cached entry's raw answers unanimously
+// support its aggregated verdict — the strength bar for cached verdicts
+// feeding a delta's deduction graph, mirroring hitVerdicts' bar for
+// fresh ones.
+func unanimous(answers []aggregate.Answer, match bool) bool {
+	if len(answers) == 0 {
+		return false
+	}
+	m := 0
+	for _, a := range answers {
+		if a.Match {
+			m++
+		}
+	}
+	if match {
+		return m == len(answers)
+	}
+	return m == 0
+}
+
+// appendDeducedMatches adds the cache's deduced verdicts to the match
+// list with confidences re-derived from the current posteriors of their
+// proofs, returning how many were added. Asked pairs are already in the
+// list via the aggregation posterior.
+func appendDeducedMatches(cache *verdicts.Cache, ms *[]Match) int {
+	n := 0
+	for _, p := range cache.Pairs() {
+		e := cache.Get(p)
+		if e.Provenance != verdicts.Deduced {
+			continue
+		}
+		e.Posterior = deducedConfidence(cache, e.Deduction)
+		*ms = append(*ms, Match{
+			Pair:       Pair{A: int(p.A), B: int(p.B)},
+			Confidence: e.Posterior,
+		})
+		n++
+	}
+	return n
+}
+
+// deducedConfidence converts a deduction's proof into a match
+// probability using the current posteriors of its supporting asked
+// pairs. A chain of matches is only as strong as its weakest link, so
+// the proof strength is the minimum posterior along the path — for a
+// negative deduction additionally min'd with the witness non-match's
+// complement. Supporting pairs whose posteriors drifted across 0.5
+// after re-aggregation weaken the deduction past the decision boundary:
+// a deduction is never more certain than what it rests on.
+//
+// A positive deduction reports the strength directly (strength < 0.5 ⇒
+// the chain is broken and the pair is not accepted). A negative one
+// maps strength s to (1−s)/2 ∈ [0, 0.5]: an ironclad proof of A≠B
+// yields confidence ~0, and a *broken* proof decays toward 0.5 —
+// "nothing is known" — never past it. (The naive complement 1−s would
+// invert: the more broken the non-match proof, the more confidently the
+// pair would be published as a match.)
+func deducedConfidence(cache *verdicts.Cache, d *transitivity.Deduction) float64 {
+	strength := 1.0
+	for _, p := range d.Path {
+		if e := cache.Get(p); e != nil && e.Posterior < strength {
+			strength = e.Posterior
+		}
+	}
+	if !d.Negative {
+		return strength
+	}
+	if e := cache.Get(d.Witness); e != nil && 1-e.Posterior < strength {
+		strength = 1 - e.Posterior
+	}
+	return (1 - strength) / 2
+}
