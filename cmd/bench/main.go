@@ -34,6 +34,18 @@
 // transitive resolution.
 //
 //	go run ./cmd/bench -transitive -o BENCH_transitive.json
+//
+// With -aggregate it gates the DawidSkeneMAP aggregator against the
+// sparse-coverage degeneracy (see ROADMAP): on the single-round-worker
+// stress workload the MAP aggregator must invert zero unanimous
+// verdicts (plain Dawid–Skene inverts them — the pinned bug), it must
+// score equal-or-better F1 than the default aggregator on the
+// Restaurant and Product datasets, and a k-batch incremental session
+// under MAP must reproduce the from-scratch MAP resolution bit for
+// bit. The report includes posterior-vs-empirical-precision
+// calibration buckets for both aggregators.
+//
+//	go run ./cmd/bench -aggregate -o BENCH_aggregate.json
 package main
 
 import (
@@ -54,6 +66,7 @@ import (
 	"time"
 
 	crowder "github.com/crowder/crowder"
+	"github.com/crowder/crowder/internal/aggregate"
 	"github.com/crowder/crowder/internal/dataset"
 	"github.com/crowder/crowder/internal/eval"
 	"github.com/crowder/crowder/internal/record"
@@ -664,6 +677,296 @@ func runTransitive() (*TransitiveReport, bool) {
 	return rep, ok
 }
 
+// SparseAggregateRun is the degeneracy stress workload's off-vs-on
+// comparison in BENCH_aggregate.json: cohorts of single-round workers,
+// most of whom only ever see true matches, plus cohorts whose whole
+// history is unanimously rejected pairs — the answer pattern that makes
+// plain Dawid–Skene flip unanimous rejections to confident matches.
+type SparseAggregateRun struct {
+	Pairs          int `json:"pairs"`
+	UnanimousPairs int `json:"unanimous_pairs"`
+	Workers        int `json:"workers"`
+
+	// Inversions counts unanimously judged pairs whose aggregated
+	// decision contradicts the unanimous verdict. The gate requires
+	// zero under MAP; the default estimator's count documents the bug.
+	InversionsDefault int `json:"inversions_default"`
+	InversionsMAP     int `json:"inversions_map"`
+
+	// WorstRejectedPosterior is the highest posterior either aggregator
+	// assigned to a unanimously rejected pair (ideally ≈0; the
+	// degeneracy drives the default's to ≈1).
+	WorstRejectedPosteriorDefault float64 `json:"worst_rejected_posterior_default"`
+	WorstRejectedPosteriorMAP     float64 `json:"worst_rejected_posterior_map"`
+}
+
+// AggregateRun is one dataset's default-vs-MAP comparison in
+// BENCH_aggregate.json.
+type AggregateRun struct {
+	Dataset    string  `json:"dataset"`
+	Records    int     `json:"records"`
+	Threshold  float64 `json:"threshold"`
+	Candidates int     `json:"candidates"`
+
+	F1Default float64 `json:"f1_default"`
+	F1MAP     float64 `json:"f1_map"`
+
+	CalibrationDefault []aggregate.CalibrationBucket `json:"calibration_default"`
+	CalibrationMAP     []aggregate.CalibrationBucket `json:"calibration_map"`
+}
+
+// AggregateReport is the file layout of BENCH_aggregate.json.
+type AggregateReport struct {
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	GoMaxProcs int    `json:"go_max_procs"`
+
+	Sparse SparseAggregateRun `json:"sparse"`
+	Runs   []AggregateRun     `json:"runs"`
+	// DeltaEqualsScratch reports whether a k-batch incremental session
+	// under the MAP aggregator reproduced the from-scratch MAP Matches
+	// bit for bit.
+	DeltaEqualsScratch bool `json:"delta_equals_scratch"`
+}
+
+// sparseWorkload synthesizes the degeneracy answer pattern: nMatch
+// cohorts of three single-round workers each unanimously confirming
+// ten true matches, plus nReject cohorts whose entire history is two
+// pairs unanimously judged non-matches. Everyone answers truthfully;
+// the failure is the aggregator's alone.
+func sparseWorkload(nMatch, nReject int) (answers []aggregate.Answer, rejected []record.Pair, workers int) {
+	worker, pid := 0, 0
+	for c := 0; c < nMatch; c++ {
+		ws := []int{worker, worker + 1, worker + 2}
+		worker += 3
+		for i := 0; i < 10; i++ {
+			p := record.MakePair(record.ID(2*pid), record.ID(2*pid+1))
+			pid++
+			for _, w := range ws {
+				answers = append(answers, aggregate.Answer{Pair: p, Worker: w, Match: true})
+			}
+		}
+	}
+	for c := 0; c < nReject; c++ {
+		ws := []int{worker, worker + 1, worker + 2}
+		worker += 3
+		for i := 0; i < 2; i++ {
+			p := record.MakePair(record.ID(2*pid), record.ID(2*pid+1))
+			pid++
+			rejected = append(rejected, p)
+			for _, w := range ws {
+				answers = append(answers, aggregate.Answer{Pair: p, Worker: w, Match: false})
+			}
+		}
+	}
+	aggregate.SortCanonical(answers)
+	return answers, rejected, worker
+}
+
+// unanimousInversions counts unanimously judged pairs decided against
+// their unanimous verdict, and the worst posterior given to a
+// unanimously rejected pair.
+func unanimousInversions(answers []aggregate.Answer, post aggregate.Posterior) (inversions int, unanimous int, worstRejected float64) {
+	yes := make(map[record.Pair]int)
+	total := make(map[record.Pair]int)
+	for _, a := range answers {
+		total[a.Pair]++
+		if a.Match {
+			yes[a.Pair]++
+		}
+	}
+	for p, tot := range total {
+		allYes, allNo := yes[p] == tot, yes[p] == 0
+		if !allYes && !allNo {
+			continue
+		}
+		unanimous++
+		if allYes && post[p] < 0.5 {
+			inversions++
+		}
+		if allNo {
+			if post[p] >= 0.5 {
+				inversions++
+			}
+			if post[p] > worstRejected {
+				worstRejected = post[p]
+			}
+		}
+	}
+	return inversions, unanimous, worstRejected
+}
+
+// aggWorkload is one dataset the aggregation gate scores F1 on.
+type aggWorkload struct {
+	name string
+	d    *dataset.Dataset
+	tau  float64
+}
+
+// defaultAggregateWorkloads are the reference datasets the CI gate
+// pins: Restaurant and the same Product(+Dup) workload the
+// transitivity gate uses.
+func defaultAggregateWorkloads() []aggWorkload {
+	return []aggWorkload{
+		{"restaurant", dataset.RestaurantN(3, 2000, 400), 0.4},
+		// Duplicate-injected so the candidate graph has the clustered
+		// structure real product feeds show.
+		{"product+dup", dataset.ProductDup(2, dataset.Product(1)), 0.5},
+	}
+}
+
+// runAggregate benchmarks the MAP aggregator and enforces its
+// acceptance criteria: zero unanimous-verdict inversions on the sparse
+// stress workload, equal-or-better F1 on every dataset, and k-batch ≡
+// from-scratch under the new aggregator. eqData is the dataset for the
+// k-batch equality check.
+func runAggregate(workloads []aggWorkload, eqData *dataset.Dataset) (*AggregateReport, bool) {
+	rep := &AggregateReport{
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	ok := true
+
+	// 1. The sparse-worker stress workload from the PR 4 degeneracy
+	// repro, scaled up: 90 single-round workers.
+	answers, _, workers := sparseWorkload(25, 5)
+	ds, err := aggregate.New(aggregate.MethodDawidSkene)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mp, err := aggregate.New(aggregate.MethodDawidSkeneMAP)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dsPost := ds.Aggregate(answers)
+	mpPost := mp.Aggregate(answers)
+	invDS, unan, worstDS := unanimousInversions(answers, dsPost)
+	invMP, _, worstMP := unanimousInversions(answers, mpPost)
+	rep.Sparse = SparseAggregateRun{
+		Pairs:          len(dsPost),
+		UnanimousPairs: unan,
+		Workers:        workers,
+
+		InversionsDefault: invDS,
+		InversionsMAP:     invMP,
+
+		WorstRejectedPosteriorDefault: worstDS,
+		WorstRejectedPosteriorMAP:     worstMP,
+	}
+	if invMP != 0 {
+		fmt.Fprintf(os.Stderr, "FAIL: MAP aggregator inverted %d unanimous verdicts on the sparse workload\n", invMP)
+		ok = false
+	}
+	if invDS == 0 {
+		fmt.Fprintln(os.Stderr, "FAIL: the sparse workload no longer reproduces the pinned default-aggregator degeneracy — the gate is vacuous")
+		ok = false
+	}
+
+	// 2. End-to-end F1 on the reference datasets, default vs MAP.
+	for _, w := range workloads {
+		var oracle []crowder.Pair
+		for _, p := range w.d.Matches.Slice() {
+			oracle = append(oracle, crowder.Pair{A: int(p.A), B: int(p.B)})
+		}
+		build := func() *crowder.Table {
+			tab := crowder.NewTable(w.d.Table.Schema...)
+			for i := range w.d.Table.Records {
+				tab.Append(w.d.Table.Records[i].Values...)
+			}
+			return tab
+		}
+		opts := crowder.Options{
+			Threshold: w.tau, HITType: crowder.PairHITs, ClusterSize: 10,
+			Oracle: oracle, Seed: 1,
+		}
+		def, err := crowder.Resolve(build(), opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Aggregation = crowder.AggregationDawidSkeneMAP
+		mapped, err := crowder.Resolve(build(), opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		calib := func(res *crowder.Result) []aggregate.CalibrationBucket {
+			post := make(aggregate.Posterior, len(res.Matches))
+			for _, m := range res.Matches {
+				post[record.MakePair(record.ID(m.Pair.A), record.ID(m.Pair.B))] = m.Confidence
+			}
+			return aggregate.Calibration(post, func(p record.Pair) bool {
+				return w.d.Matches.Has(p.A, p.B)
+			}, 10)
+		}
+		run := AggregateRun{
+			Dataset: w.name, Records: w.d.Table.Len(), Threshold: w.tau,
+			Candidates: mapped.Candidates,
+			F1Default:  transitiveF1(w.d.Matches, def),
+			F1MAP:      transitiveF1(w.d.Matches, mapped),
+
+			CalibrationDefault: calib(def),
+			CalibrationMAP:     calib(mapped),
+		}
+		rep.Runs = append(rep.Runs, run)
+		if run.F1MAP < run.F1Default {
+			fmt.Fprintf(os.Stderr, "FAIL: %s: MAP F1 %.4f below default %.4f\n", w.name, run.F1MAP, run.F1Default)
+			ok = false
+		}
+	}
+
+	// 3. k-batch incremental ≡ from-scratch under the MAP aggregator.
+	d := eqData
+	var oracle []crowder.Pair
+	for _, p := range d.Matches.Slice() {
+		oracle = append(oracle, crowder.Pair{A: int(p.A), B: int(p.B)})
+	}
+	eqOpts := crowder.Options{
+		Threshold: 0.4, HITType: crowder.PairHITs, ClusterSize: 10,
+		Oracle: oracle, Seed: 1, Aggregation: crowder.AggregationDawidSkeneMAP,
+	}
+	union := crowder.NewTable(d.Table.Schema...)
+	for i := range d.Table.Records {
+		union.Append(d.Table.Records[i].Values...)
+	}
+	full, err := crowder.Resolve(union, eqOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rv, err := crowder.NewResolver(crowder.NewTable(d.Table.Schema...), eqOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var last *crowder.Result
+	const batches = 4
+	size := (d.Table.Len() + batches - 1) / batches
+	for lo := 0; lo < d.Table.Len(); lo += size {
+		hi := lo + size
+		if hi > d.Table.Len() {
+			hi = d.Table.Len()
+		}
+		for i := lo; i < hi; i++ {
+			rv.Append(d.Table.Records[i].Values...)
+		}
+		if last, err = rv.ResolveDelta(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	rep.DeltaEqualsScratch = len(full.Matches) == len(last.Matches)
+	if rep.DeltaEqualsScratch {
+		for i := range full.Matches {
+			if full.Matches[i] != last.Matches[i] {
+				rep.DeltaEqualsScratch = false
+				break
+			}
+		}
+	}
+	if !rep.DeltaEqualsScratch {
+		fmt.Fprintln(os.Stderr, "FAIL: k-batch ResolveDelta under the MAP aggregator differs from from-scratch Resolve")
+		ok = false
+	}
+	return rep, ok
+}
+
 func writeJSON(out string, v any, summary string) {
 	enc, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
@@ -692,7 +995,24 @@ func main() {
 	rounds := flag.Int("rounds", 5, "serve mode: timed append+resolve+poll rounds")
 	reads := flag.Int("reads", 2000, "serve mode: GET /matches requests for the read-path throughput")
 	transitive := flag.Bool("transitive", false, "benchmark the transitivity-aware adaptive scheduler instead of the batch baseline")
+	aggregateMode := flag.Bool("aggregate", false, "gate the DawidSkeneMAP aggregator against the sparse-coverage degeneracy instead of the batch baseline")
 	flag.Parse()
+
+	if *aggregateMode {
+		rep, ok := runAggregate(defaultAggregateWorkloads(), dataset.RestaurantN(5, 600, 120))
+		var parts []string
+		for _, r := range rep.Runs {
+			parts = append(parts, fmt.Sprintf("%s F1 %.3f→%.3f", r.Dataset, r.F1Default, r.F1MAP))
+		}
+		writeJSON(*out, rep, fmt.Sprintf(
+			"wrote %s (sparse inversions default→MAP: %d→%d over %d unanimous pairs; %s; delta≡scratch: %v)",
+			*out, rep.Sparse.InversionsDefault, rep.Sparse.InversionsMAP, rep.Sparse.UnanimousPairs,
+			strings.Join(parts, "; "), rep.DeltaEqualsScratch))
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *transitive {
 		rep, ok := runTransitive()

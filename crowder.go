@@ -166,6 +166,82 @@ const (
 	TransitivityOn
 )
 
+// AggregationMode selects how the replicated crowd answers of each pair
+// are combined into a match posterior.
+type AggregationMode int
+
+const (
+	// AggregationDawidSkene (the default) runs plain Dawid–Skene EM with
+	// additive smoothing — bit-identical to every release before the
+	// aggregator became pluggable.
+	AggregationDawidSkene AggregationMode = iota
+	// AggregationMajorityVote scores each pair by its raw match
+	// fraction: the paper's baseline, susceptible to spammers but cheap
+	// and trivially auditable.
+	AggregationMajorityVote
+	// AggregationDawidSkeneMAP runs Dawid–Skene with
+	// maximum-a-posteriori M-steps: an informative diagonal Beta prior
+	// on every worker confusion row plus pool-mean anchoring of workers
+	// whose history covers only one class. It fixes the sparse-coverage
+	// degeneracy in which a high learned prevalence flips a unanimously
+	// rejected pair to a confident match (see the ROADMAP and
+	// cmd/bench -aggregate, whose gate this mode ships behind); outputs
+	// differ from the default, converging to it as worker histories
+	// grow dense.
+	AggregationDawidSkeneMAP
+)
+
+// aggregateMethod maps the public enum to the internal aggregator
+// registry. The zero values correspond, so a zero Options keeps the
+// pinned default.
+func (m AggregationMode) aggregateMethod() (aggregate.Method, error) {
+	switch m {
+	case AggregationDawidSkene:
+		return aggregate.MethodDawidSkene, nil
+	case AggregationMajorityVote:
+		return aggregate.MethodMajorityVote, nil
+	case AggregationDawidSkeneMAP:
+		return aggregate.MethodDawidSkeneMAP, nil
+	default:
+		return 0, fmt.Errorf("crowder: unknown aggregation mode %d", int(m))
+	}
+}
+
+// String returns the mode's wire name — the identity persisted on the
+// verdict cache and accepted by the service API ("dawid-skene",
+// "majority-vote", "dawid-skene-map").
+func (m AggregationMode) String() string {
+	am, err := m.aggregateMethod()
+	if err != nil {
+		return fmt.Sprintf("aggregation(%d)", int(m))
+	}
+	return am.String()
+}
+
+// ParseAggregationMode maps a wire name back to its AggregationMode;
+// the empty string selects the default. It is the inverse of
+// AggregationMode.String and the parser behind the service API's
+// "aggregation" table option.
+func ParseAggregationMode(s string) (AggregationMode, error) {
+	m, err := aggregate.ParseMethod(s)
+	if err != nil {
+		return 0, fmt.Errorf("crowder: %w", err)
+	}
+	switch m {
+	case aggregate.MethodDawidSkene:
+		return AggregationDawidSkene, nil
+	case aggregate.MethodMajorityVote:
+		return AggregationMajorityVote, nil
+	case aggregate.MethodDawidSkeneMAP:
+		return AggregationDawidSkeneMAP, nil
+	default:
+		// A method ParseMethod knows but this mapping does not means the
+		// two enums drifted; surface it rather than silently resolving
+		// under the default aggregator.
+		return 0, fmt.Errorf("crowder: aggregate method %q has no AggregationMode", m)
+	}
+}
+
 // CandidateSource selects how candidate pairs are generated before the
 // likelihood threshold is applied.
 type CandidateSource int
@@ -252,6 +328,12 @@ type Options struct {
 	// The zero value (TransitivityOff) keeps results bit-identical to a
 	// resolution without the feature. See TransitivityMode.
 	Transitivity TransitivityMode
+	// Aggregation selects the answer aggregator. The zero value
+	// (AggregationDawidSkene) keeps the pinned default; the aggregator
+	// is fixed for the session and recorded on the verdict cache, so an
+	// incremental session re-aggregates cached and fresh answers under
+	// one method and never mixes modes. See AggregationMode.
+	Aggregation AggregationMode
 }
 
 // validate rejects option values that previously fell through to
@@ -275,6 +357,9 @@ func (o *Options) validate() error {
 	}
 	if o.Transitivity < TransitivityOff || o.Transitivity > TransitivityOn {
 		return fmt.Errorf("crowder: Options.Transitivity = %d; must be TransitivityOff (0) or TransitivityOn (1)", o.Transitivity)
+	}
+	if o.Aggregation < AggregationDawidSkene || o.Aggregation > AggregationDawidSkeneMAP {
+		return fmt.Errorf("crowder: Options.Aggregation = %d; must be AggregationDawidSkene (0), AggregationMajorityVote (1) or AggregationDawidSkeneMAP (2)", o.Aggregation)
 	}
 	return nil
 }
@@ -543,6 +628,7 @@ func stageExecute(ctx context.Context, st *resolveState) (*resolveState, error) 
 	run, err := crowd.ExecuteHITs(ctx, backend, hits, crowd.ExecuteOptions{
 		OnProgress: opts.Progress,
 		Interim:    opts.InterimAggregation,
+		Aggregator: rv.agg,
 	})
 	if err != nil {
 		if run != nil {
@@ -599,11 +685,13 @@ func (st *resolveState) newBackend() (crowd.Backend, error) {
 }
 
 // stageAggregate combines the replicated answers of every judged pair —
-// cached and new — with Dawid–Skene EM into ranked match decisions. The
-// answers are re-aggregated in canonical order each delta, so cached
-// pairs' posteriors keep sharpening as fresh evidence about the workers
-// arrives, and a k-batch session aggregates exactly what a from-scratch
-// run would.
+// cached and new — with the session's aggregator (Dawid–Skene EM by
+// default) into ranked match decisions. The answers are re-aggregated in
+// canonical order each delta, so cached pairs' posteriors keep
+// sharpening as fresh evidence about the workers arrives, and a k-batch
+// session aggregates exactly what a from-scratch run would. The
+// aggregator's identity is bound to the verdict cache: one cache, one
+// method, across every delta of the session.
 func stageAggregate(_ context.Context, st *resolveState) (*resolveState, error) {
 	rv := st.rv
 	if rv.opts.MachineOnly {
@@ -626,7 +714,10 @@ func stageAggregate(_ context.Context, st *resolveState) (*resolveState, error) 
 	if len(answers) == 0 {
 		return st, nil
 	}
-	post := aggregate.DawidSkene(answers, aggregate.DawidSkeneOptions{})
+	// The cache was bound to this aggregator's identity when the session
+	// was created (NewResolver), so the no-mixed-modes invariant holds
+	// structurally by the time any delta aggregates.
+	post := rv.agg.Aggregate(answers)
 	rv.cache.SetPosteriors(post)
 	for _, pr := range post.Ranked() {
 		st.res.Matches = append(st.res.Matches, Match{

@@ -107,6 +107,16 @@ type DawidSkeneOptions struct {
 	// Smoothing is the additive pseudocount protecting confusion-matrix
 	// estimates from zeros (default 0.01).
 	Smoothing float64
+	// PriorAlpha and PriorBeta are the Beta(α, β) prior on the match
+	// prevalence: the M-step estimates the class prior as the MAP value
+	// (Σposterior + α − 1) / (n + α + β − 2) instead of the bare
+	// maximum-likelihood ratio. An informative prior (α, β > 1) keeps
+	// the learned prevalence off the 0/1 boundary by construction — the
+	// principled replacement for clipping at a bare ε. The defaults are
+	// 1, 1 (the uniform prior): the estimate reduces to Σposterior/n,
+	// bit-identical to the historical behavior, and the ε guard below
+	// remains only for that uniform case.
+	PriorAlpha, PriorBeta float64
 }
 
 func (o *DawidSkeneOptions) defaults() {
@@ -119,19 +129,50 @@ func (o *DawidSkeneOptions) defaults() {
 	if o.Smoothing <= 0 {
 		o.Smoothing = 0.01
 	}
+	if o.PriorAlpha <= 0 {
+		o.PriorAlpha = 1
+	}
+	if o.PriorBeta <= 0 {
+		o.PriorBeta = 1
+	}
 }
 
-// DawidSkene runs the EM algorithm: it alternates estimating each pair's
-// match posterior given worker confusion matrices (E-step) with
-// re-estimating worker confusion matrices and the class prior given the
-// posteriors (M-step), initialized from majority vote.
-func DawidSkene(answers []Answer, opts DawidSkeneOptions) Posterior {
-	opts.defaults()
-	if len(answers) == 0 {
-		return Posterior{}
+// mapClassPrior is the shared M-step prevalence estimate: the MAP value
+// of a Beta(α, β) posterior over priorSum "match" observations out of n,
+// guarded against the degenerate log(0) boundary. With the uniform
+// α = β = 1 every correction term is exactly 0.0, so the arithmetic —
+// and therefore the output bits — match the historical Σposterior/n.
+func mapClassPrior(priorSum float64, nPairs int, alpha, beta float64) float64 {
+	prior := (priorSum + (alpha - 1)) / (float64(nPairs) + (alpha + beta - 2))
+	if prior < 1e-9 {
+		prior = 1e-9
 	}
+	if prior > 1-1e-9 {
+		prior = 1 - 1e-9
+	}
+	return prior
+}
 
-	// Index pairs and workers.
+// vote is one worker's dense-indexed verdict on a pair.
+type vote struct {
+	w   int
+	yes bool
+}
+
+// answerIndex is the dense view of an answer set shared by the EM
+// aggregators: pairs and workers renumbered to contiguous indices, the
+// votes grouped per pair, and the majority-fraction initial posterior.
+// All of it is integer bookkeeping plus the same float divisions the
+// aggregators always performed, so sharing it cannot perturb a single
+// output bit.
+type answerIndex struct {
+	pairs    []record.Pair
+	byPair   [][]vote
+	nWorkers int
+	post     []float64 // majority-vote initialization, mutated by EM
+}
+
+func indexAnswers(answers []Answer) *answerIndex {
 	pairIdx := make(map[record.Pair]int)
 	var pairs []record.Pair
 	workerIdx := make(map[int]int)
@@ -146,21 +187,12 @@ func DawidSkene(answers []Answer, opts DawidSkeneOptions) Posterior {
 			nWorkers++
 		}
 	}
-	nPairs := len(pairs)
-
-	// byPair[i] lists (worker, vote) for pair i.
-	type vote struct {
-		w   int
-		yes bool
-	}
-	byPair := make([][]vote, nPairs)
+	byPair := make([][]vote, len(pairs))
 	for _, a := range answers {
 		i := pairIdx[a.Pair]
 		byPair[i] = append(byPair[i], vote{w: workerIdx[a.Worker], yes: a.Match})
 	}
-
-	// Initialization: posterior = majority fraction.
-	post := make([]float64, nPairs)
+	post := make([]float64, len(pairs))
 	for i, vs := range byPair {
 		yes := 0
 		for _, v := range vs {
@@ -170,6 +202,31 @@ func DawidSkene(answers []Answer, opts DawidSkeneOptions) Posterior {
 		}
 		post[i] = float64(yes) / float64(len(vs))
 	}
+	return &answerIndex{pairs: pairs, byPair: byPair, nWorkers: nWorkers, post: post}
+}
+
+// posterior copies the dense posterior back out under its pair keys.
+func (ix *answerIndex) posterior() Posterior {
+	out := make(Posterior, len(ix.pairs))
+	for i, pr := range ix.pairs {
+		out[pr] = ix.post[i]
+	}
+	return out
+}
+
+// DawidSkene runs the EM algorithm: it alternates estimating each pair's
+// match posterior given worker confusion matrices (E-step) with
+// re-estimating worker confusion matrices and the class prior given the
+// posteriors (M-step), initialized from majority vote.
+func DawidSkene(answers []Answer, opts DawidSkeneOptions) Posterior {
+	opts.defaults()
+	if len(answers) == 0 {
+		return Posterior{}
+	}
+
+	ix := indexAnswers(answers)
+	byPair, post := ix.byPair, ix.post
+	nPairs, nWorkers := len(ix.pairs), ix.nWorkers
 
 	// Worker confusion: conf[w][c][l] = P(worker answers l | class c),
 	// classes/labels: 0 = non-match, 1 = match.
@@ -182,13 +239,7 @@ func DawidSkene(answers []Answer, opts DawidSkeneOptions) Posterior {
 		for i := range post {
 			priorSum += post[i]
 		}
-		prior = priorSum / float64(nPairs)
-		if prior < 1e-9 {
-			prior = 1e-9
-		}
-		if prior > 1-1e-9 {
-			prior = 1 - 1e-9
-		}
+		prior = mapClassPrior(priorSum, nPairs, opts.PriorAlpha, opts.PriorBeta)
 		counts := make([][2][2]float64, nWorkers)
 		for i, vs := range byPair {
 			for _, v := range vs {
@@ -239,33 +290,81 @@ func DawidSkene(answers []Answer, opts DawidSkeneOptions) Posterior {
 		}
 	}
 
-	out := make(Posterior, nPairs)
-	for i, pr := range pairs {
-		out[pr] = post[i]
-	}
-	return out
+	return ix.posterior()
 }
 
-// WorkerAccuracy estimates each worker's empirical agreement with the
-// aggregated decisions — a spammer-detection diagnostic (workers far below
-// the population are likely answering randomly).
-func WorkerAccuracy(answers []Answer, post Posterior) map[int]float64 {
-	agree := make(map[int]float64)
-	total := make(map[int]int)
+// WorkerStats is one worker's session diagnostic: empirical agreement
+// with the aggregated decisions plus the coverage that tells you whether
+// the agreement number means anything. A worker whose history covers
+// only one class (ClassesSeen < 2) has a statistically unanchored
+// confusion row — their accuracy is not comparable to the pool's, and
+// the MAP aggregator anchors them toward the pool mean until coverage
+// arrives.
+type WorkerStats struct {
+	// Accuracy is the fraction of the worker's answers agreeing with the
+	// aggregated decision of the pair they judged.
+	Accuracy float64
+	// Answers counts the worker's judgments over pairs with a posterior.
+	Answers int
+	// MatchesSeen / NonMatchesSeen count the worker's answers on pairs
+	// the aggregation decided as matches / non-matches.
+	MatchesSeen, NonMatchesSeen int
+}
+
+// ClassesSeen is the number of distinct decided classes (0–2) in the
+// worker's answer history. Below 2 the worker's accuracy on the unseen
+// class is unmeasurable, not ≈0.5.
+func (s WorkerStats) ClassesSeen() int {
+	n := 0
+	if s.MatchesSeen > 0 {
+		n++
+	}
+	if s.NonMatchesSeen > 0 {
+		n++
+	}
+	return n
+}
+
+// WorkerReport computes each worker's WorkerStats against the aggregated
+// decisions — the spammer-detection diagnostic (workers far below the
+// population are likely answering randomly), now with the coverage
+// needed to tell a spammer from a worker who simply never saw a match.
+func WorkerReport(answers []Answer, post Posterior) map[int]WorkerStats {
+	agree := make(map[int]int)
+	stats := make(map[int]WorkerStats)
 	for _, a := range answers {
 		p, ok := post[a.Pair]
 		if !ok {
 			continue
 		}
+		s := stats[a.Worker]
+		s.Answers++
 		decided := p >= 0.5
+		if decided {
+			s.MatchesSeen++
+		} else {
+			s.NonMatchesSeen++
+		}
 		if a.Match == decided {
 			agree[a.Worker]++
 		}
-		total[a.Worker]++
+		stats[a.Worker] = s
 	}
-	out := make(map[int]float64, len(total))
-	for w, t := range total {
-		out[w] = agree[w] / float64(t)
+	for w, s := range stats {
+		s.Accuracy = float64(agree[w]) / float64(s.Answers)
+		stats[w] = s
+	}
+	return stats
+}
+
+// WorkerAccuracy estimates each worker's empirical agreement with the
+// aggregated decisions. The bare number is misleading for single-class
+// workers (≈0.5 reads as "spammer" when it only means "never saw the
+// other class") — prefer WorkerReport, which carries the coverage.
+func WorkerAccuracy(answers []Answer, post Posterior) map[int]float64 {
+	out := make(map[int]float64)
+	for w, s := range WorkerReport(answers, post) {
+		out[w] = s.Accuracy
 	}
 	return out
 }

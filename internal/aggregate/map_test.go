@@ -1,0 +1,262 @@
+package aggregate
+
+import (
+	"math"
+	"testing"
+
+	"github.com/crowder/crowder/internal/record"
+)
+
+// sparseDegeneracyAnswers reconstructs the PR 4 stress-test degeneracy
+// in its minimal form: 24 single-round workers — 7 cohorts of 3 whose
+// whole history is 10 true-match pairs each, plus one cohort of 3 whose
+// whole history is a single pair unanimously judged a non-match. The
+// learned prevalence is ~70/71, the last cohort's match-class confusion
+// rows are unsupported by any data, and plain Dawid–Skene flips the
+// false 3-0 pair to a confident match.
+func sparseDegeneracyAnswers() (answers []Answer, falsePair record.Pair, workers int) {
+	var out []Answer
+	worker, pid := 0, 0
+	for c := 0; c < 7; c++ {
+		ws := []int{worker, worker + 1, worker + 2}
+		worker += 3
+		for i := 0; i < 10; i++ {
+			p := mk(2*pid, 2*pid+1)
+			pid++
+			for _, w := range ws {
+				out = append(out, Answer{Pair: p, Worker: w, Match: true})
+			}
+		}
+	}
+	falsePair = mk(2*pid, 2*pid+1)
+	for _, w := range []int{worker, worker + 1, worker + 2} {
+		out = append(out, Answer{Pair: falsePair, Worker: w, Match: false})
+	}
+	SortCanonical(out)
+	return out, falsePair, worker + 3
+}
+
+// Satellite regression: the exact ROADMAP degeneracy. 24 single-round
+// workers; a pair judged false 3-0 must not exceed posterior 0.5 under
+// the MAP aggregator. The test also pins the bug it fixes: plain
+// Dawid–Skene (bit-identical by contract, so this cannot drift) does
+// invert the unanimous rejection.
+func TestSparseCoverageDegeneracyRegression(t *testing.T) {
+	answers, falsePair, workers := sparseDegeneracyAnswers()
+	if workers != 24 {
+		t.Fatalf("repro built %d workers; the ROADMAP scenario has 24", workers)
+	}
+
+	ds := DawidSkene(answers, DawidSkeneOptions{})
+	if ds[falsePair] <= 0.5 {
+		t.Fatalf("plain Dawid–Skene gave the false 3-0 pair posterior %v; the pinned degeneracy should invert it — did the default path change?", ds[falsePair])
+	}
+
+	mp := DawidSkeneMAP(answers, MAPOptions{})
+	if mp[falsePair] > 0.5 {
+		t.Errorf("MAP aggregator gave the unanimously rejected pair posterior %v; must stay ≤ 0.5", mp[falsePair])
+	}
+	// The fix must not cost the true matches: every unanimous 3-0 match
+	// keeps a confident posterior.
+	for p, v := range mp {
+		if p == falsePair {
+			continue
+		}
+		if v < 0.9 {
+			t.Errorf("MAP posterior(%v) = %v; unanimous true matches should stay ≥ 0.9", p, v)
+		}
+	}
+}
+
+// No unanimous-verdict inversion, the general property: whatever the
+// coverage pattern, a pair whose answers are unanimous must not be
+// decided against them by the MAP aggregator.
+func TestDawidSkeneMAPNeverInvertsUnanimous(t *testing.T) {
+	answers, _, _ := sparseDegeneracyAnswers()
+	post := DawidSkeneMAP(answers, MAPOptions{})
+	assertNoUnanimousInversions(t, answers, post, "MAP")
+}
+
+// assertNoUnanimousInversions fails if any unanimously judged pair's
+// posterior decision contradicts its unanimous verdict.
+func assertNoUnanimousInversions(t *testing.T, answers []Answer, post Posterior, label string) {
+	t.Helper()
+	yes := make(map[record.Pair]int)
+	total := make(map[record.Pair]int)
+	for _, a := range answers {
+		total[a.Pair]++
+		if a.Match {
+			yes[a.Pair]++
+		}
+	}
+	for p, tot := range total {
+		unanimousYes := yes[p] == tot
+		unanimousNo := yes[p] == 0
+		if !unanimousYes && !unanimousNo {
+			continue
+		}
+		if unanimousYes && post[p] < 0.5 {
+			t.Errorf("%s inverted unanimous match %v to posterior %v", label, p, post[p])
+		}
+		if unanimousNo && post[p] >= 0.5 {
+			t.Errorf("%s inverted unanimous non-match %v to posterior %v", label, p, post[p])
+		}
+	}
+}
+
+// Property: in the dense-coverage limit — long per-worker histories over
+// both classes — DawidSkeneMAP with weak priors degenerates to plain
+// DawidSkene, and even the default informative priors change no
+// decision: every prior term is O(1/n) against the data.
+func TestDawidSkeneMAPDenseLimitEquivalence(t *testing.T) {
+	for _, seed := range []int64{3, 23, 71} {
+		answers, _ := buildNoisyAnswers(seed, 800, 5, 1, 0.9)
+		SortCanonical(answers)
+		ds := DawidSkene(answers, DawidSkeneOptions{})
+
+		// Weak prior ≙ the additive smoothing of the plain estimator,
+		// anchoring disabled: the two EM fixed points coincide.
+		weak := DawidSkeneMAP(answers, MAPOptions{
+			ConfAlpha: 0.01, ConfBeta: 0.01,
+			PriorAlpha: 1, PriorBeta: 1,
+			Anchor: -1,
+		})
+		if len(weak) != len(ds) {
+			t.Fatalf("seed %d: weak MAP covers %d pairs, DS %d", seed, len(weak), len(ds))
+		}
+		for p, v := range ds {
+			if d := math.Abs(v - weak[p]); d > 1e-9 {
+				t.Fatalf("seed %d: weak-prior MAP diverges from DawidSkene on %v: %v vs %v (Δ %v)", seed, p, weak[p], v, d)
+			}
+		}
+
+		// Default priors: numerically close, decisions identical.
+		def := DawidSkeneMAP(answers, MAPOptions{})
+		for p, v := range ds {
+			if (v >= 0.5) != (def[p] >= 0.5) {
+				t.Errorf("seed %d: default MAP flips dense-coverage decision on %v: %v vs %v", seed, p, def[p], v)
+			}
+			if d := math.Abs(v - def[p]); d > 0.05 {
+				t.Errorf("seed %d: default MAP drifts %v from DawidSkene on %v", seed, d, p)
+			}
+		}
+	}
+}
+
+// Table-driven convergence and edge cases shared across both EM
+// aggregators: tiny inputs, ties, conflict, and determinism (aggregating
+// the same canonical set twice is bit-identical).
+func TestEMAggregatorsTable(t *testing.T) {
+	one := []Answer{{Pair: mk(0, 1), Worker: 1, Match: true}}
+	tie := []Answer{
+		{Pair: mk(0, 1), Worker: 1, Match: true},
+		{Pair: mk(0, 1), Worker: 2, Match: false},
+	}
+	conflict := []Answer{
+		{Pair: mk(0, 1), Worker: 1, Match: true},
+		{Pair: mk(0, 1), Worker: 2, Match: true},
+		{Pair: mk(0, 1), Worker: 3, Match: false},
+		{Pair: mk(2, 3), Worker: 1, Match: false},
+		{Pair: mk(2, 3), Worker: 2, Match: false},
+		{Pair: mk(2, 3), Worker: 3, Match: false},
+	}
+	aggs := []struct {
+		name string
+		run  func([]Answer) Posterior
+	}{
+		{"dawid-skene", func(as []Answer) Posterior { return DawidSkene(as, DawidSkeneOptions{}) }},
+		{"dawid-skene-map", func(as []Answer) Posterior { return DawidSkeneMAP(as, MAPOptions{}) }},
+	}
+	cases := []struct {
+		name    string
+		answers []Answer
+		want    map[record.Pair]bool // expected decision per pair
+	}{
+		{"empty", nil, map[record.Pair]bool{}},
+		{"one answer", one, map[record.Pair]bool{mk(0, 1): true}},
+		{"tie stays undecided-as-match-boundary", tie, nil}, // bounds-only: the tie posterior is checked below
+		{"majority conflict", conflict, map[record.Pair]bool{mk(0, 1): true, mk(2, 3): false}},
+	}
+	for _, agg := range aggs {
+		for _, tc := range cases {
+			t.Run(agg.name+"/"+tc.name, func(t *testing.T) {
+				post := agg.run(tc.answers)
+				again := agg.run(tc.answers)
+				if len(post) != len(again) {
+					t.Fatal("same input, different pair coverage")
+				}
+				for p, v := range post {
+					if v < 0 || v > 1 {
+						t.Fatalf("posterior(%v) = %v outside [0,1]", p, v)
+					}
+					if again[p] != v {
+						t.Fatalf("aggregation is not deterministic on %v: %v vs %v", p, v, again[p])
+					}
+				}
+				if tc.want != nil {
+					if len(post) != len(tc.want) {
+						t.Fatalf("covered %d pairs; want %d", len(post), len(tc.want))
+					}
+					for p, match := range tc.want {
+						if got := post[p] >= 0.5; got != match {
+							t.Errorf("decision(%v) = %v (posterior %v); want %v", p, got, post[p], match)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// Tie-breaking: a 1-1 split between two otherwise indistinguishable
+// workers must stay at the 0.5 boundary (symmetry), and Matches(0.5)
+// resolves the boundary toward "match" by its ≥ convention.
+func TestTieBreaking(t *testing.T) {
+	tie := []Answer{
+		{Pair: mk(0, 1), Worker: 1, Match: true},
+		{Pair: mk(0, 1), Worker: 2, Match: false},
+	}
+	mv := MajorityVote(tie)
+	if mv[mk(0, 1)] != 0.5 {
+		t.Errorf("majority vote on a 1-1 tie = %v; want 0.5", mv[mk(0, 1)])
+	}
+	if !mv.Matches(0.5).Has(0, 1) {
+		t.Error("Matches(0.5) must include the 0.5 boundary (≥ convention)")
+	}
+	for name, post := range map[string]Posterior{
+		"dawid-skene":     DawidSkene(tie, DawidSkeneOptions{}),
+		"dawid-skene-map": DawidSkeneMAP(tie, MAPOptions{}),
+	} {
+		if d := math.Abs(post[mk(0, 1)] - 0.5); d > 1e-6 {
+			t.Errorf("%s broke the 1-1 symmetry: posterior %v", name, post[mk(0, 1)])
+		}
+	}
+}
+
+func TestDawidSkeneMAPEmpty(t *testing.T) {
+	if post := DawidSkeneMAP(nil, MAPOptions{}); len(post) != 0 {
+		t.Errorf("empty answers should give empty posterior; got %v", post)
+	}
+}
+
+// The MAP aggregator must behave on the spammer workload at least as
+// well as the plain estimator: consistency across pairs is still what
+// identifies the spammers.
+func TestDawidSkeneMAPBeatsMajorityWithSpammers(t *testing.T) {
+	answers, truth := buildNoisyAnswers(5, 400, 2, 3, 0.95)
+	SortCanonical(answers)
+	mp := DawidSkeneMAP(answers, MAPOptions{})
+	mv := MajorityVote(answers)
+	errCount := func(post Posterior) int {
+		e := 0
+		for p, isMatch := range truth {
+			if (post[p] >= 0.5) != isMatch {
+				e++
+			}
+		}
+		return e
+	}
+	if mpErr, mvErr := errCount(mp), errCount(mv); mpErr >= mvErr {
+		t.Errorf("MAP errors (%d) should be below majority vote (%d)", mpErr, mvErr)
+	}
+}

@@ -1,0 +1,71 @@
+package aggregate
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMethodRoundTrip(t *testing.T) {
+	for _, m := range []Method{MethodDawidSkene, MethodMajorityVote, MethodDawidSkeneMAP} {
+		got, err := ParseMethod(m.String())
+		if err != nil {
+			t.Fatalf("ParseMethod(%q): %v", m, err)
+		}
+		if got != m {
+			t.Errorf("ParseMethod(%q) = %v; want %v", m.String(), got, m)
+		}
+		agg, err := New(m)
+		if err != nil {
+			t.Fatalf("New(%v): %v", m, err)
+		}
+		if agg.Name() != m.String() {
+			t.Errorf("New(%v).Name() = %q; want %q", m, agg.Name(), m.String())
+		}
+	}
+}
+
+func TestMethodDefaults(t *testing.T) {
+	if MethodDawidSkene != 0 {
+		t.Fatal("MethodDawidSkene must be the zero value: the default aggregation path is pinned bit-identical")
+	}
+	if m, err := ParseMethod(""); err != nil || m != MethodDawidSkene {
+		t.Errorf("ParseMethod(\"\") = %v, %v; the empty string selects the default", m, err)
+	}
+}
+
+func TestMethodUnknown(t *testing.T) {
+	if _, err := ParseMethod("em"); err == nil || !strings.Contains(err.Error(), `"em"`) {
+		t.Errorf("ParseMethod of an unknown name should fail naming it; got %v", err)
+	}
+	if _, err := New(Method(42)); err == nil {
+		t.Error("New of an unknown method should fail")
+	}
+	if s := Method(42).String(); !strings.Contains(s, "42") {
+		t.Errorf("unknown Method.String() = %q; should carry the raw value", s)
+	}
+}
+
+// The three built-in aggregators are pure functions of the canonical
+// answer set and agree on an unambiguous workload.
+func TestAggregatorsAgreeOnUnanimousAnswers(t *testing.T) {
+	var answers []Answer
+	truth := map[int]bool{0: true, 1: false, 2: true, 3: false}
+	for i, isMatch := range truth {
+		for w := 1; w <= 3; w++ {
+			answers = append(answers, Answer{Pair: mk(2*i, 2*i+1), Worker: w, Match: isMatch})
+		}
+	}
+	SortCanonical(answers)
+	for _, m := range []Method{MethodDawidSkene, MethodMajorityVote, MethodDawidSkeneMAP} {
+		agg, err := New(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		post := agg.Aggregate(answers)
+		for i, isMatch := range truth {
+			if got := post[mk(2*i, 2*i+1)] >= 0.5; got != isMatch {
+				t.Errorf("%s decided pair %d as %v; unanimous answers say %v", agg.Name(), i, got, isMatch)
+			}
+		}
+	}
+}

@@ -91,6 +91,11 @@ type ExecuteOptions struct {
 	// cancelled, the HIT ends in HITRetracted, and its answers are
 	// excluded from the batch result.
 	Retractable func(hit HIT) bool
+	// Aggregator, when non-nil, replaces the default Dawid–Skene
+	// aggregation used for the interim posteriors: callers pass their
+	// session's aggregator so the tentative numbers a client polls
+	// mid-run mean the same thing as the final ones.
+	Aggregator aggregate.Aggregator
 }
 
 // hitRun is one HIT's mutable lifecycle state inside the manager.
@@ -175,7 +180,7 @@ func ExecuteHITs(ctx context.Context, b Backend, hits []HIT, opts ExecuteOptions
 		}
 		if opts.Interim && hr.state == HITComplete &&
 			(completed == len(hits) || completed%interimStride == 0) {
-			ev.Interim = interimPosterior(runs)
+			ev.Interim = interimPosterior(runs, opts.Aggregator)
 		}
 		opts.OnProgress(ev)
 	}
@@ -285,10 +290,12 @@ func hitAnswers(hr *hitRun) []aggregate.Answer {
 	return all
 }
 
-// interimPosterior aggregates the answers collected so far, in canonical
-// order so the result is a pure function of the answer set. Retracted
-// HITs' fragments are excluded, matching the final aggregation.
-func interimPosterior(runs []*hitRun) aggregate.Posterior {
+// interimPosterior aggregates the answers collected so far — with the
+// caller's aggregator, or plain Dawid–Skene when none was supplied — in
+// canonical order so the result is a pure function of the answer set.
+// Retracted HITs' fragments are excluded, matching the final
+// aggregation.
+func interimPosterior(runs []*hitRun, agg aggregate.Aggregator) aggregate.Posterior {
 	var all []aggregate.Answer
 	for _, hr := range runs {
 		if hr.state == HITRetracted {
@@ -302,6 +309,9 @@ func interimPosterior(runs []*hitRun) aggregate.Posterior {
 		return aggregate.Posterior{}
 	}
 	aggregate.SortCanonical(all)
+	if agg != nil {
+		return agg.Aggregate(all)
+	}
 	return aggregate.DawidSkene(all, aggregate.DawidSkeneOptions{})
 }
 

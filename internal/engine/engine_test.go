@@ -3,7 +3,9 @@ package engine
 import (
 	"context"
 	"errors"
+	"runtime"
 	"strings"
+	"sync/atomic"
 	"testing"
 )
 
@@ -216,5 +218,38 @@ func TestRunCancelMidStage(t *testing.T) {
 	}
 	if downstream {
 		t.Error("downstream stage ran after cancellation")
+	}
+}
+
+func TestWorkerCount(t *testing.T) {
+	cases := []struct{ requested, n, want int }{
+		{4, 10, 4},
+		{4, 2, 2},   // clamped to the work items
+		{0, 0, 1},   // never below 1
+		{-3, 5, -1}, // GOMAXPROCS-resolved: checked below
+	}
+	for _, tc := range cases {
+		got := WorkerCount(tc.requested, tc.n)
+		if tc.want > 0 && got != tc.want {
+			t.Errorf("WorkerCount(%d, %d) = %d; want %d", tc.requested, tc.n, got, tc.want)
+		}
+		if got < 1 {
+			t.Errorf("WorkerCount(%d, %d) = %d; must be >= 1", tc.requested, tc.n, got)
+		}
+	}
+	if got := WorkerCount(0, 1<<30); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("WorkerCount(0, big) = %d; want GOMAXPROCS (%d)", got, runtime.GOMAXPROCS(0))
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	for _, workers := range []int{0, 1, 4} {
+		var ran [8]atomic.Bool
+		Workers(workers, func(w int) { ran[w].Store(true) })
+		for w := 0; w < 8; w++ {
+			if want := w < workers; ran[w].Load() != want {
+				t.Errorf("Workers(%d): fn(%d) ran=%v want %v", workers, w, ran[w].Load(), want)
+			}
+		}
 	}
 }

@@ -121,6 +121,12 @@ type session struct {
 	// render with missing record values).
 	appendMu sync.Mutex
 
+	// aggregation and transitivity echo the session's fixed options in
+	// job status, so a client auditing a verdict can see which
+	// aggregator produced it without holding the resolver lock.
+	aggregation  string
+	transitivity bool
+
 	mu       sync.Mutex
 	schema   []string
 	rows     [][]string // mirror of the table, readable during a resolve
@@ -169,8 +175,13 @@ type job struct {
 	progress crowder.Progress
 	interim  int // matches ≥ 0.5 in the latest interim aggregation
 	result   *crowder.Result
-	errMsg   string
-	cancel   context.CancelFunc
+	// workers is the per-worker accuracy/coverage report computed when
+	// the job completes (the resolver lock is free by then) — the
+	// session-wide diagnostic a dashboard reads to spot spammers and
+	// statistically unanchored single-class workers.
+	workers []crowder.WorkerStat
+	errMsg  string
+	cancel  context.CancelFunc
 }
 
 func (j *job) update(p crowder.Progress) {
@@ -213,6 +224,11 @@ type optionsRequest struct {
 	// (crowder.TransitivityOn): fewer HITs posted, savings reported on
 	// every finished job as deduced_pairs / hits_saved / retracted_hits.
 	Transitivity bool `json:"transitivity,omitempty"`
+	// Aggregation selects the answer aggregator: "dawid-skene" (the
+	// default), "majority-vote", or "dawid-skene-map" (the
+	// sparse-coverage-robust MAP estimator). Fixed for the session; job
+	// status echoes it under options.aggregation.
+	Aggregation string `json:"aggregation,omitempty"`
 }
 
 func (s *Server) handleCreateTable(w http.ResponseWriter, r *http.Request) {
@@ -241,6 +257,12 @@ func (s *Server) handleCreateTable(w http.ResponseWriter, r *http.Request) {
 	if req.Options.Transitivity {
 		opts.Transitivity = crowder.TransitivityOn
 	}
+	agg, err := crowder.ParseAggregationMode(req.Options.Aggregation)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	opts.Aggregation = agg
 	switch req.Options.HITType {
 	case "", "cluster":
 		opts.HITType = crowder.ClusterHITs
@@ -257,7 +279,11 @@ func (s *Server) handleCreateTable(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	sess := &session{name: name, schema: req.Schema, jobs: make(map[int]*job)}
+	sess := &session{
+		name: name, schema: req.Schema, jobs: make(map[int]*job),
+		aggregation:  agg.String(),
+		transitivity: req.Options.Transitivity,
+	}
 	switch req.Options.Backend {
 	case "", "simulated":
 		// Oracle-driven reference simulator; nothing to wire.
@@ -374,6 +400,13 @@ func handleResolve(sess *session, w http.ResponseWriter, r *http.Request) {
 		res, err := sess.rv.ResolveDeltaContext(ctx)
 		cancel()
 		sess.current.Store(nil)
+		var workers []crowder.WorkerStat
+		if err == nil {
+			// Computed after the delta releases the resolver lock; the
+			// job is still "running" to pollers, so the stats land before
+			// anyone can observe "done".
+			workers = sess.rv.WorkerStats()
+		}
 		j.mu.Lock()
 		if err != nil {
 			if errors.Is(err, context.Canceled) {
@@ -385,6 +418,7 @@ func handleResolve(sess *session, w http.ResponseWriter, r *http.Request) {
 		} else {
 			j.state = "done"
 			j.result = res
+			j.workers = workers
 		}
 		j.mu.Unlock()
 		sess.mu.Lock()
@@ -422,6 +456,10 @@ func handleJobStatus(sess *session, w http.ResponseWriter, r *http.Request) {
 	body := map[string]any{
 		"job":   j.id,
 		"state": j.state,
+		"options": map[string]any{
+			"aggregation":  sess.aggregation,
+			"transitivity": sess.transitivity,
+		},
 		"progress": map[string]any{
 			"total_hits":      j.progress.TotalHITs,
 			"completed_hits":  j.progress.CompletedHITs,
@@ -448,6 +486,18 @@ func handleJobStatus(sess *session, w http.ResponseWriter, r *http.Request) {
 			"elapsed_seconds":   j.result.ElapsedSeconds,
 			"matches":           len(j.result.Matches),
 		}
+		workers := make([]map[string]any, 0, len(j.workers))
+		for _, ws := range j.workers {
+			workers = append(workers, map[string]any{
+				"worker":           ws.Worker,
+				"accuracy":         ws.Accuracy,
+				"answers":          ws.Answers,
+				"matches_seen":     ws.MatchesSeen,
+				"non_matches_seen": ws.NonMatchesSeen,
+				"classes_seen":     ws.ClassesSeen,
+			})
+		}
+		body["workers"] = workers
 	}
 	writeJSON(w, http.StatusOK, body)
 }

@@ -440,3 +440,110 @@ func TestServiceTransitivity(t *testing.T) {
 		t.Error("job progress does not surface retracted")
 	}
 }
+
+// TestServiceAggregation: a table created with the MAP aggregator
+// resolves under it, job status echoes options.aggregation, and the
+// finished job carries the per-worker accuracy/coverage report. An
+// unknown aggregator name is rejected at table creation.
+func TestServiceAggregation(t *testing.T) {
+	schema, rows, oracle, libOracle := serviceDataset(t)
+	srv := httptest.NewServer(New(Options{}))
+	defer srv.Close()
+	c := srv.Client()
+
+	if code := call(t, c, "POST", srv.URL+"/tables/agg", tableRequest{
+		Schema: schema,
+		Options: optionsRequest{
+			Threshold: 0.4, HITType: "pair", ClusterSize: 5, Seed: 7,
+			Oracle: oracle, Aggregation: "dawid-skene-map",
+		},
+	}, nil); code != http.StatusCreated {
+		t.Fatalf("create table returned %d", code)
+	}
+	if code := call(t, c, "POST", srv.URL+"/tables/agg/records",
+		map[string]any{"rows": rows}, nil); code != http.StatusOK {
+		t.Fatalf("append returned %d", code)
+	}
+	var kicked struct {
+		Job int `json:"job"`
+	}
+	if code := call(t, c, "POST", srv.URL+"/tables/agg/resolve", map[string]any{}, &kicked); code != http.StatusAccepted {
+		t.Fatalf("resolve returned %d", code)
+	}
+	status := pollJob(t, c, srv.URL, "agg", kicked.Job)
+	if status["state"] != "done" {
+		t.Fatalf("job ended %v: %v", status["state"], status["error"])
+	}
+	opts, ok := status["options"].(map[string]any)
+	if !ok {
+		t.Fatalf("job status carries no options: %v", status)
+	}
+	if opts["aggregation"] != "dawid-skene-map" {
+		t.Errorf("options.aggregation = %v; want dawid-skene-map", opts["aggregation"])
+	}
+	if opts["transitivity"] != false {
+		t.Errorf("options.transitivity = %v; want false", opts["transitivity"])
+	}
+
+	workers, ok := status["workers"].([]any)
+	if !ok || len(workers) == 0 {
+		t.Fatalf("finished job carries no worker report: %v", status["workers"])
+	}
+	for _, raw := range workers {
+		ws := raw.(map[string]any)
+		for _, key := range []string{"worker", "accuracy", "answers", "matches_seen", "non_matches_seen", "classes_seen"} {
+			if _, ok := ws[key]; !ok {
+				t.Fatalf("worker report entry %v lacks %q", ws, key)
+			}
+		}
+		if acc := ws["accuracy"].(float64); acc < 0 || acc > 1 {
+			t.Errorf("worker %v accuracy %v outside [0,1]", ws["worker"], acc)
+		}
+		if int(ws["matches_seen"].(float64))+int(ws["non_matches_seen"].(float64)) != int(ws["answers"].(float64)) {
+			t.Errorf("worker %v coverage does not add up: %v", ws["worker"], ws)
+		}
+	}
+
+	// The service's MAP matches must equal a library-mode MAP resolve.
+	got := getMatches(t, c, srv.URL, "agg")
+	union := crowder.NewTable(schema...)
+	for _, row := range rows {
+		union.Append(row...)
+	}
+	want, err := crowder.Resolve(union, crowder.Options{
+		Threshold: 0.4, HITType: crowder.PairHITs, ClusterSize: 5, Seed: 7,
+		Oracle: libOracle, Aggregation: crowder.AggregationDawidSkeneMAP,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want.Matches) {
+		t.Fatalf("service returned %d matches; library %d", len(got), len(want.Matches))
+	}
+	for i, m := range want.Matches {
+		if got[i].A != m.Pair.A || got[i].B != m.Pair.B || got[i].Confidence != m.Confidence {
+			t.Fatalf("match %d differs: service %+v vs library %+v", i, got[i], m)
+		}
+	}
+
+	// Default tables echo the default aggregator.
+	call(t, c, "POST", srv.URL+"/tables/defagg", tableRequest{Schema: schema, Options: optionsRequest{MachineOnly: true}}, nil)
+	call(t, c, "POST", srv.URL+"/tables/defagg/records", map[string]any{"rows": rows[:2]}, nil)
+	var kicked2 struct {
+		Job int `json:"job"`
+	}
+	call(t, c, "POST", srv.URL+"/tables/defagg/resolve", map[string]any{}, &kicked2)
+	st2 := pollJob(t, c, srv.URL, "defagg", kicked2.Job)
+	if opts2, ok := st2["options"].(map[string]any); !ok || opts2["aggregation"] != "dawid-skene" {
+		t.Errorf("default table options = %v; want aggregation dawid-skene", st2["options"])
+	}
+
+	// Unknown aggregator names fail at creation, naming the value.
+	var errBody map[string]any
+	if code := call(t, c, "POST", srv.URL+"/tables/badagg", tableRequest{
+		Schema:  schema,
+		Options: optionsRequest{Aggregation: "em"},
+	}, &errBody); code != http.StatusBadRequest {
+		t.Errorf("unknown aggregation returned %d", code)
+	}
+}

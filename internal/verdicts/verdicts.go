@@ -15,6 +15,8 @@
 package verdicts
 
 import (
+	"errors"
+	"fmt"
 	"sort"
 
 	"github.com/crowder/crowder/internal/aggregate"
@@ -78,6 +80,12 @@ type Entry struct {
 type Cache struct {
 	entries map[record.Pair]*Entry
 	partial map[record.Pair][]aggregate.Answer
+	// aggregator is the identity of the method every posterior in the
+	// cache was produced by, set by the first BindAggregator call.
+	// Posteriors from different aggregators are not comparable — a
+	// majority fraction and an EM posterior mean different things — so
+	// the cache refuses to serve a session that would mix them.
+	aggregator string
 }
 
 // NewCache creates an empty verdict cache.
@@ -87,6 +95,31 @@ func NewCache() *Cache {
 		partial: make(map[record.Pair][]aggregate.Answer),
 	}
 }
+
+// BindAggregator records the aggregator identity whose posteriors the
+// cache holds. The first bind sets it; every later bind must name the
+// same aggregator, so a cache whose answers were aggregated under one
+// method can never be silently re-aggregated under another —
+// ResolveDelta re-aggregates cached∪fresh answers with the *session's*
+// aggregator, and this is the check that the session and the cache
+// agree.
+func (c *Cache) BindAggregator(name string) error {
+	if name == "" {
+		return errors.New("verdicts: empty aggregator identity")
+	}
+	if c.aggregator == "" {
+		c.aggregator = name
+		return nil
+	}
+	if c.aggregator != name {
+		return fmt.Errorf("verdicts: cache is bound to aggregator %q; refusing to re-aggregate under %q (one session, one aggregation mode)", c.aggregator, name)
+	}
+	return nil
+}
+
+// AggregatorName returns the bound aggregator identity, or "" if the
+// cache was never bound (session caches are bound at creation).
+func (c *Cache) AggregatorName() string { return c.aggregator }
 
 // Len returns the number of judged pairs.
 func (c *Cache) Len() int { return len(c.entries) }

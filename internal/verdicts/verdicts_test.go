@@ -1,6 +1,7 @@
 package verdicts
 
 import (
+	"strings"
 	"testing"
 
 	"github.com/crowder/crowder/internal/aggregate"
@@ -202,6 +203,38 @@ func TestAskedEntriesCanonicalOrder(t *testing.T) {
 	for i, e := range es {
 		if e.Pair != want[i] {
 			t.Errorf("entry %d = %v; want %v", i, e.Pair, want[i])
+		}
+	}
+}
+
+// BindAggregator pins the cache to one aggregation method: the first
+// bind sets the identity, re-binding the same name is a no-op, and a
+// different name is refused — the session-level guarantee that cached
+// and fresh answers are never re-aggregated under mixed modes.
+func TestBindAggregator(t *testing.T) {
+	c := NewCache()
+	if got := c.AggregatorName(); got != "" {
+		t.Fatalf("fresh cache is bound to %q", got)
+	}
+	if err := c.BindAggregator(""); err == nil {
+		t.Fatal("empty aggregator identity must be rejected")
+	}
+	if err := c.BindAggregator("dawid-skene-map"); err != nil {
+		t.Fatalf("first bind failed: %v", err)
+	}
+	if got := c.AggregatorName(); got != "dawid-skene-map" {
+		t.Fatalf("AggregatorName = %q after bind", got)
+	}
+	if err := c.BindAggregator("dawid-skene-map"); err != nil {
+		t.Fatalf("re-binding the same aggregator failed: %v", err)
+	}
+	err := c.BindAggregator("majority-vote")
+	if err == nil {
+		t.Fatal("binding a different aggregator must fail")
+	}
+	for _, name := range []string{"dawid-skene-map", "majority-vote"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("mix-mode error %q does not name %q", err, name)
 		}
 	}
 }

@@ -3,8 +3,10 @@ package crowder
 import (
 	"context"
 	"errors"
+	"sort"
 	"sync"
 
+	"github.com/crowder/crowder/internal/aggregate"
 	"github.com/crowder/crowder/internal/blocking"
 	"github.com/crowder/crowder/internal/record"
 	"github.com/crowder/crowder/internal/simjoin"
@@ -55,6 +57,11 @@ type Resolver struct {
 	// blocked counts the records already consumed by the delta blocking
 	// path (SourceTokenBlocking).
 	blocked int
+	// agg is the session's answer aggregator, fixed by
+	// Options.Aggregation: every delta re-aggregates the cached∪fresh
+	// answer union with it, and its identity is bound to the verdict
+	// cache so one session can never mix aggregation modes.
+	agg aggregate.Aggregator
 	// cache holds the verdicts of every judged pair.
 	cache *verdicts.Cache
 	// pending lists candidate pairs discovered but not yet judged —
@@ -76,15 +83,28 @@ func NewResolver(t *Table, opts Options) (*Resolver, error) {
 		return nil, err
 	}
 	opts.defaults()
+	method, err := opts.Aggregation.aggregateMethod()
+	if err != nil {
+		return nil, err
+	}
+	agg, err := aggregate.New(method)
+	if err != nil {
+		return nil, err
+	}
+	cache := verdicts.NewCache()
+	if err := cache.BindAggregator(agg.Name()); err != nil {
+		return nil, err
+	}
 	return &Resolver{
 		table: t,
 		opts:  opts,
+		agg:   agg,
 		idx: simjoin.NewIndex(t.inner, simjoin.Options{
 			Threshold:       opts.Threshold,
 			CrossSourceOnly: opts.CrossSourceOnly,
 			Parallelism:     opts.Parallelism,
 		}),
-		cache: verdicts.NewCache(),
+		cache: cache,
 	}, nil
 }
 
@@ -160,6 +180,61 @@ func (r *Resolver) PartialPairs() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.cache.PartialLen()
+}
+
+// WorkerStat is one worker's session-level diagnostic: agreement with
+// the aggregated decisions plus the coverage needed to read it. A
+// worker with ClassesSeen < 2 has answered pairs of only one decided
+// class; their accuracy on the unseen class is unmeasured, and the MAP
+// aggregator anchors them toward the pool mean until coverage arrives.
+type WorkerStat struct {
+	// Worker is the worker's ID (simulated pool index, or the queue
+	// backend's worker ordinal).
+	Worker int
+	// Accuracy is the fraction of the worker's answers agreeing with the
+	// aggregated decision of the pair they judged.
+	Accuracy float64
+	// Answers counts the worker's judgments over aggregated pairs.
+	Answers int
+	// MatchesSeen and NonMatchesSeen split Answers by the decided class
+	// of the judged pair.
+	MatchesSeen, NonMatchesSeen int
+	// ClassesSeen is the number of distinct decided classes (0–2) in the
+	// worker's history.
+	ClassesSeen int
+}
+
+// WorkerStats reports every worker's accuracy and coverage against the
+// session's current posteriors, sorted by worker ID — the
+// spammer-detection diagnostic, with the coverage that tells a spammer
+// (low accuracy, both classes seen) from a statistically unanchored
+// worker (any accuracy, one class seen). Empty until the first delta
+// aggregates.
+func (r *Resolver) WorkerStats() []WorkerStat {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	answers := r.cache.AllAnswers()
+	if len(answers) == 0 {
+		return nil
+	}
+	post := make(aggregate.Posterior)
+	for _, p := range r.cache.Pairs() {
+		post[p] = r.cache.Get(p).Posterior
+	}
+	rep := aggregate.WorkerReport(answers, post)
+	out := make([]WorkerStat, 0, len(rep))
+	for w, s := range rep {
+		out = append(out, WorkerStat{
+			Worker:         w,
+			Accuracy:       s.Accuracy,
+			Answers:        s.Answers,
+			MatchesSeen:    s.MatchesSeen,
+			NonMatchesSeen: s.NonMatchesSeen,
+			ClassesSeen:    s.ClassesSeen(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Worker < out[j].Worker })
+	return out
 }
 
 // Verdict returns the cached confidence for a pair (crowd posterior, or

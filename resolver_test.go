@@ -344,10 +344,14 @@ func TestOptionsValidation(t *testing.T) {
 		{"negative parallelism", Options{Parallelism: -2, MachineOnly: true}, "Options.Parallelism = -2"},
 		{"negative transitivity", Options{Transitivity: -1, MachineOnly: true}, "Options.Transitivity = -1"},
 		{"unknown transitivity mode", Options{Transitivity: 2, MachineOnly: true}, "Options.Transitivity = 2"},
+		{"negative aggregation", Options{Aggregation: -1, MachineOnly: true}, "Options.Aggregation = -1"},
+		{"unknown aggregation mode", Options{Aggregation: 3, MachineOnly: true}, "Options.Aggregation = 3"},
 
 		{"zero values select defaults", Options{MachineOnly: true}, ""},
 		{"transitivity off is valid", Options{Transitivity: TransitivityOff, MachineOnly: true}, ""},
 		{"transitivity on is valid", Options{Transitivity: TransitivityOn, MachineOnly: true}, ""},
+		{"majority-vote aggregation is valid", Options{Aggregation: AggregationMajorityVote, MachineOnly: true}, ""},
+		{"dawid-skene-map aggregation is valid", Options{Aggregation: AggregationDawidSkeneMAP, MachineOnly: true}, ""},
 		{"no-spammers sentinel is valid", Options{SpammerRate: NoSpammers, MachineOnly: true}, ""},
 		{"threshold bounds are inclusive", Options{Threshold: 1, MachineOnly: true}, ""},
 	}

@@ -161,6 +161,7 @@ func stageExecuteTransitive(ctx context.Context, st *resolveState) (*resolveStat
 		run, err := crowd.ExecuteHITs(ctx, backend, hits, crowd.ExecuteOptions{
 			OnProgress: progress,
 			Interim:    opts.InterimAggregation,
+			Aggregator: rv.agg,
 			OnHITComplete: func(h crowd.HIT, hitAns []aggregate.Answer) {
 				for _, v := range hitVerdicts(h, hitAns) {
 					answered.Add(v.pair.A, v.pair.B)
