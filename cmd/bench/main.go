@@ -59,6 +59,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -984,6 +985,12 @@ func writeJSON(out string, v any, summary string) {
 }
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main's body, returning the exit code so deferred profile writers
+// execute before the process exits (os.Exit skips defers).
+func run() int {
 	out := flag.String("o", "", "write JSON to this file instead of stdout")
 	n := flag.Int("n", 1000, "records in the benchmark table")
 	delta := flag.Bool("delta", false, "benchmark the incremental resolver instead of the batch baseline")
@@ -996,7 +1003,49 @@ func main() {
 	reads := flag.Int("reads", 2000, "serve mode: GET /matches requests for the read-path throughput")
 	transitive := flag.Bool("transitive", false, "benchmark the transitivity-aware adaptive scheduler instead of the batch baseline")
 	aggregateMode := flag.Bool("aggregate", false, "gate the DawidSkeneMAP aggregator against the sparse-coverage degeneracy instead of the batch baseline")
+	scale := flag.Bool("scale", false, "benchmark the streaming join path against the materialized one and run the large synthetic workload")
+	scaleN := flag.Int("scale-n", 1_000_000, "scale mode: records in the synthetic scale workload")
+	scaleTopK := flag.Int("scale-topk", 1000, "scale mode: bounded ranking-heap size the stream feeds")
+	scaleMaxRSS := flag.Float64("scale-max-rss-mb", 8192, "scale mode: fail if peak RSS exceeds this many MB")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
+
+	if *scale {
+		rep, ok := runScale(*baseN, *scaleN, *scaleTopK, *scaleMaxRSS)
+		writeJSON(*out, rep, fmt.Sprintf(
+			"wrote %s (streamed bytes/op -%.1f%% vs materialized, ns ratio %.2f; %d records streamed in %.1fs, recall %.3f, peak RSS %.0f MB)",
+			*out, rep.BytesReduction*100, rep.NsRatio, rep.ScaleRecords, rep.ScaleWallSeconds, rep.ScaleMatchRecall, rep.PeakRSSMB))
+		if !ok {
+			return 1
+		}
+		return 0
+	}
 
 	if *aggregateMode {
 		rep, ok := runAggregate(defaultAggregateWorkloads(), dataset.RestaurantN(5, 600, 120))
@@ -1009,9 +1058,9 @@ func main() {
 			*out, rep.Sparse.InversionsDefault, rep.Sparse.InversionsMAP, rep.Sparse.UnanimousPairs,
 			strings.Join(parts, "; "), rep.DeltaEqualsScratch))
 		if !ok {
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	if *transitive {
@@ -1023,9 +1072,9 @@ func main() {
 		writeJSON(*out, rep, fmt.Sprintf("wrote %s (%s; delta≡scratch: %v)",
 			*out, strings.Join(parts, "; "), rep.DeltaEqualsScratch))
 		if !ok {
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	if *serve {
@@ -1034,9 +1083,9 @@ func main() {
 			"wrote %s (append+resolve p50 %.1fms p99 %.1fms; matches read %.0f req/s p50 %.2fms; matches identical: %v)",
 			*out, rep.ResolveRoundP50Ms, rep.ResolveRoundP99Ms, rep.MatchReadRPS, rep.MatchReadP50Ms, rep.MatchesIdentical))
 		if !ok {
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	if *delta {
@@ -1045,9 +1094,9 @@ func main() {
 			"wrote %s (delta resolve %.2fx faster than from-scratch; matches identical: %v; reissued HITs: %d)",
 			*out, rep.Speedup, rep.MatchesIdentical, rep.ReissuedHITs))
 		if !ok {
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	d := dataset.RestaurantN(1, *n, *n/8)
@@ -1108,4 +1157,5 @@ func main() {
 
 	writeJSON(*out, base, fmt.Sprintf("wrote %s (simjoin speedup vs seed: seq %.2fx, parallel %.2fx at GOMAXPROCS=%d)",
 		*out, seq.SpeedupVsSeed, par.SpeedupVsSeed, base.GoMaxProcs))
+	return 0
 }

@@ -172,6 +172,43 @@ func TestRunServeSmall(t *testing.T) {
 	}
 }
 
+// runScale on small workloads: the streaming gates — bytes/op reduction,
+// stream ≡ materialized, delta ≡ scratch, full recall on the synthetic
+// scale dataset — hold at any size.
+func TestRunScaleSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench gate")
+	}
+	rep, ok := runScale(1200, 8000, 200, 8192)
+	if !ok {
+		t.Fatalf("scale gate failed on the small workload: %+v", rep)
+	}
+	if !rep.StreamEqualsMaterialized {
+		t.Error("streamed candidates diverged from the materialized path")
+	}
+	if !rep.DeltaEqualsScratch {
+		t.Error("two-batch delta union diverged from the one-shot join")
+	}
+	if rep.BytesReduction < 0.5 {
+		t.Errorf("bytes reduction = %.3f; gate requires >= 0.5", rep.BytesReduction)
+	}
+	if rep.ScaleMatchRecall != 1 {
+		t.Errorf("scale recall = %v; every planted duplicate must be found", rep.ScaleMatchRecall)
+	}
+	if rep.CompressionRatio <= 1 {
+		t.Errorf("compressed postings (%d B) not smaller than flat (%d B)", rep.PostingsBytes, rep.FlatBytes)
+	}
+}
+
+func TestPeakRSSMB(t *testing.T) {
+	if _, err := os.Stat("/proc/self/status"); err != nil {
+		t.Skip("no /proc")
+	}
+	if got := peakRSSMB(); got <= 0 {
+		t.Errorf("peakRSSMB = %v; want positive on Linux", got)
+	}
+}
+
 func TestWriteJSONFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "out.json")
 	writeJSON(path, map[string]int{"a": 1}, "wrote")

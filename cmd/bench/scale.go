@@ -1,0 +1,257 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/crowder/crowder/internal/dataset"
+	"github.com/crowder/crowder/internal/engine"
+	"github.com/crowder/crowder/internal/record"
+	"github.com/crowder/crowder/internal/simjoin"
+)
+
+// ScaleReport is the file layout of BENCH_scale.json: the streaming join
+// path measured against the materialized one on the 10k baseline
+// workload, plus the 1M-record synthetic workload that only the
+// streaming path can run comfortably.
+type ScaleReport struct {
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	GoMaxProcs int    `json:"go_max_procs"`
+
+	// Baseline workload: RestaurantN at BaselineRecords, threshold 0.3 —
+	// the same table shape BENCH_baseline measures.
+	BaselineRecords int     `json:"baseline_records"`
+	Threshold       float64 `json:"threshold"`
+	TopK            int     `json:"top_k"`
+
+	// Materialized is NewIndex+Update: every candidate held in one slice,
+	// canonically sorted. Streamed is NewIndex+UpdateSeq feeding a bounded
+	// top-K heap: O(K) live candidates. Same table, same candidates.
+	Materialized Benchmark `json:"materialized"`
+	Streamed     Benchmark `json:"streamed"`
+	// BytesReduction is 1 − streamed/materialized bytes_per_op. Gated ≥ 0.5.
+	BytesReduction float64 `json:"bytes_reduction"`
+	// NsRatio is streamed/materialized ns_per_op. Gated ≤ 1.25: ranking
+	// through the heap must not cost wall-clock.
+	NsRatio float64 `json:"ns_ratio"`
+
+	// StreamEqualsMaterialized: drained+sorted stream ≡ Update() bit-for-
+	// bit, and the top-K heap ≡ the sorted slice truncated to K.
+	StreamEqualsMaterialized bool `json:"stream_equals_materialized"`
+	// DeltaEqualsScratch: two-batch incremental union ≡ one-shot join.
+	DeltaEqualsScratch bool `json:"delta_equals_scratch"`
+
+	// Scale workload: dataset.ScaleN at ScaleRecords, threshold 0.6.
+	ScaleRecords     int     `json:"scale_records"`
+	ScaleDups        int     `json:"scale_dups"`
+	ScaleThreshold   float64 `json:"scale_threshold"`
+	ScaleCandidates  int     `json:"scale_candidates"`
+	ScaleMatchRecall float64 `json:"scale_match_recall"`
+	ScaleWallSeconds float64 `json:"scale_wall_seconds"`
+	ScaleNsPerRecord int64   `json:"scale_ns_per_record"`
+
+	// Compressed-postings footprint of the scale index vs the flat
+	// []int32 layout it replaced (4 bytes/entry, before append slack).
+	PostingsEntries  int     `json:"postings_entries"`
+	PostingsBytes    int     `json:"postings_bytes"`
+	FlatBytes        int     `json:"flat_bytes"`
+	CompressionRatio float64 `json:"compression_ratio"`
+
+	// PeakRSSMB is the process high-water mark (VmHWM) after the scale
+	// run; -1 if /proc is unavailable.
+	PeakRSSMB float64 `json:"peak_rss_mb"`
+}
+
+// peakRSSMB reads the process's peak resident set (VmHWM) in MiB, or -1
+// if /proc/self/status is unavailable (non-Linux).
+func peakRSSMB() float64 {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return -1
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return -1
+		}
+		kb, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return -1
+		}
+		return kb / 1024
+	}
+	return -1
+}
+
+func scoredEqual(a, b []simjoin.ScoredPair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// runScale measures the streaming join path against the materialized one
+// and drives the large synthetic workload. Gates (any failure exits 1):
+//
+//   - bytes_per_op of the streamed path ≤ 50% of the materialized path
+//     on the baseline workload;
+//   - ns_per_op of the streamed path ≤ 1.25× the materialized path;
+//   - the drained stream is bit-identical (pairs and order) to Update(),
+//     and the bounded heap to the sorted slice truncated to K;
+//   - two-batch delta union ≡ one-shot join on the baseline workload;
+//   - the scale workload completes with every planted duplicate found
+//     and peak RSS under maxRSSMB.
+func runScale(baseN, scaleRecords, topK int, maxRSSMB float64) (*ScaleReport, bool) {
+	rep := &ScaleReport{
+		GoVersion:       runtime.Version(),
+		NumCPU:          runtime.NumCPU(),
+		GoMaxProcs:      runtime.GOMAXPROCS(0),
+		BaselineRecords: baseN,
+		Threshold:       0.3,
+		TopK:            topK,
+		ScaleRecords:    scaleRecords,
+		ScaleDups:       scaleRecords / 20,
+		ScaleThreshold:  0.6,
+	}
+	ok := true
+
+	// ---- Baseline workload: materialized vs streamed. ----
+	d := dataset.RestaurantN(1, baseN, baseN/8)
+	tab := d.Table
+	tab.TokenIDs()
+	opts := simjoin.Options{Threshold: rep.Threshold}
+
+	rep.Materialized = measure("simjoin/materialized", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ix := simjoin.NewIndex(tab, opts)
+			if out := ix.Update(); len(out) == 0 {
+				b.Fatal("empty join")
+			}
+		}
+	})
+	rep.Streamed = measure("simjoin/streamed-topk", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ix := simjoin.NewIndex(tab, opts)
+			rank := engine.NewTopK(topK, simjoin.CompareScored)
+			for sp := range ix.UpdateSeq() {
+				rank.Push(sp)
+			}
+			if out := rank.Ranked(); len(out) == 0 {
+				b.Fatal("empty join")
+			}
+		}
+	})
+	rep.BytesReduction = 1 - float64(rep.Streamed.BytesPerOp)/float64(rep.Materialized.BytesPerOp)
+	rep.NsRatio = float64(rep.Streamed.NsPerOp) / float64(rep.Materialized.NsPerOp)
+	if rep.BytesReduction < 0.5 {
+		fmt.Fprintf(os.Stderr, "FAIL: streamed path allocates %.1f%% less than materialized; need >= 50%%\n", rep.BytesReduction*100)
+		ok = false
+	}
+	if rep.NsRatio > 1.25 {
+		fmt.Fprintf(os.Stderr, "FAIL: streamed path is %.2fx the materialized path's ns/op; cap 1.25x\n", rep.NsRatio)
+		ok = false
+	}
+
+	// ---- Equality gates on the baseline workload. ----
+	want := simjoin.Join(tab, opts)
+	var drained []simjoin.ScoredPair
+	rank := engine.NewTopK(topK, simjoin.CompareScored)
+	for sp := range simjoin.NewIndex(tab, opts).UpdateSeq() {
+		drained = append(drained, sp)
+		rank.Push(sp)
+	}
+	simjoin.SortScored(drained)
+	truncated := want
+	if len(truncated) > topK {
+		truncated = truncated[:topK]
+	}
+	rep.StreamEqualsMaterialized = scoredEqual(drained, want) && scoredEqual(rank.Ranked(), truncated)
+	if !rep.StreamEqualsMaterialized {
+		fmt.Fprintln(os.Stderr, "FAIL: streamed candidates are not bit-identical to the materialized path")
+		ok = false
+	}
+
+	// Delta ≡ scratch: absorb the table in two batches through one index.
+	half := record.NewTable(tab.Schema...)
+	ix := simjoin.NewIndex(half, opts)
+	var union []simjoin.ScoredPair
+	for _, hi := range []int{tab.Len() / 2, tab.Len()} {
+		for i := half.Len(); i < hi; i++ {
+			if len(tab.Source) > 0 {
+				half.AppendFrom(tab.Source[i], tab.Records[i].Values...)
+			} else {
+				half.Append(tab.Records[i].Values...)
+			}
+		}
+		union = append(union, ix.Update()...)
+	}
+	simjoin.SortScored(union)
+	rep.DeltaEqualsScratch = scoredEqual(union, want)
+	if !rep.DeltaEqualsScratch {
+		fmt.Fprintln(os.Stderr, "FAIL: two-batch delta union differs from one-shot join")
+		ok = false
+	}
+
+	// ---- Scale workload: stream ScaleRecords records through a bounded
+	// heap; nothing materializes the candidate set. ----
+	sd := dataset.ScaleN(1, scaleRecords, rep.ScaleDups)
+	stab := sd.Table
+	stab.TokenIDs()
+	sopts := simjoin.Options{Threshold: rep.ScaleThreshold}
+	six := simjoin.NewIndex(stab, sopts)
+	srank := engine.NewTopK(topK, simjoin.CompareScored)
+	matchesSeen := 0
+	start := time.Now()
+	for sp := range six.UpdateSeq() {
+		rep.ScaleCandidates++
+		if sd.Matches.Has(sp.Pair.A, sp.Pair.B) {
+			matchesSeen++
+		}
+		srank.Push(sp)
+	}
+	rep.ScaleWallSeconds = time.Since(start).Seconds()
+	rep.ScaleNsPerRecord = time.Since(start).Nanoseconds() / int64(scaleRecords)
+	if top := srank.Ranked(); len(top) == 0 {
+		fmt.Fprintln(os.Stderr, "FAIL: scale workload produced no candidates")
+		ok = false
+	}
+	rep.ScaleMatchRecall = float64(matchesSeen) / float64(sd.Matches.Len())
+	if matchesSeen != sd.Matches.Len() {
+		fmt.Fprintf(os.Stderr, "FAIL: scale join found %d of %d planted duplicates\n", matchesSeen, sd.Matches.Len())
+		ok = false
+	}
+
+	rep.PostingsEntries = six.PostingsEntries()
+	rep.PostingsBytes = six.PostingsBytes()
+	rep.FlatBytes = 4 * rep.PostingsEntries
+	if rep.PostingsBytes > 0 {
+		rep.CompressionRatio = float64(rep.FlatBytes) / float64(rep.PostingsBytes)
+	}
+
+	rep.PeakRSSMB = peakRSSMB()
+	if rep.PeakRSSMB > maxRSSMB {
+		fmt.Fprintf(os.Stderr, "FAIL: peak RSS %.0f MB exceeds the %.0f MB cap\n", rep.PeakRSSMB, maxRSSMB)
+		ok = false
+	}
+	return rep, ok
+}

@@ -307,6 +307,16 @@ type Options struct {
 	// execution). 0 means GOMAXPROCS. Results are bit-identical at every
 	// parallelism level.
 	Parallelism int
+	// MaxCandidates, when positive, bounds the machine pass's ranked
+	// candidate list: only the MaxCandidates most likely new pairs of
+	// each delta are sent to the crowd. The candidate stream feeds a
+	// bounded top-K heap, so memory stays O(MaxCandidates) no matter how
+	// many pairs survive the threshold — the budget lever for very large
+	// tables, complementing Threshold (which bounds by quality rather
+	// than by count). 0 (the default) keeps every qualifying pair and is
+	// bit-identical to prior behavior. Dropped pairs are not remembered:
+	// they are re-discovered only if a later delta re-emits them.
+	MaxCandidates int
 	// Backend selects the crowd executing the HITs. nil (the default)
 	// uses the reference simulator driven by Oracle; NewQueueBackend
 	// returns a backend where external workers claim and answer HITs
@@ -345,6 +355,9 @@ func (o *Options) validate() error {
 	}
 	if o.Assignments < 0 {
 		return fmt.Errorf("crowder: Options.Assignments = %d; must not be negative (0 selects the default replication of 3)", o.Assignments)
+	}
+	if o.MaxCandidates < 0 {
+		return fmt.Errorf("crowder: Options.MaxCandidates = %d; must not be negative (0 keeps every qualifying candidate)", o.MaxCandidates)
 	}
 	if o.ClusterSize < 0 {
 		return fmt.Errorf("crowder: Options.ClusterSize = %d; must not be negative (0 selects the default of 10)", o.ClusterSize)
@@ -515,23 +528,39 @@ func (st *resolveState) skipCrowd() bool {
 // score them, drop everything below the likelihood threshold, and split
 // off the pairs whose verdicts are already cached. Candidates discovered
 // by a previously failed delta (still pending) are folded in for retry.
+//
+// The candidates stream out of the source one at a time and feed a
+// ranking collector (a bounded top-K heap when Options.MaxCandidates is
+// set), so this stage holds O(MaxCandidates) scored pairs rather than
+// the delta's full candidate set. The collector's total order makes the
+// ranking deterministic even though the parallel join emits in
+// nondeterministic order; unbounded, it is bit-identical to sorting a
+// materialized slice.
 func stagePrune(_ context.Context, st *resolveState) (*resolveState, error) {
 	rv := st.rv
-	scored, err := rv.deltaCandidates()
+	seq, err := rv.deltaCandidateSeq()
 	if err != nil {
 		return nil, err
 	}
+	rank := engine.NewTopK(rv.opts.MaxCandidates, simjoin.CompareScored)
 	if !st.planOnly {
-		rv.pending = append(rv.pending, scored...)
-		scored = rv.pending
-	}
-	var fresh []simjoin.ScoredPair
-	for _, sp := range scored {
-		if !rv.cache.Has(sp.Pair) {
-			fresh = append(fresh, sp)
+		// Fold in candidates left pending by a failed delta. They cannot
+		// recur in this delta's stream: both endpoints are already indexed.
+		for _, sp := range rv.pending {
+			if !rv.cache.Has(sp.Pair) {
+				rank.Push(sp)
+			}
 		}
 	}
-	simjoin.SortScored(fresh)
+	for sp := range seq {
+		if !st.planOnly {
+			rv.pending = append(rv.pending, sp)
+		}
+		if !rv.cache.Has(sp.Pair) {
+			rank.Push(sp)
+		}
+	}
+	fresh := rank.Ranked()
 	st.scored = fresh
 	st.pairs = simjoin.Pairs(fresh)
 	st.res.TotalPairs = rv.table.inner.PairUniverse(rv.opts.CrossSourceOnly)

@@ -1,0 +1,54 @@
+package dataset
+
+import (
+	"testing"
+
+	"github.com/crowder/crowder/internal/similarity"
+	"github.com/crowder/crowder/internal/simjoin"
+)
+
+func TestScaleNDeterministic(t *testing.T) {
+	a := ScaleN(7, 2000, 100)
+	b := ScaleN(7, 2000, 100)
+	if a.Table.Len() != 2000 || b.Table.Len() != 2000 {
+		t.Fatalf("lens %d, %d", a.Table.Len(), b.Table.Len())
+	}
+	for i := 0; i < a.Table.Len(); i++ {
+		if a.Table.Records[i].Values[0] != b.Table.Records[i].Values[0] {
+			t.Fatalf("record %d differs across same-seed generations", i)
+		}
+	}
+	if a.Matches.Len() != 100 {
+		t.Fatalf("matches = %d, want 100", a.Matches.Len())
+	}
+}
+
+func TestScaleNMatchesAboveThreshold(t *testing.T) {
+	d := ScaleN(3, 5000, 250)
+	ids := d.Table.TokenIDs()
+	for _, p := range d.Matches.Slice() {
+		if sim := similarity.Jaccard(ids[p.A], ids[p.B]); sim < 0.6 {
+			t.Fatalf("match %v has Jaccard %v < 0.6", p, sim)
+		}
+	}
+}
+
+func TestScaleNJoinRecall(t *testing.T) {
+	// The 0.6-threshold join must find every planted duplicate; the
+	// candidate count must stay near-linear in the table (the property
+	// that makes the 1M workload runnable).
+	d := ScaleN(5, 10000, 500)
+	scored := simjoin.Join(d.Table, simjoin.Options{Threshold: 0.6})
+	found := 0
+	for _, sp := range scored {
+		if d.Matches.Has(sp.Pair.A, sp.Pair.B) {
+			found++
+		}
+	}
+	if found != d.Matches.Len() {
+		t.Fatalf("join found %d of %d planted matches", found, d.Matches.Len())
+	}
+	if len(scored) > 20*d.Table.Len() {
+		t.Fatalf("join emitted %d pairs for %d records: candidate growth is superlinear", len(scored), d.Table.Len())
+	}
+}

@@ -1,0 +1,91 @@
+package engine
+
+import (
+	"cmp"
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+func TestTopKUnboundedEqualsSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]int, 500)
+	for i := range vals {
+		vals[i] = rng.Intn(100)
+	}
+	tk := NewTopK(0, cmp.Compare[int])
+	for _, v := range vals {
+		tk.Push(v)
+	}
+	want := slices.Clone(vals)
+	slices.Sort(want)
+	if got := tk.Ranked(); !slices.Equal(got, want) {
+		t.Fatalf("unbounded TopK != sort: got %v want %v", got, want)
+	}
+}
+
+func TestTopKBoundedEqualsSortTruncate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(200)
+		k := 1 + rng.Intn(50)
+		vals := make([]int, n)
+		for i := range vals {
+			vals[i] = rng.Intn(40) // plenty of duplicates
+		}
+		tk := NewTopK(k, cmp.Compare[int])
+		for _, v := range vals {
+			tk.Push(v)
+		}
+		want := slices.Clone(vals)
+		slices.Sort(want)
+		if len(want) > k {
+			want = want[:k]
+		}
+		if got := tk.Ranked(); !slices.Equal(got, want) {
+			t.Fatalf("n=%d k=%d: got %v want %v", n, k, got, want)
+		}
+	}
+}
+
+func TestTopKOrderIndependent(t *testing.T) {
+	// A total-order comparator must make the result a pure function of the
+	// pushed multiset, whatever the interleaving.
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]int, 300)
+	for i := range vals {
+		vals[i] = i // distinct: total order
+	}
+	collect := func(order []int) []int {
+		tk := NewTopK(25, cmp.Compare[int])
+		for _, v := range order {
+			tk.Push(v)
+		}
+		return tk.Ranked()
+	}
+	want := collect(vals)
+	for trial := 0; trial < 10; trial++ {
+		shuffled := slices.Clone(vals)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		if got := collect(shuffled); !slices.Equal(got, want) {
+			t.Fatalf("order-dependent result: got %v want %v", got, want)
+		}
+	}
+}
+
+func TestTopKRankedResets(t *testing.T) {
+	tk := NewTopK(3, cmp.Compare[int])
+	for _, v := range []int{5, 1, 4, 2, 3} {
+		tk.Push(v)
+	}
+	if got := tk.Ranked(); !slices.Equal(got, []int{1, 2, 3}) {
+		t.Fatalf("first Ranked: %v", got)
+	}
+	if tk.Len() != 0 {
+		t.Fatalf("Len after Ranked = %d", tk.Len())
+	}
+	tk.Push(9)
+	if got := tk.Ranked(); !slices.Equal(got, []int{9}) {
+		t.Fatalf("reuse after Ranked: %v", got)
+	}
+}

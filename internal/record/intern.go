@@ -1,6 +1,6 @@
 package record
 
-import "sort"
+import "slices"
 
 // Interner assigns dense int32 IDs to token strings. Dense IDs let the
 // similarity and join layers replace hash-map token sets with sorted
@@ -58,16 +58,8 @@ func (in *Interner) IDSet(tokens ...string) []int32 {
 	for _, t := range tokens {
 		out = append(out, in.Intern(t))
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	// Compact duplicates in place.
-	w := 1
-	for r := 1; r < len(out); r++ {
-		if out[r] != out[r-1] {
-			out[w] = out[r]
-			w++
-		}
-	}
-	return out[:w]
+	slices.Sort(out)
+	return slices.Compact(out)
 }
 
 // ensureTokenIDs extends the table's token-ID cache to cover every record,

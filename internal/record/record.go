@@ -10,8 +10,9 @@
 package record
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 	"sync"
 )
@@ -193,10 +194,10 @@ func (s PairSet) Slice() []Pair {
 
 // SortPairs orders pairs by (A, B) ascending, in place.
 func SortPairs(ps []Pair) {
-	sort.Slice(ps, func(i, j int) bool {
-		if ps[i].A != ps[j].A {
-			return ps[i].A < ps[j].A
+	slices.SortFunc(ps, func(a, b Pair) int {
+		if c := cmp.Compare(a.A, b.A); c != 0 {
+			return c
 		}
-		return ps[i].B < ps[j].B
+		return cmp.Compare(a.B, b.B)
 	})
 }

@@ -1,7 +1,7 @@
 package record
 
 import (
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -58,7 +58,7 @@ func (s TokenSet) Sorted() []string {
 	for t := range s {
 		out = append(out, t)
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 

@@ -38,8 +38,64 @@ func intersectSorted[E cmp.Ordered](a, b []E) int {
 	return n
 }
 
-// IntersectSize returns |a ∩ b| for two sorted token-ID sets.
-func IntersectSize(a, b []int32) int { return intersectSorted(a, b) }
+// IntersectSize returns |a ∩ b| for two sorted token-ID sets. When one
+// set is much larger than the other it gallops instead of merging.
+func IntersectSize(a, b []int32) int {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(b) >= gallopSkewRatio*len(a) {
+		return IntersectSizeGalloping(a, b)
+	}
+	return intersectSorted(a, b)
+}
+
+// gallopSkewRatio is the size skew at which galloping beats the linear
+// merge: below it the merge's branch-light loop wins on real data.
+const gallopSkewRatio = 16
+
+// IntersectSizeGalloping returns |a ∩ b| by galloping search: for each
+// element of the smaller set, an exponential probe followed by a binary
+// search locates its insertion point in the larger set, so the cost is
+// O(|small|·log(|large|/|small|)) rather than O(|small| + |large|). The
+// result is exactly IntersectSize; the join's verification step uses it
+// when a short probing record meets a long indexed one.
+func IntersectSizeGalloping(small, large []int32) int {
+	if len(small) > len(large) {
+		small, large = large, small
+	}
+	n, lo := 0, 0
+	for _, v := range small {
+		// Exponential probe from the current frontier.
+		step := 1
+		hi := lo
+		for hi < len(large) && large[hi] < v {
+			lo = hi + 1
+			hi += step
+			step <<= 1
+		}
+		if hi > len(large) {
+			hi = len(large)
+		}
+		// Binary search in the bracketed window [lo, hi).
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if large[mid] < v {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo == len(large) {
+			break
+		}
+		if large[lo] == v {
+			n++
+			lo++
+		}
+	}
+	return n
+}
 
 // jaccardSorted is the Jaccard formula shared by the token-ID and q-gram
 // paths, including the empty-set convention.
@@ -57,7 +113,18 @@ func jaccardSorted[E cmp.Ordered](a, b []E) float64 {
 
 // Jaccard returns |a ∩ b| / |a ∪ b| over sorted token-ID sets. By
 // convention two empty sets have similarity 1 (they are identical).
-func Jaccard(a, b []int32) float64 { return jaccardSorted(a, b) }
+// Skewed set sizes take the galloping path (see IntersectSize).
+func Jaccard(a, b []int32) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	inter := IntersectSize(a, b)
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
 
 // Dice returns 2·|a ∩ b| / (|a| + |b|) over sorted token-ID sets.
 func Dice(a, b []int32) float64 {

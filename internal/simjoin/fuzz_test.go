@@ -11,7 +11,11 @@ import (
 // FuzzIndexDeltaEquivalence fuzzes the incremental join index's core
 // invariant: for any table, threshold and batch split, the union of
 // Update() deltas equals the one-shot batch Join of the final table —
-// every qualifying pair exactly once, with the same likelihood.
+// every qualifying pair exactly once, with the same likelihood. It also
+// pins the streaming path to the materialized one: a second index driven
+// through UpdateSeq (at a parallelism level derived from the fuzz input)
+// must, once drained and canonically ranked, be bit-identical to the
+// Update() deltas.
 //
 // The fuzz inputs drive a deterministic generator (random tables over a
 // small token vocabulary, so collisions, empty records, duplicate rows
@@ -77,8 +81,34 @@ func FuzzIndexDeltaEquivalence(f *testing.F) {
 			union = append(union, ix.Update()...)
 		}
 
+		// Streaming: same deltas through UpdateSeq, possibly parallel.
+		streamOpts := opts
+		streamOpts.Parallelism = 1 + int(tauByte%3)
+		streamTab := record.NewTable("text")
+		six := NewIndex(streamTab, streamOpts)
+		var streamed []ScoredPair
+		for _, hi := range []int{s1, s2, nRec} {
+			for i := streamTab.Len(); i < hi; i++ {
+				appendRow(streamTab, i)
+			}
+			for sp := range six.UpdateSeq() {
+				streamed = append(streamed, sp)
+			}
+		}
+
 		SortScored(batch)
 		SortScored(union)
+		SortScored(streamed)
+		if len(streamed) != len(union) {
+			t.Fatalf("streamed deltas have %d pairs, materialized deltas %d (n=%d tau=%v splits=%d,%d cross=%v par=%d)",
+				len(streamed), len(union), nRec, tau, s1, s2, cross, streamOpts.Parallelism)
+		}
+		for i := range union {
+			if streamed[i] != union[i] {
+				t.Fatalf("streamed pair %d differs: %+v vs %+v (n=%d tau=%v splits=%d,%d cross=%v par=%d)",
+					i, streamed[i], union[i], nRec, tau, s1, s2, cross, streamOpts.Parallelism)
+			}
+		}
 		if len(batch) != len(union) {
 			t.Fatalf("union of deltas has %d pairs, batch join %d (n=%d tau=%v splits=%d,%d cross=%v)",
 				len(union), len(batch), nRec, tau, s1, s2, cross)

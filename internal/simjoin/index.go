@@ -1,7 +1,10 @@
 package simjoin
 
 import (
-	"sort"
+	"cmp"
+	"iter"
+	"slices"
+	"sync"
 
 	"github.com/crowder/crowder/internal/record"
 	"github.com/crowder/crowder/internal/similarity"
@@ -28,6 +31,15 @@ import (
 // rare tokens still sort toward the front of prefixes where they prune
 // best.
 //
+// Storage and access are built for scale: postings are block-compressed
+// (delta-encoded uvarints with per-block max-ID skip pointers, see
+// PostingList) instead of flat []int32 slices, probes terminate block
+// scans through the skip pointers, and candidate verification gallops
+// when token-set sizes are skewed. Candidates stream out of UpdateSeq
+// one at a time — Update is the materializing wrapper — so a consumer
+// such as a bounded top-K ranking heap never holds the full candidate
+// set.
+//
 // An Index is not safe for concurrent use; the owning resolver serializes
 // Update calls. The table must only grow (append-only), matching the
 // contract of record.Table's token cache.
@@ -40,12 +52,37 @@ type Index struct {
 	// weight[tok] is the token's frozen ordering weight, or -1 if the
 	// token has not been indexed yet.
 	weight []int32
-	// postings[tok] lists, ascending, the records whose prefix contains
-	// tok. Only prefix tokens are indexed (standard prefix filtering).
-	postings [][]int32
+	// postings[tok] lists, ascending and block-compressed, the records
+	// whose prefix contains tok. Only prefix tokens are indexed
+	// (standard prefix filtering).
+	postings []PostingList
 	// empties lists the records with empty token sets, which pair with
 	// each other at likelihood 1 under the empty-set convention.
 	empties []int32
+
+	// prefArena backs the delta's prefixes as one flat allocation,
+	// reused across Update calls.
+	prefArena []int32
+	prefOffs  []int32
+
+	// scratch is the pool of per-worker probe state (dedup stamps and
+	// block-decode buffers), reused across Update calls so the
+	// steady-state delta path stops allocating per call. Stamp entries
+	// record the probing record index that last considered a record;
+	// probe indices strictly increase across a session's Updates, so a
+	// stale entry can never collide with a live probe and the arrays
+	// never need clearing.
+	scratchMu sync.Mutex
+	scratch   []*probeScratch
+}
+
+// probeScratch is one worker's reusable probe state.
+type probeScratch struct {
+	// stamp[j] = latest probe i that already considered pair (j, i),
+	// deduplicating multi-token collisions without a hash set.
+	stamp []int32
+	// dbuf is the posting-block decode buffer.
+	dbuf [PostingBlockSize]int32
 }
 
 // NewIndex creates an empty join index over the table. No records are
@@ -57,6 +94,53 @@ func NewIndex(t *record.Table, opts Options) *Index {
 // Indexed returns the number of records the index has absorbed so far.
 func (ix *Index) Indexed() int { return ix.n }
 
+// PostingsBytes returns the compressed footprint of the posting lists in
+// bytes. The flat-slice representation this replaced would occupy
+// 4·(total entries) before append slack.
+func (ix *Index) PostingsBytes() int {
+	total := 0
+	for i := range ix.postings {
+		total += ix.postings[i].SizeBytes()
+	}
+	return total
+}
+
+// PostingsEntries returns the total number of posting entries indexed.
+func (ix *Index) PostingsEntries() int {
+	total := 0
+	for i := range ix.postings {
+		total += ix.postings[i].Len()
+	}
+	return total
+}
+
+// getScratch pops (or creates) a probe scratch whose stamp covers n
+// records. Stale stamp values need no clearing — see the scratch field.
+func (ix *Index) getScratch(n int) *probeScratch {
+	ix.scratchMu.Lock()
+	var sc *probeScratch
+	if k := len(ix.scratch); k > 0 {
+		sc = ix.scratch[k-1]
+		ix.scratch = ix.scratch[:k-1]
+	}
+	ix.scratchMu.Unlock()
+	if sc == nil {
+		sc = &probeScratch{}
+	}
+	if len(sc.stamp) < n {
+		grown := make([]int32, n)
+		copy(grown, sc.stamp)
+		sc.stamp = grown
+	}
+	return sc
+}
+
+func (ix *Index) putScratch(sc *probeScratch) {
+	ix.scratchMu.Lock()
+	ix.scratch = append(ix.scratch, sc)
+	ix.scratchMu.Unlock()
+}
+
 // Update indexes the records appended to the table since the last call
 // and returns every admissible pair {old or new, new} whose likelihood is
 // at least the threshold, sorted by likelihood descending. Pairs between
@@ -64,12 +148,46 @@ func (ix *Index) Indexed() int { return ix.n }
 // Updates every qualifying pair of the final table is returned exactly
 // once, and the union of all Update results equals the batch Join of the
 // final table.
+//
+// Update is the materializing wrapper around UpdateSeq: it drains the
+// candidate stream and canonically sorts it. Callers that can rank or
+// filter incrementally should consume UpdateSeq instead.
 func (ix *Index) Update() []ScoredPair {
+	var out []ScoredPair
+	for sp := range ix.UpdateSeq() {
+		out = append(out, sp)
+	}
+	SortScored(out)
+	return out
+}
+
+// UpdateSeq indexes the records appended to the table since the last
+// call and streams every admissible candidate pair {old or new, new}
+// whose likelihood is at least the threshold, one at a time. The
+// emission order is unspecified (shards may interleave); consumers
+// needing the canonical likelihood ranking feed a collector with a total
+// order — Update, or a bounded top-K heap — whose output is then
+// deterministic at every parallelism level.
+//
+// The sequence is single-use and carries the index's side effects: the
+// delta is absorbed when the sequence is iterated, so iterate it exactly
+// once. Breaking early is safe (workers are cancelled) but discards the
+// delta's remaining candidates — they will not reappear in later
+// Updates.
+func (ix *Index) UpdateSeq() iter.Seq[ScoredPair] {
+	return func(yield func(ScoredPair) bool) {
+		ix.update(yield)
+	}
+}
+
+// update runs one delta: freeze token weights, compute and insert the
+// new records' prefixes, then probe and stream candidates.
+func (ix *Index) update(yield func(ScoredPair) bool) {
 	t := ix.t
 	n := t.Len()
 	lo := ix.n
 	if n <= lo {
-		return nil
+		return
 	}
 	ix.n = n
 	ids := t.TokenIDs()
@@ -77,7 +195,8 @@ func (ix *Index) Update() []ScoredPair {
 	if tau <= 0 {
 		// Every pair survives a non-positive threshold, so the prefix
 		// index buys nothing: score new×all directly.
-		return ix.deltaAllPairs(ids, lo, n)
+		ix.deltaAllPairs(ids, lo, n, yield)
+		return
 	}
 
 	// Freeze ordering weights for tokens first seen in this delta: their
@@ -88,7 +207,7 @@ func (ix *Index) Update() []ScoredPair {
 		ix.weight = append(ix.weight, -1)
 	}
 	for len(ix.postings) < universe {
-		ix.postings = append(ix.postings, nil)
+		ix.postings = append(ix.postings, PostingList{})
 	}
 	fresh := make(map[int32]int32)
 	for i := lo; i < n; i++ {
@@ -105,59 +224,71 @@ func (ix *Index) Update() []ScoredPair {
 	// Compute the new records' prefixes under the frozen order and insert
 	// them into the postings before any probing, so pairs between two
 	// records of the same delta are found too (the probe of record i only
-	// looks at postings entries j < i).
-	prefs := make([][]int32, n-lo)
+	// looks at postings entries j < i). The prefixes live in one flat
+	// arena reused across Updates.
+	arena := ix.prefArena[:0]
+	offs := append(ix.prefOffs[:0], 0)
 	for i := lo; i < n; i++ {
-		p := append([]int32(nil), ids[i]...)
-		sort.Slice(p, func(a, b int) bool {
-			if ix.weight[p[a]] != ix.weight[p[b]] {
-				return ix.weight[p[a]] < ix.weight[p[b]]
+		base := len(arena)
+		arena = append(arena, ids[i]...)
+		p := arena[base:]
+		slices.SortFunc(p, func(a, b int32) int {
+			if c := cmp.Compare(ix.weight[a], ix.weight[b]); c != 0 {
+				return c
 			}
-			return p[a] < p[b]
+			return cmp.Compare(a, b)
 		})
-		pref := p[:prefixLen(len(p), tau)]
-		prefs[i-lo] = pref
-		for _, tok := range pref {
-			ix.postings[tok] = append(ix.postings[tok], int32(i))
+		arena = arena[:base+prefixLen(len(p), tau)]
+		offs = append(offs, int32(len(arena)))
+		for _, tok := range arena[base:] {
+			ix.postings[tok].Append(int32(i))
 		}
 	}
+	ix.prefArena, ix.prefOffs = arena, offs
+	pref := func(i int) []int32 { return arena[offs[i-lo]:offs[i-lo+1]] }
 
-	out := shardedScan(lo, n, ix.opts.workers(n-lo), func() func(i int, out *[]ScoredPair) {
-		// stamp[j] = latest probe i that already considered pair (j, i),
-		// deduplicating multi-token collisions without a hash set.
-		stamp := make([]int32, n)
-		for i := range stamp {
-			stamp[i] = -1
-		}
-		return func(i int, out *[]ScoredPair) {
-			li := len(ids[i])
-			for _, tok := range prefs[i-lo] {
-				for _, j32 := range ix.postings[tok] {
-					j := int(j32)
-					if j >= i {
-						break
-					}
-					if stamp[j] == int32(i) {
-						continue
-					}
-					stamp[j] = int32(i)
-					if !ix.opts.crossOK(t, record.ID(j), record.ID(i)) {
-						continue
-					}
-					if !passesLengthFilter(li, len(ids[j]), tau) {
-						continue
-					}
-					sim := similarity.Jaccard(ids[i], ids[j])
-					if sim >= tau {
-						*out = append(*out, ScoredPair{
-							Pair:       record.Pair{A: record.ID(j), B: record.ID(i)},
-							Likelihood: sim,
-						})
+	// probe scans record i's prefix tokens' postings for candidates,
+	// emitting every verified pair. Skip pointers bound each posting
+	// scan to entries below i without decoding trailing blocks.
+	probe := func(i int, sc *probeScratch, emit func(ScoredPair) bool) bool {
+		li := len(ids[i])
+		i32 := int32(i)
+		ok := true
+		for _, tok := range pref(i) {
+			ix.postings[tok].forEachLess(i32, &sc.dbuf, func(j32 int32) bool {
+				j := int(j32)
+				if sc.stamp[j] == i32 {
+					return true
+				}
+				sc.stamp[j] = i32
+				if !ix.opts.crossOK(t, record.ID(j), record.ID(i)) {
+					return true
+				}
+				if !passesLengthFilter(li, len(ids[j]), tau) {
+					return true
+				}
+				sim := similarity.Jaccard(ids[i], ids[j])
+				if sim >= tau {
+					if !emit(ScoredPair{
+						Pair:       record.Pair{A: record.ID(j), B: record.ID(i)},
+						Likelihood: sim,
+					}) {
+						ok = false
+						return false
 					}
 				}
+				return true
+			})
+			if !ok {
+				return false
 			}
 		}
-	})
+		return true
+	}
+
+	if !ix.streamScan(lo, n, yield, probe) {
+		return
+	}
 
 	// Token-less records never collide in the index, but the empty-set
 	// convention gives them similarity 1 with each other.
@@ -169,34 +300,112 @@ func (ix *Index) Update() []ScoredPair {
 			for _, j32 := range ix.empties {
 				a, b := record.ID(j32), record.ID(i)
 				if ix.opts.crossOK(t, a, b) {
-					out = append(out, ScoredPair{Pair: record.Pair{A: a, B: b}, Likelihood: 1})
+					if !yield(ScoredPair{Pair: record.Pair{A: a, B: b}, Likelihood: 1}) {
+						return
+					}
 				}
 			}
 			ix.empties = append(ix.empties, int32(i))
 		}
 	}
-
-	SortScored(out)
-	return out
 }
 
 // deltaAllPairs scores every admissible pair with a new endpoint; at
 // threshold ≤ 0 every pair survives, so prefix filtering buys nothing.
-func (ix *Index) deltaAllPairs(ids [][]int32, lo, n int) []ScoredPair {
+func (ix *Index) deltaAllPairs(ids [][]int32, lo, n int, yield func(ScoredPair) bool) {
 	t := ix.t
-	out := shardedScan(lo, n, ix.opts.workers(n-lo), func() func(i int, out *[]ScoredPair) {
-		return func(i int, out *[]ScoredPair) {
-			for j := 0; j < i; j++ {
-				if !ix.opts.crossOK(t, record.ID(j), record.ID(i)) {
-					continue
-				}
-				*out = append(*out, ScoredPair{
-					Pair:       record.Pair{A: record.ID(j), B: record.ID(i)},
-					Likelihood: similarity.Jaccard(ids[i], ids[j]),
-				})
+	probe := func(i int, _ *probeScratch, emit func(ScoredPair) bool) bool {
+		for j := 0; j < i; j++ {
+			if !ix.opts.crossOK(t, record.ID(j), record.ID(i)) {
+				continue
+			}
+			if !emit(ScoredPair{
+				Pair:       record.Pair{A: record.ID(j), B: record.ID(i)},
+				Likelihood: similarity.Jaccard(ids[i], ids[j]),
+			}) {
+				return false
 			}
 		}
-	})
-	SortScored(out)
-	return out
+		return true
+	}
+	ix.streamScan(lo, n, yield, probe)
+}
+
+// streamScan fans the probe-record loop out across workers and funnels
+// every emitted candidate to yield on the calling goroutine. With one
+// worker the probes run inline and candidates pass straight through —
+// zero buffering. With several, each worker scans a strided partition of
+// [lo, n) with its own pooled scratch and ships candidates in small
+// bounded batches over a channel, so memory stays O(workers·batch)
+// regardless of how many candidates the delta produces. Returns false if
+// yield stopped the scan.
+func (ix *Index) streamScan(lo, n int, yield func(ScoredPair) bool, probe func(i int, sc *probeScratch, emit func(ScoredPair) bool) bool) bool {
+	workers := ix.opts.workers(n - lo)
+	if workers <= 1 {
+		sc := ix.getScratch(n)
+		defer ix.putScratch(sc)
+		for i := lo; i < n; i++ {
+			if !probe(i, sc, yield) {
+				return false
+			}
+		}
+		return true
+	}
+
+	const batchCap = 64
+	ch := make(chan []ScoredPair, workers)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sc := ix.getScratch(n)
+			defer ix.putScratch(sc)
+			batch := make([]ScoredPair, 0, batchCap)
+			flush := func() bool {
+				if len(batch) == 0 {
+					return true
+				}
+				select {
+				case ch <- batch:
+					batch = make([]ScoredPair, 0, batchCap)
+					return true
+				case <-done:
+					return false
+				}
+			}
+			emit := func(sp ScoredPair) bool {
+				batch = append(batch, sp)
+				if len(batch) == batchCap {
+					return flush()
+				}
+				return true
+			}
+			for i := lo + w; i < n; i += workers {
+				if !probe(i, sc, emit) {
+					return
+				}
+			}
+			flush()
+		}(w)
+	}
+	go func() {
+		wg.Wait()
+		close(ch)
+	}()
+	ok := true
+	for batch := range ch {
+		if !ok {
+			continue // drain so workers unblock and exit
+		}
+		for _, sp := range batch {
+			if !yield(sp) {
+				ok = false
+				close(done)
+				break
+			}
+		}
+	}
+	return ok
 }

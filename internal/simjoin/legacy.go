@@ -1,7 +1,8 @@
 package simjoin
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"github.com/crowder/crowder/internal/record"
 )
@@ -45,12 +46,11 @@ func LegacyJoin(t *record.Table, opts Options) []ScoredPair {
 	sorted := make([][]string, n)
 	for i, ts := range tokens {
 		s := ts.Sorted()
-		sort.SliceStable(s, func(a, b int) bool {
-			fa, fb := freq[s[a]], freq[s[b]]
-			if fa != fb {
-				return fa < fb
+		slices.SortStableFunc(s, func(a, b string) int {
+			if c := cmp.Compare(freq[a], freq[b]); c != 0 {
+				return c
 			}
-			return s[a] < s[b]
+			return cmp.Compare(a, b)
 		})
 		sorted[i] = s
 	}

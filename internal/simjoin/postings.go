@@ -1,0 +1,314 @@
+package simjoin
+
+import "encoding/binary"
+
+// Block-compressed posting lists.
+//
+// The join index stores, per prefix token, the ascending list of record
+// IDs whose prefix contains the token. The original representation was a
+// flat []int32 per token: four bytes per entry plus append-doubling
+// slack, which is what capped table sizes in RAM. A PostingList instead
+// delta-encodes the IDs as uvarints in fixed-size blocks of
+// PostingBlockSize entries. Record IDs arrive in strictly ascending
+// order (the index inserts records as they are appended), so deltas are
+// small positive integers and typically occupy one byte in dense lists —
+// a 3–4× footprint reduction before accounting for slice slack.
+//
+// Each block boundary carries the largest ID of the finished block (its
+// skip pointer) and the byte offset where the next block's deltas start.
+// The first block needs neither (offset 0, and a single-block list's max
+// is the list's last ID), so a list only pays metadata from its second
+// block on — prefix postings are frequently short, and a short list is
+// just its delta bytes. Skip pointers serve two access patterns:
+//
+//   - Bounded scans (ForEachLess): the probe phase enumerates entries
+//     strictly below the probing record's ID; blocks whose first
+//     possible entry is already at or past the bound are never decoded.
+//   - Galloping seeks (Cursor.SeekGE, IntersectPostings): an
+//     exponential probe over block skip pointers followed by a binary
+//     search brackets the target block in O(log distance), then a short
+//     scan inside the decoded block lands on the entry — the standard
+//     galloping intersection primitive.
+const (
+	postingBlockShift = 7
+	// PostingBlockSize is the number of IDs per compressed block.
+	PostingBlockSize = 1 << postingBlockShift
+	postingBlockMask = PostingBlockSize - 1
+)
+
+// postingBlock is the boundary metadata between block i and block i+1:
+// the byte offset of block i+1's first delta and the largest ID of
+// block i (block i's skip pointer, equivalently block i+1's delta base).
+type postingBlock struct {
+	off uint32
+	max int32
+}
+
+// PostingList is an append-only block-compressed list of strictly
+// ascending int32 IDs. The zero value is an empty list.
+type PostingList struct {
+	data []byte
+	// meta[i] is the boundary between block i and block i+1; a list of
+	// ≤ PostingBlockSize entries has none.
+	meta []postingBlock
+	last int32
+	n    int
+}
+
+// Len returns the number of IDs in the list.
+func (p *PostingList) Len() int { return p.n }
+
+// Max returns the largest (last) ID, or -1 for an empty list.
+func (p *PostingList) Max() int32 {
+	if p.n == 0 {
+		return -1
+	}
+	return p.last
+}
+
+// SizeBytes returns the list's compressed footprint: encoded deltas plus
+// block metadata. The equivalent flat []int32 footprint is 4·Len.
+func (p *PostingList) SizeBytes() int {
+	return len(p.data) + len(p.meta)*8
+}
+
+// numBlocks returns the number of (possibly partial) blocks.
+func (p *PostingList) numBlocks() int {
+	return (p.n + postingBlockMask) >> postingBlockShift
+}
+
+// Append adds an ID, which must be strictly greater than every ID
+// already in the list.
+func (p *PostingList) Append(id int32) {
+	prev := p.last
+	if p.n == 0 {
+		prev = -1
+	} else if id <= prev {
+		panic("simjoin: posting IDs must be strictly ascending")
+	}
+	if p.n > 0 && p.n&postingBlockMask == 0 {
+		// Crossing into a new block: record the finished block's boundary.
+		p.meta = append(p.meta, postingBlock{off: uint32(len(p.data)), max: prev})
+	}
+	p.data = binary.AppendUvarint(p.data, uint64(id-prev))
+	p.last = id
+	p.n++
+}
+
+// blockOff returns the byte offset of block b's first delta.
+func (p *PostingList) blockOff(b int) uint32 {
+	if b == 0 {
+		return 0
+	}
+	return p.meta[b-1].off
+}
+
+// blockBase returns the ID every delta in block b accumulates from: the
+// previous block's max, or -1 for the first block.
+func (p *PostingList) blockBase(b int) int32 {
+	if b == 0 {
+		return -1
+	}
+	return p.meta[b-1].max
+}
+
+// blockMax returns the largest ID in block b (its skip pointer).
+func (p *PostingList) blockMax(b int) int32 {
+	if b == p.numBlocks()-1 {
+		return p.last
+	}
+	return p.meta[b].max
+}
+
+// blockLen returns the number of entries stored in block b.
+func (p *PostingList) blockLen(b int) int {
+	cnt := p.n - b<<postingBlockShift
+	if cnt > PostingBlockSize {
+		cnt = PostingBlockSize
+	}
+	return cnt
+}
+
+// decodeBlock decodes block b into buf and returns the entry count.
+func (p *PostingList) decodeBlock(b int, buf *[PostingBlockSize]int32) int {
+	cnt := p.blockLen(b)
+	acc := p.blockBase(b)
+	data := p.data[p.blockOff(b):]
+	for k := 0; k < cnt; k++ {
+		// Inline uvarint decode: deltas are almost always one byte.
+		d := uint32(data[0])
+		if d < 0x80 {
+			data = data[1:]
+		} else {
+			v, w := binary.Uvarint(data)
+			d = uint32(v)
+			data = data[w:]
+		}
+		acc += int32(d)
+		buf[k] = acc
+	}
+	return cnt
+}
+
+// ForEachLess calls fn for every ID strictly below bound, in ascending
+// order, stopping early if fn returns false. Blocks that cannot contain
+// an entry below the bound are skipped without decoding.
+func (p *PostingList) ForEachLess(bound int32, fn func(int32) bool) {
+	var buf [PostingBlockSize]int32
+	p.forEachLess(bound, &buf, fn)
+}
+
+// forEachLess is ForEachLess with a caller-supplied decode buffer, so
+// the probe hot loop can reuse one buffer across every posting list it
+// scans.
+func (p *PostingList) forEachLess(bound int32, buf *[PostingBlockSize]int32, fn func(int32) bool) {
+	nb := p.numBlocks()
+	for b := 0; b < nb; b++ {
+		// Entries of block b are strictly greater than the previous
+		// block's max: once that reaches the bound, nothing below it can
+		// follow (skip-pointer early termination).
+		if base := p.blockBase(b); base+1 >= bound {
+			return
+		}
+		cnt := p.decodeBlock(b, buf)
+		for k := 0; k < cnt; k++ {
+			id := buf[k]
+			if id >= bound {
+				return
+			}
+			if !fn(id) {
+				return
+			}
+		}
+	}
+}
+
+// Cursor returns a forward iterator positioned before the first ID.
+func (p *PostingList) Cursor() PostingCursor {
+	return PostingCursor{pl: p, b: -1}
+}
+
+// PostingCursor iterates a PostingList in ascending order with
+// galloping skip support. Obtain one with Cursor; the zero value is not
+// valid. A cursor decodes one block at a time into an internal buffer,
+// so iteration allocates nothing.
+type PostingCursor struct {
+	pl  *PostingList
+	b   int // decoded block index; -1 before the first Next/SeekGE
+	cnt int // entries decoded in buf
+	k   int // next undelivered index in buf
+	buf [PostingBlockSize]int32
+}
+
+// load decodes block b into the cursor, returning false past the end.
+func (c *PostingCursor) load(b int) bool {
+	if b >= c.pl.numBlocks() {
+		c.b = c.pl.numBlocks()
+		c.cnt, c.k = 0, 0
+		return false
+	}
+	c.b = b
+	c.cnt = c.pl.decodeBlock(b, &c.buf)
+	c.k = 0
+	return true
+}
+
+// Next returns the next ID in ascending order.
+func (c *PostingCursor) Next() (int32, bool) {
+	if c.k >= c.cnt {
+		if !c.load(c.b + 1) {
+			return 0, false
+		}
+	}
+	v := c.buf[c.k]
+	c.k++
+	return v, true
+}
+
+// SeekGE advances past every ID below target and returns the first ID
+// at or above it, consuming it like Next. Skipped blocks are located by
+// galloping over the block skip pointers — exponential probe then
+// binary search — and are never decoded.
+func (c *PostingCursor) SeekGE(target int32) (int32, bool) {
+	pl := c.pl
+	nb := pl.numBlocks()
+	// Within the already-decoded block: a short forward scan.
+	if c.b >= 0 && c.b < nb && pl.blockMax(c.b) >= target {
+		for c.k < c.cnt && c.buf[c.k] < target {
+			c.k++
+		}
+		if c.k < c.cnt {
+			v := c.buf[c.k]
+			c.k++
+			return v, true
+		}
+		// cnt exhausted with blockMax ≥ target means every in-block entry
+		// was already consumed; the next block holds the target.
+		return c.Next()
+	}
+	// Gallop: double the step until a block's skip pointer reaches the
+	// target, then binary-search the bracketed range.
+	lo := c.b + 1
+	if lo >= nb {
+		return 0, false
+	}
+	if pl.last < target {
+		c.load(nb)
+		return 0, false
+	}
+	step := 1
+	hi := lo
+	for hi < nb && pl.blockMax(hi) < target {
+		lo = hi + 1
+		hi += step
+		step <<= 1
+	}
+	if hi > nb-1 {
+		hi = nb - 1
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if pl.blockMax(mid) < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if !c.load(lo) {
+		return 0, false
+	}
+	for c.k < c.cnt && c.buf[c.k] < target {
+		c.k++
+	}
+	v := c.buf[c.k]
+	c.k++
+	return v, true
+}
+
+// IntersectPostings streams the IDs present in both lists to yield in
+// ascending order, stopping early if yield returns false. It leapfrogs:
+// each side galloping-seeks to the other's current ID, so the cost is
+// O(min·log(max/min)) block probes rather than a full merge — the
+// skip-pointer intersection the compressed layout exists for.
+func IntersectPostings(a, b *PostingList, yield func(int32) bool) {
+	if a.Len() == 0 || b.Len() == 0 {
+		return
+	}
+	ca, cb := a.Cursor(), b.Cursor()
+	x, okx := ca.Next()
+	y, oky := cb.Next()
+	for okx && oky {
+		switch {
+		case x == y:
+			if !yield(x) {
+				return
+			}
+			x, okx = ca.Next()
+			y, oky = cb.Next()
+		case x < y:
+			x, okx = ca.SeekGE(y)
+		default:
+			y, oky = cb.SeekGE(x)
+		}
+	}
+}

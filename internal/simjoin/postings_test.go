@@ -1,0 +1,214 @@
+package simjoin
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// randomAscending returns n strictly ascending int32s with geometric-ish
+// gaps, crossing many block boundaries for n > PostingBlockSize.
+func randomAscending(rng *rand.Rand, n, maxGap int) []int32 {
+	out := make([]int32, n)
+	v := int32(0)
+	for i := range out {
+		v += int32(1 + rng.Intn(maxGap))
+		out[i] = v
+	}
+	return out
+}
+
+func buildPostingList(ids []int32) *PostingList {
+	var p PostingList
+	for _, id := range ids {
+		p.Append(id)
+	}
+	return &p
+}
+
+func drainCursor(p *PostingList) []int32 {
+	var out []int32
+	c := p.Cursor()
+	for {
+		v, ok := c.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, v)
+	}
+}
+
+func TestPostingListRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, PostingBlockSize - 1, PostingBlockSize, PostingBlockSize + 1, 5000} {
+		ids := randomAscending(rng, n, 300)
+		p := buildPostingList(ids)
+		if p.Len() != n {
+			t.Fatalf("n=%d: Len=%d", n, p.Len())
+		}
+		wantMax := int32(-1)
+		if n > 0 {
+			wantMax = ids[n-1]
+		}
+		if p.Max() != wantMax {
+			t.Fatalf("n=%d: Max=%d want %d", n, p.Max(), wantMax)
+		}
+		if got := drainCursor(p); !slices.Equal(got, ids) {
+			t.Fatalf("n=%d: cursor drain mismatch", n)
+		}
+	}
+}
+
+func TestPostingListCompression(t *testing.T) {
+	// Dense IDs (delta 1) must encode in ~1 byte each; the flat []int32
+	// representation costs 4. Require at least a 2× win after block
+	// metadata overhead.
+	var p PostingList
+	for i := int32(0); i < 10000; i++ {
+		p.Append(i)
+	}
+	flat := 4 * p.Len()
+	if p.SizeBytes()*2 > flat {
+		t.Fatalf("compressed %dB vs flat %dB: less than 2x", p.SizeBytes(), flat)
+	}
+}
+
+func TestPostingListAppendPanicsOnNonAscending(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-ascending append")
+		}
+	}()
+	var p PostingList
+	p.Append(5)
+	p.Append(5)
+}
+
+func TestForEachLessMatchesFilter(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ids := randomAscending(rng, 3000, 50)
+	p := buildPostingList(ids)
+	for trial := 0; trial < 200; trial++ {
+		bound := int32(rng.Intn(int(ids[len(ids)-1]) + 100))
+		var got []int32
+		p.ForEachLess(bound, func(v int32) bool {
+			got = append(got, v)
+			return true
+		})
+		var want []int32
+		for _, v := range ids {
+			if v < bound {
+				want = append(want, v)
+			}
+		}
+		if !slices.Equal(got, want) {
+			t.Fatalf("bound=%d: got %d entries want %d", bound, len(got), len(want))
+		}
+	}
+	// Early stop.
+	var got []int32
+	p.ForEachLess(ids[len(ids)-1]+1, func(v int32) bool {
+		got = append(got, v)
+		return len(got) < 7
+	})
+	if len(got) != 7 {
+		t.Fatalf("early stop: %d entries", len(got))
+	}
+}
+
+func TestSeekGEMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ids := randomAscending(rng, 4000, 40)
+	p := buildPostingList(ids)
+	// Fresh-cursor seeks at arbitrary targets.
+	for trial := 0; trial < 300; trial++ {
+		target := int32(rng.Intn(int(ids[len(ids)-1]) + 200))
+		c := p.Cursor()
+		got, ok := c.SeekGE(target)
+		i, _ := slices.BinarySearch(ids, target)
+		if i == len(ids) {
+			if ok {
+				t.Fatalf("target=%d: expected exhaustion, got %d", target, got)
+			}
+			continue
+		}
+		if !ok || got != ids[i] {
+			t.Fatalf("target=%d: got (%d,%v) want %d", target, got, ok, ids[i])
+		}
+		// The seek consumes the returned entry; Next must continue after it.
+		if next, nok := c.Next(); i+1 < len(ids) {
+			if !nok || next != ids[i+1] {
+				t.Fatalf("target=%d: Next after seek got (%d,%v) want %d", target, next, nok, ids[i+1])
+			}
+		} else if nok {
+			t.Fatalf("target=%d: Next after final seek should exhaust", target)
+		}
+	}
+	// Monotone seek sequence on one cursor (the intersection access pattern).
+	c := p.Cursor()
+	i := 0
+	target := int32(0)
+	for {
+		target += int32(1 + rng.Intn(500))
+		got, ok := c.SeekGE(target)
+		for i < len(ids) && ids[i] < target {
+			i++
+		}
+		if i == len(ids) {
+			if ok {
+				t.Fatalf("monotone: expected exhaustion at target=%d", target)
+			}
+			break
+		}
+		if !ok || got != ids[i] {
+			t.Fatalf("monotone target=%d: got (%d,%v) want %d", target, got, ok, ids[i])
+		}
+		i++
+	}
+}
+
+func intersectRef(a, b []int32) []int32 {
+	var out []int32
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+func TestIntersectPostingsMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 100; trial++ {
+		na, nb := rng.Intn(2000), rng.Intn(2000)
+		// Mix dense and sparse lists so gallops skip whole blocks.
+		a := randomAscending(rng, na, 1+rng.Intn(8))
+		b := randomAscending(rng, nb, 1+rng.Intn(200))
+		var got []int32
+		IntersectPostings(buildPostingList(a), buildPostingList(b), func(v int32) bool {
+			got = append(got, v)
+			return true
+		})
+		if want := intersectRef(a, b); !slices.Equal(got, want) {
+			t.Fatalf("trial %d: got %d entries want %d", trial, len(got), len(want))
+		}
+	}
+	// Early stop.
+	ids := randomAscending(rng, 1000, 3)
+	n := 0
+	IntersectPostings(buildPostingList(ids), buildPostingList(ids), func(v int32) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("early stop: yielded %d", n)
+	}
+}

@@ -7,22 +7,28 @@
 // inverted index plus a length filter — the indexing the paper's footnote 1
 // alludes to ("we can adopt some indexing techniques ... to avoid all-pairs
 // comparison"). The implementation runs over the table's interned token IDs
-// (record.Table.TokenIDs): the inverted index is a flat slice keyed by
-// dense token ID, similarities are linear merges over sorted []int32, and
-// the probe phase is sharded across Options.Parallelism workers with
-// deterministic merged output. The Index type is the persistent,
-// incrementally maintained form of the same join: new records probe the
-// postings built by earlier batches and then insert themselves, so a
-// delta of d records costs O(d·candidates) instead of a full re-join;
-// Join itself is a one-shot Index update. BruteForce provides the reference all-pairs
+// (record.Table.TokenIDs): the inverted index maps dense token IDs to
+// block-compressed posting lists (PostingList: delta-encoded IDs with
+// per-block skip pointers), similarities are merges — galloping when the
+// set sizes are skewed — over sorted []int32, and the probe phase is
+// sharded across Options.Parallelism workers. The Index type is the
+// persistent, incrementally maintained form of the same join: new records
+// probe the postings built by earlier batches and then insert themselves,
+// so a delta of d records costs O(d·candidates) instead of a full
+// re-join. Candidates stream out of Index.UpdateSeq one at a time, so a
+// consumer ranking with a bounded top-K heap never materializes the full
+// candidate set; Index.Update and the one-shot Join are the materializing
+// wrappers, canonically sorted and bit-identical at every parallelism
+// level. BruteForce provides the reference all-pairs
 // implementation used for testing equivalence and for self-joins of tiny
 // tables; LegacyJoin preserves the original single-threaded map-of-strings
 // implementation as a benchmark baseline and differential-testing oracle.
 package simjoin
 
 import (
+	"cmp"
 	"math"
-	"sort"
+	"slices"
 
 	"github.com/crowder/crowder/internal/engine"
 	"github.com/crowder/crowder/internal/record"
@@ -35,19 +41,27 @@ type ScoredPair struct {
 	Likelihood float64
 }
 
-// SortScored orders pairs by likelihood descending, tie-breaking on the
-// canonical pair order, in place. The workflow's ranked output and the
-// precision-recall evaluation both rely on this ordering.
+// CompareScored is the canonical total order over scored pairs:
+// likelihood descending, then pair A ascending, then B ascending. It is
+// the comparator behind SortScored and the one streaming consumers (the
+// resolver's top-K ranking heap) use, which is what makes a ranked
+// collection of the unordered UpdateSeq stream deterministic.
+func CompareScored(a, b ScoredPair) int {
+	if c := cmp.Compare(b.Likelihood, a.Likelihood); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(a.Pair.A, b.Pair.A); c != 0 {
+		return c
+	}
+	return cmp.Compare(a.Pair.B, b.Pair.B)
+}
+
+// SortScored orders pairs by CompareScored in place: likelihood
+// descending, tie-breaking on the canonical pair order. The workflow's
+// ranked output and the precision-recall evaluation both rely on this
+// ordering.
 func SortScored(ps []ScoredPair) {
-	sort.Slice(ps, func(i, j int) bool {
-		if ps[i].Likelihood != ps[j].Likelihood {
-			return ps[i].Likelihood > ps[j].Likelihood
-		}
-		if ps[i].Pair.A != ps[j].Pair.A {
-			return ps[i].Pair.A < ps[j].Pair.A
-		}
-		return ps[i].Pair.B < ps[j].Pair.B
-	})
+	slices.SortFunc(ps, CompareScored)
 }
 
 // Options configures a join.
@@ -91,28 +105,6 @@ func Join(t *record.Table, opts Options) []ScoredPair {
 		return nil
 	}
 	return NewIndex(t, opts).Update()
-}
-
-// shardedScan fans the probe-record loop out across workers: each worker
-// builds its probe once (holding any per-worker scratch state, e.g. the
-// dedup stamp array), scans a strided partition of [lo, n), and the shard
-// outputs are concatenated. The caller canonically sorts the merged
-// result, so the output is independent of the worker count.
-func shardedScan(lo, n, workers int, newProbe func() func(i int, out *[]ScoredPair)) []ScoredPair {
-	shards := make([][]ScoredPair, workers)
-	engine.Workers(workers, func(w int) {
-		probe := newProbe()
-		var out []ScoredPair
-		for i := lo + w; i < n; i += workers {
-			probe(i, &out)
-		}
-		shards[w] = out
-	})
-	var out []ScoredPair
-	for _, s := range shards {
-		out = append(out, s...)
-	}
-	return out
 }
 
 // prefixLen returns the number of tokens a record of the given size must

@@ -1,9 +1,11 @@
 package crowder
 
 import (
+	"cmp"
 	"context"
 	"errors"
-	"sort"
+	"iter"
+	"slices"
 	"sync"
 
 	"github.com/crowder/crowder/internal/aggregate"
@@ -233,7 +235,7 @@ func (r *Resolver) WorkerStats() []WorkerStat {
 			ClassesSeen:    s.ClassesSeen(),
 		})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Worker < out[j].Worker })
+	slices.SortFunc(out, func(a, b WorkerStat) int { return cmp.Compare(a.Worker, b.Worker) })
 	return out
 }
 
@@ -301,13 +303,17 @@ func (r *Resolver) resolveLocked(ctx context.Context, p *resolverPipeline) (*Res
 	return final.res, nil
 }
 
-// deltaCandidates generates and scores the candidate pairs introduced by
-// the records appended since the last delta, per the configured candidate
-// source. The caller holds r.mu.
-func (r *Resolver) deltaCandidates() ([]simjoin.ScoredPair, error) {
+// deltaCandidateSeq streams the scored candidate pairs introduced by the
+// records appended since the last delta, per the configured candidate
+// source. The caller holds r.mu and must drain the sequence exactly once
+// (both sources absorb the delta as a side effect). SourceSimJoin is a
+// true stream — candidates are scored as the join index probes, never
+// materialized; token blocking computes its (typically much smaller,
+// MaxBlock-capped) candidate set eagerly and streams over it.
+func (r *Resolver) deltaCandidateSeq() (iter.Seq[simjoin.ScoredPair], error) {
 	switch r.opts.Candidates {
 	case SourceSimJoin:
-		return r.idx.Update(), nil
+		return r.idx.UpdateSeq(), nil
 	case SourceTokenBlocking:
 		since := r.blocked
 		r.blocked = r.table.Len()
@@ -315,7 +321,8 @@ func (r *Resolver) deltaCandidates() ([]simjoin.ScoredPair, error) {
 			MaxBlock:        r.opts.MaxBlock,
 			CrossSourceOnly: r.opts.CrossSourceOnly,
 		}, since)
-		return simjoin.ScoreCandidates(r.table.inner, cands, r.opts.Threshold), nil
+		scored := simjoin.ScoreCandidates(r.table.inner, cands, r.opts.Threshold)
+		return slices.Values(scored), nil
 	default:
 		return nil, errUnknownCandidateSource(r.opts.Candidates)
 	}
