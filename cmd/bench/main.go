@@ -46,6 +46,22 @@
 // calibration buckets for both aggregators.
 //
 //	go run ./cmd/bench -aggregate -o BENCH_aggregate.json
+//
+// With -shard it benchmarks the sharded resolution path: the synthetic
+// scale workload joined from scratch with P shards on P procs for
+// P ∈ {1,2,4,8}, plus full crowd resolutions of the same table at
+// shard counts 0/1/2/4/8. The run fails (exit 1) unless every sharded
+// output — ranked candidates, matches, HIT counts, deduced pairs — is
+// bit-identical to the unsharded run, and (on multi-core hosts) unless
+// the sweep reaches min(4, NumCPU/2)× speedup.
+//
+//	go run ./cmd/bench -shard -o BENCH_shard.json
+//
+// All modes accept -cpuprofile/-memprofile and, for lock-contention
+// work, -mutexprofile/-blockprofile (full-rate mutex and blocking
+// profiles written at exit). Pipeline stages are labeled with pprof
+// labels ("stage"), so profiles attribute samples to prune/generate/
+// execute/aggregate directly.
 package main
 
 import (
@@ -968,6 +984,23 @@ func runAggregate(workloads []aggWorkload, eqData *dataset.Dataset) (*AggregateR
 	return rep, ok
 }
 
+// writeLookupProfile writes a runtime profile by name ("mutex",
+// "block") in pprof format.
+func writeLookupProfile(path, name string) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	p := pprof.Lookup(name)
+	if p == nil {
+		log.Fatalf("no %q profile", name)
+	}
+	if err := p.WriteTo(f, 0); err != nil {
+		log.Fatal(err)
+	}
+}
+
 func writeJSON(out string, v any, summary string) {
 	enc, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
@@ -1007,8 +1040,11 @@ func run() int {
 	scaleN := flag.Int("scale-n", 1_000_000, "scale mode: records in the synthetic scale workload")
 	scaleTopK := flag.Int("scale-topk", 1000, "scale mode: bounded ranking-heap size the stream feeds")
 	scaleMaxRSS := flag.Float64("scale-max-rss-mb", 8192, "scale mode: fail if peak RSS exceeds this many MB")
+	shard := flag.Bool("shard", false, "benchmark the sharded resolution path: scaling sweep plus cross-shard-count equality gates")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	mutexprofile := flag.String("mutexprofile", "", "record all mutex contention and write the profile to this file at exit")
+	blockprofile := flag.String("blockprofile", "", "record all blocking events and write the profile to this file at exit")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -1034,6 +1070,31 @@ func run() int {
 				log.Fatal(err)
 			}
 		}()
+	}
+	if *mutexprofile != "" {
+		// Fraction 1 records every contention event: bench runs are short
+		// and the whole point is to see the resolver's lock behavior.
+		runtime.SetMutexProfileFraction(1)
+		defer writeLookupProfile(*mutexprofile, "mutex")
+	}
+	if *blockprofile != "" {
+		runtime.SetBlockProfileRate(1)
+		defer writeLookupProfile(*blockprofile, "block")
+	}
+
+	if *shard {
+		rep, ok := runShard(*scaleN, *scaleTopK)
+		gate := "skipped (single-core host)"
+		if !rep.SpeedupGateSkipped {
+			gate = fmt.Sprintf("required %.2fx", rep.RequiredSpeedup)
+		}
+		writeJSON(*out, rep, fmt.Sprintf(
+			"wrote %s (sharded sweep best speedup %.2fx on %d CPUs, gate %s; %d equality runs)",
+			*out, rep.MaxSpeedup, rep.NumCPU, gate, len(rep.EqualityRuns)))
+		if !ok {
+			return 1
+		}
+		return 0
 	}
 
 	if *scale {

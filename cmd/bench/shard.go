@@ -1,0 +1,271 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	crowder "github.com/crowder/crowder"
+	"github.com/crowder/crowder/internal/dataset"
+	"github.com/crowder/crowder/internal/engine"
+	"github.com/crowder/crowder/internal/simjoin"
+)
+
+// ShardScalePoint is one parallelism level of the sharded-join sweep:
+// the table indexed and joined from scratch with P shards on P procs.
+type ShardScalePoint struct {
+	Parallelism int `json:"parallelism"`
+	Shards      int `json:"shards"`
+
+	WallNs        int64   `json:"wall_ns"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+	// Speedup is the 1-shard/1-proc point's wall time over this one's.
+	Speedup float64 `json:"speedup_vs_p1"`
+	// Identical: this point's ranked top-K is bit-identical to the
+	// single-index reference join.
+	Identical bool `json:"identical_to_single_index"`
+}
+
+// ShardEqualityRun is one shard count's end-to-end resolution compared
+// against the unsharded (Shards=0) reference session.
+type ShardEqualityRun struct {
+	Shards       int `json:"shards"`
+	Matches      int `json:"matches"`
+	HITs         int `json:"hits"`
+	DeducedPairs int `json:"deduced_pairs"`
+	JudgedPairs  int `json:"judged_pairs"`
+
+	// IdenticalToUnsharded: matches (pairs, order, confidences), HIT
+	// count, deduced-pair count and judged-pair count all equal the
+	// Shards=0 run's.
+	IdenticalToUnsharded bool `json:"identical_to_unsharded"`
+	// DeltaEqualsScratch: a k-batch incremental session at this shard
+	// count reproduces its own from-scratch resolution bit for bit.
+	DeltaEqualsScratch bool `json:"delta_equals_scratch"`
+}
+
+// ShardReport is the file layout of BENCH_shard.json.
+type ShardReport struct {
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	GoMaxProcs int    `json:"go_max_procs"`
+
+	// Scaling sweep: dataset.ScaleN joined from scratch at each
+	// parallelism level, P shards on GOMAXPROCS=P.
+	ScaleRecords   int     `json:"scale_records"`
+	ScaleThreshold float64 `json:"scale_threshold"`
+	TopK           int     `json:"top_k"`
+	// SingleIndexNs is the unsharded streaming reference (NewIndex +
+	// UpdateSeq into a bounded heap), the baseline the sweep's outputs
+	// must reproduce.
+	SingleIndexNs int64             `json:"single_index_ns"`
+	Points        []ShardScalePoint `json:"points"`
+
+	// MaxSpeedup is the best Speedup across the sweep; RequiredSpeedup
+	// is the gate it must clear: min(4, NumCPU/2) at min(8, NumCPU)
+	// procs. On a single-core host the scaling gate is vacuous and
+	// recorded as skipped — the equality gates still bind.
+	MaxSpeedup         float64 `json:"max_speedup"`
+	RequiredSpeedup    float64 `json:"required_speedup"`
+	SpeedupGateSkipped bool    `json:"speedup_gate_skipped"`
+
+	// Equality sweep: full crowd resolutions (transitivity on) of the
+	// same table at Shards 0/1/2/4/8, each compared to the unsharded
+	// run and to its own k-batch incremental session.
+	EqualityRecords int                `json:"equality_records"`
+	EqualityRuns    []ShardEqualityRun `json:"equality_runs"`
+}
+
+// runShard benchmarks the sharded resolution path. Gates (any failure
+// exits 1):
+//
+//   - every sweep point's ranked top-K is bit-identical to the
+//     single-index join — sharding must never change the answer;
+//   - every equality run's resolution is identical to the unsharded
+//     session's, and its k-batch incremental session reproduces its
+//     from-scratch run;
+//   - on multi-core hosts, the sweep reaches min(4, NumCPU/2)× speedup.
+func runShard(scaleRecords, topK int) (*ShardReport, bool) {
+	rep := &ShardReport{
+		GoVersion:      runtime.Version(),
+		NumCPU:         runtime.NumCPU(),
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		ScaleRecords:   scaleRecords,
+		ScaleThreshold: 0.6,
+		TopK:           topK,
+	}
+	ok := true
+
+	// ---- Scaling sweep on the synthetic scale workload. ----
+	sd := dataset.ScaleN(1, scaleRecords, scaleRecords/20)
+	stab := sd.Table
+	stab.TokenIDs()
+	sopts := simjoin.Options{Threshold: rep.ScaleThreshold}
+
+	// Unsharded reference: the streaming path the scale benchmark pins.
+	start := time.Now()
+	rank := engine.NewTopK(topK, simjoin.CompareScored)
+	for sp := range simjoin.NewIndex(stab, sopts).UpdateSeq() {
+		rank.Push(sp)
+	}
+	want := rank.Ranked()
+	rep.SingleIndexNs = time.Since(start).Nanoseconds()
+	if len(want) == 0 {
+		fmt.Fprintln(os.Stderr, "FAIL: reference join produced no candidates")
+		ok = false
+	}
+
+	prevProcs := runtime.GOMAXPROCS(0)
+	var p1 int64
+	for _, p := range []int{1, 2, 4, 8} {
+		runtime.GOMAXPROCS(p)
+		sx := simjoin.NewSharded(stab, p, simjoin.Options{
+			Threshold: rep.ScaleThreshold, Parallelism: p,
+		})
+		t0 := time.Now()
+		got := sx.UpdateRanked(topK)
+		wall := time.Since(t0).Nanoseconds()
+		if p == 1 {
+			p1 = wall
+		}
+		pt := ShardScalePoint{
+			Parallelism:   p,
+			Shards:        p,
+			WallNs:        wall,
+			RecordsPerSec: float64(scaleRecords) / (float64(wall) / 1e9),
+			Speedup:       float64(p1) / float64(wall),
+			Identical:     scoredEqual(got, want),
+		}
+		rep.Points = append(rep.Points, pt)
+		if !pt.Identical {
+			fmt.Fprintf(os.Stderr, "FAIL: %d-shard ranked join differs from the single-index join\n", p)
+			ok = false
+		}
+		if pt.Speedup > rep.MaxSpeedup {
+			rep.MaxSpeedup = pt.Speedup
+		}
+	}
+	runtime.GOMAXPROCS(prevProcs)
+
+	if rep.NumCPU >= 2 {
+		rep.RequiredSpeedup = float64(rep.NumCPU) / 2
+		if rep.RequiredSpeedup > 4 {
+			rep.RequiredSpeedup = 4
+		}
+		if rep.MaxSpeedup < rep.RequiredSpeedup {
+			fmt.Fprintf(os.Stderr, "FAIL: best sharded speedup %.2fx below required %.2fx on %d CPUs\n",
+				rep.MaxSpeedup, rep.RequiredSpeedup, rep.NumCPU)
+			ok = false
+		}
+	} else {
+		// One core: no parallel speedup is observable, only overhead.
+		// The sweep still ran and the equality gates still bind.
+		rep.SpeedupGateSkipped = true
+	}
+
+	// ---- Equality sweep: end-to-end resolutions across shard counts. ----
+	// Product+Dup is the clique-rich workload (duplicate cliques of up to
+	// 10 records), so the compared state includes a substantial deduced
+	// fraction — the cross-shard transitivity merge is exercised for real,
+	// not vacuously.
+	d := dataset.ProductDup(2, dataset.Product(1))
+	rep.EqualityRecords = d.Table.Len()
+	var oracle []crowder.Pair
+	for _, p := range d.Matches.Slice() {
+		oracle = append(oracle, crowder.Pair{A: int(p.A), B: int(p.B)})
+	}
+	mkOpts := func(shards int) crowder.Options {
+		return crowder.Options{
+			Threshold: 0.5, HITType: crowder.PairHITs, ClusterSize: 10,
+			Oracle: oracle, Seed: 1, SpammerRate: crowder.NoSpammers,
+			Transitivity: crowder.TransitivityOn,
+			Shards:       shards,
+		}
+	}
+	build := func() *crowder.Table {
+		tab := crowder.NewTable(d.Table.Schema...)
+		for i := range d.Table.Records {
+			tab.Append(d.Table.Records[i].Values...)
+		}
+		return tab
+	}
+	sameMatches := func(a, b *crowder.Result) bool {
+		if len(a.Matches) != len(b.Matches) {
+			return false
+		}
+		for i := range a.Matches {
+			if a.Matches[i] != b.Matches[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	var baseline *crowder.Result
+	baselineJudged := 0
+	for _, shards := range []int{0, 1, 2, 4, 8} {
+		opts := mkOpts(shards)
+		res, err := crowder.Resolve(build(), opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL: %d-shard resolve: %v\n", shards, err)
+			ok = false
+			continue
+		}
+		// k-batch incremental session at the same shard count.
+		rv, err := crowder.NewResolver(crowder.NewTable(d.Table.Schema...), opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL: %d-shard resolver: %v\n", shards, err)
+			ok = false
+			continue
+		}
+		var last *crowder.Result
+		const batches = 3
+		size := (d.Table.Len() + batches - 1) / batches
+		for lo := 0; lo < d.Table.Len(); lo += size {
+			hi := lo + size
+			if hi > d.Table.Len() {
+				hi = d.Table.Len()
+			}
+			for i := lo; i < hi; i++ {
+				rv.Append(d.Table.Records[i].Values...)
+			}
+			if last, err = rv.ResolveDelta(); err != nil {
+				fmt.Fprintf(os.Stderr, "FAIL: %d-shard delta: %v\n", shards, err)
+				ok = false
+				break
+			}
+		}
+		run := ShardEqualityRun{
+			Shards:       shards,
+			Matches:      len(res.Matches),
+			HITs:         res.HITs,
+			DeducedPairs: res.DeducedPairs,
+			JudgedPairs:  rv.JudgedPairs(),
+		}
+		if shards == 0 {
+			baseline = res
+			baselineJudged = run.JudgedPairs
+			if res.DeducedPairs == 0 {
+				fmt.Fprintln(os.Stderr, "FAIL: equality workload deduced nothing; the proof comparison is vacuous")
+				ok = false
+			}
+		}
+		run.IdenticalToUnsharded = baseline != nil &&
+			sameMatches(res, baseline) &&
+			res.HITs == baseline.HITs &&
+			res.DeducedPairs == baseline.DeducedPairs &&
+			run.JudgedPairs == baselineJudged
+		run.DeltaEqualsScratch = last != nil && sameMatches(res, last)
+		rep.EqualityRuns = append(rep.EqualityRuns, run)
+		if !run.IdenticalToUnsharded {
+			fmt.Fprintf(os.Stderr, "FAIL: %d-shard resolution differs from the unsharded session\n", shards)
+			ok = false
+		}
+		if !run.DeltaEqualsScratch {
+			fmt.Fprintf(os.Stderr, "FAIL: %d-shard k-batch session differs from its from-scratch resolve\n", shards)
+			ok = false
+		}
+	}
+	return rep, ok
+}

@@ -313,10 +313,28 @@ type Options struct {
 	// bounded top-K heap, so memory stays O(MaxCandidates) no matter how
 	// many pairs survive the threshold — the budget lever for very large
 	// tables, complementing Threshold (which bounds by quality rather
-	// than by count). 0 (the default) keeps every qualifying pair and is
-	// bit-identical to prior behavior. Dropped pairs are not remembered:
-	// they are re-discovered only if a later delta re-emits them.
+	// than by count). 0 is the unbounded sentinel: every qualifying pair
+	// is kept, bit-identical to the behavior before the bound existed.
+	// Negative values are rejected by validation — a "negative budget"
+	// has no meaning, and before the check it silently behaved as
+	// unbounded. Dropped pairs are not remembered: they are re-discovered
+	// only if a later delta re-emits them.
 	MaxCandidates int
+	// Shards partitions the machine pass's derived state (SourceSimJoin
+	// postings, probe scratch, ranking heaps) into this many
+	// shared-nothing shards, keyed by a stable hash of each record's
+	// token signature, and runs one delta's index-then-probe with one
+	// goroutine per shard. Per-shard top-K heaps are merged
+	// deterministically under the canonical candidate order, so results
+	// — matches, verdict cache contents, deduction proofs — are
+	// bit-identical to the unsharded path at every shard count and
+	// parallelism level. 0 or 1 (the default) selects the single-index
+	// path. Raise it toward the core count when resolve throughput on
+	// large tables is machine-pass-bound; it has no effect on crowd cost
+	// or on SourceTokenBlocking sessions. Values above 1024 are
+	// rejected: far past any plausible core count, per-shard overhead
+	// only fragments the postings.
+	Shards int
 	// Backend selects the crowd executing the HITs. nil (the default)
 	// uses the reference simulator driven by Oracle; NewQueueBackend
 	// returns a backend where external workers claim and answer HITs
@@ -359,6 +377,15 @@ func (o *Options) validate() error {
 	if o.MaxCandidates < 0 {
 		return fmt.Errorf("crowder: Options.MaxCandidates = %d; must not be negative (0 keeps every qualifying candidate)", o.MaxCandidates)
 	}
+	if o.MaxBlock < 0 {
+		return fmt.Errorf("crowder: Options.MaxBlock = %d; must not be negative (0 keeps every block)", o.MaxBlock)
+	}
+	if o.Shards < 0 {
+		return fmt.Errorf("crowder: Options.Shards = %d; must not be negative (0 selects the single-index path)", o.Shards)
+	}
+	if o.Shards > maxShards {
+		return fmt.Errorf("crowder: Options.Shards = %d; must not exceed %d (sharding past any plausible core count only fragments the postings)", o.Shards, maxShards)
+	}
 	if o.ClusterSize < 0 {
 		return fmt.Errorf("crowder: Options.ClusterSize = %d; must not be negative (0 selects the default of 10)", o.ClusterSize)
 	}
@@ -375,6 +402,18 @@ func (o *Options) validate() error {
 		return fmt.Errorf("crowder: Options.Aggregation = %d; must be AggregationDawidSkene (0), AggregationMajorityVote (1) or AggregationDawidSkeneMAP (2)", o.Aggregation)
 	}
 	return nil
+}
+
+// maxShards bounds Options.Shards. See the field's godoc.
+const maxShards = 1024
+
+// shardCount normalizes Options.Shards to the effective shard count
+// (≥ 1).
+func (o *Options) shardCount() int {
+	if o.Shards < 1 {
+		return 1
+	}
+	return o.Shards
 }
 
 // transitive reports whether this resolution deduces verdicts from the
@@ -528,6 +567,9 @@ func (st *resolveState) skipCrowd() bool {
 // score them, drop everything below the likelihood threshold, and split
 // off the pairs whose verdicts are already cached. Candidates discovered
 // by a previously failed delta (still pending) are folded in for retry.
+// The whole stage runs under the session's write lock — it mutates the
+// join index and the pending set — which is the only long write-held
+// window of a resolve; reads resume as soon as the machine pass ends.
 //
 // The candidates stream out of the source one at a time and feed a
 // ranking collector (a bounded top-K heap when Options.MaxCandidates is
@@ -535,9 +577,18 @@ func (st *resolveState) skipCrowd() bool {
 // the delta's full candidate set. The collector's total order makes the
 // ranking deterministic even though the parallel join emits in
 // nondeterministic order; unbounded, it is bit-identical to sorting a
-// materialized slice.
+// materialized slice. With Options.Shards > 1 the stage scatters into
+// per-shard collectors instead (stagePruneSharded).
 func stagePrune(_ context.Context, st *resolveState) (*resolveState, error) {
 	rv := st.rv
+	rv.mu.Lock()
+	defer rv.mu.Unlock()
+	if rv.sidx != nil && rv.opts.Candidates == SourceSimJoin {
+		if err := stagePruneSharded(st); err != nil {
+			return nil, err
+		}
+		return st, nil
+	}
 	seq, err := rv.deltaCandidateSeq()
 	if err != nil {
 		return nil, err
@@ -560,14 +611,73 @@ func stagePrune(_ context.Context, st *resolveState) (*resolveState, error) {
 			rank.Push(sp)
 		}
 	}
-	fresh := rank.Ranked()
+	st.finishPrune(rank.Ranked())
+	return st, nil
+}
+
+// stagePruneSharded is the machine pass for a sharded session: the join
+// index scatters each shard's candidate stream into that shard's own
+// pending accumulator and top-K heap (single-writer, no locks — the
+// sink is serial per shard), and the per-shard survivors are merged
+// through one final heap under the canonical candidate order. The
+// merged ranking is bit-identical to the single-index stage above: the
+// shard streams union to the same candidate multiset, bounded heaps are
+// pure functions of their input multisets, and merging per-shard top-K
+// survivors cannot lose a global top-K element. The caller holds the
+// session write lock.
+func stagePruneSharded(st *resolveState) error {
+	rv := st.rv
+	ns := rv.sidx.NumShards()
+	ranks := make([]*engine.TopK[simjoin.ScoredPair], ns)
+	for s := range ranks {
+		ranks[s] = engine.NewTopK(rv.opts.MaxCandidates, simjoin.CompareScored)
+	}
+	pendings := make([][]simjoin.ScoredPair, ns)
+	planOnly := st.planOnly
+	rv.sidx.UpdateScatter(func(s int, sp simjoin.ScoredPair) bool {
+		if !planOnly {
+			pendings[s] = append(pendings[s], sp)
+		}
+		// Concurrent lookups are safe: the cache is read-only during the
+		// scatter, and its banks are hash-partitioned by pair.
+		if !rv.cache.Has(sp.Pair) {
+			ranks[s].Push(sp)
+		}
+		return true
+	})
+	lists := make([][]simjoin.ScoredPair, 0, ns+1)
+	if !planOnly {
+		// Fold in candidates left pending by a failed delta, exactly as
+		// the single-index path does; shard order is deterministic, so
+		// the rebuilt pending set is too.
+		var retry []simjoin.ScoredPair
+		for _, sp := range rv.pending {
+			if !rv.cache.Has(sp.Pair) {
+				retry = append(retry, sp)
+			}
+		}
+		lists = append(lists, retry)
+		for _, p := range pendings {
+			rv.pending = append(rv.pending, p...)
+		}
+	}
+	for _, r := range ranks {
+		lists = append(lists, r.Ranked())
+	}
+	st.finishPrune(engine.MergeRanked(rv.opts.MaxCandidates, simjoin.CompareScored, lists...))
+	return nil
+}
+
+// finishPrune records the machine pass's ranked fresh candidates and
+// the delta's candidate accounting on the state.
+func (st *resolveState) finishPrune(fresh []simjoin.ScoredPair) {
+	rv := st.rv
 	st.scored = fresh
 	st.pairs = simjoin.Pairs(fresh)
 	st.res.TotalPairs = rv.table.inner.PairUniverse(rv.opts.CrossSourceOnly)
 	st.res.NewCandidates = len(fresh)
 	st.res.CachedCandidates = rv.cache.Len()
 	st.res.Candidates = st.res.NewCandidates + st.res.CachedCandidates
-	return st, nil
 }
 
 // stageGenerate batches the new candidate pairs into HITs. Cached pairs
@@ -654,6 +764,8 @@ func stageExecute(ctx context.Context, st *resolveState) (*resolveState, error) 
 		return nil, err
 	}
 
+	// The crowd runs without the session lock — this is the window reads
+	// overlap with — and only the commit below re-takes it.
 	run, err := crowd.ExecuteHITs(ctx, backend, hits, crowd.ExecuteOptions{
 		OnProgress: opts.Progress,
 		Interim:    opts.InterimAggregation,
@@ -663,18 +775,22 @@ func stageExecute(ctx context.Context, st *resolveState) (*resolveState, error) 
 		if run != nil {
 			// Partial assignment sets survive the failure: the crowd work
 			// is already paid for, and the pairs stay pending for retry.
+			rv.mu.Lock()
 			rv.cache.AddPartialAnswers(run.Answers)
+			rv.mu.Unlock()
 		}
 		return nil, err
 	}
 	st.res.CostDollars = run.CostDollars
 	st.res.ElapsedSeconds = run.TotalSeconds
 	// Commit: the delta's pairs are now judged; nothing stays pending.
+	rv.mu.Lock()
 	for _, sp := range st.scored {
 		rv.cache.Put(sp.Pair, sp.Likelihood)
 	}
 	rv.cache.AddAnswers(run.Answers)
 	rv.pending = rv.pending[:0]
+	rv.mu.Unlock()
 	return st, nil
 }
 
@@ -723,6 +839,8 @@ func (st *resolveState) newBackend() (crowd.Backend, error) {
 // method, across every delta of the session.
 func stageAggregate(_ context.Context, st *resolveState) (*resolveState, error) {
 	rv := st.rv
+	rv.mu.Lock()
+	defer rv.mu.Unlock()
 	if rv.opts.MachineOnly {
 		// The machine baseline "judges" a pair by recording its
 		// likelihood; the ranking covers every pair seen so far.
@@ -837,9 +955,9 @@ func EstimateCost(t *Table, opts Options) (*Estimate, error) {
 	if err != nil {
 		return nil, err
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.table.Len() == 0 {
+	r.resolveMu.Lock()
+	defer r.resolveMu.Unlock()
+	if r.Len() == 0 {
 		return nil, errors.New("crowder: empty table")
 	}
 	st := &resolveState{rv: r, planOnly: true, res: &Result{}}

@@ -22,6 +22,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"runtime/pprof"
 	"time"
 )
 
@@ -136,7 +137,14 @@ func (p *Pipeline[S]) RunAll(ctx context.Context, states []S) ([]S, []StageStat,
 				}
 				if it.err == nil {
 					start := time.Now()
-					next, err := runStage(st, ctx, it.state)
+					var next S
+					var err error
+					// Label the stage's goroutines (and everything it
+					// spawns) so mutex/block/CPU profiles attribute
+					// contention to pipeline stages by name.
+					pprof.Do(ctx, pprof.Labels("stage", st.Name), func(ctx context.Context) {
+						next, err = runStage(st, ctx, it.state)
+					})
 					elapsed += time.Since(start)
 					if err != nil {
 						it.err = fmt.Errorf("%s stage: %w", st.Name, err)

@@ -69,6 +69,24 @@ func (t *TopK[T]) Ranked() []T {
 	return out
 }
 
+// MergeRanked merges several independently collected lists into one
+// ranked top-k result under cmp (k ≤ 0 keeps everything). The inputs
+// need not be sorted; the output is the k best items of the combined
+// multiset, sorted best-first. Because a bounded collector only ever
+// discards items worse than k retained ones, merging per-shard top-k
+// survivors through another top-k collector is bit-identical to ranking
+// the union stream through a single collector — the deterministic-merge
+// step of the sharded machine pass.
+func MergeRanked[T any](k int, cmp func(a, b T) int, lists ...[]T) []T {
+	t := NewTopK(k, cmp)
+	for _, l := range lists {
+		for _, v := range l {
+			t.Push(v)
+		}
+	}
+	return t.Ranked()
+}
+
 // worse reports whether item i ranks strictly worse than item j.
 func (t *TopK[T]) worse(i, j int) bool { return t.cmp(t.items[i], t.items[j]) > 0 }
 

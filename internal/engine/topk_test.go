@@ -73,6 +73,39 @@ func TestTopKOrderIndependent(t *testing.T) {
 	}
 }
 
+func TestMergeRankedEqualsSingleCollector(t *testing.T) {
+	// The deterministic-merge property the sharded join relies on: any
+	// partition of the stream into per-shard bounded collectors, merged
+	// through MergeRanked, equals one collector over the whole stream.
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		n := rng.Intn(300)
+		k := rng.Intn(40) // 0 = unbounded
+		shards := 1 + rng.Intn(8)
+		vals := make([]int, n)
+		for i := range vals {
+			vals[i] = rng.Intn(60)
+		}
+		single := NewTopK(k, cmp.Compare[int])
+		parts := make([]*TopK[int], shards)
+		for s := range parts {
+			parts[s] = NewTopK(k, cmp.Compare[int])
+		}
+		for _, v := range vals {
+			single.Push(v)
+			parts[rng.Intn(shards)].Push(v)
+		}
+		lists := make([][]int, shards)
+		for s, p := range parts {
+			lists[s] = p.Ranked()
+		}
+		want := single.Ranked()
+		if got := MergeRanked(k, cmp.Compare[int], lists...); !slices.Equal(got, want) {
+			t.Fatalf("n=%d k=%d shards=%d: merged %v, single %v", n, k, shards, got, want)
+		}
+	}
+}
+
 func TestTopKRankedResets(t *testing.T) {
 	tk := NewTopK(3, cmp.Compare[int])
 	for _, v := range []int{5, 1, 4, 2, 3} {

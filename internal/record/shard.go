@@ -1,0 +1,33 @@
+package record
+
+// FNV-1a 64-bit constants, written out so the hash is obviously stable:
+// shard assignments are persisted implicitly in every sharded structure
+// keyed by them (verdict-cache banks, per-shard deduction graphs), so
+// the function must never change behavior across versions.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hashID folds one ID into an FNV-1a state, one byte at a time.
+func hashID(h uint64, id int64) uint64 {
+	for s := 0; s < 64; s += 8 {
+		h ^= uint64(uint8(id >> s))
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// Shard maps the pair onto one of n shards by a stable content hash
+// (FNV-1a over both endpoint IDs). It depends only on the canonical
+// pair, never on observation or insertion order, so any structure
+// partitioned by it — the verdict cache's banks, the per-shard
+// transitivity graphs — assigns a pair to the same shard in every
+// batching of the same table. n ≤ 1 returns 0.
+func (p Pair) Shard(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := hashID(hashID(fnvOffset64, int64(p.A)), int64(p.B))
+	return int(h % uint64(n))
+}

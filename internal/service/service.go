@@ -24,10 +24,12 @@
 //	GET    /healthz                     liveness
 //
 // Concurrency: resolution jobs run on their own goroutine; one job per
-// table at a time (409 otherwise). Worker endpoints and match reads never
-// touch the resolver lock, so they stay responsive while a resolution is
-// waiting on the crowd. Appends to a table whose job is in flight block
-// until the job completes.
+// table at a time (409 otherwise). The resolver's session lock is a
+// read/write lock held exclusively only inside its short mutation
+// windows, so worker endpoints render HIT content straight from the
+// resolver's table — no row mirror — and stay responsive while a
+// resolution is waiting on the crowd. Appends to a table whose job is in
+// flight block only for those mutation windows, not for the whole job.
 package service
 
 import (
@@ -115,12 +117,6 @@ type session struct {
 	// progress callback (which fires while the resolver lock is held).
 	current atomic.Pointer[job]
 
-	// appendMu serializes appends so the row mirror and the resolver's
-	// table assign matching record IDs, and so rows reach the mirror
-	// before the records become visible to a resolution (a HIT must never
-	// render with missing record values).
-	appendMu sync.Mutex
-
 	// aggregation and transitivity echo the session's fixed options in
 	// job status, so a client auditing a verdict can see which
 	// aggregator produced it without holding the resolver lock.
@@ -129,7 +125,6 @@ type session struct {
 
 	mu       sync.Mutex
 	schema   []string
-	rows     [][]string // mirror of the table, readable during a resolve
 	jobs     map[int]*job
 	jobOrder []int // job IDs oldest-first, for bounded retention
 	nextJob  int
@@ -359,23 +354,10 @@ func handleAppend(sess *session, w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("rows is required"))
 		return
 	}
-	// Mirror first, then publish to the resolver: a resolution that
-	// starts the moment AppendBatch returns may immediately post HITs over
-	// the new records, and workers rendering those HITs read the mirror.
-	// appendMu keeps mirror offsets and record IDs in lockstep (every
-	// append flows through this handler, so the lengths always agree).
-	sess.appendMu.Lock()
-	sess.mu.Lock()
-	first := len(sess.rows)
-	sess.rows = append(sess.rows, req.Rows...)
-	sess.mu.Unlock()
-	got := sess.rv.AppendBatch(req.Rows...)
-	sess.appendMu.Unlock()
-	if got != first {
-		writeError(w, http.StatusInternalServerError,
-			fmt.Errorf("row mirror out of sync: resolver assigned first ID %d, mirror expected %d", got, first))
-		return
-	}
+	// AppendBatch assigns IDs under the resolver's write lock, so the
+	// rows are fully visible to HIT rendering (which reads under the
+	// shared lock) before the first ID is returned — no mirror needed.
+	first := sess.rv.AppendBatch(req.Rows...)
 	writeJSON(w, http.StatusOK, map[string]any{"first_id": first, "count": len(req.Rows)})
 }
 
@@ -573,15 +555,11 @@ type recordJSON struct {
 	Values []string `json:"values"`
 }
 
-// row reads a record's values from the session mirror (never the
-// resolver, which is locked while a resolution waits on the crowd).
+// row reads a record's values from the resolver's table. Resolver reads
+// take the session lock shared, so this works mid-resolve: a resolution
+// waiting on the crowd holds no lock at all.
 func (sess *session) row(id int) []string {
-	sess.mu.Lock()
-	defer sess.mu.Unlock()
-	if id < 0 || id >= len(sess.rows) {
-		return nil
-	}
-	return sess.rows[id]
+	return sess.rv.Record(id)
 }
 
 func (sess *session) renderHIT(h crowder.HIT, open int) hitJSON {

@@ -15,7 +15,9 @@ import (
 // pins the streaming path to the materialized one: a second index driven
 // through UpdateSeq (at a parallelism level derived from the fuzz input)
 // must, once drained and canonically ranked, be bit-identical to the
-// Update() deltas.
+// Update() deltas. A sharded index (shard count also derived from the
+// fuzz input) driven through UpdateScatter over the same batches must
+// scatter exactly the same multiset of pairs across its shards.
 //
 // The fuzz inputs drive a deterministic generator (random tables over a
 // small token vocabulary, so collisions, empty records, duplicate rows
@@ -96,9 +98,41 @@ func FuzzIndexDeltaEquivalence(f *testing.F) {
 			}
 		}
 
+		// Sharded: same deltas scattered across per-shard indexes. The
+		// sink runs concurrently but serially per shard, so per-shard
+		// accumulators indexed by the tag need no locks.
+		shards := 1 + int(splitByte)%4
+		shardTab := record.NewTable("text")
+		shx := NewSharded(shardTab, shards, streamOpts)
+		perShard := make([][]ScoredPair, shards)
+		for _, hi := range []int{s1, s2, nRec} {
+			for i := shardTab.Len(); i < hi; i++ {
+				appendRow(shardTab, i)
+			}
+			shx.UpdateScatter(func(shard int, sp ScoredPair) bool {
+				perShard[shard] = append(perShard[shard], sp)
+				return true
+			})
+		}
+		var scattered []ScoredPair
+		for _, list := range perShard {
+			scattered = append(scattered, list...)
+		}
+
 		SortScored(batch)
 		SortScored(union)
 		SortScored(streamed)
+		SortScored(scattered)
+		if len(scattered) != len(union) {
+			t.Fatalf("sharded deltas have %d pairs, materialized deltas %d (n=%d tau=%v splits=%d,%d cross=%v shards=%d)",
+				len(scattered), len(union), nRec, tau, s1, s2, cross, shards)
+		}
+		for i := range union {
+			if scattered[i] != union[i] {
+				t.Fatalf("sharded pair %d differs: %+v vs %+v (n=%d tau=%v splits=%d,%d cross=%v shards=%d)",
+					i, scattered[i], union[i], nRec, tau, s1, s2, cross, shards)
+			}
+		}
 		if len(streamed) != len(union) {
 			t.Fatalf("streamed deltas have %d pairs, materialized deltas %d (n=%d tau=%v splits=%d,%d cross=%v par=%d)",
 				len(streamed), len(union), nRec, tau, s1, s2, cross, streamOpts.Parallelism)

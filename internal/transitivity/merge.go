@@ -1,0 +1,114 @@
+package transitivity
+
+import (
+	"slices"
+
+	"github.com/crowder/crowder/internal/record"
+)
+
+// Observation is one asked verdict that still shapes a Graph: a forest
+// (match) edge, or a surviving separation witness. Verdicts the graph
+// absorbed but dropped — matches inside an already-connected cluster,
+// rejections conflicting with the positive closure, weak rejections —
+// have no structural effect and are not reported.
+type Observation struct {
+	Pair  record.Pair
+	Match bool
+	// Strong is the evidentiary weight the verdict was observed with.
+	// Surviving witnesses are strong by construction.
+	Strong bool
+}
+
+// Observations returns the graph's surviving observations in canonical
+// pair order. Replaying them into a fresh graph in that order reproduces
+// the same clusters, proof forest and witnesses (see Merge); they are
+// the cross-shard exchange format for composing per-shard graphs.
+func (g *Graph) Observations() []Observation {
+	var out []Observation
+	// Each forest edge is stored from both endpoints with the same via;
+	// keeping the via.A-keyed copy takes each asked pair exactly once.
+	for node, edges := range g.forest {
+		for _, e := range edges {
+			if node == e.via.A {
+				out = append(out, Observation{Pair: e.via, Match: true, Strong: e.strong})
+			}
+		}
+	}
+	// Each negative edge is stored symmetrically under both roots; a
+	// witness pair sits on at most one edge, so r1 < r2 dedupes.
+	for r1, m := range g.neg {
+		for r2, witness := range m {
+			if r1 < r2 {
+				out = append(out, Observation{Pair: witness, Match: false, Strong: true})
+			}
+		}
+	}
+	slices.SortFunc(out, func(a, b Observation) int {
+		if a.Pair.A != b.Pair.A {
+			if a.Pair.A < b.Pair.A {
+				return -1
+			}
+			return 1
+		}
+		if a.Pair.B != b.Pair.B {
+			if a.Pair.B < b.Pair.B {
+				return -1
+			}
+			return 1
+		}
+		return 0
+	})
+	return out
+}
+
+// Merge composes per-shard deduction graphs into one. The parts must
+// have been built over disjoint observation subsets — each asked pair
+// observed in exactly one part, every part observing its subset in
+// canonical pair order — which is how the sharded resolver partitions
+// the verdict cache (by record.Pair.Shard).
+//
+// The merged graph is bit-identical to observing the union sequentially
+// in canonical pair order: an observation a part dropped is dropped by
+// the sequential build too (a part's connectivity at any canonical
+// prefix is a subgraph of the union's, so a match redundant or a
+// rejection conflicting within its part is redundant/conflicting
+// globally), and replaying the surviving union in canonical order
+// reproduces the sequential build's forest, union sequence and witness
+// competition exactly. Witness and proof provenance therefore survive
+// the exchange: Deduce returns the same proofs the unsharded graph
+// would.
+func Merge(maxProof int, parts ...*Graph) *Graph {
+	g := New()
+	g.MaxProof = maxProof
+	var all []Observation
+	observed := 0
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		all = append(all, p.Observations()...)
+		observed += p.Observed()
+	}
+	slices.SortFunc(all, func(a, b Observation) int {
+		if a.Pair.A != b.Pair.A {
+			if a.Pair.A < b.Pair.A {
+				return -1
+			}
+			return 1
+		}
+		if a.Pair.B != b.Pair.B {
+			if a.Pair.B < b.Pair.B {
+				return -1
+			}
+			return 1
+		}
+		return 0
+	})
+	for _, o := range all {
+		g.ObserveStrength(o.Pair, o.Match, o.Strong)
+	}
+	// Dropped observations count toward Observed in the parts but were
+	// not replayed; the merged graph accounts for the union.
+	g.observed = observed
+	return g
+}

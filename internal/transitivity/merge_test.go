@@ -1,0 +1,170 @@
+package transitivity
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/crowder/crowder/internal/record"
+)
+
+// randomObservations generates a canonical-order observation sequence
+// over nIDs records: random pairs, random match/strength, deduplicated
+// by pair (a pair is asked once), sorted canonically — the shape of
+// Cache.AskedEntries.
+func randomObservations(rng *rand.Rand, nIDs, nObs int) []Observation {
+	if max := nIDs * (nIDs - 1) / 2; nObs > max {
+		nObs = max
+	}
+	seen := make(map[record.Pair]bool)
+	var out []Observation
+	for len(out) < nObs {
+		a := record.ID(rng.Intn(nIDs))
+		b := record.ID(rng.Intn(nIDs))
+		if a == b {
+			continue
+		}
+		p := record.MakePair(a, b)
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		out = append(out, Observation{
+			Pair:  p,
+			Match: rng.Intn(3) != 0, // bias toward matches: deeper forests
+			// Weak rejections exercise the no-op path; weak matches
+			// still union but carry no proof edge strength.
+			Strong: rng.Intn(4) != 0,
+		})
+	}
+	sortObs(out)
+	return out
+}
+
+func sortObs(obs []Observation) {
+	for i := 1; i < len(obs); i++ {
+		for j := i; j > 0 && pairBefore(obs[j].Pair, obs[j-1].Pair); j-- {
+			obs[j], obs[j-1] = obs[j-1], obs[j]
+		}
+	}
+}
+
+func pairBefore(a, b record.Pair) bool {
+	if a.A != b.A {
+		return a.A < b.A
+	}
+	return a.B < b.B
+}
+
+func buildSequential(obs []Observation, maxProof int) *Graph {
+	g := New()
+	g.MaxProof = maxProof
+	for _, o := range obs {
+		g.ObserveStrength(o.Pair, o.Match, o.Strong)
+	}
+	return g
+}
+
+// TestMergeEqualsSequential is the tentpole's correctness theorem: for
+// random observation sequences, partitioning the observations by pair
+// hash, building per-shard graphs (each in canonical order) and merging
+// them reproduces the sequential canonical-order build exactly —
+// clusters, deductions, proofs, witnesses and counters.
+func TestMergeEqualsSequential(t *testing.T) {
+	const maxProof = 3
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nIDs := 8 + rng.Intn(40)
+		nObs := 5 + rng.Intn(80)
+		obs := randomObservations(rng, nIDs, nObs)
+		want := buildSequential(obs, maxProof)
+
+		for _, shards := range []int{1, 2, 4, 8} {
+			parts := make([]*Graph, shards)
+			for s := range parts {
+				parts[s] = New()
+				parts[s].MaxProof = maxProof
+			}
+			// Partition by pair hash; each part sees its subset in
+			// canonical order because obs is canonical.
+			for _, o := range obs {
+				pg := parts[o.Pair.Shard(shards)]
+				pg.ObserveStrength(o.Pair, o.Match, o.Strong)
+			}
+			got := Merge(maxProof, parts...)
+
+			if got.Observed() != want.Observed() {
+				t.Fatalf("seed %d shards %d: merged Observed %d, sequential %d",
+					seed, shards, got.Observed(), want.Observed())
+			}
+			if !reflect.DeepEqual(got.Observations(), want.Observations()) {
+				t.Fatalf("seed %d shards %d: merged surviving observations differ\n got: %+v\nwant: %+v",
+					seed, shards, got.Observations(), want.Observations())
+			}
+			// Exhaustive behavioral equality over every pair.
+			for a := 0; a < nIDs; a++ {
+				for b := a + 1; b < nIDs; b++ {
+					p := record.MakePair(record.ID(a), record.ID(b))
+					if got.SameCluster(p.A, p.B) != want.SameCluster(p.A, p.B) {
+						t.Fatalf("seed %d shards %d: SameCluster(%v) differs", seed, shards, p)
+					}
+					if got.Deducible(p) != want.Deducible(p) {
+						t.Fatalf("seed %d shards %d: Deducible(%v) differs", seed, shards, p)
+					}
+					gd, gok := got.Deduce(p)
+					wd, wok := want.Deduce(p)
+					if gok != wok || !reflect.DeepEqual(gd, wd) {
+						t.Fatalf("seed %d shards %d: Deduce(%v) differs\n got: %v %+v\nwant: %v %+v",
+							seed, shards, p, gok, gd, wok, wd)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestObservationsRoundTrip: replaying a graph's own surviving
+// observations into a fresh graph reproduces it — the exchange format is
+// lossless for structure.
+func TestObservationsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	obs := randomObservations(rng, 30, 60)
+	g := buildSequential(obs, 3)
+
+	replayed := New()
+	replayed.MaxProof = 3
+	for _, o := range g.Observations() {
+		replayed.ObserveStrength(o.Pair, o.Match, o.Strong)
+	}
+	if !reflect.DeepEqual(replayed.Observations(), g.Observations()) {
+		t.Fatalf("round-trip changed the surviving observations")
+	}
+	for a := record.ID(0); a < 30; a++ {
+		for b := a + 1; b < 30; b++ {
+			p := record.MakePair(a, b)
+			gd, gok := g.Deduce(p)
+			rd, rok := replayed.Deduce(p)
+			if gok != rok || !reflect.DeepEqual(gd, rd) {
+				t.Fatalf("Deduce(%v) differs after round-trip", p)
+			}
+		}
+	}
+}
+
+// TestMergeEmptyAndNilParts: Merge tolerates nil and empty parts.
+func TestMergeEmptyAndNilParts(t *testing.T) {
+	g := Merge(3, nil, New(), nil)
+	if g.Observed() != 0 {
+		t.Fatalf("empty merge observed %d", g.Observed())
+	}
+	part := New()
+	part.MaxProof = 3
+	part.Observe(record.MakePair(1, 2), true)
+	merged := Merge(3, nil, part)
+	if !merged.SameCluster(1, 2) {
+		t.Fatal("single-part merge lost the cluster")
+	}
+	if merged.Observed() != 1 {
+		t.Fatalf("single-part merge observed %d", merged.Observed())
+	}
+}

@@ -67,8 +67,28 @@ type Entry struct {
 	Deduction *transitivity.Deduction
 }
 
-// Cache is a verdict store keyed by pair. It is not safe for concurrent
-// mutation; the owning resolver serializes access.
+// cacheBanks is the number of hash banks the cache's maps are split
+// into. The count is fixed (not tied to Options.Shards) so a cache's
+// layout never depends on session options; 16 comfortably exceeds the
+// resolver's supported shard counts.
+const cacheBanks = 16
+
+// cacheBank is one hash partition of the cache: the entries and partial
+// fragments of every pair with the matching record.Pair.Shard.
+type cacheBank struct {
+	entries map[record.Pair]*Entry
+	partial map[record.Pair][]aggregate.Answer
+}
+
+// Cache is a verdict store keyed by pair. Internally it is banked: the
+// maps are partitioned by a stable hash of the pair (record.Pair.Shard),
+// so the sharded resolver's per-shard goroutines each effectively own a
+// disjoint slice of the cache — concurrent lookups during a sharded
+// machine pass touch independent maps instead of contending on one. The
+// cache is not safe for concurrent mutation; the owning resolver
+// serializes mutating access, and concurrent reads are safe only while
+// no mutation is in flight. Every iteration order is canonical, so the
+// banked layout is observationally identical to a single map.
 //
 // Besides final verdicts, the cache persists partial assignment sets:
 // answers collected by a resolution that was cancelled or failed before
@@ -78,8 +98,7 @@ type Entry struct {
 // eventually judged in full (the complete answer set supersedes the
 // fragment).
 type Cache struct {
-	entries map[record.Pair]*Entry
-	partial map[record.Pair][]aggregate.Answer
+	banks [cacheBanks]cacheBank
 	// aggregator is the identity of the method every posterior in the
 	// cache was produced by, set by the first BindAggregator call.
 	// Posteriors from different aggregators are not comparable — a
@@ -90,10 +109,19 @@ type Cache struct {
 
 // NewCache creates an empty verdict cache.
 func NewCache() *Cache {
-	return &Cache{
-		entries: make(map[record.Pair]*Entry),
-		partial: make(map[record.Pair][]aggregate.Answer),
+	c := &Cache{}
+	for i := range c.banks {
+		c.banks[i] = cacheBank{
+			entries: make(map[record.Pair]*Entry),
+			partial: make(map[record.Pair][]aggregate.Answer),
+		}
 	}
+	return c
+}
+
+// bank returns the hash bank owning the pair.
+func (c *Cache) bank(p record.Pair) *cacheBank {
+	return &c.banks[p.Shard(cacheBanks)]
 }
 
 // BindAggregator records the aggregator identity whose posteriors the
@@ -122,18 +150,24 @@ func (c *Cache) BindAggregator(name string) error {
 func (c *Cache) AggregatorName() string { return c.aggregator }
 
 // Len returns the number of judged pairs.
-func (c *Cache) Len() int { return len(c.entries) }
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.banks {
+		n += len(c.banks[i].entries)
+	}
+	return n
+}
 
 // Has reports whether the pair already has a cache entry.
 func (c *Cache) Has(p record.Pair) bool {
-	_, ok := c.entries[p]
+	_, ok := c.bank(p).entries[p]
 	return ok
 }
 
 // Get returns the entry for the pair, or nil if the pair has never been
 // judged.
 func (c *Cache) Get(p record.Pair) *Entry {
-	return c.entries[p]
+	return c.bank(p).entries[p]
 }
 
 // Put creates (or returns) the entry for the pair, recording its machine
@@ -141,7 +175,8 @@ func (c *Cache) Get(p record.Pair) *Entry {
 // deduction that is now asked directly upgrades to an asked entry: the
 // crowd's own judgment supersedes the inference.
 func (c *Cache) Put(p record.Pair, likelihood float64) *Entry {
-	if e, ok := c.entries[p]; ok {
+	b := c.bank(p)
+	if e, ok := b.entries[p]; ok {
 		if e.Provenance == Deduced {
 			e.Provenance = Asked
 			e.Deduction = nil
@@ -152,7 +187,7 @@ func (c *Cache) Put(p record.Pair, likelihood float64) *Entry {
 		return e
 	}
 	e := &Entry{Pair: p, Likelihood: likelihood}
-	c.entries[p] = e
+	b.entries[p] = e
 	return e
 }
 
@@ -162,7 +197,8 @@ func (c *Cache) Put(p record.Pair, likelihood float64) *Entry {
 // is the hard deduced verdict (1 or 0); each aggregation pass re-derives
 // it from the proof's supporting pairs.
 func (c *Cache) PutDeduced(likelihood float64, d transitivity.Deduction) *Entry {
-	if e, ok := c.entries[d.Pair]; ok {
+	b := c.bank(d.Pair)
+	if e, ok := b.entries[d.Pair]; ok {
 		return e
 	}
 	e := &Entry{Pair: d.Pair, Likelihood: likelihood, Provenance: Deduced}
@@ -171,8 +207,8 @@ func (c *Cache) PutDeduced(likelihood float64, d transitivity.Deduction) *Entry 
 	if d.Match {
 		e.Posterior = 1
 	}
-	c.entries[d.Pair] = e
-	delete(c.partial, d.Pair)
+	b.entries[d.Pair] = e
+	delete(b.partial, d.Pair)
 	return e
 }
 
@@ -180,9 +216,11 @@ func (c *Cache) PutDeduced(likelihood float64, d transitivity.Deduction) *Entry 
 // rather than asked.
 func (c *Cache) DeducedLen() int {
 	n := 0
-	for _, e := range c.entries {
-		if e.Provenance == Deduced {
-			n++
+	for i := range c.banks {
+		for _, e := range c.banks[i].entries {
+			if e.Provenance == Deduced {
+				n++
+			}
 		}
 	}
 	return n
@@ -192,9 +230,11 @@ func (c *Cache) DeducedLen() int {
 // observation sequence for rebuilding a deduction graph.
 func (c *Cache) AskedEntries() []*Entry {
 	var out []*Entry
-	for _, e := range c.entries {
-		if e.Provenance == Asked {
-			out = append(out, e)
+	for i := range c.banks {
+		for _, e := range c.banks[i].entries {
+			if e.Provenance == Asked {
+				out = append(out, e)
+			}
 		}
 	}
 	sortEntries(out)
@@ -217,12 +257,13 @@ func sortEntries(es []*Entry) {
 // left behind: the complete set supersedes the fragment.
 func (c *Cache) AddAnswers(answers []aggregate.Answer) {
 	for _, a := range answers {
-		e, ok := c.entries[a.Pair]
+		b := c.bank(a.Pair)
+		e, ok := b.entries[a.Pair]
 		if !ok {
 			e = c.Put(a.Pair, 0)
 		}
 		e.Answers = append(e.Answers, a)
-		delete(c.partial, a.Pair)
+		delete(b.partial, a.Pair)
 	}
 }
 
@@ -239,24 +280,31 @@ func (c *Cache) AddPartialAnswers(answers []aggregate.Answer) {
 		if c.Has(a.Pair) {
 			continue // already judged in full; the fragment is moot
 		}
+		b := c.bank(a.Pair)
 		if !fresh[a.Pair] {
 			fresh[a.Pair] = true
 			// A fresh slice, not a truncation: slices handed out by
 			// PartialAnswers must not be mutated under their callers.
-			c.partial[a.Pair] = nil
+			b.partial[a.Pair] = nil
 		}
-		c.partial[a.Pair] = append(c.partial[a.Pair], a)
+		b.partial[a.Pair] = append(b.partial[a.Pair], a)
 	}
 }
 
 // PartialAnswers returns the answers collected for a not-yet-judged pair
 // by aborted resolutions, or nil.
 func (c *Cache) PartialAnswers(p record.Pair) []aggregate.Answer {
-	return c.partial[p]
+	return c.bank(p).partial[p]
 }
 
 // PartialLen returns the number of pairs holding partial answer sets.
-func (c *Cache) PartialLen() int { return len(c.partial) }
+func (c *Cache) PartialLen() int {
+	n := 0
+	for i := range c.banks {
+		n += len(c.banks[i].partial)
+	}
+	return n
+}
 
 // AllAnswers returns every cached answer in canonical order
 // (aggregate.SortCanonical): a pure function of the answer *set*,
@@ -265,8 +313,10 @@ func (c *Cache) PartialLen() int { return len(c.partial) }
 // single from-scratch run.
 func (c *Cache) AllAnswers() []aggregate.Answer {
 	var out []aggregate.Answer
-	for _, e := range c.entries {
-		out = append(out, e.Answers...)
+	for i := range c.banks {
+		for _, e := range c.banks[i].entries {
+			out = append(out, e.Answers...)
+		}
 	}
 	aggregate.SortCanonical(out)
 	return out
@@ -274,9 +324,11 @@ func (c *Cache) AllAnswers() []aggregate.Answer {
 
 // Pairs returns every judged pair in canonical order.
 func (c *Cache) Pairs() []record.Pair {
-	out := make([]record.Pair, 0, len(c.entries))
-	for p := range c.entries {
-		out = append(out, p)
+	out := make([]record.Pair, 0, c.Len())
+	for i := range c.banks {
+		for p := range c.banks[i].entries {
+			out = append(out, p)
+		}
 	}
 	record.SortPairs(out)
 	return out
@@ -285,7 +337,7 @@ func (c *Cache) Pairs() []record.Pair {
 // SetPosteriors records the latest aggregation result on the entries.
 func (c *Cache) SetPosteriors(post aggregate.Posterior) {
 	for p, prob := range post {
-		if e, ok := c.entries[p]; ok {
+		if e, ok := c.bank(p).entries[p]; ok {
 			e.Posterior = prob
 		}
 	}

@@ -46,16 +46,35 @@ import (
 // the candidate pairs already discovered stay pending and are retried by
 // the next ResolveDelta; the join index never re-scans them.
 //
-// A Resolver is safe for concurrent use; every method takes the session
-// lock. Mutating the table other than through the Resolver is not
-// supported.
+// A Resolver is safe for concurrent use. Resolutions serialize on their
+// own lock (one resolve at a time), while session state is guarded by a
+// read-write lock the resolve stages hold only across their mutation
+// windows — so reads (Verdict, JudgedPairs, WorkerStats, Record) and
+// appends proceed while a resolve is waiting on the crowd, instead of
+// blocking for the delta's full wall-clock. Mutating the table other
+// than through the Resolver is not supported.
 type Resolver struct {
-	mu    sync.Mutex
+	// resolveMu serializes resolutions (ResolveDelta, EstimateCost): the
+	// staged workflow assumes one delta in flight per session.
+	resolveMu sync.Mutex
+	// mu guards the session state (table, join index, verdict cache,
+	// pending set). Resolve stages write-lock it only while actually
+	// mutating — the machine pass, the post-crowd commit, aggregation —
+	// and the read accessors take it shared, so they interleave with a
+	// resolve whenever the crowd, not the session, is the bottleneck.
+	mu    sync.RWMutex
 	table *Table
 	opts  Options
 
-	// idx is the persistent similarity-join index (SourceSimJoin).
+	// idx is the persistent similarity-join index (SourceSimJoin,
+	// Shards ≤ 1); exactly one of idx and sidx is non-nil for a
+	// SourceSimJoin session.
 	idx *simjoin.Index
+	// sidx is the sharded join index (SourceSimJoin, Shards > 1): one
+	// posting shard per hash bucket of the records' token signatures,
+	// probed concurrently with per-shard ranking heaps merged
+	// deterministically. Bit-identical to idx at every shard count.
+	sidx *simjoin.Sharded
 	// blocked counts the records already consumed by the delta blocking
 	// path (SourceTokenBlocking).
 	blocked int
@@ -97,17 +116,23 @@ func NewResolver(t *Table, opts Options) (*Resolver, error) {
 	if err := cache.BindAggregator(agg.Name()); err != nil {
 		return nil, err
 	}
-	return &Resolver{
+	r := &Resolver{
 		table: t,
 		opts:  opts,
 		agg:   agg,
-		idx: simjoin.NewIndex(t.inner, simjoin.Options{
-			Threshold:       opts.Threshold,
-			CrossSourceOnly: opts.CrossSourceOnly,
-			Parallelism:     opts.Parallelism,
-		}),
 		cache: cache,
-	}, nil
+	}
+	jopts := simjoin.Options{
+		Threshold:       opts.Threshold,
+		CrossSourceOnly: opts.CrossSourceOnly,
+		Parallelism:     opts.Parallelism,
+	}
+	if opts.Shards > 1 {
+		r.sidx = simjoin.NewSharded(t.inner, opts.Shards, jopts)
+	} else {
+		r.idx = simjoin.NewIndex(t.inner, jopts)
+	}
+	return r, nil
 }
 
 // Append adds a record and returns its ID. The record is resolved by the
@@ -141,30 +166,32 @@ func (r *Resolver) AppendBatch(rows ...[]string) int {
 
 // Len returns the number of records in the owned table.
 func (r *Resolver) Len() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	return r.table.Len()
 }
 
 // Record returns the attribute values of the record with the given ID.
+// It takes the session lock shared, so HIT rendering and match serving
+// read records while a resolve is in flight.
 func (r *Resolver) Record(id int) []string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	return r.table.Record(id)
 }
 
 // JudgedPairs returns the number of pairs with cached verdicts.
 func (r *Resolver) JudgedPairs() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	return r.cache.Len()
 }
 
 // PendingPairs returns the number of candidate pairs discovered but not
 // yet judged — non-zero only after a failed delta.
 func (r *Resolver) PendingPairs() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	n := 0
 	for _, sp := range r.pending {
 		if !r.cache.Has(sp.Pair) {
@@ -179,8 +206,8 @@ func (r *Resolver) PendingPairs() int {
 // yet judged in full. The next successful delta re-issues those pairs'
 // HITs and supersedes the fragments.
 func (r *Resolver) PartialPairs() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	return r.cache.PartialLen()
 }
 
@@ -213,8 +240,8 @@ type WorkerStat struct {
 // worker (any accuracy, one class seen). Empty until the first delta
 // aggregates.
 func (r *Resolver) WorkerStats() []WorkerStat {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	answers := r.cache.AllAnswers()
 	if len(answers) == 0 {
 		return nil
@@ -243,8 +270,8 @@ func (r *Resolver) WorkerStats() []WorkerStat {
 // machine likelihood under MachineOnly) and whether the pair has been
 // judged.
 func (r *Resolver) Verdict(p Pair) (float64, bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	e := r.cache.Get(record.MakePair(record.ID(p.A), record.ID(p.B)))
 	if e == nil {
 		return 0, false
@@ -273,20 +300,24 @@ func (r *Resolver) ResolveDelta() (*Result, error) {
 // next ResolveDelta, and any answers the crowd already delivered are
 // persisted as partial assignment sets (see PartialPairs).
 //
-// The session lock is held for the whole resolution, so every other
-// Resolver method — including reads like Verdict and PendingPairs —
-// blocks until the delta completes or is cancelled. Callers serving
-// reads concurrently with a slow crowd (crowderd does) should snapshot
-// the state they need before starting the delta.
+// Resolutions serialize — a second ResolveDelta blocks until the first
+// finishes — but the session state lock is held only across the stages'
+// mutation windows, so reads (Verdict, JudgedPairs, WorkerStats,
+// Record) and appends proceed while the crowd is still answering.
+// Records appended mid-resolve are picked up by the next delta.
 func (r *Resolver) ResolveDeltaContext(ctx context.Context) (*Result, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.resolveLocked(ctx, resolvePipeline())
+	r.resolveMu.Lock()
+	defer r.resolveMu.Unlock()
+	return r.resolve(ctx, resolvePipeline())
 }
 
-// resolveLocked runs the staged workflow; the caller holds r.mu.
-func (r *Resolver) resolveLocked(ctx context.Context, p *resolverPipeline) (*Result, error) {
-	if r.table.Len() == 0 {
+// resolve runs the staged workflow; the caller holds r.resolveMu. The
+// stages take r.mu themselves around their mutation windows.
+func (r *Resolver) resolve(ctx context.Context, p *resolverPipeline) (*Result, error) {
+	r.mu.RLock()
+	empty := r.table.Len() == 0
+	r.mu.RUnlock()
+	if empty {
 		return nil, errors.New("crowder: empty table")
 	}
 	if !r.opts.MachineOnly && r.opts.Oracle == nil && r.opts.Backend == nil {
@@ -305,7 +336,9 @@ func (r *Resolver) resolveLocked(ctx context.Context, p *resolverPipeline) (*Res
 
 // deltaCandidateSeq streams the scored candidate pairs introduced by the
 // records appended since the last delta, per the configured candidate
-// source. The caller holds r.mu and must drain the sequence exactly once
+// source (single-index path; the sharded path scatters through
+// r.sidx.UpdateScatter instead). The caller holds r.mu for writing and
+// must drain the sequence exactly once
 // (both sources absorb the delta as a side effect). SourceSimJoin is a
 // true stream — candidates are scored as the join index probes, never
 // materialized; token blocking computes its (typically much smaller,

@@ -346,8 +346,15 @@ func TestOptionsValidation(t *testing.T) {
 		{"unknown transitivity mode", Options{Transitivity: 2, MachineOnly: true}, "Options.Transitivity = 2"},
 		{"negative aggregation", Options{Aggregation: -1, MachineOnly: true}, "Options.Aggregation = -1"},
 		{"unknown aggregation mode", Options{Aggregation: 3, MachineOnly: true}, "Options.Aggregation = 3"},
+		{"negative max candidates", Options{MaxCandidates: -5, MachineOnly: true}, "Options.MaxCandidates = -5"},
+		{"negative max block", Options{MaxBlock: -2, MachineOnly: true}, "Options.MaxBlock = -2"},
+		{"negative shards", Options{Shards: -4, MachineOnly: true}, "Options.Shards = -4"},
+		{"shards beyond the cap", Options{Shards: 1025, MachineOnly: true}, "Options.Shards = 1025"},
 
 		{"zero values select defaults", Options{MachineOnly: true}, ""},
+		{"zero max candidates keeps everything", Options{MaxCandidates: 0, MachineOnly: true}, ""},
+		{"single shard is valid", Options{Shards: 1, MachineOnly: true}, ""},
+		{"shard cap is inclusive", Options{Shards: 1024, MachineOnly: true}, ""},
 		{"transitivity off is valid", Options{Transitivity: TransitivityOff, MachineOnly: true}, ""},
 		{"transitivity on is valid", Options{Transitivity: TransitivityOn, MachineOnly: true}, ""},
 		{"majority-vote aggregation is valid", Options{Aggregation: AggregationMajorityVote, MachineOnly: true}, ""},

@@ -6,6 +6,7 @@ import (
 
 	"github.com/crowder/crowder/internal/aggregate"
 	"github.com/crowder/crowder/internal/crowd"
+	"github.com/crowder/crowder/internal/engine"
 	"github.com/crowder/crowder/internal/hitgen"
 	"github.com/crowder/crowder/internal/record"
 	"github.com/crowder/crowder/internal/simjoin"
@@ -48,13 +49,11 @@ func stageExecuteTransitive(ctx context.Context, st *resolveState) (*resolveStat
 
 	// The deduction graph is rebuilt from the session's asked verdicts in
 	// canonical order: deltas resume deducing from everything the crowd
-	// has already answered. Only unanimous verdicts carry proofs.
-	g := transitivity.New()
-	g.MaxProof = transitiveMaxProof
-	for _, e := range rv.cache.AskedEntries() {
-		match := e.Posterior >= 0.5
-		g.ObserveStrength(e.Pair, match, unanimous(e.Answers, match))
-	}
+	// has already answered. Only unanimous verdicts carry proofs. The
+	// rebuild holds the session lock shared — it only reads the cache.
+	rv.mu.RLock()
+	g := rebuildGraph(rv)
+	rv.mu.RUnlock()
 
 	// Savings baseline: the HITs the one-shot generate stage would have
 	// produced for the same fresh pairs.
@@ -96,8 +95,11 @@ func stageExecuteTransitive(ctx context.Context, st *resolveState) (*resolveStat
 	}
 
 	// deduceSweep records every remaining pair the graph now implies and
-	// returns the still-unknown tail, order preserved.
+	// returns the still-unknown tail, order preserved. It writes the
+	// verdict cache, so it takes the session lock.
 	deduceSweep := func() {
+		rv.mu.Lock()
+		defer rv.mu.Unlock()
 		keep := remaining[:0]
 		for _, sp := range remaining {
 			if d, ok := g.Deduce(sp.Pair); ok {
@@ -112,7 +114,9 @@ func stageExecuteTransitive(ctx context.Context, st *resolveState) (*resolveStat
 
 	commitFailure := func(run *crowd.Result) {
 		if run != nil {
+			rv.mu.Lock()
 			rv.cache.AddPartialAnswers(run.Answers)
+			rv.mu.Unlock()
 		}
 	}
 
@@ -196,7 +200,10 @@ func stageExecuteTransitive(ctx context.Context, st *resolveState) (*resolveStat
 		// their crowd answers; a retracted HIT's unanswered pairs are
 		// deducible by construction and fall to the next sweep (any pair
 		// that somehow is not — a conservative impossibility — stays in
-		// remaining and is simply re-batched).
+		// remaining and is simply re-batched). The rounds themselves run
+		// unlocked (the crowd is the bottleneck); only this commit takes
+		// the session lock.
+		rv.mu.Lock()
 		var requeue []simjoin.ScoredPair
 		for _, sp := range window {
 			if answered.Has(sp.Pair.A, sp.Pair.B) {
@@ -209,6 +216,7 @@ func stageExecuteTransitive(ctx context.Context, st *resolveState) (*resolveStat
 			}
 		}
 		rv.cache.AddAnswers(run.Answers)
+		rv.mu.Unlock()
 		remaining = append(requeue, remaining...)
 	}
 
@@ -221,8 +229,56 @@ func stageExecuteTransitive(ctx context.Context, st *resolveState) (*resolveStat
 
 	// The delta is fully judged — asked or deduced — so nothing stays
 	// pending.
+	rv.mu.Lock()
 	rv.pending = rv.pending[:0]
+	rv.mu.Unlock()
 	return st, nil
+}
+
+// rebuildGraph reconstructs the deduction graph from the cache's asked
+// verdicts. The caller holds the session lock (shared suffices).
+//
+// For a sharded session the rebuild is partitioned by pair hash — each
+// shard observes its own slice of the verdict cache, in canonical order,
+// on its own goroutine — and the per-shard union-find forests are merged
+// at the exchange (transitivity.Merge), preserving witness and proof
+// provenance. Each pair lands in exactly one shard (record.Pair.Shard is
+// a pure content hash), so the merge precondition holds and the merged
+// graph is bit-identical to the sequential rebuild: deltas deduce the
+// same verdicts with the same proofs at every shard count.
+func rebuildGraph(rv *Resolver) *transitivity.Graph {
+	asked := rv.cache.AskedEntries()
+	observe := func(g *transitivity.Graph, e *verdicts.Entry) {
+		match := e.Posterior >= 0.5
+		g.ObserveStrength(e.Pair, match, unanimous(e.Answers, match))
+	}
+	shards := rv.opts.shardCount()
+	if shards <= 1 || len(asked) < 2 {
+		g := transitivity.New()
+		g.MaxProof = transitiveMaxProof
+		for _, e := range asked {
+			observe(g, e)
+		}
+		return g
+	}
+	buckets := make([][]*verdicts.Entry, shards)
+	for _, e := range asked {
+		s := e.Pair.Shard(shards)
+		buckets[s] = append(buckets[s], e)
+	}
+	parts := make([]*transitivity.Graph, shards)
+	workers := engine.WorkerCount(rv.opts.Parallelism, shards)
+	engine.Workers(workers, func(w int) {
+		for s := w; s < shards; s += workers {
+			pg := transitivity.New()
+			pg.MaxProof = transitiveMaxProof
+			for _, e := range buckets[s] {
+				observe(pg, e)
+			}
+			parts[s] = pg
+		}
+	})
+	return transitivity.Merge(transitiveMaxProof, parts...)
 }
 
 // selectWindow picks up to max pairs from remaining (highest likelihood
