@@ -424,7 +424,7 @@ func runServe(base, batch, rounds, reads int) (*ServiceReport, bool) {
 				rep.SessionHITs += status.Result.HITs
 				rep.SessionCandidates = status.Result.Candidates
 				return
-			case "running":
+			case "running", "queued":
 				time.Sleep(time.Millisecond)
 			default:
 				log.Fatalf("job %d ended %s: %s", kicked.Job, status.State, status.Error)
@@ -1041,6 +1041,9 @@ func run() int {
 	scaleTopK := flag.Int("scale-topk", 1000, "scale mode: bounded ranking-heap size the stream feeds")
 	scaleMaxRSS := flag.Float64("scale-max-rss-mb", 8192, "scale mode: fail if peak RSS exceeds this many MB")
 	shard := flag.Bool("shard", false, "benchmark the sharded resolution path: scaling sweep plus cross-shard-count equality gates")
+	tenant := flag.Bool("tenant", false, "benchmark the multi-tenant claim plane: interference, pool scaling and per-tenant identity gates")
+	tenants := flag.Int("tenants", 3, "tenant mode: light tenant tables sharing the pool")
+	tenantWorkers := flag.Int("tenant-workers", 4, "tenant mode: shared-pool workers")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	mutexprofile := flag.String("mutexprofile", "", "record all mutex contention and write the profile to this file at exit")
@@ -1080,6 +1083,19 @@ func run() int {
 	if *blockprofile != "" {
 		runtime.SetBlockProfileRate(1)
 		defer writeLookupProfile(*blockprofile, "block")
+	}
+
+	if *tenant {
+		rep, ok := runTenant(*tenants, *tenantWorkers)
+		writeJSON(*out, rep, fmt.Sprintf(
+			"wrote %s (light p99 %.1fms baseline → %.1fms with heavy neighbor, ratio %.2f; throughput %.0f → %.0f claims/s over %d→%d workers; bit-identical: %v)",
+			*out, rep.BaselineLightP99Ms, rep.ContendedLightP99Ms, rep.InterferenceRatio,
+			rep.Throughput[0].ClaimsPerSec, rep.Throughput[len(rep.Throughput)-1].ClaimsPerSec,
+			rep.Throughput[0].Workers, rep.Throughput[len(rep.Throughput)-1].Workers, rep.BitIdentical))
+		if !ok {
+			return 1
+		}
+		return 0
 	}
 
 	if *shard {

@@ -232,3 +232,60 @@ func TestTransitiveF1(t *testing.T) {
 		t.Errorf("perfect single-match F1 = %v; want 1", got)
 	}
 }
+
+func TestMatchesEqual(t *testing.T) {
+	a := []tenantMatch{{A: 1, B: 2, Confidence: 1}, {A: 3, B: 4, Confidence: 0.5}}
+	b := []tenantMatch{{A: 1, B: 2, Confidence: 1}, {A: 3, B: 4, Confidence: 0.5}}
+	if !matchesEqual(a, b) {
+		t.Error("identical lists reported unequal")
+	}
+	if matchesEqual(a, b[:1]) {
+		t.Error("length mismatch reported equal")
+	}
+	b[1].Confidence = 0.25
+	if matchesEqual(a, b) {
+		t.Error("confidence drift reported equal — the identity gate must be exact")
+	}
+}
+
+// TestTenantGroupRoundTrip drives the tenant bench's group runner on a
+// tiny two-tenant workload: the shared pool must drain every resolve,
+// the dispatcher stats must show traffic for both tables, and a tenant's
+// matches must be bit-identical to the same spec run alone.
+func TestTenantGroupRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots servers and a worker pool")
+	}
+	mk := func(seed int64, table string) *tenantSpec {
+		d := dataset.RestaurantN(seed, 30, 5)
+		sp := &tenantSpec{
+			table: table, tenant: table, priority: 1,
+			schema: d.Table.Schema, truth: d.Matches,
+			rounds: 1, clusterSize: 5, threshold: 0.4, seed: seed,
+		}
+		for j := range d.Table.Records {
+			sp.rows = append(sp.rows, d.Table.Records[j].Values)
+		}
+		return sp
+	}
+	// 3 workers minimum: each HIT wants 3 assignments and the queue
+	// hands a given HIT to a given worker at most once.
+	specs := []*tenantSpec{mk(7, "ta"), mk(8, "tb")}
+	matches, runs := runGroup(specs, 3)
+	for _, sp := range specs {
+		run, ok := runs[sp.table]
+		if !ok {
+			t.Fatalf("no dispatcher stats for %s", sp.table)
+		}
+		if run.Claims == 0 || run.HITs == 0 {
+			t.Errorf("%s: claims=%d hits=%d; want both > 0", sp.table, run.Claims, run.HITs)
+		}
+		if run.Matches != len(matches[sp.table]) {
+			t.Errorf("%s: stats report %d matches, list has %d", sp.table, run.Matches, len(matches[sp.table]))
+		}
+	}
+	solo, _ := runGroup([]*tenantSpec{mk(7, "ta")}, 3)
+	if !matchesEqual(matches["ta"], solo["ta"]) {
+		t.Error("ta: matches under a shared pool differ from the isolated run")
+	}
+}

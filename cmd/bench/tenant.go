@@ -1,0 +1,554 @@
+package main
+
+// The -tenant mode gates multi-tenant crowderd: one daemon, many tenant
+// tables, one shared worker pool draining them all through the
+// cross-table claim plane (POST /claim). Three properties are pinned:
+//
+//  1. No cross-tenant interference: light tenants' p99 claim wait with a
+//     heavy neighbor (a large resolve holding a deep HIT backlog) must
+//     stay within a small factor of the light-tenants-only baseline.
+//     Deficit-round-robin dispatch is what makes this hold; a FIFO
+//     dispatcher parks light HITs behind the heavy backlog for its whole
+//     drain (seconds), far beyond the gate.
+//  2. Claim throughput scales with pool size: workers are the scarce
+//     resource (the paper's core economic premise), so adding workers
+//     must add aggregate throughput.
+//  3. Fairness does not corrupt results: every tenant's matches are
+//     bit-identical to the same session run alone on an isolated
+//     single-table server. Tenants share workers, never verdicts.
+//
+// Claim waits are read from GET /metrics — the bench gates on the same
+// numbers an operator's dashboard graphs.
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/crowder/crowder/internal/dataset"
+	"github.com/crowder/crowder/internal/record"
+	"github.com/crowder/crowder/internal/service"
+)
+
+// tenantSpec is one tenant table in a bench group.
+type tenantSpec struct {
+	table    string
+	tenant   string
+	priority int
+	schema   []string
+	rows     [][]string
+	truth    record.PairSet
+	rounds   int
+	// clusterSize is pairs per HIT: 5 for light tenants, small for the
+	// heavy one so its backlog is deep.
+	clusterSize int
+	threshold   float64
+	seed        int64
+	// waitForBacklog, when > 0, delays this spec's first round until
+	// some table on the server holds at least this many open
+	// assignments — how the contended phase guarantees the heavy
+	// backlog exists before light tenants start resolving.
+	waitForBacklog int
+}
+
+// tenantMatch is one row of a table's final match list; compared
+// exactly (confidence included) across group and isolated runs.
+type tenantMatch struct {
+	A          int     `json:"a"`
+	B          int     `json:"b"`
+	Confidence float64 `json:"confidence"`
+}
+
+// TenantRun is one tenant's outcome in a group run.
+type TenantRun struct {
+	Tenant         string  `json:"tenant"`
+	Table          string  `json:"table"`
+	Priority       int     `json:"priority"`
+	HITs           int     `json:"hits"`
+	Matches        int     `json:"matches"`
+	Claims         int64   `json:"claims"`
+	ClaimWaitP50Ms float64 `json:"claim_wait_p50_ms"`
+	ClaimWaitP99Ms float64 `json:"claim_wait_p99_ms"`
+}
+
+// ThroughputPoint is one pool size's aggregate claim rate.
+type ThroughputPoint struct {
+	Workers      int     `json:"workers"`
+	Claims       int64   `json:"claims"`
+	WindowMs     float64 `json:"window_ms"`
+	ClaimsPerSec float64 `json:"claims_per_sec"`
+}
+
+// TenantReport is the file layout of BENCH_tenant.json.
+type TenantReport struct {
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	GoMaxProcs int    `json:"go_max_procs"`
+
+	LightTenants int `json:"light_tenants"`
+	PoolWorkers  int `json:"pool_workers"`
+	HeavyHITs    int `json:"heavy_hits"`
+
+	// Interference gate: light tenants' worst p99 claim wait without and
+	// with the heavy neighbor. The allowance is
+	// max(ratio × baseline, floor): the floor absorbs scheduler noise on
+	// millisecond-scale baselines; a FIFO regression overshoots it by
+	// orders of magnitude (the heavy drain takes seconds).
+	BaselineLightP99Ms  float64 `json:"baseline_light_p99_ms"`
+	ContendedLightP99Ms float64 `json:"contended_light_p99_ms"`
+	InterferenceRatio   float64 `json:"interference_ratio"`
+	AllowedRatio        float64 `json:"allowed_ratio"`
+	FloorMs             float64 `json:"floor_ms"`
+	// HeavyP99Ms documents the price the heavy tenant pays for fairness
+	// (informational, not gated).
+	HeavyP99Ms float64 `json:"heavy_p99_ms"`
+
+	// Throughput gate: aggregate claims/sec must grow with pool size.
+	Throughput       []ThroughputPoint `json:"throughput"`
+	ThroughputFactor float64           `json:"throughput_factor"`
+	MinFactor        float64           `json:"min_factor"`
+
+	// Identity gate: every tenant's matches across the baseline,
+	// contended and isolated runs are bit-identical.
+	BitIdentical bool `json:"bit_identical"`
+
+	Baseline  []TenantRun `json:"baseline"`
+	Contended []TenantRun `json:"contended"`
+}
+
+// tenantThink is the simulated judging time per assignment. It makes
+// workers — not the HTTP stack — the bottleneck, so claim throughput
+// scales with pool size even on a single-CPU host.
+const tenantThink = 2 * time.Millisecond
+
+// startBenchServer brings up a loopback crowderd.
+func startBenchServer(maxResolves int) (url string, shutdown func()) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: service.New(service.Options{MaxResolves: maxResolves})}
+	go func() { _ = httpSrv.Serve(ln) }()
+	return "http://" + ln.Addr().String(), func() { _ = httpSrv.Close() }
+}
+
+// startPool launches shared-pool workers that drain the server's
+// cross-table claim plane, answering truthfully per the claimed
+// table's ground truth with tenantThink of judging time per
+// assignment. Returns a per-table claim counter map and a stop func.
+func startPool(url string, workers int, truth map[string]record.PairSet, think time.Duration) (claims *sync.Map, stop func()) {
+	var done atomic.Bool
+	var wg sync.WaitGroup
+	claims = &sync.Map{}
+	client := &http.Client{}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for !done.Load() {
+				var cl struct {
+					Token string `json:"token"`
+					Table string `json:"table"`
+					HIT   struct {
+						Pairs []struct {
+							A int `json:"a"`
+							B int `json:"b"`
+						} `json:"pairs"`
+					} `json:"hit"`
+				}
+				if err := benchCall(client, "POST", url+"/claim",
+					map[string]any{"worker": fmt.Sprintf("w%d", w), "max_wait_ms": 100}, &cl); err != nil {
+					continue // empty plane: long-poll expired
+				}
+				t := truth[cl.Table]
+				if t == nil {
+					log.Fatalf("claimed from unknown table %q", cl.Table)
+				}
+				time.Sleep(think) // judging
+				var answers []map[string]any
+				for _, p := range cl.HIT.Pairs {
+					answers = append(answers, map[string]any{
+						"a": p.A, "b": p.B, "match": t.Has(record.ID(p.A), record.ID(p.B)),
+					})
+				}
+				if err := benchCall(client, "POST", url+"/answer",
+					map[string]any{"token": cl.Token, "answers": answers}, nil); err == nil {
+					c, _ := claims.LoadOrStore(cl.Table, &atomic.Int64{})
+					c.(*atomic.Int64).Add(1)
+				}
+			}
+		}(w)
+	}
+	return claims, func() { done.Store(true); wg.Wait() }
+}
+
+// openAssignments sums a table's open assignments via GET /tables/x/hits.
+func openAssignments(client *http.Client, url, table string) int {
+	var body struct {
+		Hits []struct {
+			Open int `json:"open"`
+		} `json:"hits"`
+	}
+	if err := benchCall(client, "GET", url+"/tables/"+table+"/hits", nil, &body); err != nil {
+		return 0
+	}
+	n := 0
+	for _, h := range body.Hits {
+		n += h.Open
+	}
+	return n
+}
+
+// runGroup stands up one crowderd with every spec's table, drains all
+// resolves through a shared pool, and returns each table's final match
+// list, total HITs, and its dispatcher stats from /metrics.
+func runGroup(specs []*tenantSpec, workers int) (map[string][]tenantMatch, map[string]TenantRun) {
+	url, shutdown := startBenchServer(4)
+	defer shutdown()
+	client := &http.Client{}
+
+	truth := make(map[string]record.PairSet, len(specs))
+	for _, sp := range specs {
+		truth[sp.table] = sp.truth
+		if err := benchCall(client, "POST", url+"/tables/"+sp.table, map[string]any{
+			"schema": sp.schema,
+			"options": map[string]any{
+				"threshold": sp.threshold, "hit_type": "pair",
+				"cluster_size": sp.clusterSize, "seed": sp.seed,
+				"backend": "queue", "tenant": sp.tenant, "priority": sp.priority,
+				// Majority vote makes truthful unanimous answers exactly
+				// truthful regardless of which pool worker judged what —
+				// the property the bit-identity gate rests on.
+				"aggregation": "majority-vote",
+			},
+		}, nil); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	claims, stopPool := startPool(url, workers, truth, tenantThink)
+
+	hits := make(map[string]*int, len(specs))
+	var wg sync.WaitGroup
+	for _, sp := range specs {
+		n := 0
+		hits[sp.table] = &n
+		wg.Add(1)
+		go func(sp *tenantSpec, hits *int) {
+			defer wg.Done()
+			if sp.waitForBacklog > 0 {
+				deadline := time.Now().Add(30 * time.Second)
+				for {
+					deep := false
+					for _, other := range specs {
+						if other != sp && openAssignments(client, url, other.table) >= sp.waitForBacklog {
+							deep = true
+							break
+						}
+					}
+					if deep {
+						break
+					}
+					if time.Now().After(deadline) {
+						log.Fatalf("%s: no neighbor ever built a %d-assignment backlog", sp.table, sp.waitForBacklog)
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}
+			batch := (len(sp.rows) + sp.rounds - 1) / sp.rounds
+			for r := 0; r < sp.rounds; r++ {
+				lo, hi := r*batch, (r+1)*batch
+				if hi > len(sp.rows) {
+					hi = len(sp.rows)
+				}
+				if err := benchCall(client, "POST", url+"/tables/"+sp.table+"/records",
+					map[string]any{"rows": sp.rows[lo:hi]}, nil); err != nil {
+					log.Fatal(err)
+				}
+				var kicked struct {
+					Job int `json:"job"`
+				}
+				if err := benchCall(client, "POST", url+"/tables/"+sp.table+"/resolve", map[string]any{}, &kicked); err != nil {
+					log.Fatal(err)
+				}
+				for {
+					var status struct {
+						State  string `json:"state"`
+						Error  string `json:"error"`
+						Result struct {
+							HITs int `json:"hits"`
+						} `json:"result"`
+					}
+					if err := benchCall(client, "GET",
+						fmt.Sprintf("%s/tables/%s/jobs/%d", url, sp.table, kicked.Job), nil, &status); err != nil {
+						log.Fatal(err)
+					}
+					if status.State == "done" {
+						*hits += status.Result.HITs
+						break
+					}
+					if status.State != "running" && status.State != "queued" {
+						log.Fatalf("%s job %d ended %s: %s", sp.table, kicked.Job, status.State, status.Error)
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}(sp, hits[sp.table])
+	}
+	wg.Wait()
+	stopPool()
+
+	// Collect matches and the dispatcher's per-session stats.
+	matches := make(map[string][]tenantMatch, len(specs))
+	for _, sp := range specs {
+		var body struct {
+			Matches []tenantMatch `json:"matches"`
+		}
+		if err := benchCall(client, "GET", url+"/tables/"+sp.table+"/matches", nil, &body); err != nil {
+			log.Fatal(err)
+		}
+		matches[sp.table] = body.Matches
+	}
+	var metrics struct {
+		Sessions []struct {
+			Tenant         string  `json:"tenant"`
+			Table          string  `json:"table"`
+			Weight         int     `json:"weight"`
+			ClaimWaitP50Ms float64 `json:"claim_wait_p50_ms"`
+			ClaimWaitP99Ms float64 `json:"claim_wait_p99_ms"`
+		} `json:"sessions"`
+	}
+	if err := benchCall(client, "GET", url+"/metrics", nil, &metrics); err != nil {
+		log.Fatal(err)
+	}
+	runs := make(map[string]TenantRun, len(specs))
+	for _, st := range metrics.Sessions {
+		var n int64
+		if c, ok := claims.Load(st.Table); ok {
+			n = c.(*atomic.Int64).Load()
+		}
+		runs[st.Table] = TenantRun{
+			Tenant: st.Tenant, Table: st.Table, Priority: st.Weight,
+			HITs: *hits[st.Table], Matches: len(matches[st.Table]), Claims: n,
+			ClaimWaitP50Ms: st.ClaimWaitP50Ms, ClaimWaitP99Ms: st.ClaimWaitP99Ms,
+		}
+	}
+	return matches, runs
+}
+
+// measureThroughput drains a deep single-table backlog with the given
+// pool size for a fixed window and reports aggregate accepted claims.
+func measureThroughput(spec *tenantSpec, workers int, window time.Duration) ThroughputPoint {
+	url, shutdown := startBenchServer(4)
+	defer shutdown()
+	client := &http.Client{}
+	if err := benchCall(client, "POST", url+"/tables/"+spec.table, map[string]any{
+		"schema": spec.schema,
+		"options": map[string]any{
+			"threshold": spec.threshold, "hit_type": "pair",
+			"cluster_size": spec.clusterSize, "seed": spec.seed,
+			"backend": "queue", "tenant": spec.tenant,
+			"aggregation": "majority-vote",
+		},
+	}, nil); err != nil {
+		log.Fatal(err)
+	}
+	if err := benchCall(client, "POST", url+"/tables/"+spec.table+"/records",
+		map[string]any{"rows": spec.rows}, nil); err != nil {
+		log.Fatal(err)
+	}
+	var kicked struct {
+		Job int `json:"job"`
+	}
+	if err := benchCall(client, "POST", url+"/tables/"+spec.table+"/resolve", map[string]any{}, &kicked); err != nil {
+		log.Fatal(err)
+	}
+	// Let the backlog build so the window never runs dry.
+	deadline := time.Now().Add(30 * time.Second)
+	for openAssignments(client, url, spec.table) < 200 {
+		if time.Now().After(deadline) {
+			log.Fatal("throughput backlog never reached 200 open assignments")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	truth := map[string]record.PairSet{spec.table: spec.truth}
+	start := time.Now()
+	claims, stopPool := startPool(url, workers, truth, tenantThink)
+	time.Sleep(window)
+	stopPool()
+	elapsed := time.Since(start)
+	// Abandon the resolve; the window is what was measured.
+	_ = benchCall(client, "DELETE", fmt.Sprintf("%s/tables/%s/jobs/%d", url, spec.table, kicked.Job), nil, nil)
+
+	var total int64
+	if c, ok := claims.Load(spec.table); ok {
+		total = c.(*atomic.Int64).Load()
+	}
+	return ThroughputPoint{
+		Workers:      workers,
+		Claims:       total,
+		WindowMs:     float64(elapsed.Microseconds()) / 1000,
+		ClaimsPerSec: float64(total) / elapsed.Seconds(),
+	}
+}
+
+// tenantSpecs builds the bench's tenant population: nLight small
+// restaurant tenants plus (optionally) one heavy product tenant whose
+// single resolve posts a deep backlog of single-pair HITs.
+func tenantSpecs(nLight int, withHeavy bool) []*tenantSpec {
+	var specs []*tenantSpec
+	for i := 0; i < nLight; i++ {
+		d := dataset.RestaurantN(3, 60+10*i, 10+2*i)
+		sp := &tenantSpec{
+			table: fmt.Sprintf("light%d", i), tenant: fmt.Sprintf("light%d", i),
+			priority: 2, schema: d.Table.Schema, truth: d.Matches,
+			rounds: 2, clusterSize: 5, threshold: 0.4, seed: int64(i + 1),
+		}
+		for j := range d.Table.Records {
+			sp.rows = append(sp.rows, d.Table.Records[j].Values)
+		}
+		specs = append(specs, sp)
+	}
+	if withHeavy {
+		d := dataset.ProductDup(2, dataset.Product(1))
+		sp := &tenantSpec{
+			table: "heavy", tenant: "heavy",
+			priority: 1, schema: d.Table.Schema, truth: d.Matches,
+			rounds: 1, clusterSize: 2, threshold: 0.5, seed: 99,
+		}
+		for j := range d.Table.Records {
+			sp.rows = append(sp.rows, d.Table.Records[j].Values)
+		}
+		// Light tenants hold their rounds until the heavy backlog is real.
+		for _, light := range specs {
+			light.waitForBacklog = 100
+		}
+		specs = append(specs, sp)
+	}
+	return specs
+}
+
+// matchesEqual compares two match lists exactly.
+func matchesEqual(a, b []tenantMatch) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// runTenant benchmarks the multi-tenant claim plane and enforces its
+// acceptance gates.
+func runTenant(nLight, workers int) (*TenantReport, bool) {
+	// The group phases need >= 3 workers: every HIT wants 3 assignments
+	// and the queue hands a given HIT to a given worker at most once, so
+	// a smaller pool can never finish a resolve.
+	if nLight < 1 || workers < 3 {
+		log.Fatalf("tenant mode needs -tenants >= 1 and -tenant-workers >= 3 (got %d, %d)", nLight, workers)
+	}
+	rep := &TenantReport{
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+
+		LightTenants: nLight,
+		PoolWorkers:  workers,
+
+		AllowedRatio: 3,
+		FloorMs:      100,
+		MinFactor:    1.5,
+	}
+
+	// Phase 1 — baseline: light tenants only on the shared pool.
+	baseSpecs := tenantSpecs(nLight, false)
+	baseMatches, baseRuns := runGroup(baseSpecs, workers)
+	for _, sp := range baseSpecs {
+		run := baseRuns[sp.table]
+		rep.Baseline = append(rep.Baseline, run)
+		if run.ClaimWaitP99Ms > rep.BaselineLightP99Ms {
+			rep.BaselineLightP99Ms = run.ClaimWaitP99Ms
+		}
+	}
+
+	// Phase 2 — contended: same light tenants with a heavy neighbor.
+	contSpecs := tenantSpecs(nLight, true)
+	contMatches, contRuns := runGroup(contSpecs, workers)
+	for _, sp := range contSpecs {
+		run := contRuns[sp.table]
+		rep.Contended = append(rep.Contended, run)
+		if sp.table == "heavy" {
+			rep.HeavyP99Ms = run.ClaimWaitP99Ms
+			rep.HeavyHITs = run.HITs
+			continue
+		}
+		if run.ClaimWaitP99Ms > rep.ContendedLightP99Ms {
+			rep.ContendedLightP99Ms = run.ClaimWaitP99Ms
+		}
+	}
+	if rep.BaselineLightP99Ms > 0 {
+		rep.InterferenceRatio = rep.ContendedLightP99Ms / rep.BaselineLightP99Ms
+	}
+
+	// Phase 3 — throughput scaling: the same deep backlog drained by a
+	// pool of 1 vs the full pool.
+	heavyOnly := tenantSpecs(0, true)[0]
+	heavyOnly.waitForBacklog = 0
+	const window = 500 * time.Millisecond
+	for _, w := range []int{1, workers} {
+		rep.Throughput = append(rep.Throughput, measureThroughput(heavyOnly, w, window))
+	}
+	small, large := rep.Throughput[0], rep.Throughput[len(rep.Throughput)-1]
+	if small.Claims > 0 {
+		rep.ThroughputFactor = large.ClaimsPerSec / small.ClaimsPerSec
+	}
+
+	// Phase 4 — identity: every tenant alone on an isolated server must
+	// produce bit-identical matches to both shared runs.
+	rep.BitIdentical = true
+	for _, sp := range contSpecs {
+		iso := *sp
+		iso.waitForBacklog = 0
+		isoMatches, _ := runGroup([]*tenantSpec{&iso}, workers)
+		if !matchesEqual(isoMatches[sp.table], contMatches[sp.table]) {
+			fmt.Fprintf(os.Stderr, "FAIL: %s: contended matches differ from the isolated run\n", sp.table)
+			rep.BitIdentical = false
+		}
+		if sp.table != "heavy" && !matchesEqual(isoMatches[sp.table], baseMatches[sp.table]) {
+			fmt.Fprintf(os.Stderr, "FAIL: %s: baseline matches differ from the isolated run\n", sp.table)
+			rep.BitIdentical = false
+		}
+	}
+
+	ok := true
+	allowed := rep.AllowedRatio * rep.BaselineLightP99Ms
+	if allowed < rep.FloorMs {
+		allowed = rep.FloorMs
+	}
+	if rep.ContendedLightP99Ms > allowed {
+		fmt.Fprintf(os.Stderr,
+			"FAIL: light-tenant p99 claim wait %.1fms with a heavy neighbor exceeds the allowance %.1fms (baseline %.1fms)\n",
+			rep.ContendedLightP99Ms, allowed, rep.BaselineLightP99Ms)
+		ok = false
+	}
+	if rep.ThroughputFactor < rep.MinFactor {
+		fmt.Fprintf(os.Stderr,
+			"FAIL: claim throughput grew only %.2fx from %d to %d workers (need >= %.2fx)\n",
+			rep.ThroughputFactor, small.Workers, large.Workers, rep.MinFactor)
+		ok = false
+	}
+	if !rep.BitIdentical {
+		ok = false
+	}
+	return rep, ok
+}

@@ -4,9 +4,12 @@
 // the queue backend — external crowd workers claim and answer the open
 // HITs through the same API. See the package comment of internal/service
 // for the endpoint reference and the README's "Service mode" section for
-// an end-to-end curl session.
+// an end-to-end curl session. One daemon serves many tenants: tables
+// carry a tenant label and priority, a shared worker pool drains every
+// table through POST /claim with weighted fair scheduling, and resolve
+// jobs pass a bounded admission queue (-max-resolves).
 //
-//	crowderd -addr :8080 -lease 5m
+//	crowderd -addr :8080 -lease 5m -max-resolves 4
 package main
 
 import (
@@ -27,9 +30,10 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	lease := flag.Duration("lease", 5*time.Minute, "claim lease for queue-backend HITs")
 	sweep := flag.Duration("sweep", 5*time.Second, "how often to expire lapsed claims")
+	maxResolves := flag.Int("max-resolves", 0, "resolve jobs allowed to run concurrently server-wide, FIFO per tenant (0 = default 4)")
 	flag.Parse()
 
-	srv := service.New(service.Options{Lease: *lease})
+	srv := service.New(service.Options{Lease: *lease, MaxResolves: *maxResolves})
 
 	// Expire lapsed claims even when no worker traffic arrives, so
 	// in-flight jobs hear about expiries and top up replication promptly.

@@ -130,7 +130,7 @@ func main() {
 			if err := get(client, fmt.Sprintf("%s/tables/products/jobs/%d", srv.URL, kicked.Job), &status); err != nil {
 				log.Fatal(err)
 			}
-			if status.State != "running" {
+			if status.State != "running" && status.State != "queued" {
 				break
 			}
 			time.Sleep(5 * time.Millisecond)

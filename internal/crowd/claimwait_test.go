@@ -1,0 +1,210 @@
+package crowd
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/crowder/crowder/internal/record"
+)
+
+// waitHITs builds n one-pair HITs with the given replication.
+func waitHITs(n, assignments int) []HIT {
+	hits := make([]HIT, n)
+	base := nextHITID(n)
+	for i := range hits {
+		hits[i] = HIT{
+			ID:          base + i,
+			Ord:         i,
+			Kind:        PairKind,
+			Pairs:       []record.Pair{record.MakePair(record.ID(2*i), record.ID(2*i+1))},
+			Assignments: assignments,
+		}
+	}
+	return hits
+}
+
+// TestClaimWaitWakesOnPost: a worker blocked in ClaimWait is woken by a
+// post instead of spinning until the deadline.
+func TestClaimWaitWakesOnPost(t *testing.T) {
+	q := NewQueue(QueueOptions{})
+	type got struct {
+		c  *Claimed
+		ok bool
+	}
+	done := make(chan got, 1)
+	go func() {
+		c, ok, err := q.ClaimWait(context.Background(), "w", 10*time.Second)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- got{c, ok}
+	}()
+	// Let the claimer park. A sleep cannot prove it blocked, but the
+	// wall-clock assertion below proves it did not wait out the 10s.
+	time.Sleep(20 * time.Millisecond)
+	start := time.Now()
+	if err := q.Post(context.Background(), waitHITs(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case g := <-done:
+		if !g.ok || g.c == nil {
+			t.Fatal("woken claim returned no assignment")
+		}
+		if waited := time.Since(start); waited > 5*time.Second {
+			t.Fatalf("claim took %v after the post; want wakeup-bound", waited)
+		}
+		if g.c.Waited < 0 {
+			t.Errorf("negative claim wait %v", g.c.Waited)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ClaimWait never woke on post")
+	}
+}
+
+// TestClaimWaitTimeoutAndCancel: a bounded wait with nothing claimable
+// returns (nil, false, nil) at the deadline; a cancelled context
+// surfaces its error promptly.
+func TestClaimWaitTimeoutAndCancel(t *testing.T) {
+	q := NewQueue(QueueOptions{})
+	start := time.Now()
+	c, ok, err := q.ClaimWait(context.Background(), "w", 30*time.Millisecond)
+	if c != nil || ok || err != nil {
+		t.Fatalf("timed-out wait = (%v, %v, %v); want (nil, false, nil)", c, ok, err)
+	}
+	if time.Since(start) < 25*time.Millisecond {
+		t.Fatal("wait returned before the deadline with nothing claimable")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, _, err := q.ClaimWait(ctx, "w", 10*time.Second)
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != context.Canceled {
+			t.Fatalf("cancelled wait returned %v; want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ClaimWait ignored context cancellation")
+	}
+
+	// maxWait <= 0 degenerates to the non-blocking Claim.
+	if _, ok, err := q.ClaimWait(context.Background(), "w", 0); ok || err != nil {
+		t.Fatalf("zero-wait claim on empty queue = (%v, %v); want (false, nil)", ok, err)
+	}
+}
+
+// TestClaimRacesLeaseExpiry hammers a short-lease queue from concurrent
+// claimers while leases lapse underneath them, under -race in CI. The
+// invariants: every accepted answer is accepted exactly once (a token
+// voided by expiry is rejected, never double-counted), completed
+// assignments never exceed what was posted plus top-ups, and the run
+// drains — expiries re-open work rather than wedging it.
+func TestClaimRacesLeaseExpiry(t *testing.T) {
+	const (
+		nHITs    = 8
+		replicas = 2
+		workers  = 6
+	)
+	q := NewQueue(QueueOptions{Lease: 2 * time.Millisecond})
+	hits := waitHITs(nHITs, replicas)
+	if err := q.Post(context.Background(), hits); err != nil {
+		t.Fatal(err)
+	}
+
+	// Collector: count completions and answer top-up posts for expiries,
+	// as the lifecycle manager would.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stream := q.Collect(ctx)
+	var completed atomic.Int64
+	var topUps atomic.Int64
+	byID := make(map[int]HIT, len(hits))
+	for _, h := range hits {
+		byID[h.ID] = h
+	}
+	need := int64(nHITs * replicas)
+	collectorDone := make(chan struct{})
+	go func() {
+		defer close(collectorDone)
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case a := <-stream:
+				if a.Expired {
+					topUps.Add(1)
+					h := byID[a.HIT]
+					h.Assignments = 1
+					if err := q.Post(context.Background(), []HIT{h}); err != nil {
+						t.Error(err)
+						return
+					}
+					continue
+				}
+				if completed.Add(1) == need {
+					return
+				}
+			}
+		}
+	}()
+
+	var accepted atomic.Int64
+	var rejected atomic.Int64
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(20 * time.Second)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := string(rune('a' + w))
+			for completed.Load() < need && time.Now().Before(deadline) {
+				c, ok, err := q.ClaimWait(ctx, name, 5*time.Millisecond)
+				if err != nil {
+					return // run cancelled
+				}
+				if !ok {
+					continue
+				}
+				// Half the workers dawdle past the lease to force expiry
+				// races between Answer and the sweep.
+				if w%2 == 0 {
+					time.Sleep(3 * time.Millisecond)
+				}
+				var vs []Verdict
+				for _, p := range c.HIT.Pairs {
+					vs = append(vs, Verdict{A: p.A, B: p.B, Match: true})
+				}
+				if err := q.Answer(c.Token, vs); err != nil {
+					rejected.Add(1) // lease lapsed first: token voided
+				} else {
+					accepted.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case <-collectorDone:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("collector never finished: %d/%d completions (top-ups %d)", completed.Load(), need, topUps.Load())
+	}
+
+	if completed.Load() != need {
+		t.Fatalf("completed %d assignments; want %d (top-ups %d, rejected %d)",
+			completed.Load(), need, topUps.Load(), rejected.Load())
+	}
+	// Exactly the accepted answers became completions: none lost, none
+	// double-delivered.
+	if accepted.Load() != need {
+		t.Fatalf("workers had %d answers accepted; completions consumed %d", accepted.Load(), need)
+	}
+}

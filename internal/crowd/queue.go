@@ -39,6 +39,10 @@ type Claimed struct {
 	Worker string
 	// Deadline is when the claim expires (zero when leases are disabled).
 	Deadline time.Time
+	// Waited is how long the HIT sat open before this claim, measured
+	// from its first posting — the queueing-delay half of claim latency,
+	// the number the multi-tenant fairness gate watches per tenant.
+	Waited time.Duration
 
 	claimedAt time.Time
 }
@@ -67,6 +71,15 @@ type Queue struct {
 	answered map[int]int             // HIT ID → completed assignments (next slot)
 	touched  map[int]map[string]bool // HIT ID → workers who claimed it
 	workers  map[string]int          // worker name → interned worker ID
+	postedAt map[int]time.Time       // HIT ID → first-post time (claim-wait metric)
+	// wake is the claimability broadcast: closed and replaced whenever
+	// work may have become claimable (a post, or a lapsed lease lifting a
+	// worker's bar), so ClaimWait blocks on a channel instead of polling.
+	wake chan struct{}
+	// listeners are external wake hooks (the cross-session dispatcher)
+	// invoked on the same claimability edges. Called with q.mu held —
+	// they must be fast and must not call back into the queue.
+	listeners []func()
 }
 
 // NewQueue creates an empty queue backend.
@@ -83,6 +96,29 @@ func NewQueue(opts QueueOptions) *Queue {
 		answered: make(map[int]int),
 		touched:  make(map[int]map[string]bool),
 		workers:  make(map[string]int),
+		postedAt: make(map[int]time.Time),
+		wake:     make(chan struct{}),
+	}
+}
+
+// Notify registers fn to be invoked whenever HITs may have become
+// claimable (a post, or a lease expiry lifting a worker's bar). The
+// cross-session dispatcher uses it to wake workers blocked in a claim
+// that spans queues. fn runs with the queue's lock held: keep it to a
+// channel signal or similar, and never call back into the queue.
+func (q *Queue) Notify(fn func()) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.listeners = append(q.listeners, fn)
+}
+
+// wakeLocked broadcasts a claimability edge to blocked ClaimWait calls
+// and external listeners; the caller holds q.mu.
+func (q *Queue) wakeLocked() {
+	close(q.wake)
+	q.wake = make(chan struct{})
+	for _, fn := range q.listeners {
+		fn()
 	}
 }
 
@@ -94,12 +130,17 @@ func (q *Queue) Post(ctx context.Context, hits []HIT) error {
 	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	now := q.opts.Now()
 	for _, h := range hits {
 		if _, known := q.hits[h.ID]; !known {
 			q.hits[h.ID] = h
 			q.order = append(q.order, h.ID)
+			q.postedAt[h.ID] = now
 		}
 		q.open[h.ID] += h.Assignments
+	}
+	if len(hits) > 0 {
+		q.wakeLocked()
 	}
 	return nil
 }
@@ -122,6 +163,7 @@ func (q *Queue) Retract(ids []int) {
 		delete(q.hits, id)
 		delete(q.answered, id)
 		delete(q.touched, id)
+		delete(q.postedAt, id)
 	}
 	for tok, c := range q.claims {
 		if _, live := q.hits[c.HIT.ID]; !live {
@@ -165,6 +207,12 @@ func (q *Queue) Claim(worker string) (*Claimed, bool) {
 	defer q.mu.Unlock()
 	now := q.opts.Now()
 	q.sweepLocked(now)
+	c := q.claimLocked(worker, now)
+	return c, c != nil
+}
+
+// claimLocked is Claim's core; the caller holds q.mu and has swept.
+func (q *Queue) claimLocked(worker string, now time.Time) *Claimed {
 	for _, id := range q.order {
 		if q.open[id] <= 0 || q.touched[id][worker] {
 			continue
@@ -178,15 +226,82 @@ func (q *Queue) Claim(worker string) (*Claimed, bool) {
 			Token:     newToken(),
 			HIT:       q.hits[id],
 			Worker:    worker,
+			Waited:    now.Sub(q.postedAt[id]),
 			claimedAt: now,
 		}
 		if q.opts.Lease > 0 {
 			c.Deadline = now.Add(q.opts.Lease)
 		}
 		q.claims[c.Token] = c
-		return c, true
+		return c
 	}
-	return nil, false
+	return nil
+}
+
+// ClaimWait is Claim with a bounded long-poll: when nothing is claimable
+// by this worker it blocks — on the queue's wake broadcast, not a poll
+// loop — until a post or a lapsed lease makes work available, maxWait
+// elapses, or ctx is cancelled. maxWait <= 0 degenerates to the
+// non-blocking Claim. The second return is false when the wait expired
+// with nothing claimable; the error is non-nil only for ctx
+// cancellation. An idle worker parked here costs zero requests and is
+// woken within channel-close latency of the next post, so claim latency
+// is wakeup-bound instead of poll-interval-bound.
+func (q *Queue) ClaimWait(ctx context.Context, worker string, maxWait time.Duration) (*Claimed, bool, error) {
+	var timeout <-chan time.Time
+	if maxWait > 0 {
+		t := time.NewTimer(maxWait)
+		defer t.Stop()
+		timeout = t.C
+	}
+	for {
+		q.mu.Lock()
+		now := q.opts.Now()
+		q.sweepLocked(now)
+		c := q.claimLocked(worker, now)
+		wake := q.wake
+		q.mu.Unlock()
+		if c != nil {
+			return c, true, nil
+		}
+		if maxWait <= 0 {
+			return nil, false, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		case <-timeout:
+			return nil, false, nil
+		case <-wake:
+		}
+	}
+}
+
+// Depth reports the queue's open backlog: claimable HITs and the open
+// (unclaimed) assignments across them — the per-tenant queue-depth
+// gauges the metrics endpoint serves.
+func (q *Queue) Depth() (hits, assignments int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.sweepLocked(q.opts.Now())
+	for _, n := range q.open {
+		if n > 0 {
+			hits++
+			assignments += n
+		}
+	}
+	return hits, assignments
+}
+
+// ClaimLive reports whether the token still names an outstanding claim.
+// The cross-session dispatcher uses it to purge its token→session index
+// of claims that lapsed without an Answer.
+func (q *Queue) ClaimLive(token string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.sweepLocked(q.opts.Now())
+	_, ok := q.claims[token]
+	return ok
 }
 
 // Answer submits a claimed assignment's verdicts. Every pair of the HIT
@@ -269,6 +384,11 @@ func (q *Queue) sweepLocked(now time.Time) {
 		// unclaimable once every worker has lapsed on it.
 		delete(q.touched[c.HIT.ID], c.Worker)
 		q.st.push(Assignment{HIT: c.HIT.ID, Worker: -1, Expired: true})
+	}
+	if len(lapsed) > 0 {
+		// A lifted bar can make an already-open slot claimable by the
+		// lapsed worker; blocked claimers must re-check.
+		q.wakeLocked()
 	}
 }
 

@@ -1,0 +1,178 @@
+package dispatch
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Admission bounds how many resolve jobs run concurrently server-wide.
+// Each tenant's waiting jobs form a FIFO; freed slots are granted
+// round-robin across tenants with waiters, so a tenant that queued
+// fifty resolves cannot monopolize the worker pool — its jobs interleave
+// one-for-one with everyone else's while staying in order among
+// themselves. This replaces the one-goroutine-per-job free-for-all: an
+// over-budget tenant queues, it does not degrade neighbors.
+type Admission struct {
+	mu      sync.Mutex
+	slots   int
+	inUse   int
+	waiters map[string][]*admWaiter // tenant → FIFO of queued jobs
+	ring    []string                // tenants with waiters, grant rotation order
+	cursor  int
+	hist    *Histogram // admission-queue wait, served on /metrics
+	now     func() time.Time
+}
+
+type admWaiter struct {
+	ch       chan struct{} // closed on grant
+	granted  bool
+	enqueued time.Time
+}
+
+// NewAdmission builds an admission queue with the given number of
+// concurrent-resolve slots (min 1).
+func NewAdmission(slots int) *Admission {
+	if slots < 1 {
+		slots = 1
+	}
+	return &Admission{
+		slots:   slots,
+		waiters: make(map[string][]*admWaiter),
+		hist:    &Histogram{},
+		now:     time.Now,
+	}
+}
+
+// Acquire blocks until the tenant's job may run or ctx is cancelled.
+// On success it returns a release function that must be called exactly
+// once when the job finishes (any terminal state), plus how long the
+// job waited in the admission queue.
+func (a *Admission) Acquire(ctx context.Context, tenant string) (release func(), waited time.Duration, err error) {
+	a.mu.Lock()
+	if a.inUse < a.slots && len(a.ring) == 0 {
+		// Free slot and nobody queued ahead: run immediately.
+		a.inUse++
+		a.mu.Unlock()
+		a.hist.Record(0)
+		return a.release, 0, nil
+	}
+	w := &admWaiter{ch: make(chan struct{}), enqueued: a.now()}
+	if len(a.waiters[tenant]) == 0 {
+		a.ring = append(a.ring, tenant)
+	}
+	a.waiters[tenant] = append(a.waiters[tenant], w)
+	a.mu.Unlock()
+
+	select {
+	case <-w.ch:
+		waited = a.now().Sub(w.enqueued)
+		a.hist.Record(waited)
+		return a.release, waited, nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		if w.granted {
+			// Grant raced the cancellation: the slot transferred to us
+			// before we noticed ctx was done. Hand it onward.
+			a.releaseLocked()
+			a.mu.Unlock()
+			return nil, 0, ctx.Err()
+		}
+		a.removeLocked(tenant, w)
+		a.mu.Unlock()
+		return nil, 0, ctx.Err()
+	}
+}
+
+// release frees the caller's slot, transferring it to the next queued
+// job (round-robin across tenants, FIFO within one).
+func (a *Admission) release() {
+	a.mu.Lock()
+	a.releaseLocked()
+	a.mu.Unlock()
+}
+
+func (a *Admission) releaseLocked() {
+	if len(a.ring) == 0 {
+		if a.inUse > 0 {
+			a.inUse--
+		}
+		return
+	}
+	// Grant to the next tenant in rotation; the slot transfers without
+	// touching inUse.
+	if a.cursor >= len(a.ring) {
+		a.cursor = 0
+	}
+	tenant := a.ring[a.cursor]
+	q := a.waiters[tenant]
+	w := q[0]
+	if len(q) == 1 {
+		delete(a.waiters, tenant)
+		a.ring = append(a.ring[:a.cursor], a.ring[a.cursor+1:]...)
+		// cursor now points at the next tenant already.
+	} else {
+		a.waiters[tenant] = q[1:]
+		a.cursor++
+	}
+	if a.cursor >= len(a.ring) {
+		a.cursor = 0
+	}
+	w.granted = true
+	close(w.ch)
+}
+
+// removeLocked drops a cancelled waiter from its tenant's FIFO.
+func (a *Admission) removeLocked(tenant string, w *admWaiter) {
+	q := a.waiters[tenant]
+	for i, x := range q {
+		if x == w {
+			q = append(q[:i], q[i+1:]...)
+			break
+		}
+	}
+	if len(q) == 0 {
+		delete(a.waiters, tenant)
+		for i, t := range a.ring {
+			if t == tenant {
+				a.ring = append(a.ring[:i], a.ring[i+1:]...)
+				if a.cursor > i {
+					a.cursor--
+				}
+				if a.cursor >= len(a.ring) {
+					a.cursor = 0
+				}
+				break
+			}
+		}
+	} else {
+		a.waiters[tenant] = q
+	}
+}
+
+// AdmissionStats is the admission queue's /metrics snapshot.
+type AdmissionStats struct {
+	Slots     int           `json:"slots"`
+	InUse     int           `json:"in_use"`
+	Queued    int           `json:"queued"`
+	WaitP50   time.Duration `json:"-"`
+	WaitP99   time.Duration `json:"-"`
+	WaitP50Ms float64       `json:"wait_p50_ms"`
+	WaitP99Ms float64       `json:"wait_p99_ms"`
+}
+
+// Stats snapshots slot usage and queue depth.
+func (a *Admission) Stats() AdmissionStats {
+	a.mu.Lock()
+	queued := 0
+	for _, q := range a.waiters {
+		queued += len(q)
+	}
+	s := AdmissionStats{Slots: a.slots, InUse: a.inUse, Queued: queued}
+	a.mu.Unlock()
+	s.WaitP50 = a.hist.Quantile(0.50)
+	s.WaitP99 = a.hist.Quantile(0.99)
+	s.WaitP50Ms = float64(s.WaitP50) / float64(time.Millisecond)
+	s.WaitP99Ms = float64(s.WaitP99) / float64(time.Millisecond)
+	return s
+}

@@ -1,0 +1,88 @@
+package dispatch
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Bucket is a token-bucket rate limiter guarding a tenant's HIT
+// issuance. Rates are HITs per second; Burst is how far a quiet tenant
+// may run ahead of its steady rate. A nil *Bucket (or rate <= 0) means
+// unlimited — every method is nil-safe so callers need no branching.
+//
+// Posting waits rather than fails: an over-budget tenant's resolve
+// slows down to its paid rate, it does not error out, and — because the
+// wait happens inside that tenant's own resolve goroutine — it degrades
+// nobody else.
+type Bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second; <= 0 means unlimited
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+// NewBucket builds a limiter issuing rate tokens/second with the given
+// burst (min 1). rate <= 0 returns nil: unlimited.
+func NewBucket(rate float64, burst int) *Bucket {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &Bucket{
+		rate:   rate,
+		burst:  float64(burst),
+		tokens: float64(burst),
+		now:    time.Now,
+	}
+}
+
+// refillLocked advances the bucket to now.
+func (b *Bucket) refillLocked(now time.Time) {
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+}
+
+// Wait blocks until n tokens are available (debiting them) or ctx is
+// cancelled. Requests larger than the burst are allowed: the bucket
+// simply goes into debt and the caller waits it out, so a single HIT
+// batch bigger than the burst cannot deadlock.
+func (b *Bucket) Wait(ctx context.Context, n int) error {
+	if b == nil || n <= 0 {
+		return nil
+	}
+	b.mu.Lock()
+	now := b.now()
+	b.refillLocked(now)
+	b.tokens -= float64(n)
+	deficit := -b.tokens
+	b.mu.Unlock()
+	if deficit <= 0 {
+		return nil
+	}
+	delay := time.Duration(deficit / b.rate * float64(time.Second))
+	t := time.NewTimer(delay)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		// Refund what this caller will never use.
+		b.mu.Lock()
+		b.tokens += float64(n)
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.mu.Unlock()
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,455 @@
+package dispatch
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/crowder/crowder/internal/crowd"
+	"github.com/crowder/crowder/internal/record"
+)
+
+func postPairs(t *testing.T, q *crowd.Queue, n, assignments int) []crowd.HIT {
+	t.Helper()
+	gen := make([][]record.Pair, n)
+	for i := range gen {
+		gen[i] = []record.Pair{record.MakePair(record.ID(2*i), record.ID(2*i+1))}
+	}
+	hits := crowd.PairHITsFromGen(gen, assignments)
+	if err := q.Post(context.Background(), hits); err != nil {
+		t.Fatal(err)
+	}
+	return hits
+}
+
+// TestDRRWeightedFairness: with weights 1 and 3 and both queues deep,
+// a stream of claims lands 1:3 between the sessions.
+func TestDRRWeightedFairness(t *testing.T) {
+	d := NewDispatcher()
+	qa := crowd.NewQueue(crowd.QueueOptions{})
+	qb := crowd.NewQueue(crowd.QueueOptions{})
+	postPairs(t, qa, 60, 1)
+	postPairs(t, qb, 60, 1)
+	if err := d.Register(Session{Tenant: "light", Table: "a", Queue: qa, Weight: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Register(Session{Tenant: "heavy", Table: "b", Queue: qb, Weight: 3}); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for i := 0; i < 40; i++ {
+		// A fresh worker per claim keeps the per-worker replication bar
+		// out of the fairness measurement.
+		_, s, ok, err := d.Claim(context.Background(), fmt.Sprintf("w%d", i), 0)
+		if err != nil || !ok {
+			t.Fatalf("claim %d failed: ok=%v err=%v", i, ok, err)
+		}
+		counts[s.Table]++
+	}
+	if counts["a"] != 10 || counts["b"] != 30 {
+		t.Fatalf("weighted rotation gave %v; want a:10 b:30", counts)
+	}
+}
+
+// TestDRRSkipsUnclaimable: a session with nothing claimable forfeits
+// its turn instead of blocking the rotation; when its queue fills the
+// rotation picks it back up.
+func TestDRRSkipsUnclaimable(t *testing.T) {
+	d := NewDispatcher()
+	qa := crowd.NewQueue(crowd.QueueOptions{})
+	qb := crowd.NewQueue(crowd.QueueOptions{})
+	if err := d.Register(Session{Tenant: "t1", Table: "empty", Queue: qa, Weight: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Register(Session{Tenant: "t2", Table: "full", Queue: qb, Weight: 1}); err != nil {
+		t.Fatal(err)
+	}
+	postPairs(t, qb, 4, 1)
+	for i := 0; i < 4; i++ {
+		_, s, ok, _ := d.Claim(context.Background(), fmt.Sprintf("w%d", i), 0)
+		if !ok || s.Table != "full" {
+			t.Fatalf("claim %d = (%v, %q); want from \"full\"", i, ok, s.Table)
+		}
+	}
+	if _, _, ok, _ := d.Claim(context.Background(), "w9", 0); ok {
+		t.Fatal("claim succeeded with both queues drained")
+	}
+}
+
+// TestClaimBlocksAcrossSessions: a worker parked in a cross-session
+// claim wakes when any registered queue receives a post.
+func TestClaimBlocksAcrossSessions(t *testing.T) {
+	d := NewDispatcher()
+	qa := crowd.NewQueue(crowd.QueueOptions{})
+	qb := crowd.NewQueue(crowd.QueueOptions{})
+	if err := d.Register(Session{Tenant: "t1", Table: "a", Queue: qa}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Register(Session{Tenant: "t2", Table: "b", Queue: qb}); err != nil {
+		t.Fatal(err)
+	}
+	type got struct {
+		table string
+		ok    bool
+	}
+	done := make(chan got, 1)
+	go func() {
+		_, s, ok, _ := d.Claim(context.Background(), "w", 10*time.Second)
+		done <- got{s.Table, ok}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	postPairs(t, qb, 1, 1)
+	select {
+	case g := <-done:
+		if !g.ok || g.table != "b" {
+			t.Fatalf("woken claim = %+v; want ok from \"b\"", g)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cross-session claim never woke on post")
+	}
+
+	// Bounded wait on empty queues times out false, and cancellation
+	// surfaces as an error.
+	if _, _, ok, err := d.Claim(context.Background(), "w2", 20*time.Millisecond); ok || err != nil {
+		t.Fatalf("timed-out claim = (%v, %v); want (false, nil)", ok, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if _, _, _, err := d.Claim(ctx, "w3", 10*time.Second); err != context.Canceled {
+		t.Fatalf("cancelled claim returned %v; want context.Canceled", err)
+	}
+}
+
+// TestAnswerRoutesByToken: global answers land on the claiming
+// session's queue; unknown tokens and double answers error.
+func TestAnswerRoutesByToken(t *testing.T) {
+	d := NewDispatcher()
+	q := crowd.NewQueue(crowd.QueueOptions{})
+	if err := d.Register(Session{Tenant: "t", Table: "a", Queue: q}); err != nil {
+		t.Fatal(err)
+	}
+	hits := postPairs(t, q, 1, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stream := q.Collect(ctx)
+
+	c, s, ok, err := d.Claim(context.Background(), "w", 0)
+	if err != nil || !ok {
+		t.Fatalf("claim: ok=%v err=%v", ok, err)
+	}
+	if s.Table != "a" || c.HIT.ID != hits[0].ID {
+		t.Fatalf("claimed %d from %q; want HIT %d from \"a\"", c.HIT.ID, s.Table, hits[0].ID)
+	}
+	var vs []crowd.Verdict
+	for _, p := range c.HIT.Pairs {
+		vs = append(vs, crowd.Verdict{A: p.A, B: p.B, Match: true})
+	}
+	if _, err := d.Answer(c.Token, vs); err != nil {
+		t.Fatalf("answer: %v", err)
+	}
+	select {
+	case a := <-stream:
+		if a.HIT != c.HIT.ID {
+			t.Fatalf("assignment for HIT %d; want %d", a.HIT, c.HIT.ID)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("answer never reached the session's stream")
+	}
+	if _, err := d.Answer(c.Token, vs); err == nil {
+		t.Fatal("second answer on a consumed token succeeded")
+	}
+	if _, err := d.Answer("no-such-token", vs); err == nil {
+		t.Fatal("answer with unknown token succeeded")
+	}
+}
+
+// TestPurgeTokens: lapsed claims fall out of the token index.
+func TestPurgeTokens(t *testing.T) {
+	d := NewDispatcher()
+	now := time.Now()
+	var mu sync.Mutex
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	q := crowd.NewQueue(crowd.QueueOptions{Lease: time.Second, Now: clock})
+	if err := d.Register(Session{Tenant: "t", Table: "a", Queue: q}); err != nil {
+		t.Fatal(err)
+	}
+	postPairs(t, q, 1, 1)
+	c, _, ok, _ := d.Claim(context.Background(), "w", 0)
+	if !ok {
+		t.Fatal("claim failed")
+	}
+	mu.Lock()
+	now = now.Add(2 * time.Second) // lease lapses
+	mu.Unlock()
+	d.PurgeTokens()
+	if _, err := d.Answer(c.Token, nil); err == nil {
+		t.Fatal("answer on a purged token succeeded")
+	}
+}
+
+// TestRegisterValidation: duplicate table names and nil queues reject.
+func TestRegisterValidation(t *testing.T) {
+	d := NewDispatcher()
+	q := crowd.NewQueue(crowd.QueueOptions{})
+	if err := d.Register(Session{Table: "a", Queue: q}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Register(Session{Table: "a", Queue: q}); err == nil {
+		t.Fatal("duplicate table registration succeeded")
+	}
+	if err := d.Register(Session{Table: "b"}); err == nil {
+		t.Fatal("nil-queue registration succeeded")
+	}
+	st := d.Stats()
+	if len(st) != 1 || st[0].Table != "a" || st[0].Weight != 1 {
+		t.Fatalf("stats = %+v; want one session \"a\" with default weight 1", st)
+	}
+}
+
+// TestAdmissionBoundsConcurrency: with 2 slots and 3 tenants × 3 jobs,
+// at most 2 jobs run at once, every job runs, per-tenant order is FIFO,
+// and freed slots rotate across tenants.
+func TestAdmissionBoundsConcurrency(t *testing.T) {
+	a := NewAdmission(2)
+	var running, peak, done atomic.Int64
+	var mu sync.Mutex
+	ran := map[string][]int{}
+	var wg sync.WaitGroup
+	for _, tenant := range []string{"t1", "t2", "t3"} {
+		for j := 0; j < 3; j++ {
+			wg.Add(1)
+			go func(tenant string, j int) {
+				defer wg.Done()
+				release, _, err := a.Acquire(context.Background(), tenant)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if r := running.Add(1); r > peak.Load() {
+					peak.Store(r)
+				}
+				mu.Lock()
+				ran[tenant] = append(ran[tenant], j)
+				mu.Unlock()
+				time.Sleep(2 * time.Millisecond)
+				running.Add(-1)
+				done.Add(1)
+				release()
+			}(tenant, j)
+			time.Sleep(time.Millisecond) // stable enqueue order per tenant
+		}
+	}
+	wg.Wait()
+	if done.Load() != 9 {
+		t.Fatalf("%d jobs finished; want 9", done.Load())
+	}
+	if p := peak.Load(); p > 2 {
+		t.Fatalf("peak concurrency %d exceeded the 2-slot bound", p)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for tenant, seq := range ran {
+		for i := 1; i < len(seq); i++ {
+			if seq[i] < seq[i-1] {
+				t.Fatalf("tenant %s ran out of FIFO order: %v", tenant, seq)
+			}
+		}
+	}
+	if s := a.Stats(); s.InUse != 0 || s.Queued != 0 {
+		t.Fatalf("post-drain stats = %+v; want idle", s)
+	}
+}
+
+// TestAdmissionCancel: a queued job whose context is cancelled leaves
+// the queue without consuming a slot.
+func TestAdmissionCancel(t *testing.T) {
+	a := NewAdmission(1)
+	release, _, err := a.Acquire(context.Background(), "t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, _, err := a.Acquire(ctx, "t2")
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-errCh; err != context.Canceled {
+		t.Fatalf("cancelled acquire returned %v; want context.Canceled", err)
+	}
+	release()
+	// The slot is free again for a fresh job.
+	release2, waited, err := a.Acquire(context.Background(), "t3")
+	if err != nil || waited != 0 {
+		t.Fatalf("post-cancel acquire: waited=%v err=%v; want immediate", waited, err)
+	}
+	release2()
+}
+
+// TestBucketThrottles: a 100/s bucket with burst 1 spaces waits out;
+// nil buckets and oversized bursts never block forever.
+func TestBucketThrottles(t *testing.T) {
+	var nilBucket *Bucket
+	if err := nilBucket.Wait(context.Background(), 100); err != nil {
+		t.Fatalf("nil bucket errored: %v", err)
+	}
+	if b := NewBucket(0, 5); b != nil {
+		t.Fatal("rate 0 should mean unlimited (nil bucket)")
+	}
+	b := NewBucket(1000, 1)
+	start := time.Now()
+	for i := 0; i < 5; i++ {
+		if err := b.Wait(context.Background(), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Burst covers the first token; the remaining 4 must wait ~1ms each.
+	if e := time.Since(start); e < 3*time.Millisecond {
+		t.Fatalf("5 tokens at 1000/s burst 1 took %v; want >= ~4ms of pacing", e)
+	}
+	// A request far above burst goes into debt instead of deadlocking.
+	if err := NewBucket(1e6, 1).Wait(context.Background(), 500); err != nil {
+		t.Fatal(err)
+	}
+	// Cancellation interrupts a long wait.
+	slow := NewBucket(0.1, 1)
+	if err := slow.Wait(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := slow.Wait(ctx, 1); err != context.DeadlineExceeded {
+		t.Fatalf("cancelled bucket wait returned %v; want deadline exceeded", err)
+	}
+}
+
+// TestHistogramQuantiles: quantiles land within the histogram's
+// documented ~6% resolution.
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram should read zero")
+	}
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d; want 1000", h.Count())
+	}
+	checks := []struct {
+		q    float64
+		want time.Duration
+	}{{0.50, 500 * time.Millisecond}, {0.99, 990 * time.Millisecond}}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		lo := time.Duration(float64(c.want) * 0.90)
+		hi := time.Duration(float64(c.want) * 1.10)
+		if got < lo || got > hi {
+			t.Fatalf("p%v = %v; want within 10%% of %v", c.q*100, got, c.want)
+		}
+	}
+	mean := h.Mean()
+	if mean < 450*time.Millisecond || mean > 550*time.Millisecond {
+		t.Fatalf("mean = %v; want ~500ms", mean)
+	}
+}
+
+// TestDispatcherConcurrent hammers the claim plane from many workers
+// across several sessions under -race: every posted assignment is
+// answered exactly once and lands on its own session's stream.
+func TestDispatcherConcurrent(t *testing.T) {
+	d := NewDispatcher()
+	const sessions = 4
+	const hitsPer = 25
+	type sess struct {
+		q      *crowd.Queue
+		stream <-chan crowd.Assignment
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ss := make([]*sess, sessions)
+	for i := range ss {
+		q := crowd.NewQueue(crowd.QueueOptions{})
+		ss[i] = &sess{q: q, stream: q.Collect(ctx)}
+		if err := d.Register(Session{
+			Tenant: fmt.Sprintf("tenant%d", i),
+			Table:  fmt.Sprintf("table%d", i),
+			Queue:  q,
+			Weight: 1 + i%2,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Post from separate goroutines while workers are already claiming.
+	var wg sync.WaitGroup
+	for i, s := range ss {
+		wg.Add(1)
+		go func(i int, s *sess) {
+			defer wg.Done()
+			time.Sleep(time.Duration(i) * time.Millisecond)
+			postPairs(t, s.q, hitsPer, 1)
+		}(i, s)
+	}
+	var answered atomic.Int64
+	need := int64(sessions * hitsPer)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := fmt.Sprintf("w%d", w)
+			for answered.Load() < need {
+				c, _, ok, err := d.Claim(ctx, name, 50*time.Millisecond)
+				if err != nil {
+					return
+				}
+				if !ok {
+					continue
+				}
+				var vs []crowd.Verdict
+				for _, p := range c.HIT.Pairs {
+					vs = append(vs, crowd.Verdict{A: p.A, B: p.B, Match: p.A%2 == p.B%2})
+				}
+				if _, err := d.Answer(c.Token, vs); err != nil {
+					t.Errorf("answer: %v", err)
+					return
+				}
+				answered.Add(1)
+			}
+		}(w)
+	}
+	got := make([]int, sessions)
+	deadline := time.After(30 * time.Second)
+	for total := 0; total < sessions*hitsPer; {
+		progressed := false
+		for i, s := range ss {
+			select {
+			case <-s.stream:
+				got[i]++
+				total++
+				progressed = true
+			default:
+			}
+		}
+		if !progressed {
+			select {
+			case <-deadline:
+				t.Fatalf("streams stalled at %v of %d", got, sessions*hitsPer)
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}
+	wg.Wait()
+	for i, n := range got {
+		if n != hitsPer {
+			t.Fatalf("session %d delivered %d assignments; want %d", i, n, hitsPer)
+		}
+	}
+}

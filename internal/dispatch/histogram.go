@@ -1,0 +1,105 @@
+package dispatch
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram resolution: durations are bucketed by octave (power of two
+// microseconds) with linear sub-buckets inside each octave, bounding
+// quantile error to ~1/subPerOctave. Recording is a single atomic add —
+// the claim hot path never takes a lock for metrics.
+const (
+	histOctaves      = 40 // 1µs .. ~2^40µs (~12.7 days)
+	histSubPerOctave = 16 // ≤ 6.25% relative quantization error
+	histBuckets      = histOctaves * histSubPerOctave
+)
+
+// Histogram is a lock-free log-linear latency histogram. The claim
+// dispatcher records every claim's queueing delay into one of these per
+// session; /metrics and the tenant bench read the same p50/p99 from it.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sumUs   atomic.Int64
+}
+
+func histBucketOf(us int64) int {
+	if us < 1 {
+		us = 1
+	}
+	oct := bits.Len64(uint64(us)) - 1
+	if oct >= histOctaves {
+		return histBuckets - 1
+	}
+	// Position within [2^oct, 2^(oct+1)) scaled to sub-bucket count.
+	sub := int(((us - (1 << oct)) * histSubPerOctave) >> oct)
+	if sub >= histSubPerOctave {
+		sub = histSubPerOctave - 1
+	}
+	return oct*histSubPerOctave + sub
+}
+
+// histBucketMid returns a representative duration for bucket i: the
+// midpoint of the bucket's range.
+func histBucketMid(i int) time.Duration {
+	oct := i / histSubPerOctave
+	sub := i % histSubPerOctave
+	lo := int64(1) << oct
+	width := lo / histSubPerOctave
+	if width < 1 {
+		width = 1
+	}
+	us := lo + int64(sub)*lo/histSubPerOctave + width/2
+	return time.Duration(us) * time.Microsecond
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(d time.Duration) {
+	us := d.Microseconds()
+	h.buckets[histBucketOf(us)].Add(1)
+	h.count.Add(1)
+	if us > 0 {
+		h.sumUs.Add(us)
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Mean returns the mean observed duration.
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumUs.Load()/n) * time.Microsecond
+}
+
+// Quantile returns the approximate q-quantile (q in [0,1]) of the
+// recorded durations, or 0 when empty. Concurrent writers make the
+// snapshot approximate; for monitoring and bench gating that is fine.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	var counts [histBuckets]int64
+	var total int64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	target := int64(q * float64(total))
+	if target >= total {
+		target = total - 1
+	}
+	var seen int64
+	for i, c := range counts {
+		seen += c
+		if seen > target {
+			return histBucketMid(i)
+		}
+	}
+	return histBucketMid(histBuckets - 1)
+}

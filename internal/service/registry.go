@@ -1,0 +1,93 @@
+package service
+
+import "sync"
+
+// registryShards is the table-registry shard count. Table lookup is on
+// every request path; creation is rare. Sharding plus RWMutexes means a
+// claim burst never serializes on one lock, and a table being created
+// blocks only the 1/16th of lookups that hash to its shard — the
+// cross-session claim plane touches no registry lock at all.
+const registryShards = 16
+
+type registryShard struct {
+	mu     sync.RWMutex
+	tables map[string]*session
+}
+
+// registry is the server's read-mostly table map: FNV-1a-sharded with
+// per-shard read/write locks, replacing the single server-wide mutex
+// that made every claim wait behind every table creation.
+type registry struct {
+	shards [registryShards]registryShard
+}
+
+func newRegistry() *registry {
+	r := &registry{}
+	for i := range r.shards {
+		r.shards[i].tables = make(map[string]*session)
+	}
+	return r
+}
+
+// shardOf hashes a table name to its shard (FNV-1a).
+func (r *registry) shardOf(name string) *registryShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return &r.shards[h%registryShards]
+}
+
+// get returns the named session, or nil.
+func (r *registry) get(name string) *session {
+	sh := r.shardOf(name)
+	sh.mu.RLock()
+	sess := sh.tables[name]
+	sh.mu.RUnlock()
+	return sess
+}
+
+// put registers a session under name; false if the name is taken.
+func (r *registry) put(name string, sess *session) bool {
+	sh := r.shardOf(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, exists := sh.tables[name]; exists {
+		return false
+	}
+	sh.tables[name] = sess
+	return true
+}
+
+// names lists every table name (unsorted).
+func (r *registry) names() []string {
+	var out []string
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for name := range sh.tables {
+			out = append(out, name)
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// all lists every session (unsorted).
+func (r *registry) all() []*session {
+	var out []*session
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for _, sess := range sh.tables {
+			out = append(out, sess)
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}

@@ -21,15 +21,32 @@
 //	GET    /tables/{table}/hits         open HITs (queue backend)
 //	POST   /tables/{table}/hits/claim   claim one assignment (worker API)
 //	POST   /tables/{table}/hits/answer  answer a claimed assignment
+//	POST   /claim                       claim across ALL tables (shared pool)
+//	POST   /answer                      answer a cross-table claim
+//	GET    /metrics                     per-tenant gauges and latency quantiles
+//	GET    /debug/pprof/                runtime profiles
 //	GET    /healthz                     liveness
 //
-// Concurrency: resolution jobs run on their own goroutine; one job per
-// table at a time (409 otherwise). The resolver's session lock is a
-// read/write lock held exclusively only inside its short mutation
-// windows, so worker endpoints render HIT content straight from the
-// resolver's table — no row mirror — and stay responsive while a
-// resolution is waiting on the crowd. Appends to a table whose job is in
-// flight block only for those mutation windows, not for the whole job.
+// Multi-tenancy: every table belongs to a tenant (options.tenant,
+// defaulting to the table name). Workers in a shared pool claim through
+// POST /claim with no table in the path; the dispatcher picks the next
+// assignment by deficit-round-robin across sessions weighted by
+// options.priority, so one tenant's huge resolve cannot starve another's
+// small delta. Per-tenant budgets (options.hit_rate / hit_burst)
+// token-bucket HIT issuance, and resolve jobs pass a bounded admission
+// queue (Options.MaxResolves concurrent server-wide, FIFO per tenant,
+// round-robin across tenants) — jobs report state "queued" until
+// admitted. Claims long-poll: both claim endpoints accept max_wait_ms
+// and block until work arrives (wake-on-post) or the wait expires.
+//
+// Concurrency: resolution jobs run on their own goroutine once admitted.
+// One job per table at a time (409 otherwise). The resolver's session
+// lock is a read/write lock held exclusively only inside its short
+// mutation windows, so worker endpoints render HIT content straight from
+// the resolver's table — no row mirror — and stay responsive while a
+// resolution is waiting on the crowd. The table registry is sharded with
+// per-shard RWMutexes, so the claim/answer hot path never serializes on
+// table creation.
 package service
 
 import (
@@ -38,12 +55,15 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	crowder "github.com/crowder/crowder"
+	"github.com/crowder/crowder/internal/dispatch"
 	"github.com/crowder/crowder/internal/record"
 )
 
@@ -51,14 +71,20 @@ import (
 type Options struct {
 	// Lease is the claim lease for queue-backend tables (default 5m).
 	Lease time.Duration
+	// MaxResolves bounds how many resolve jobs run concurrently across
+	// all tenants (default 4). Excess jobs queue FIFO per tenant with
+	// round-robin admission across tenants.
+	MaxResolves int
 }
 
 // Server is the crowderd HTTP handler.
 type Server struct {
-	mu     sync.Mutex
-	opts   Options
-	tables map[string]*session
-	mux    *http.ServeMux
+	opts       Options
+	reg        *registry
+	dispatcher *dispatch.Dispatcher
+	admission  *dispatch.Admission
+	start      time.Time
+	mux        *http.ServeMux
 }
 
 // New creates an empty server.
@@ -66,7 +92,16 @@ func New(opts Options) *Server {
 	if opts.Lease <= 0 {
 		opts.Lease = 5 * time.Minute
 	}
-	s := &Server{opts: opts, tables: make(map[string]*session)}
+	if opts.MaxResolves <= 0 {
+		opts.MaxResolves = 4
+	}
+	s := &Server{
+		opts:       opts,
+		reg:        newRegistry(),
+		dispatcher: dispatch.NewDispatcher(),
+		admission:  dispatch.NewAdmission(opts.MaxResolves),
+		start:      time.Now(),
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
@@ -74,13 +109,21 @@ func New(opts Options) *Server {
 	mux.HandleFunc("GET /tables", s.handleListTables)
 	mux.HandleFunc("POST /tables/{table}", s.handleCreateTable)
 	mux.HandleFunc("POST /tables/{table}/records", s.withSession(handleAppend))
-	mux.HandleFunc("POST /tables/{table}/resolve", s.withSession(handleResolve))
+	mux.HandleFunc("POST /tables/{table}/resolve", s.withSession(s.handleResolve))
 	mux.HandleFunc("GET /tables/{table}/jobs/{id}", s.withSession(handleJobStatus))
 	mux.HandleFunc("DELETE /tables/{table}/jobs/{id}", s.withSession(handleJobCancel))
 	mux.HandleFunc("GET /tables/{table}/matches", s.withSession(handleMatches))
 	mux.HandleFunc("GET /tables/{table}/hits", s.withSession(handleOpenHITs))
 	mux.HandleFunc("POST /tables/{table}/hits/claim", s.withSession(handleClaim))
 	mux.HandleFunc("POST /tables/{table}/hits/answer", s.withSession(handleAnswer))
+	mux.HandleFunc("POST /claim", s.handleGlobalClaim)
+	mux.HandleFunc("POST /answer", s.handleGlobalAnswer)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	s.mux = mux
 	return s
 }
@@ -91,27 +134,24 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // SweepQueues expires lapsed claims on every queue-backend table so
-// lifecycle managers hear about expiries even with no worker traffic.
+// lifecycle managers hear about expiries even with no worker traffic,
+// and drops the dispatcher's routes for tokens that lapsed unanswered.
 // crowderd calls this on a ticker.
 func (s *Server) SweepQueues() {
-	s.mu.Lock()
-	sessions := make([]*session, 0, len(s.tables))
-	for _, sess := range s.tables {
-		sessions = append(sessions, sess)
-	}
-	s.mu.Unlock()
-	for _, sess := range sessions {
+	for _, sess := range s.reg.all() {
 		if sess.queue != nil {
 			sess.queue.Sweep()
 		}
 	}
+	s.dispatcher.PurgeTokens()
 }
 
 // session is one table's long-lived resolution state.
 type session struct {
-	name  string
-	rv    *crowder.Resolver
-	queue *crowder.QueueBackend // nil for the simulated backend
+	name   string
+	tenant string
+	rv     *crowder.Resolver
+	queue  *crowder.QueueBackend // nil for the simulated backend
 
 	// current is the running job, observed lock-free by the engine's
 	// progress callback (which fires while the resolver lock is held).
@@ -146,7 +186,7 @@ func (sess *session) pruneJobsLocked() {
 		for i, id := range sess.jobOrder {
 			j := sess.jobs[id]
 			j.mu.Lock()
-			done := j.state != "running"
+			done := j.state != "running" && j.state != "queued"
 			j.mu.Unlock()
 			if done {
 				delete(sess.jobs, id)
@@ -166,10 +206,14 @@ type job struct {
 	id int
 
 	mu       sync.Mutex
-	state    string // "running", "done", "failed", "cancelled"
+	state    string // "queued", "running", "done", "failed", "cancelled"
 	progress crowder.Progress
-	interim  int // matches ≥ 0.5 in the latest interim aggregation
-	result   *crowder.Result
+	// admissionWait is how long the job sat in the admission queue
+	// before it was allowed to run — the back-pressure a busy server
+	// applies to new resolves, echoed in job status.
+	admissionWait time.Duration
+	interim       int // matches ≥ 0.5 in the latest interim aggregation
+	result        *crowder.Result
 	// workers is the per-worker accuracy/coverage report computed when
 	// the job completes (the resolver lock is free by then) — the
 	// session-wide diagnostic a dashboard reads to spot spammers and
@@ -224,7 +268,43 @@ type optionsRequest struct {
 	// sparse-coverage-robust MAP estimator). Fixed for the session; job
 	// status echoes it under options.aggregation.
 	Aggregation string `json:"aggregation,omitempty"`
+	// Tenant names the owning tenant (default: the table name).
+	// Fairness, budgets and admission are all per tenant.
+	Tenant string `json:"tenant,omitempty"`
+	// Priority is the table's deficit-round-robin weight on the shared
+	// claim plane (default 1, min 1): how many consecutive assignments
+	// the table may serve per dispatcher rotation.
+	Priority int `json:"priority,omitempty"`
+	// HITRate caps the tenant's HIT issuance in HITs/second (0 =
+	// unlimited). An over-budget resolve slows to its paid rate instead
+	// of flooding the shared pool.
+	HITRate float64 `json:"hit_rate,omitempty"`
+	// HITBurst is the token-bucket burst for HITRate (default 1).
+	HITBurst int `json:"hit_burst,omitempty"`
 }
+
+// meteredBackend debits the tenant's token bucket before each HIT
+// posting reaches workers. Waiting happens inside the posting resolve's
+// own goroutine with that job's context, so an over-budget tenant slows
+// itself down and nobody else. Retract must forward for the lifecycle
+// manager's end-of-run cleanup to reach the queue.
+type meteredBackend struct {
+	q      *crowder.QueueBackend
+	bucket *dispatch.Bucket
+}
+
+func (m *meteredBackend) Post(ctx context.Context, hits []crowder.HIT) error {
+	if err := m.bucket.Wait(ctx, len(hits)); err != nil {
+		return err
+	}
+	return m.q.Post(ctx, hits)
+}
+
+func (m *meteredBackend) Collect(ctx context.Context) <-chan crowder.Assignment {
+	return m.q.Collect(ctx)
+}
+
+func (m *meteredBackend) Retract(ids []int) { m.q.Retract(ids) }
 
 func (s *Server) handleCreateTable(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("table")
@@ -274,8 +354,12 @@ func (s *Server) handleCreateTable(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	tenant := req.Options.Tenant
+	if tenant == "" {
+		tenant = name
+	}
 	sess := &session{
-		name: name, schema: req.Schema, jobs: make(map[int]*job),
+		name: name, tenant: tenant, schema: req.Schema, jobs: make(map[int]*job),
 		aggregation:  agg.String(),
 		transitivity: req.Options.Transitivity,
 	}
@@ -288,7 +372,12 @@ func (s *Server) handleCreateTable(w http.ResponseWriter, r *http.Request) {
 			lease = time.Duration(req.Options.LeaseSeconds) * time.Second
 		}
 		sess.queue = crowder.NewQueueBackend(crowder.QueueOptions{Lease: lease})
-		opts.Backend = sess.queue
+		// The tenant's HIT budget meters postings on their way in; nil
+		// bucket (hit_rate 0) means unlimited and costs nothing.
+		opts.Backend = &meteredBackend{
+			q:      sess.queue,
+			bucket: dispatch.NewBucket(req.Options.HITRate, req.Options.HITBurst),
+		}
 	default:
 		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown backend %q (want \"simulated\" or \"queue\")", req.Options.Backend))
 		return
@@ -306,23 +395,28 @@ func (s *Server) handleCreateTable(w http.ResponseWriter, r *http.Request) {
 	}
 	sess.rv = rv
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, exists := s.tables[name]; exists {
+	if !s.reg.put(name, sess) {
 		writeError(w, http.StatusConflict, fmt.Errorf("table %q already exists", name))
 		return
 	}
-	s.tables[name] = sess
-	writeJSON(w, http.StatusCreated, map[string]any{"table": name, "schema": req.Schema})
+	if sess.queue != nil {
+		// Join the shared claim plane. The name was just reserved in the
+		// registry, so registration cannot collide.
+		if err := s.dispatcher.Register(dispatch.Session{
+			Tenant: tenant,
+			Table:  name,
+			Queue:  sess.queue,
+			Weight: req.Options.Priority,
+		}); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"table": name, "schema": req.Schema, "tenant": tenant})
 }
 
 func (s *Server) handleListTables(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	names := make([]string, 0, len(s.tables))
-	for name := range s.tables {
-		names = append(names, name)
-	}
-	s.mu.Unlock()
+	names := s.reg.names()
 	sort.Strings(names)
 	writeJSON(w, http.StatusOK, map[string]any{"tables": names})
 }
@@ -331,9 +425,7 @@ func (s *Server) handleListTables(w http.ResponseWriter, r *http.Request) {
 func (s *Server) withSession(h func(*session, http.ResponseWriter, *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		name := r.PathValue("table")
-		s.mu.Lock()
-		sess := s.tables[name]
-		s.mu.Unlock()
+		sess := s.reg.get(name)
 		if sess == nil {
 			writeError(w, http.StatusNotFound, fmt.Errorf("no table %q", name))
 			return
@@ -361,7 +453,7 @@ func handleAppend(sess *session, w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"first_id": first, "count": len(req.Rows)})
 }
 
-func handleResolve(sess *session, w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleResolve(sess *session, w http.ResponseWriter, r *http.Request) {
 	sess.mu.Lock()
 	if sess.running {
 		sess.mu.Unlock()
@@ -370,15 +462,37 @@ func handleResolve(sess *session, w http.ResponseWriter, r *http.Request) {
 	}
 	sess.nextJob++
 	ctx, cancel := context.WithCancel(context.Background())
-	j := &job{id: sess.nextJob, state: "running", cancel: cancel}
+	j := &job{id: sess.nextJob, state: "queued", cancel: cancel}
 	sess.jobs[j.id] = j
 	sess.jobOrder = append(sess.jobOrder, j.id)
 	sess.pruneJobsLocked()
 	sess.running = true
 	sess.mu.Unlock()
-	sess.current.Store(j)
 
 	go func() {
+		// Admission: at most Options.MaxResolves jobs run concurrently
+		// server-wide; a busy server queues this job (FIFO within the
+		// tenant, round-robin across tenants) instead of oversubscribing
+		// the worker pool. Cancellation works while queued.
+		release, waited, aerr := s.admission.Acquire(ctx, sess.tenant)
+		if aerr != nil {
+			cancel()
+			j.mu.Lock()
+			j.state = "cancelled"
+			j.errMsg = aerr.Error()
+			j.mu.Unlock()
+			sess.mu.Lock()
+			sess.running = false
+			sess.mu.Unlock()
+			return
+		}
+		defer release()
+		j.mu.Lock()
+		j.state = "running"
+		j.admissionWait = waited
+		j.mu.Unlock()
+		sess.current.Store(j)
+
 		res, err := sess.rv.ResolveDeltaContext(ctx)
 		cancel()
 		sess.current.Store(nil)
@@ -450,6 +564,7 @@ func handleJobStatus(sess *session, w http.ResponseWriter, r *http.Request) {
 			"retracted":       j.progress.Retracted,
 			"interim_matches": j.interim,
 		},
+		"admission_wait_ms": float64(j.admissionWait) / float64(time.Millisecond),
 	}
 	if j.errMsg != "" {
 		body["error"] = j.errMsg
@@ -494,7 +609,7 @@ func handleJobCancel(sess *session, w http.ResponseWriter, r *http.Request) {
 	state := j.state
 	cancel := j.cancel
 	j.mu.Unlock()
-	if state != "running" {
+	if state != "running" && state != "queued" {
 		// Cancelling a finished job is a no-op; saying "cancelling" would
 		// send pollers waiting for state "cancelled" into a spin.
 		writeJSON(w, http.StatusConflict, map[string]any{"job": j.id, "state": state})
@@ -600,13 +715,30 @@ func handleOpenHITs(sess *session, w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"hits": hits, "total": len(hits)})
 }
 
+// claimRequest is the body of both claim endpoints. MaxWaitMs turns the
+// claim into a long-poll: the request blocks until an assignment opens
+// (wake-on-post), the wait expires, or the client goes away. maxClaimWait
+// caps it so a dead client cannot pin a handler goroutine for hours.
+type claimRequest struct {
+	Worker    string `json:"worker"`
+	MaxWaitMs int    `json:"max_wait_ms,omitempty"`
+}
+
+const maxClaimWait = 60 * time.Second
+
+func (cr claimRequest) wait() time.Duration {
+	d := time.Duration(cr.MaxWaitMs) * time.Millisecond
+	if d > maxClaimWait {
+		d = maxClaimWait
+	}
+	return d
+}
+
 func handleClaim(sess *session, w http.ResponseWriter, r *http.Request) {
 	if !requireQueue(sess, w) {
 		return
 	}
-	var req struct {
-		Worker string `json:"worker"`
-	}
+	var req claimRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
 		return
@@ -615,7 +747,11 @@ func handleClaim(sess *session, w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("worker is required"))
 		return
 	}
-	c, ok := sess.queue.Claim(req.Worker)
+	c, ok, err := sess.queue.ClaimWait(r.Context(), req.Worker, req.wait())
+	if err != nil {
+		// The client hung up mid-wait; nobody is reading the response.
+		return
+	}
 	if !ok {
 		writeError(w, http.StatusNotFound, errors.New("no open HITs"))
 		return
@@ -627,27 +763,150 @@ func handleClaim(sess *session, w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, body)
 }
 
-func handleAnswer(sess *session, w http.ResponseWriter, r *http.Request) {
-	if !requireQueue(sess, w) {
-		return
-	}
-	var req struct {
-		Token   string `json:"token"`
-		Answers []struct {
-			A     int  `json:"a"`
-			B     int  `json:"b"`
-			Match bool `json:"match"`
-		} `json:"answers"`
-	}
+// handleGlobalClaim is the shared-pool worker API: claim the next
+// assignment across every table, chosen by weighted deficit-round-robin
+// over sessions — the endpoint a multi-tenant worker pool drains.
+func (s *Server) handleGlobalClaim(w http.ResponseWriter, r *http.Request) {
+	var req claimRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
 		return
 	}
-	verdicts := make([]crowder.Verdict, len(req.Answers))
-	for i, a := range req.Answers {
+	if req.Worker == "" {
+		writeError(w, http.StatusBadRequest, errors.New("worker is required"))
+		return
+	}
+	c, from, ok, err := s.dispatcher.Claim(r.Context(), req.Worker, req.wait())
+	if err != nil {
+		return // client hung up mid-wait
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("no open HITs"))
+		return
+	}
+	sess := s.reg.get(from.Table)
+	if sess == nil {
+		// Unreachable: sessions are never removed. Guard anyway.
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("claimed from unknown table %q", from.Table))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"token":     c.Token,
+		"table":     from.Table,
+		"tenant":    from.Tenant,
+		"hit":       sess.renderHIT(c.HIT, 0),
+		"deadline":  deadlineJSON(c.Deadline),
+		"waited_ms": float64(c.Waited) / float64(time.Millisecond),
+	})
+}
+
+func deadlineJSON(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.Format(time.RFC3339)
+}
+
+// handleGlobalAnswer answers a cross-table claim: the token routes to
+// the session that issued it, so the worker needs no table name.
+func (s *Server) handleGlobalAnswer(w http.ResponseWriter, r *http.Request) {
+	var req answerRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		return
+	}
+	from, err := s.dispatcher.Answer(req.Token, req.verdicts())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "table": from.Table, "tenant": from.Tenant})
+}
+
+// tenantMetrics is one tenant's rollup in the /metrics response.
+type tenantMetrics struct {
+	Tenant          string `json:"tenant"`
+	Tables          int    `json:"tables"`
+	Claims          int64  `json:"claims"`
+	Answers         int64  `json:"answers"`
+	OpenHITs        int    `json:"open_hits"`
+	OpenAssignments int    `json:"open_assignments"`
+	// Worst-table quantiles: conservative for a tenant with many tables,
+	// exact for the common one-table tenant.
+	ClaimWaitP50Ms float64 `json:"claim_wait_p50_ms"`
+	ClaimWaitP99Ms float64 `json:"claim_wait_p99_ms"`
+}
+
+// handleMetrics serves the numbers the tenant bench gates on and an
+// operator dashboard graphs: per-session and per-tenant open HITs,
+// queue depths, claim-wait quantiles, and admission-queue pressure.
+// One source of truth — the bench reads the same gauges operators do.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	sessions := s.dispatcher.Stats()
+	byTenant := make(map[string]*tenantMetrics)
+	var order []string
+	for _, st := range sessions {
+		tm := byTenant[st.Tenant]
+		if tm == nil {
+			tm = &tenantMetrics{Tenant: st.Tenant}
+			byTenant[st.Tenant] = tm
+			order = append(order, st.Tenant)
+		}
+		tm.Tables++
+		tm.Claims += st.Claims
+		tm.Answers += st.Answers
+		tm.OpenHITs += st.OpenHITs
+		tm.OpenAssignments += st.OpenAssignments
+		if st.ClaimWaitP50Ms > tm.ClaimWaitP50Ms {
+			tm.ClaimWaitP50Ms = st.ClaimWaitP50Ms
+		}
+		if st.ClaimWaitP99Ms > tm.ClaimWaitP99Ms {
+			tm.ClaimWaitP99Ms = st.ClaimWaitP99Ms
+		}
+	}
+	sort.Strings(order)
+	tenants := make([]tenantMetrics, 0, len(order))
+	for _, t := range order {
+		tenants = append(tenants, *byTenant[t])
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"goroutines":     runtime.NumGoroutine(),
+		"tables":         len(sessions),
+		"sessions":       sessions,
+		"tenants":        tenants,
+		"admission":      s.admission.Stats(),
+	})
+}
+
+// answerRequest is the body of both answer endpoints.
+type answerRequest struct {
+	Token   string `json:"token"`
+	Answers []struct {
+		A     int  `json:"a"`
+		B     int  `json:"b"`
+		Match bool `json:"match"`
+	} `json:"answers"`
+}
+
+func (ar answerRequest) verdicts() []crowder.Verdict {
+	verdicts := make([]crowder.Verdict, len(ar.Answers))
+	for i, a := range ar.Answers {
 		verdicts[i] = crowder.Verdict{A: record.ID(a.A), B: record.ID(a.B), Match: a.Match}
 	}
-	if err := sess.queue.Answer(req.Token, verdicts); err != nil {
+	return verdicts
+}
+
+func handleAnswer(sess *session, w http.ResponseWriter, r *http.Request) {
+	if !requireQueue(sess, w) {
+		return
+	}
+	var req answerRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		return
+	}
+	if err := sess.queue.Answer(req.Token, req.verdicts()); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}

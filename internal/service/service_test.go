@@ -40,7 +40,8 @@ func call(t *testing.T, client *http.Client, method, url string, body any, out a
 	return resp.StatusCode
 }
 
-// pollJob polls a job until it leaves the "running" state.
+// pollJob polls a job until it leaves the in-flight ("queued" or
+// "running") states.
 func pollJob(t *testing.T, client *http.Client, base, table string, id int) map[string]any {
 	t.Helper()
 	deadline := time.Now().Add(30 * time.Second)
@@ -50,11 +51,11 @@ func pollJob(t *testing.T, client *http.Client, base, table string, id int) map[
 		if code != http.StatusOK {
 			t.Fatalf("job status returned %d: %v", code, status)
 		}
-		if status["state"] != "running" {
+		if status["state"] != "running" && status["state"] != "queued" {
 			return status
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("job %d still running: %v", id, status)
+			t.Fatalf("job %d still in flight: %v", id, status)
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
@@ -217,7 +218,7 @@ func TestServiceQueueRoundTrip(t *testing.T) {
 	jobDone := func() bool {
 		var status map[string]any
 		call(t, c, "GET", fmt.Sprintf("%s/tables/hotels/jobs/%d", srv.URL, kicked.Job), nil, &status)
-		return status["state"] != "running"
+		return status["state"] != "running" && status["state"] != "queued"
 	}
 	drainOverHTTP(t, c, srv.URL, "hotels", truth, jobDone)
 	status := pollJob(t, c, srv.URL, "hotels", kicked.Job)
