@@ -1044,6 +1044,7 @@ func run() int {
 	tenant := flag.Bool("tenant", false, "benchmark the multi-tenant claim plane: interference, pool scaling and per-tenant identity gates")
 	tenants := flag.Int("tenants", 3, "tenant mode: light tenant tables sharing the pool")
 	tenantWorkers := flag.Int("tenant-workers", 4, "tenant mode: shared-pool workers")
+	recoverMode := flag.Bool("recover", false, "gate durable session storage: WAL+snapshot reload and a crowderd SIGKILL drill must be indistinguishable from never crashing")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	mutexprofile := flag.String("mutexprofile", "", "record all mutex contention and write the profile to this file at exit")
@@ -1083,6 +1084,26 @@ func run() int {
 	if *blockprofile != "" {
 		runtime.SetBlockProfileRate(1)
 		defer writeLookupProfile(*blockprofile, "block")
+	}
+
+	if *recoverMode {
+		rep, ok := runRecover()
+		identical := 0
+		for _, r := range rep.Runs {
+			if r.MatchesIdentical && r.ReissuedHITs == 0 {
+				identical++
+			}
+		}
+		writeJSON(*out, rep, fmt.Sprintf(
+			"wrote %s (reload≡never-crashed: %d/%d library runs, recovery %.1fms / %.1fms; crash drill: %d/%d HITs answered pre-kill, %d reclaimed, %d judged pairs re-served, restart %.0fms, wal %dB snap %dB, identical: %v)",
+			*out, identical, len(rep.Runs), rep.Runs[0].RecoveryMs, rep.Runs[1].RecoveryMs,
+			rep.Crash.AnsweredBeforeKill, rep.Crash.OpenHITsBeforeKill, rep.Crash.ReclaimedAfterKill,
+			rep.Crash.ReissuedJudged, rep.Crash.RestartMs, rep.Crash.WALBytes, rep.Crash.SnapshotBytes,
+			rep.Crash.MatchesIdentical))
+		if !ok {
+			return 1
+		}
+		return 0
 	}
 
 	if *tenant {

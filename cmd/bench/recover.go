@@ -1,0 +1,534 @@
+package main
+
+// The -recover mode gates durable session storage: a session reloaded
+// from its WAL + snapshot must be indistinguishable from one that never
+// went down. Two drills are run and both must hold exactly:
+//
+//  1. Library reload: the Product+Dup workload is resolved in deltas
+//     with every mutation logged to a FileStore, the store is reopened
+//     cold (as a crashed process would find it), and the restored
+//     resolver continues side by side with a never-crashed control —
+//     same matches bit-for-bit, same candidates, same cost, and zero
+//     re-issued HITs for pairs already judged. Covered for the
+//     single-index session and the sharded (Shards=4) one, whose
+//     frozen per-delta index weights are the hard part of replay.
+//  2. Crash drill: a real crowderd process is SIGKILLed mid-resolve
+//     after external workers answered part of a queue-backend posting
+//     over HTTP. The restarted daemon must recover the session before
+//     serving, re-post only the unanswered HITs, never hand a worker a
+//     pair that was answered (and paid) before the kill, and finish
+//     with matches identical to a daemon that never crashed.
+//
+// The report also records what durability costs: recovery wall time
+// and the WAL/snapshot bytes on disk at the crash point.
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/crowder/crowder"
+	"github.com/crowder/crowder/internal/dataset"
+	"github.com/crowder/crowder/internal/record"
+)
+
+// RecoverRun is one library reload drill: log, crash, reload, continue.
+type RecoverRun struct {
+	Name   string `json:"name"`
+	Shards int    `json:"shards"`
+	Rows   int    `json:"rows"`
+	Deltas int    `json:"deltas"`
+
+	EventsReplayed int     `json:"events_replayed"`
+	WALBytes       int64   `json:"wal_bytes"`
+	SnapshotBytes  int64   `json:"snapshot_bytes"`
+	RecoveryMs     float64 `json:"recovery_ms"`
+
+	Matches          int  `json:"matches"`
+	ContinuationHITs int  `json:"continuation_hits"`
+	ReissuedHITs     int  `json:"reissued_hits"`
+	MatchesIdentical bool `json:"matches_identical"`
+}
+
+// CrashRun is the crowderd SIGKILL drill.
+type CrashRun struct {
+	OpenHITsBeforeKill int     `json:"open_hits_before_kill"`
+	AnsweredBeforeKill int     `json:"answered_before_kill"`
+	RecoveredOpenHITs  int     `json:"recovered_open_hits"`
+	ReclaimedAfterKill int     `json:"reclaimed_after_kill"`
+	ReissuedJudged     int     `json:"reissued_judged_pairs"`
+	RestartMs          float64 `json:"restart_ms"`
+	WALBytes           int64   `json:"wal_bytes"`
+	SnapshotBytes      int64   `json:"snapshot_bytes"`
+	Matches            int     `json:"matches"`
+	MatchesIdentical   bool    `json:"matches_identical"`
+}
+
+// RecoverReport is the full -recover output.
+type RecoverReport struct {
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	GoMaxProcs int    `json:"go_max_procs"`
+
+	Runs     []RecoverRun `json:"runs"`
+	Crash    *CrashRun    `json:"crash"`
+	Failures []string     `json:"failures,omitempty"`
+}
+
+// sameMatches compares two match lists exactly, confidence included.
+func sameMatches(a, b []crowder.Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Pair != b[i].Pair || a[i].Confidence != b[i].Confidence {
+			return false
+		}
+	}
+	return true
+}
+
+// runRecoverLibrary runs one library reload drill at the given shard
+// count and appends any gate violations to failures.
+func runRecoverLibrary(shards int, failures *[]string) RecoverRun {
+	const tau = 0.5
+	d := dataset.ProductDup(2, dataset.Product(1))
+	rows := make([][]string, d.Table.Len())
+	for i := range d.Table.Records {
+		rows[i] = d.Table.Records[i].Values
+	}
+	var oracle []crowder.Pair
+	for _, p := range d.Matches.Slice() {
+		oracle = append(oracle, crowder.Pair{A: int(p.A), B: int(p.B)})
+	}
+	n := len(rows)
+	batches := [][][]string{rows[: n/2 : n/2], rows[n/2 : 3*n/4], rows[3*n/4 : 9*n/10]}
+	extra := rows[9*n/10:]
+
+	run := RecoverRun{
+		Name:   fmt.Sprintf("product+dup/shards=%d", shards),
+		Shards: shards,
+		Rows:   n,
+		Deltas: len(batches),
+	}
+	fail := func(format string, args ...any) {
+		*failures = append(*failures, run.Name+": "+fmt.Sprintf(format, args...))
+	}
+	opts := crowder.Options{
+		Threshold: tau,
+		HITType:   crowder.PairHITs,
+		Oracle:    oracle,
+		Seed:      7,
+		Shards:    shards,
+	}
+
+	// Control: the session that never crashes.
+	control, err := crowder.NewResolver(crowder.NewTable(d.Table.Schema...), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, b := range batches {
+		control.AppendBatch(b...)
+		if _, err := control.ResolveDelta(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Durable twin: same deltas, every mutation logged, then the store is
+	// dropped without Close — exactly what SIGKILL leaves behind.
+	dir, err := os.MkdirTemp("", "bench-recover-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	dopts := opts
+	fl, rec0, err := crowder.OpenStore(dir, crowder.StoreOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !rec0.Empty() {
+		log.Fatalf("fresh store dir %s not empty", dir)
+	}
+	dopts.Store = fl
+	durable, err := crowder.NewResolver(crowder.NewTable(d.Table.Schema...), dopts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, b := range batches {
+		durable.AppendBatch(b...)
+		if _, err := durable.ResolveDelta(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Cold reload, timed: open the store as a restarted process would and
+	// rebuild the resolver from snapshot + WAL tail.
+	start := time.Now()
+	fl2, rec, err := crowder.OpenStore(dir, crowder.StoreOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fl2.Close()
+	ropts := opts
+	ropts.Store = fl2
+	restored, err := crowder.RestoreResolver(rec, ropts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run.RecoveryMs = float64(time.Since(start)) / float64(time.Millisecond)
+	run.EventsReplayed = rec.Events
+	run.WALBytes = rec.WALBytes
+	run.SnapshotBytes = rec.SnapshotBytes
+
+	// Continue both sessions with one more delta: the reload is invisible
+	// iff they agree bit-for-bit and the restored session pays for
+	// exactly what the control pays for.
+	control.AppendBatch(extra...)
+	want, err := control.ResolveDelta()
+	if err != nil {
+		log.Fatal(err)
+	}
+	restored.AppendBatch(extra...)
+	got, err := restored.ResolveDelta()
+	if err != nil {
+		log.Fatal(err)
+	}
+	run.Matches = len(got.Matches)
+	run.ContinuationHITs = want.HITs
+	run.ReissuedHITs = got.HITs - want.HITs
+	run.MatchesIdentical = sameMatches(want.Matches, got.Matches)
+	if !run.MatchesIdentical {
+		fail("reloaded matches differ from never-crashed control (%d vs %d)", len(got.Matches), len(want.Matches))
+	}
+	if run.ReissuedHITs != 0 {
+		fail("reloaded continuation issued %d HITs vs control %d", got.HITs, want.HITs)
+	}
+	if got.Candidates != want.Candidates || got.TotalPairs != want.TotalPairs {
+		fail("reloaded accounting (%d cand, %d pairs) vs control (%d, %d)",
+			got.Candidates, got.TotalPairs, want.Candidates, want.TotalPairs)
+	}
+	if got.CostDollars != want.CostDollars {
+		fail("reloaded cost %v vs control %v", got.CostDollars, want.CostDollars)
+	}
+	return run
+}
+
+type recoverPairJSON struct {
+	A int `json:"a"`
+	B int `json:"b"`
+}
+
+type recoverHITJSON struct {
+	ID    int               `json:"id"`
+	Pairs []recoverPairJSON `json:"pairs"`
+}
+
+// startCrowderd launches the daemon and waits for /healthz.
+func startCrowderd(bin, addr, dataDir string) (*exec.Cmd, error) {
+	cmd := exec.Command(bin, "-addr", addr, "-data-dir", dataDir, "-sweep", "1s")
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	client := &http.Client{Timeout: time.Second}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := client.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return cmd, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			_ = cmd.Process.Kill()
+			return nil, fmt.Errorf("crowderd on %s never became healthy: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func freeAddr() string {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// storeBytes sums the WAL and snapshot sizes under a session data dir.
+func storeBytes(dir string) (wal, snap int64) {
+	_ = filepath.WalkDir(dir, func(path string, de os.DirEntry, err error) error {
+		if err != nil || de.IsDir() {
+			return nil
+		}
+		info, err := de.Info()
+		if err != nil {
+			return nil
+		}
+		switch filepath.Ext(path) {
+		case ".log":
+			wal += info.Size()
+		case ".snap":
+			snap += info.Size()
+		}
+		return nil
+	})
+	return wal, snap
+}
+
+// crashTable drives one crowderd through create/append/resolve and
+// drains its queue with a single worker, asserting (via record) that no
+// pair in skip is ever served. It returns the sorted final matches.
+func crashDrain(client *http.Client, url string, truth record.PairSet, skip map[[2]int]bool, reissued *int) ([]tenantMatch, int, error) {
+	var kicked struct {
+		Job int `json:"job"`
+	}
+	if err := benchCall(client, "POST", url+"/tables/bench/resolve", map[string]any{}, &kicked); err != nil {
+		return nil, 0, err
+	}
+	jobURL := fmt.Sprintf("%s/tables/bench/jobs/%d", url, kicked.Job)
+	claims := 0
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var status struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		if err := benchCall(client, "GET", jobURL, nil, &status); err != nil {
+			return nil, 0, err
+		}
+		if status.State == "done" {
+			break
+		}
+		if status.State != "running" && status.State != "queued" {
+			return nil, 0, fmt.Errorf("job ended in state %q: %s", status.State, status.Error)
+		}
+		if time.Now().After(deadline) {
+			return nil, 0, fmt.Errorf("queue never drained")
+		}
+		var claim struct {
+			Token string         `json:"token"`
+			HIT   recoverHITJSON `json:"hit"`
+		}
+		if err := benchCall(client, "POST", url+"/tables/bench/hits/claim",
+			map[string]any{"worker": "w"}, &claim); err != nil {
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		claims++
+		var answers []map[string]any
+		for _, p := range claim.HIT.Pairs {
+			if skip != nil && skip[[2]int{p.A, p.B}] {
+				*reissued++
+			}
+			answers = append(answers, map[string]any{
+				"a": p.A, "b": p.B,
+				"match": truth.Has(record.ID(p.A), record.ID(p.B)),
+			})
+		}
+		if err := benchCall(client, "POST", url+"/tables/bench/hits/answer",
+			map[string]any{"token": claim.Token, "answers": answers}, nil); err != nil {
+			return nil, 0, err
+		}
+	}
+	var body struct {
+		Matches []tenantMatch `json:"matches"`
+	}
+	if err := benchCall(client, "GET", url+"/tables/bench/matches", nil, &body); err != nil {
+		return nil, 0, err
+	}
+	ms := body.Matches
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].A != ms[j].A {
+			return ms[i].A < ms[j].A
+		}
+		return ms[i].B < ms[j].B
+	})
+	return ms, claims, nil
+}
+
+// runRecoverCrash SIGKILLs a real crowderd mid-resolve and restarts it.
+func runRecoverCrash(failures *[]string) *CrashRun {
+	fail := func(format string, args ...any) {
+		*failures = append(*failures, "crash: "+fmt.Sprintf(format, args...))
+	}
+	tmp, err := os.MkdirTemp("", "bench-crash-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(tmp)
+	bin := filepath.Join(tmp, "crowderd")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/crowderd")
+	if out, err := build.CombinedOutput(); err != nil {
+		log.Fatalf("building crowderd: %v\n%s", err, out)
+	}
+
+	d := dataset.RestaurantN(4, 80, 15)
+	rows := make([][]string, d.Table.Len())
+	for i := range d.Table.Records {
+		rows[i] = d.Table.Records[i].Values
+	}
+	truth := d.Matches
+	tableReq := map[string]any{
+		"schema": d.Table.Schema,
+		"options": map[string]any{
+			"threshold": 0.4, "hit_type": "pair", "cluster_size": 1,
+			"seed": 7, "backend": "queue", "assignments": 1,
+			"aggregation": "majority-vote",
+		},
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	run := &CrashRun{}
+
+	// Victim daemon: create, append, resolve, answer half, SIGKILL.
+	dataDir := filepath.Join(tmp, "data")
+	addr := freeAddr()
+	victim, err := startCrowderd(bin, addr, dataDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	url := "http://" + addr
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	must(benchCall(client, "POST", url+"/tables/bench", tableReq, nil))
+	must(benchCall(client, "POST", url+"/tables/bench/records", map[string]any{"rows": rows}, nil))
+	must(benchCall(client, "POST", url+"/tables/bench/resolve", map[string]any{}, nil))
+	var open struct {
+		Hits []recoverHITJSON `json:"hits"`
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for len(open.Hits) == 0 {
+		if time.Now().After(deadline) {
+			log.Fatal("victim crowderd never posted HITs")
+		}
+		must(benchCall(client, "GET", url+"/tables/bench/hits", nil, &open))
+		time.Sleep(5 * time.Millisecond)
+	}
+	run.OpenHITsBeforeKill = len(open.Hits)
+	answered := make(map[[2]int]bool)
+	for i := 0; i < (len(open.Hits)+1)/2; i++ {
+		var claim struct {
+			Token string         `json:"token"`
+			HIT   recoverHITJSON `json:"hit"`
+		}
+		must(benchCall(client, "POST", url+"/tables/bench/hits/claim",
+			map[string]any{"worker": "w"}, &claim))
+		var answers []map[string]any
+		for _, p := range claim.HIT.Pairs {
+			answers = append(answers, map[string]any{
+				"a": p.A, "b": p.B,
+				"match": truth.Has(record.ID(p.A), record.ID(p.B)),
+			})
+			answered[[2]int{p.A, p.B}] = true
+		}
+		must(benchCall(client, "POST", url+"/tables/bench/hits/answer",
+			map[string]any{"token": claim.Token, "answers": answers}, nil))
+	}
+	run.AnsweredBeforeKill = len(answered)
+
+	// SIGKILL: no flush, no shutdown hook. Whatever was fsynced is all
+	// the restarted daemon gets.
+	must(victim.Process.Kill())
+	_ = victim.Wait()
+	run.WALBytes, run.SnapshotBytes = storeBytes(dataDir)
+
+	// Restart on the same data dir; recovery runs before the listener.
+	start := time.Now()
+	addr2 := freeAddr()
+	revived, err := startCrowderd(bin, addr2, dataDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() { _ = revived.Process.Kill(); _ = revived.Wait() }()
+	run.RestartMs = float64(time.Since(start)) / float64(time.Millisecond)
+	url2 := "http://" + addr2
+
+	var tables struct {
+		Tables []string `json:"tables"`
+	}
+	must(benchCall(client, "GET", url2+"/tables", nil, &tables))
+	if len(tables.Tables) != 1 || tables.Tables[0] != "bench" {
+		fail("recovered tables = %v; want [bench]", tables.Tables)
+		return run
+	}
+	var recoveredOpen struct {
+		Hits []recoverHITJSON `json:"hits"`
+	}
+	must(benchCall(client, "GET", url2+"/tables/bench/hits", nil, &recoveredOpen))
+	run.RecoveredOpenHITs = len(recoveredOpen.Hits)
+	for _, h := range recoveredOpen.Hits {
+		for _, p := range h.Pairs {
+			if answered[[2]int{p.A, p.B}] {
+				run.ReissuedJudged++
+			}
+		}
+	}
+
+	got, reclaimed, err := crashDrain(client, url2, truth, answered, &run.ReissuedJudged)
+	if err != nil {
+		fail("draining recovered daemon: %v", err)
+		return run
+	}
+	run.ReclaimedAfterKill = reclaimed
+	run.Matches = len(got)
+	if reclaimed == 0 {
+		fail("nothing left to answer after restart — the kill was not mid-flight")
+	}
+	if run.ReissuedJudged != 0 {
+		fail("%d pre-kill judged pairs re-served after restart", run.ReissuedJudged)
+	}
+
+	// Control daemon: same workload, never killed.
+	ctlDir := filepath.Join(tmp, "data-control")
+	addr3 := freeAddr()
+	ctl, err := startCrowderd(bin, addr3, ctlDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() { _ = ctl.Process.Kill(); _ = ctl.Wait() }()
+	url3 := "http://" + addr3
+	must(benchCall(client, "POST", url3+"/tables/bench", tableReq, nil))
+	must(benchCall(client, "POST", url3+"/tables/bench/records", map[string]any{"rows": rows}, nil))
+	want, _, err := crashDrain(client, url3, truth, nil, nil)
+	if err != nil {
+		fail("draining control daemon: %v", err)
+		return run
+	}
+	run.MatchesIdentical = matchesEqual(got, want)
+	if !run.MatchesIdentical {
+		fail("matches after SIGKILL+restart differ from never-crashed control (%d vs %d)", len(got), len(want))
+	}
+	return run
+}
+
+// runRecover is the -recover entrypoint.
+func runRecover() (*RecoverReport, bool) {
+	rep := &RecoverReport{
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	for _, shards := range []int{0, 4} {
+		rep.Runs = append(rep.Runs, runRecoverLibrary(shards, &rep.Failures))
+	}
+	rep.Crash = runRecoverCrash(&rep.Failures)
+	if len(rep.Failures) > 0 {
+		fmt.Fprintf(os.Stderr, "FAIL: %s\n", strings.Join(rep.Failures, "; "))
+	}
+	return rep, len(rep.Failures) == 0
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	crowder "github.com/crowder/crowder"
+)
+
+func TestSameMatches(t *testing.T) {
+	a := []crowder.Match{{Pair: crowder.Pair{A: 0, B: 1}, Confidence: 0.9}}
+	b := []crowder.Match{{Pair: crowder.Pair{A: 0, B: 1}, Confidence: 0.9}}
+	if !sameMatches(a, b) {
+		t.Error("identical lists reported different")
+	}
+	b[0].Confidence = 0.90001
+	if sameMatches(a, b) {
+		t.Error("confidence drift not detected")
+	}
+	if sameMatches(a, nil) {
+		t.Error("length mismatch not detected")
+	}
+	if !sameMatches(nil, nil) {
+		t.Error("two empty lists reported different")
+	}
+}
+
+func TestStoreBytes(t *testing.T) {
+	dir := t.TempDir()
+	files := map[string]int{
+		"wal-00000000.log":       10,
+		"wal-00000001.log":       7,
+		"snapshot-00000001.snap": 20,
+		"notes.txt":              99,
+	}
+	for name, n := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), make([]byte, n), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wal, snap := storeBytes(dir)
+	if wal != 17 || snap != 20 {
+		t.Errorf("storeBytes = (%d, %d); want (17, 20)", wal, snap)
+	}
+}
+
+// TestRunRecoverLibrary runs the library reload drill exactly as the CI
+// gate does: the reloaded session must continue bit-identically with
+// zero re-issued HITs, for the single-index and the sharded session.
+func TestRunRecoverLibrary(t *testing.T) {
+	for _, shards := range []int{0, 4} {
+		var failures []string
+		run := runRecoverLibrary(shards, &failures)
+		if len(failures) != 0 {
+			t.Fatalf("shards=%d: %v", shards, failures)
+		}
+		if !run.MatchesIdentical || run.ReissuedHITs != 0 {
+			t.Fatalf("shards=%d: identical=%v reissued=%d", shards, run.MatchesIdentical, run.ReissuedHITs)
+		}
+		if run.EventsReplayed == 0 || run.WALBytes+run.SnapshotBytes == 0 {
+			t.Fatalf("shards=%d: nothing was persisted: %+v", shards, run)
+		}
+	}
+}
+
+// TestRunRecoverCrash runs the real SIGKILL drill: build crowderd, kill
+// it mid-resolve, restart on the same data dir, and require zero
+// re-served paid pairs plus matches identical to a never-crashed run.
+// It needs the module root as working directory to build ./cmd/crowderd.
+func TestRunRecoverCrash(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess drill skipped in -short mode")
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(filepath.Join(wd, "..", "..")); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	var failures []string
+	run := runRecoverCrash(&failures)
+	if len(failures) != 0 {
+		t.Fatalf("crash drill failed: %v", failures)
+	}
+	if !run.MatchesIdentical {
+		t.Fatal("matches after SIGKILL+restart differ from never-crashed control")
+	}
+	if run.ReissuedJudged != 0 {
+		t.Fatalf("%d paid pairs re-served after restart", run.ReissuedJudged)
+	}
+	if run.ReclaimedAfterKill == 0 || run.AnsweredBeforeKill == 0 {
+		t.Fatalf("drill was not mid-flight: %+v", run)
+	}
+}

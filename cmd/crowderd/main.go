@@ -9,7 +9,12 @@
 // table through POST /claim with weighted fair scheduling, and resolve
 // jobs pass a bounded admission queue (-max-resolves).
 //
-//	crowderd -addr :8080 -lease 5m -max-resolves 4
+// With -data-dir set every session is durable: state mutations are
+// logged to a per-table WAL with compacting snapshots, and a restarted
+// daemon recovers every session — including open HITs and claim leases —
+// before it starts serving.
+//
+//	crowderd -addr :8080 -lease 5m -max-resolves 4 -data-dir /var/lib/crowder
 package main
 
 import (
@@ -31,9 +36,20 @@ func main() {
 	lease := flag.Duration("lease", 5*time.Minute, "claim lease for queue-backend HITs")
 	sweep := flag.Duration("sweep", 5*time.Second, "how often to expire lapsed claims")
 	maxResolves := flag.Int("max-resolves", 0, "resolve jobs allowed to run concurrently server-wide, FIFO per tenant (0 = default 4)")
+	dataDir := flag.String("data-dir", "", "directory for durable session storage (WAL + snapshots); empty = in-memory only")
 	flag.Parse()
 
-	srv := service.New(service.Options{Lease: *lease, MaxResolves: *maxResolves})
+	srv := service.New(service.Options{Lease: *lease, MaxResolves: *maxResolves, DataDir: *dataDir})
+
+	// Recover persisted sessions before the listener opens: clients must
+	// never observe a half-recovered daemon.
+	if *dataDir != "" {
+		n, err := srv.Recover(context.Background())
+		if err != nil {
+			log.Fatalf("recovering sessions from %s: %v", *dataDir, err)
+		}
+		log.Printf("recovered %d session(s) from %s", n, *dataDir)
+	}
 
 	// Expire lapsed claims even when no worker traffic arrives, so
 	// in-flight jobs hear about expiries and top up replication promptly.

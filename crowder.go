@@ -73,6 +73,7 @@ import (
 	"github.com/crowder/crowder/internal/hitgen"
 	"github.com/crowder/crowder/internal/record"
 	"github.com/crowder/crowder/internal/simjoin"
+	"github.com/crowder/crowder/internal/store"
 )
 
 // Table is a collection of records to de-duplicate. Records are dense
@@ -362,6 +363,13 @@ type Options struct {
 	// incremental session re-aggregates cached and fresh answers under
 	// one method and never mixes modes. See AggregationMode.
 	Aggregation AggregationMode
+	// Store, when non-nil, durably logs every state mutation of the
+	// session — appended records, discovered candidates, paid-for crowd
+	// verdicts with provenance — so a crashed process recovers the
+	// session bit-identically (OpenStore + RestoreResolver). nil (the
+	// default) keeps the session purely in-memory, identical to a build
+	// without persistence. See Store and OpenStore.
+	Store Store
 }
 
 // validate rejects option values that previously fell through to
@@ -593,6 +601,7 @@ func stagePrune(_ context.Context, st *resolveState) (*resolveState, error) {
 	if err != nil {
 		return nil, err
 	}
+	pendBefore := len(rv.pending)
 	rank := engine.NewTopK(rv.opts.MaxCandidates, simjoin.CompareScored)
 	if !st.planOnly {
 		// Fold in candidates left pending by a failed delta. They cannot
@@ -612,6 +621,11 @@ func stagePrune(_ context.Context, st *resolveState) (*resolveState, error) {
 		}
 	}
 	st.finishPrune(rank.Ranked())
+	if !st.planOnly {
+		if err := rv.logPrune(rv.pending[pendBefore:]); err != nil {
+			return nil, err
+		}
+	}
 	return st, nil
 }
 
@@ -627,6 +641,7 @@ func stagePrune(_ context.Context, st *resolveState) (*resolveState, error) {
 // session write lock.
 func stagePruneSharded(st *resolveState) error {
 	rv := st.rv
+	pendBefore := len(rv.pending)
 	ns := rv.sidx.NumShards()
 	ranks := make([]*engine.TopK[simjoin.ScoredPair], ns)
 	for s := range ranks {
@@ -665,6 +680,11 @@ func stagePruneSharded(st *resolveState) error {
 		lists = append(lists, r.Ranked())
 	}
 	st.finishPrune(engine.MergeRanked(rv.opts.MaxCandidates, simjoin.CompareScored, lists...))
+	if !planOnly {
+		if err := rv.logPrune(rv.pending[pendBefore:]); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -732,10 +752,16 @@ func stageGenerate(_ context.Context, st *resolveState) (*resolveState, error) {
 // partial assignment sets (crowd work is paid for on assignment, not on
 // batch completion) and the delta's candidates stay pending for retry.
 func stageExecute(ctx context.Context, st *resolveState) (*resolveState, error) {
+	rv := st.rv
 	if st.skipCrowd() {
+		// A recovered session with nothing left to crowdsource: every
+		// recovered in-flight HIT covers already-judged pairs, so retract
+		// them from the backend instead of leaving zombies for workers.
+		if resume := rv.takeResume(); resume != nil && rv.opts.Backend != nil {
+			retractLeftovers(rv.opts.Backend, resume)
+		}
 		return st, nil
 	}
-	rv := st.rv
 	opts := rv.opts
 
 	if opts.transitive() {
@@ -766,10 +792,12 @@ func stageExecute(ctx context.Context, st *resolveState) (*resolveState, error) 
 
 	// The crowd runs without the session lock — this is the window reads
 	// overlap with — and only the commit below re-takes it.
+	resume := rv.takeResume()
 	run, err := crowd.ExecuteHITs(ctx, backend, hits, crowd.ExecuteOptions{
 		OnProgress: opts.Progress,
 		Interim:    opts.InterimAggregation,
 		Aggregator: rv.agg,
+		Resume:     resume,
 	})
 	if err != nil {
 		if run != nil {
@@ -777,21 +805,51 @@ func stageExecute(ctx context.Context, st *resolveState) (*resolveState, error) 
 			// is already paid for, and the pairs stay pending for retry.
 			rv.mu.Lock()
 			rv.cache.AddPartialAnswers(run.Answers)
+			// Log failure too (ignore the sticky error — the delta already
+			// failed): the fragments must survive a crash after the abort.
+			rv.log.Log(&store.Commit{Ops: []store.Op{{Partial: run.Answers}}})
 			rv.mu.Unlock()
 		}
+		rv.returnResume(resume)
 		return nil, err
 	}
+	retractLeftovers(backend, resume)
 	st.res.CostDollars = run.CostDollars
 	st.res.ElapsedSeconds = run.TotalSeconds
 	// Commit: the delta's pairs are now judged; nothing stays pending.
+	// The whole commit is one atomic log record — a crash replays either
+	// none of it (the pairs retry) or all of it (judged, never re-asked).
 	rv.mu.Lock()
+	ops := make([]store.Op, 0, len(st.scored)+2)
 	for _, sp := range st.scored {
 		rv.cache.Put(sp.Pair, sp.Likelihood)
+		ops = append(ops, store.Op{Put: &store.PutOp{Pair: sp.Pair, Likelihood: sp.Likelihood}})
 	}
 	rv.cache.AddAnswers(run.Answers)
 	rv.pending = rv.pending[:0]
+	ops = append(ops, store.Op{Answers: run.Answers}, store.Op{ClearPending: true})
+	logErr := rv.log.Log(&store.Commit{Ops: ops})
 	rv.mu.Unlock()
+	if logErr != nil {
+		return nil, logErr
+	}
 	return st, nil
+}
+
+// retractLeftovers withdraws recovered in-flight HITs the restarted
+// delta did not adopt: their pairs were judged (or deduced) before the
+// crash, so the tasks are unreachable and must not sit open for workers.
+func retractLeftovers(b crowd.Backend, rs *crowd.ResumeState) {
+	if rs == nil {
+		return
+	}
+	ids := rs.Leftovers()
+	if len(ids) == 0 {
+		return
+	}
+	if rt, ok := b.(crowd.Retractor); ok {
+		rt.Retract(ids)
+	}
 }
 
 // newBackend returns the crowd executing this resolution's HITs: the
@@ -844,10 +902,18 @@ func stageAggregate(_ context.Context, st *resolveState) (*resolveState, error) 
 	if rv.opts.MachineOnly {
 		// The machine baseline "judges" a pair by recording its
 		// likelihood; the ranking covers every pair seen so far.
+		ops := make([]store.Op, 0, len(st.scored)+2)
+		post := make([]store.PairVal, 0, len(st.scored))
 		for _, sp := range st.scored {
 			rv.cache.Put(sp.Pair, sp.Likelihood).Posterior = sp.Likelihood
+			ops = append(ops, store.Op{Put: &store.PutOp{Pair: sp.Pair, Likelihood: sp.Likelihood}})
+			post = append(post, store.PairVal{Pair: sp.Pair, Val: sp.Likelihood})
 		}
 		rv.pending = rv.pending[:0]
+		ops = append(ops, store.Op{Posteriors: post}, store.Op{ClearPending: true})
+		if err := rv.log.Log(&store.Commit{Ops: ops}); err != nil {
+			return nil, err
+		}
 		for _, p := range rv.cache.Pairs() {
 			st.res.Matches = append(st.res.Matches, Match{
 				Pair:       Pair{A: int(p.A), B: int(p.B)},
@@ -876,6 +942,16 @@ func stageAggregate(_ context.Context, st *resolveState) (*resolveState, error) 
 		// Deduced verdicts re-derive their confidence from the freshly
 		// aggregated posteriors of their proofs; re-sort the merged list.
 		SortMatches(st.res.Matches)
+	}
+	// Log the final per-pair posteriors — after the deduced entries were
+	// re-derived above, so replay restores exactly what the session holds.
+	pairs := rv.cache.Pairs()
+	pvs := make([]store.PairVal, 0, len(pairs))
+	for _, p := range pairs {
+		pvs = append(pvs, store.PairVal{Pair: p, Val: rv.cache.Get(p).Posterior})
+	}
+	if err := rv.log.Log(&store.Commit{Ops: []store.Op{{Posteriors: pvs}}}); err != nil {
+		return nil, err
 	}
 	return st, nil
 }
@@ -951,6 +1027,9 @@ type Estimate struct {
 // the crowd ever executes — so the estimate agrees with an actual run by
 // construction.
 func EstimateCost(t *Table, opts Options) (*Estimate, error) {
+	// An estimate is a throwaway session: never log it to the caller's
+	// store, which belongs to the live session with the same options.
+	opts.Store = nil
 	r, err := NewResolver(t, opts)
 	if err != nil {
 		return nil, err

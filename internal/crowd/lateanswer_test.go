@@ -1,0 +1,159 @@
+package crowd
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/crowder/crowder/internal/record"
+)
+
+// verdictsFor builds a truthful answer for a claimed HIT without the
+// t.Fatal of truthfulAnswer, so goroutines can submit it.
+func verdictsFor(c *Claimed, truth record.PairSet) []Verdict {
+	var vs []Verdict
+	for _, p := range c.HIT.Pairs {
+		vs = append(vs, Verdict{A: p.A, B: p.B, Match: truth.Has(p.A, p.B)})
+	}
+	return vs
+}
+
+// TestQueueLateAnswerCredited: a worker whose lease lapsed between the
+// sweep and their POST /answer did the judging work; as long as the
+// replication top-up is posted but unclaimed, the late answer takes the
+// top-up's slot instead of being dropped (which would pay a second
+// worker for the same pairs).
+func TestQueueLateAnswerCredited(t *testing.T) {
+	pairs := testPairs()[:2]
+	truth := testTruth()
+
+	var mu sync.Mutex
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+
+	q := NewQueue(QueueOptions{Lease: time.Minute, Now: clock})
+	hits := PairHITsFromGen([][]record.Pair{pairs}, 1)
+
+	var res *Result
+	var execErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		res, execErr = ExecuteHITs(context.Background(), q, hits, ExecuteOptions{})
+	}()
+
+	var slow *Claimed
+	waitFor(t, func() bool { var ok bool; slow, ok = q.Claim("slow"); return ok })
+
+	// The lease lapses; the sweep reports the expiry and the lifecycle
+	// manager posts a replication top-up.
+	advance(2 * time.Minute)
+	q.Sweep()
+	waitFor(t, func() bool { return len(q.Open()) > 0 })
+
+	// An incomplete late answer must NOT consume the top-up slot.
+	if err := q.Answer(slow.Token, nil); err == nil {
+		t.Fatal("incomplete late answer should be rejected")
+	}
+	if len(q.Open()) == 0 {
+		t.Fatal("rejected late answer consumed the top-up slot")
+	}
+
+	// The complete late answer is credited against the top-up.
+	if err := q.Answer(slow.Token, verdictsFor(slow, truth)); err != nil {
+		t.Fatalf("late answer rejected: %v", err)
+	}
+
+	<-done
+	if execErr != nil {
+		t.Fatal(execErr)
+	}
+	if res.TopUps != 1 {
+		t.Errorf("TopUps = %d; want 1", res.TopUps)
+	}
+	// Exactly one paid assignment: the late answer filled the top-up, so
+	// nobody else was paid for the same pairs.
+	if want := len(pairs); len(res.Answers) != want {
+		t.Fatalf("got %d answers; want %d (single payment)", len(res.Answers), want)
+	}
+	if res.CostDollars != DollarsPerAssignment {
+		t.Errorf("CostDollars = %v; want one assignment's pay", res.CostDollars)
+	}
+}
+
+// TestQueueLateAnswerRaceSinglePayment races the lapsed worker's late
+// answer against a replacement worker claiming (and answering) the
+// replication top-up. Exactly one of them may be paid — run under -race,
+// this pins both the data-race freedom and the no-double-payment
+// invariant of the late-credit window.
+func TestQueueLateAnswerRaceSinglePayment(t *testing.T) {
+	pairs := testPairs()[:2]
+	truth := testTruth()
+
+	for round := 0; round < 20; round++ {
+		var mu sync.Mutex
+		now := time.Unix(1000, 0)
+		clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+		advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+
+		q := NewQueue(QueueOptions{Lease: time.Minute, Now: clock})
+		hits := PairHITsFromGen([][]record.Pair{pairs}, 1)
+
+		var res *Result
+		var execErr error
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			res, execErr = ExecuteHITs(context.Background(), q, hits, ExecuteOptions{})
+		}()
+
+		var slow *Claimed
+		waitFor(t, func() bool { var ok bool; slow, ok = q.Claim("slow"); return ok })
+		advance(2 * time.Minute)
+		q.Sweep()
+		waitFor(t, func() bool { return len(q.Open()) > 0 })
+
+		var wg sync.WaitGroup
+		var lateErr, replErr error
+		var replacementClaimed bool
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			lateErr = q.Answer(slow.Token, verdictsFor(slow, truth))
+		}()
+		go func() {
+			defer wg.Done()
+			if c, ok := q.Claim("replacement"); ok {
+				replacementClaimed = true
+				replErr = q.Answer(c.Token, verdictsFor(c, truth))
+			}
+		}()
+		wg.Wait()
+
+		// Whichever path won, the loser must have been turned away: a
+		// credited late answer leaves nothing to claim; a faster
+		// replacement claim closes the late-credit window.
+		if lateErr == nil && replacementClaimed {
+			t.Fatalf("round %d: both the late answer and the replacement were paid", round)
+		}
+		if lateErr != nil && !replacementClaimed {
+			t.Fatalf("round %d: late answer rejected (%v) but nobody claimed the top-up", round, lateErr)
+		}
+		if replErr != nil {
+			t.Fatalf("round %d: replacement's answer rejected: %v", round, replErr)
+		}
+
+		<-done
+		if execErr != nil {
+			t.Fatalf("round %d: %v", round, execErr)
+		}
+		if want := len(pairs); len(res.Answers) != want {
+			t.Fatalf("round %d: got %d answers; want %d (single payment)", round, len(res.Answers), want)
+		}
+		if res.CostDollars != DollarsPerAssignment {
+			t.Fatalf("round %d: CostDollars = %v; want one assignment's pay", round, res.CostDollars)
+		}
+	}
+}

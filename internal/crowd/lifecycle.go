@@ -96,14 +96,22 @@ type ExecuteOptions struct {
 	// session's aggregator so the tentative numbers a client polls
 	// mid-run mean the same thing as the final ones.
 	Aggregator aggregate.Aggregator
+	// Resume, when non-nil, carries a crashed run's recovered in-flight
+	// HITs. Generated HITs matching a recovered one by content adopt the
+	// recovered posting — original ID, original open/claimed lifecycle on
+	// the backend, already-paid assignment slots pre-filled — instead of
+	// being posted again, so a restarted resolve re-issues zero HITs for
+	// work the crowd already holds or has already answered.
+	Resume *ResumeState
 }
 
 // hitRun is one HIT's mutable lifecycle state inside the manager.
 type hitRun struct {
-	hit    HIT
-	state  HITState
-	slots  []Assignment // completed assignments, arrival order
-	needed int
+	hit     HIT
+	state   HITState
+	slots   []Assignment // completed assignments, arrival order
+	needed  int
+	adopted bool // recovered posting: already live on the backend
 }
 
 // ExecuteHITs drives a batch of HITs through the asynchronous lifecycle
@@ -124,10 +132,22 @@ func ExecuteHITs(ctx context.Context, b Backend, hits []HIT, opts ExecuteOptions
 
 	runs := make([]*hitRun, len(hits))
 	byID := make(map[int]*hitRun, len(hits))
+	adopted := 0
 	for i, h := range hits {
 		hr := &hitRun{hit: h, state: HITPosted, needed: h.Assignments}
+		if rh, ok := opts.Resume.take(h); ok {
+			// Adopt the crashed run's posting: keeping its ID keeps every
+			// outstanding claim, buffered answer and expiry top-up on the
+			// backend valid, and the slots already paid for count here
+			// instead of being asked again.
+			hr.hit = rh.HIT
+			hr.needed = rh.HIT.Assignments
+			hr.slots = append(hr.slots, rh.Slots...)
+			hr.adopted = true
+			adopted++
+		}
 		runs[i] = hr
-		byID[h.ID] = hr
+		byID[hr.hit.ID] = hr
 	}
 
 	// A cancel scoped to this run stops the backend's pump goroutine as
@@ -211,12 +231,55 @@ func ExecuteHITs(ctx context.Context, b Backend, hits []HIT, opts ExecuteOptions
 		}
 	}
 
-	if err := b.Post(ctx, hits); err != nil {
-		return partial(), fmt.Errorf("crowd: posting HITs: %w", err)
+	toPost := hits
+	if adopted > 0 {
+		// Adopted HITs are already live on the backend — re-posting them
+		// would open duplicate assignments and pay twice.
+		toPost = make([]HIT, 0, len(hits)-adopted)
+		for _, hr := range runs {
+			if !hr.adopted {
+				toPost = append(toPost, hr.hit)
+			}
+		}
+	}
+	if len(toPost) > 0 {
+		if err := b.Post(ctx, toPost); err != nil {
+			return partial(), fmt.Errorf("crowd: posting HITs: %w", err)
+		}
 	}
 	if opts.OnProgress != nil {
 		for _, hr := range runs {
 			report(hr)
+		}
+	}
+	if adopted > 0 {
+		// Fold the recovered assignments in after the posted reports, in
+		// run order, firing the same per-completion hooks a live arrival
+		// would have.
+		anyComplete := false
+		for _, hr := range runs {
+			if len(hr.slots) == 0 {
+				continue
+			}
+			for _, a := range hr.slots {
+				answers += len(a.Answers)
+			}
+			if len(hr.slots) >= hr.needed {
+				hr.state = HITComplete
+				completed++
+			} else {
+				hr.state = HITAnswering
+			}
+			report(hr)
+			if hr.state == HITComplete {
+				anyComplete = true
+				if opts.OnHITComplete != nil {
+					opts.OnHITComplete(hr.hit, hitAnswers(hr))
+				}
+			}
+		}
+		if anyComplete {
+			sweepRetractable()
 		}
 	}
 
@@ -250,6 +313,12 @@ func ExecuteHITs(ctx context.Context, b Backend, hits []HIT, opts ExecuteOptions
 				}
 				continue
 			}
+			if hr.adopted && duplicateSlot(hr.slots, a.Slot) {
+				// A recovered assignment can arrive again on the live
+				// stream (journaled before the crash and re-delivered by a
+				// backend that buffered it); count it once.
+				continue
+			}
 			hr.slots = append(hr.slots, a)
 			// Keep slots in replication-slot order regardless of arrival
 			// order, so the assembled layout matches the synchronous
@@ -278,6 +347,16 @@ func ExecuteHITs(ctx context.Context, b Backend, hits []HIT, opts ExecuteOptions
 	res.TopUps = topUps
 	res.RetractedHITs = retracted
 	return res, nil
+}
+
+// duplicateSlot reports whether a replication slot is already collected.
+func duplicateSlot(slots []Assignment, slot int) bool {
+	for _, s := range slots {
+		if s.Slot == slot {
+			return true
+		}
+	}
+	return false
 }
 
 // hitAnswers flattens one completed HIT's collected answers (all

@@ -21,6 +21,9 @@ type QueueOptions struct {
 	Lease time.Duration
 	// Now overrides the clock (tests inject a fake one). nil = time.Now.
 	Now func() time.Time
+	// Journal, when non-nil, observes every queue mutation for durable
+	// session storage. Callbacks run with the queue lock held.
+	Journal Journal
 }
 
 // Verdict is one worker-submitted judgment on a pair of a claimed HIT.
@@ -72,6 +75,12 @@ type Queue struct {
 	touched  map[int]map[string]bool // HIT ID → workers who claimed it
 	workers  map[string]int          // worker name → interned worker ID
 	postedAt map[int]time.Time       // HIT ID → first-post time (claim-wait metric)
+	// lapsed remembers expired claims of still-live HITs so an answer
+	// racing the sweep — the lease lapsed between the sweep tick and the
+	// HTTP handler — can still be credited instead of re-paid: as long as
+	// the HIT is live, the replication top-up is unclaimed, and the worker
+	// hasn't re-claimed, the late answer takes the top-up's slot.
+	lapsed map[string]*Claimed
 	// wake is the claimability broadcast: closed and replaced whenever
 	// work may have become claimable (a post, or a lapsed lease lifting a
 	// worker's bar), so ClaimWait blocks on a channel instead of polling.
@@ -97,6 +106,7 @@ func NewQueue(opts QueueOptions) *Queue {
 		touched:  make(map[int]map[string]bool),
 		workers:  make(map[string]int),
 		postedAt: make(map[int]time.Time),
+		lapsed:   make(map[string]*Claimed),
 		wake:     make(chan struct{}),
 	}
 }
@@ -140,6 +150,9 @@ func (q *Queue) Post(ctx context.Context, hits []HIT) error {
 		q.open[h.ID] += h.Assignments
 	}
 	if len(hits) > 0 {
+		if j := q.opts.Journal; j != nil {
+			j.Posted(hits, now)
+		}
 		q.wakeLocked()
 	}
 	return nil
@@ -169,6 +182,14 @@ func (q *Queue) Retract(ids []int) {
 		if _, live := q.hits[c.HIT.ID]; !live {
 			delete(q.claims, tok)
 		}
+	}
+	for tok, c := range q.lapsed {
+		if _, live := q.hits[c.HIT.ID]; !live {
+			delete(q.lapsed, tok)
+		}
+	}
+	if j := q.opts.Journal; j != nil && len(ids) > 0 {
+		j.Retracted(ids)
 	}
 	live := q.order[:0]
 	for _, id := range q.order {
@@ -233,6 +254,9 @@ func (q *Queue) claimLocked(worker string, now time.Time) *Claimed {
 			c.Deadline = now.Add(q.opts.Lease)
 		}
 		q.claims[c.Token] = c
+		if j := q.opts.Journal; j != nil {
+			j.Claimed(c.Token, id, worker, now, c.Deadline)
+		}
 		return c
 	}
 	return nil
@@ -315,8 +339,25 @@ func (q *Queue) Answer(token string, verdicts []Verdict) error {
 	now := q.opts.Now()
 	q.sweepLocked(now)
 	c, ok := q.claims[token]
+	late := false
 	if !ok {
-		return fmt.Errorf("crowd: unknown or expired claim token %q", token)
+		// The lease may have lapsed between the sweep and this call — the
+		// worker did the judging work; dropping the answer would re-pay
+		// another worker for the same pair via the replication top-up.
+		// Credit it as long as the HIT is still live, the top-up slot is
+		// posted but unclaimed (open > 0), and the worker hasn't re-claimed
+		// the HIT (a live re-claim means this token's work is superseded).
+		// Crediting with open == 0 would add a slot beyond the replication
+		// target and pay one extra assignment, so that window stays closed.
+		if lc, lok := q.lapsed[token]; lok {
+			id := lc.HIT.ID
+			if _, liveHIT := q.hits[id]; liveHIT && q.open[id] > 0 && !q.touched[id][lc.Worker] {
+				c, ok, late = lc, true, true
+			}
+		}
+		if !ok {
+			return fmt.Errorf("crowd: unknown or expired claim token %q", token)
+		}
 	}
 	byPair := make(map[record.Pair]bool, len(verdicts))
 	for _, v := range verdicts {
@@ -330,6 +371,17 @@ func (q *Queue) Answer(token string, verdicts []Verdict) error {
 	}
 	if h.Kind == ClusterKind {
 		byPair = closeOverRecords(h, byPair)
+	}
+	if late {
+		// Commit the late credit only now that the answer validated: an
+		// invalid late answer must not consume the top-up slot — the
+		// lapsed entry stays, and the worker may retry with a full answer.
+		q.open[h.ID]--
+		if q.touched[h.ID] == nil {
+			q.touched[h.ID] = make(map[string]bool)
+		}
+		q.touched[h.ID][c.Worker] = true
+		delete(q.lapsed, token)
 	}
 	wid, ok := q.workers[c.Worker]
 	if !ok {
@@ -348,6 +400,9 @@ func (q *Queue) Answer(token string, verdicts []Verdict) error {
 		a.Answers[i] = aggregate.Answer{Pair: p, Worker: wid, Match: byPair[p]}
 	}
 	delete(q.claims, token)
+	if j := q.opts.Journal; j != nil {
+		j.Answered(token, h.ID, c.Worker, a, late)
+	}
 	q.st.push(a)
 	return nil
 }
@@ -376,6 +431,7 @@ func (q *Queue) sweepLocked(now time.Time) {
 		}
 	}
 	sort.Strings(lapsed)
+	var expired []ExpiredClaim
 	for _, tok := range lapsed {
 		c := q.claims[tok]
 		delete(q.claims, tok)
@@ -383,7 +439,14 @@ func (q *Queue) sweepLocked(now time.Time) {
 		// answer on it); keeping the bar could make the slot permanently
 		// unclaimable once every worker has lapsed on it.
 		delete(q.touched[c.HIT.ID], c.Worker)
+		// Keep the dead claim around: an answer already in flight when the
+		// lease lapsed can still be credited against the top-up slot.
+		q.lapsed[tok] = c
+		expired = append(expired, ExpiredClaim{Token: tok, HIT: c.HIT.ID, Worker: c.Worker})
 		q.st.push(Assignment{HIT: c.HIT.ID, Worker: -1, Expired: true})
+	}
+	if j := q.opts.Journal; j != nil && len(expired) > 0 {
+		j.Expired(expired)
 	}
 	if len(lapsed) > 0 {
 		// A lifted bar can make an already-open slot claimable by the

@@ -75,6 +75,12 @@ type Options struct {
 	// all tenants (default 4). Excess jobs queue FIFO per tenant with
 	// round-robin admission across tenants.
 	MaxResolves int
+	// DataDir, when non-empty, makes every session durable: each table
+	// logs its state mutations to a WAL (with periodic compacting
+	// snapshots) under DataDir/<tenant>/<table>/, and Recover rebuilds
+	// all sessions from disk at boot — a restart never loses a paid
+	// verdict. Empty (the default) keeps sessions purely in memory.
+	DataDir string
 }
 
 // Server is the crowderd HTTP handler.
@@ -85,6 +91,9 @@ type Server struct {
 	admission  *dispatch.Admission
 	start      time.Time
 	mux        *http.ServeMux
+	// createMu serializes table creation: the registry reservation and
+	// the session's data-directory creation must agree on a winner.
+	createMu sync.Mutex
 }
 
 // New creates an empty server.
@@ -317,85 +326,42 @@ func (s *Server) handleCreateTable(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("schema is required"))
 		return
 	}
-
-	opts := crowder.Options{
-		Threshold:          req.Options.Threshold,
-		ClusterSize:        req.Options.ClusterSize,
-		Assignments:        req.Options.Assignments,
-		Seed:               req.Options.Seed,
-		Workers:            req.Options.Workers,
-		SpammerRate:        req.Options.SpammerRate,
-		MachineOnly:        req.Options.MachineOnly,
-		Parallelism:        req.Options.Parallelism,
-		InterimAggregation: req.Options.Interim,
-	}
-	if req.Options.Transitivity {
-		opts.Transitivity = crowder.TransitivityOn
-	}
-	agg, err := crowder.ParseAggregationMode(req.Options.Aggregation)
+	opts, err := optionsFromRequest(req.Options)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	opts.Aggregation = agg
-	switch req.Options.HITType {
-	case "", "cluster":
-		opts.HITType = crowder.ClusterHITs
-	case "pair":
-		opts.HITType = crowder.PairHITs
-	default:
-		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown hit_type %q (want \"pair\" or \"cluster\")", req.Options.HITType))
-		return
-	}
-	if req.Options.Oracle != nil {
-		opts.Oracle = make([]crowder.Pair, len(req.Options.Oracle))
-		for i, p := range req.Options.Oracle {
-			opts.Oracle[i] = crowder.Pair{A: p[0], B: p[1]}
-		}
-	}
-
 	tenant := req.Options.Tenant
 	if tenant == "" {
 		tenant = name
 	}
-	sess := &session{
-		name: name, tenant: tenant, schema: req.Schema, jobs: make(map[int]*job),
-		aggregation:  agg.String(),
-		transitivity: req.Options.Transitivity,
-	}
-	switch req.Options.Backend {
-	case "", "simulated":
-		// Oracle-driven reference simulator; nothing to wire.
-	case "queue":
-		lease := s.opts.Lease
-		if req.Options.LeaseSeconds > 0 {
-			lease = time.Duration(req.Options.LeaseSeconds) * time.Second
-		}
-		sess.queue = crowder.NewQueueBackend(crowder.QueueOptions{Lease: lease})
-		// The tenant's HIT budget meters postings on their way in; nil
-		// bucket (hit_rate 0) means unlimited and costs nothing.
-		opts.Backend = &meteredBackend{
-			q:      sess.queue,
-			bucket: dispatch.NewBucket(req.Options.HITRate, req.Options.HITBurst),
-		}
-	default:
-		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown backend %q (want \"simulated\" or \"queue\")", req.Options.Backend))
+
+	s.createMu.Lock()
+	defer s.createMu.Unlock()
+	if s.reg.get(name) != nil {
+		writeError(w, http.StatusConflict, fmt.Errorf("table %q already exists", name))
 		return
 	}
-	opts.Progress = func(p crowder.Progress) {
-		if j := sess.current.Load(); j != nil {
-			j.update(p)
+
+	st, err := s.openSessionStore(name, tenant, req)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, errStaleSessionDir) {
+			status = http.StatusConflict
 		}
+		writeError(w, status, err)
+		return
 	}
 
-	rv, err := crowder.NewResolver(crowder.NewTable(req.Schema...), opts)
+	sess, err := s.buildSession(name, tenant, req, opts, st, nil)
 	if err != nil {
+		s.discardSessionStore(name, tenant, st)
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	sess.rv = rv
 
 	if !s.reg.put(name, sess) {
+		s.discardSessionStore(name, tenant, st)
 		writeError(w, http.StatusConflict, fmt.Errorf("table %q already exists", name))
 		return
 	}

@@ -1,0 +1,269 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"github.com/crowder/crowder/internal/aggregate"
+	"github.com/crowder/crowder/internal/crowd"
+	"github.com/crowder/crowder/internal/record"
+	"github.com/crowder/crowder/internal/simjoin"
+	"github.com/crowder/crowder/internal/transitivity"
+	"github.com/crowder/crowder/internal/verdicts"
+)
+
+// Event is one logged state mutation. The concrete types below form the
+// session's entire durable vocabulary; a snapshot is nothing but a
+// compacted stream of the same events.
+//
+// Events are encoded as a one-byte type tag followed by the JSON of the
+// struct, framed and CRC-checked by the WAL layer.
+type Event interface {
+	tag() byte
+	// durable events are fsynced before Log returns: they record paid (or
+	// payable) work — verdict commits and worker answers. Everything else
+	// is buffered and rides the next durable sync; a torn tail of
+	// non-durable events always replays to a state the engine can reach
+	// by re-running unpaid work.
+	durable() bool
+}
+
+// Event type tags. Append-only: a tag, once released, is never reused.
+const (
+	tagMeta byte = iota + 1
+	tagAppend
+	tagPrune
+	tagCommit
+	tagQueuePosted
+	tagQueueClaimed
+	tagQueueAnswered
+	tagQueueExpired
+	tagQueueRetracted
+	tagPending
+	tagCacheState
+	tagQueueState
+)
+
+// Meta records session identity: the table schema, the aggregator bound
+// to the verdict cache, and an opaque configuration blob (crowderd
+// persists the table-creation request so recovery can rebuild the same
+// Options). Fields merge: a later Meta overrides only the fields it sets.
+type Meta struct {
+	Schema     []string        `json:"schema,omitempty"`
+	Aggregator string          `json:"aggregator,omitempty"`
+	Config     json.RawMessage `json:"config,omitempty"`
+}
+
+func (*Meta) tag() byte     { return tagMeta }
+func (*Meta) durable() bool { return true }
+
+// Row is one appended record. Src is the cross-source tag passed to
+// AppendFrom, or -1 for an untagged Append — the distinction matters:
+// a table where any row was ever source-tagged pads all rows with tag 0,
+// and CrossSourceOnly filtering keys off that.
+type Row struct {
+	Src    int      `json:"src"`
+	Values []string `json:"values"`
+}
+
+// Append records a batch of appended rows.
+type Append struct {
+	Rows []Row `json:"rows"`
+}
+
+func (*Append) tag() byte     { return tagAppend }
+func (*Append) durable() bool { return true }
+
+// Prune records one candidate-generation boundary: the prefix of the
+// table the similarity index absorbed, the token-blocking cursor, and
+// the candidate pairs newly discovered this prune (already-pending
+// retries are not re-logged). Replaying the boundaries rebuilds the
+// index incrementally exactly as the live session built it, which is
+// what keeps frozen prefix weights — and therefore candidate sets —
+// bit-identical after recovery.
+type Prune struct {
+	Absorbed   int                  `json:"absorbed"`
+	Blocked    int                  `json:"blocked"`
+	Discovered []simjoin.ScoredPair `json:"discovered,omitempty"`
+}
+
+func (*Prune) tag() byte     { return tagPrune }
+func (*Prune) durable() bool { return false }
+
+// PutOp records a cache Put: a pair judged by the crowd (or machine).
+type PutOp struct {
+	Pair       record.Pair `json:"pair"`
+	Likelihood float64     `json:"lik"`
+}
+
+// DeduceOp records a cache PutDeduced: a verdict inferred by
+// transitivity, with its full proof (path and witness) as provenance.
+type DeduceOp struct {
+	D          transitivity.Deduction `json:"d"`
+	Likelihood float64                `json:"lik"`
+}
+
+// PairVal carries one pair's posterior.
+type PairVal struct {
+	Pair record.Pair `json:"pair"`
+	Val  float64     `json:"val"`
+}
+
+// Op is one step of an atomic Commit. Exactly one field group is set.
+// Ops preserve the live mutation order — the transitive scheduler
+// interleaves asked and deduced verdicts within one commit, and replay
+// must observe the same first-insert semantics the cache applied live.
+type Op struct {
+	Put          *PutOp             `json:"put,omitempty"`
+	Deduce       *DeduceOp          `json:"ded,omitempty"`
+	Answers      []aggregate.Answer `json:"ans,omitempty"`
+	Partial      []aggregate.Answer `json:"part,omitempty"`
+	Posteriors   []PairVal          `json:"post,omitempty"`
+	ClearPending bool               `json:"clear,omitempty"`
+}
+
+// Commit is one atomic verdict-cache transaction: everything a single
+// lock-held commit section mutated, logged as one frame so a torn tail
+// can never split a commit in half (judged pairs without their answers,
+// or vice versa).
+type Commit struct {
+	Ops []Op `json:"ops"`
+}
+
+func (*Commit) tag() byte     { return tagCommit }
+func (*Commit) durable() bool { return true }
+
+// QueuePosted records HITs opened (or topped up) on the queue backend.
+type QueuePosted struct {
+	HITs []crowd.HIT `json:"hits"`
+	At   time.Time   `json:"at"`
+}
+
+func (*QueuePosted) tag() byte     { return tagQueuePosted }
+func (*QueuePosted) durable() bool { return false }
+
+// QueueClaimed records a worker's lease on one assignment.
+type QueueClaimed struct {
+	Token    string    `json:"tok"`
+	HIT      int       `json:"hit"`
+	Worker   string    `json:"worker"`
+	At       time.Time `json:"at"`
+	Deadline time.Time `json:"deadline,omitempty"`
+}
+
+func (*QueueClaimed) tag() byte     { return tagQueueClaimed }
+func (*QueueClaimed) durable() bool { return false }
+
+// QueueAnswered records a completed (paid) assignment — durable: this is
+// the money. Late marks a lapsed-lease answer credited before the top-up
+// was claimed.
+type QueueAnswered struct {
+	Token  string           `json:"tok"`
+	HIT    int              `json:"hit"`
+	Worker string           `json:"worker"`
+	A      crowd.Assignment `json:"a"`
+	Late   bool             `json:"late,omitempty"`
+}
+
+func (*QueueAnswered) tag() byte     { return tagQueueAnswered }
+func (*QueueAnswered) durable() bool { return true }
+
+// QueueExpired records leases dropped by a sweep.
+type QueueExpired struct {
+	Claims []crowd.ExpiredClaim `json:"claims"`
+}
+
+func (*QueueExpired) tag() byte     { return tagQueueExpired }
+func (*QueueExpired) durable() bool { return false }
+
+// QueueRetracted records withdrawn HITs.
+type QueueRetracted struct {
+	IDs []int `json:"ids"`
+}
+
+func (*QueueRetracted) tag() byte     { return tagQueueRetracted }
+func (*QueueRetracted) durable() bool { return false }
+
+// Pending is snapshot-only: the carried-over candidate pairs awaiting
+// crowdsourcing.
+type Pending struct {
+	Scored []simjoin.ScoredPair `json:"scored"`
+}
+
+func (*Pending) tag() byte     { return tagPending }
+func (*Pending) durable() bool { return true }
+
+// CacheState is snapshot-only: the verdict cache serialized wholesale —
+// every entry with likelihood, answers, posterior, provenance and
+// deduction proof, plus un-judged partial answers. Dumping the cache
+// directly (rather than re-deriving per-method events) is what makes a
+// snapshot bit-exact regardless of the mutation order that produced it.
+type CacheState struct {
+	Entries  []verdicts.Entry   `json:"entries"`
+	Partials []aggregate.Answer `json:"partials,omitempty"`
+}
+
+func (*CacheState) tag() byte     { return tagCacheState }
+func (*CacheState) durable() bool { return true }
+
+// QueueState is snapshot-only: the queue backend's full claim/answer
+// state, including in-flight collected assignments awaiting their run's
+// completion and the HIT ID floor.
+type QueueState struct {
+	S crowd.QueueSnapshot `json:"s"`
+}
+
+func (*QueueState) tag() byte     { return tagQueueState }
+func (*QueueState) durable() bool { return true }
+
+// encodeEvent renders tag + JSON payload.
+func encodeEvent(ev Event) ([]byte, error) {
+	body, err := json.Marshal(ev)
+	if err != nil {
+		return nil, fmt.Errorf("store: encoding event: %w", err)
+	}
+	out := make([]byte, 0, len(body)+1)
+	out = append(out, ev.tag())
+	return append(out, body...), nil
+}
+
+// decodeEvent parses one framed payload back into its event.
+func decodeEvent(payload []byte) (Event, error) {
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("store: empty event payload")
+	}
+	var ev Event
+	switch payload[0] {
+	case tagMeta:
+		ev = &Meta{}
+	case tagAppend:
+		ev = &Append{}
+	case tagPrune:
+		ev = &Prune{}
+	case tagCommit:
+		ev = &Commit{}
+	case tagQueuePosted:
+		ev = &QueuePosted{}
+	case tagQueueClaimed:
+		ev = &QueueClaimed{}
+	case tagQueueAnswered:
+		ev = &QueueAnswered{}
+	case tagQueueExpired:
+		ev = &QueueExpired{}
+	case tagQueueRetracted:
+		ev = &QueueRetracted{}
+	case tagPending:
+		ev = &Pending{}
+	case tagCacheState:
+		ev = &CacheState{}
+	case tagQueueState:
+		ev = &QueueState{}
+	default:
+		return nil, fmt.Errorf("store: unknown event tag 0x%02x", payload[0])
+	}
+	if err := json.Unmarshal(payload[1:], ev); err != nil {
+		return nil, fmt.Errorf("store: decoding event tag 0x%02x: %w", payload[0], err)
+	}
+	return ev, nil
+}

@@ -1,0 +1,25 @@
+package store
+
+// Store is the persistence hook the resolver and queue backend log state
+// mutations to. Implementations must be safe for concurrent use; the
+// engine calls Log while holding its own locks, so implementations must
+// never call back into the engine.
+type Store interface {
+	// Log records one event. Durable events must be on stable storage
+	// when Log returns. An error poisons the session: the in-memory state
+	// has already advanced past what disk can prove, so callers surface
+	// the error and stop accepting work rather than diverge silently.
+	Log(ev Event) error
+	// Close flushes and releases the store.
+	Close() error
+}
+
+// Noop is the default in-memory store: every mutation is dropped and the
+// engine behaves bit-identically to a build with no persistence layer.
+type Noop struct{}
+
+// Log implements Store.
+func (Noop) Log(Event) error { return nil }
+
+// Close implements Store.
+func (Noop) Close() error { return nil }

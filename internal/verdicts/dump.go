@@ -1,0 +1,71 @@
+package verdicts
+
+import (
+	"github.com/crowder/crowder/internal/aggregate"
+	"github.com/crowder/crowder/internal/record"
+)
+
+// Dump serializes the cache: deep copies of every entry in canonical
+// pair order, plus every partial-answer fragment flattened in canonical
+// pair order (fragment order preserved within a pair). Dump and
+// RestoreCache are the persistence layer's snapshot format — dumping the
+// cache wholesale, rather than replaying the mutations that built it,
+// is what makes a restored cache bit-identical regardless of the
+// Put/PutDeduced/AddAnswers order the live session happened to use.
+func (c *Cache) Dump() (entries []Entry, partials []aggregate.Answer) {
+	var ptr []*Entry
+	for i := range c.banks {
+		for _, e := range c.banks[i].entries {
+			ptr = append(ptr, e)
+		}
+	}
+	sortEntries(ptr)
+	entries = make([]Entry, len(ptr))
+	for i, e := range ptr {
+		entries[i] = copyEntry(e)
+	}
+
+	var pairs []record.Pair
+	for i := range c.banks {
+		for p := range c.banks[i].partial {
+			pairs = append(pairs, p)
+		}
+	}
+	record.SortPairs(pairs)
+	for _, p := range pairs {
+		partials = append(partials, c.bank(p).partial[p]...)
+	}
+	return entries, partials
+}
+
+// copyEntry deep-copies an entry so the dump shares no mutable state
+// with the live cache.
+func copyEntry(e *Entry) Entry {
+	out := *e
+	if e.Answers != nil {
+		out.Answers = append([]aggregate.Answer(nil), e.Answers...)
+	}
+	if e.Deduction != nil {
+		d := *e.Deduction
+		if d.Path != nil {
+			d.Path = append([]record.Pair(nil), d.Path...)
+		}
+		out.Deduction = &d
+	}
+	return out
+}
+
+// RestoreCache rebuilds a cache from a Dump. The result is unbound;
+// callers bind the session aggregator afterwards.
+func RestoreCache(entries []Entry, partials []aggregate.Answer) *Cache {
+	c := NewCache()
+	for i := range entries {
+		e := copyEntry(&entries[i])
+		c.bank(e.Pair).entries[e.Pair] = &e
+	}
+	for _, a := range partials {
+		b := c.bank(a.Pair)
+		b.partial[a.Pair] = append(b.partial[a.Pair], a)
+	}
+	return c
+}

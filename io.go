@@ -56,10 +56,15 @@ func ReadCSV(r io.Reader, opts CSVOptions) (*Table, error) {
 	if opts.SourceColumn != "" {
 		if opts.Header {
 			for i, name := range schema {
-				if name == opts.SourceColumn {
-					srcIdx = i
-					break
+				if name != opts.SourceColumn {
+					continue
 				}
+				if srcIdx >= 0 {
+					// A duplicated header is ambiguous: silently taking the
+					// first match would tag every record with attribute data.
+					return nil, fmt.Errorf("crowder: source column %q appears %d times in header %v", opts.SourceColumn, count(schema, opts.SourceColumn), schema)
+				}
+				srcIdx = i
 			}
 			if srcIdx < 0 {
 				return nil, fmt.Errorf("crowder: source column %q not in header %v", opts.SourceColumn, schema)
@@ -124,8 +129,21 @@ func btoi(b bool) int {
 	return 0
 }
 
+func count(ss []string, s string) int {
+	n := 0
+	for _, v := range ss {
+		if v == s {
+			n++
+		}
+	}
+	return n
+}
+
 // WriteMatchesCSV writes the matches as "a,b,confidence" rows, with a
-// header, for downstream consumption.
+// header, for downstream consumption. Confidence is written with the
+// shortest decimal form that round-trips the exact float64, so exporting
+// and re-importing matches loses nothing (4-decimal rounding used to
+// collapse nearby posteriors into ties).
 func WriteMatchesCSV(w io.Writer, matches []Match) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"record_a", "record_b", "confidence"}); err != nil {
@@ -135,7 +153,7 @@ func WriteMatchesCSV(w io.Writer, matches []Match) error {
 		err := cw.Write([]string{
 			strconv.Itoa(m.Pair.A),
 			strconv.Itoa(m.Pair.B),
-			strconv.FormatFloat(m.Confidence, 'f', 4, 64),
+			strconv.FormatFloat(m.Confidence, 'g', -1, 64),
 		})
 		if err != nil {
 			return err

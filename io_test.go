@@ -1,6 +1,7 @@
 package crowder
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -80,6 +81,58 @@ func TestReadCSVErrors(t *testing.T) {
 	}
 }
 
+// A header that names the source column more than once is ambiguous —
+// silently consuming the first match used to keep the duplicate's data
+// as an attribute. The reader must reject it, and say why.
+func TestReadCSVDuplicateSourceColumn(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      string
+		opts    CSVOptions
+		wantErr string
+	}{
+		{
+			name:    "duplicated source column",
+			in:      "src,name,src\n0,a,1\n",
+			opts:    CSVOptions{Header: true, SourceColumn: "src"},
+			wantErr: `source column "src" appears 2 times`,
+		},
+		{
+			name:    "triplicated source column",
+			in:      "s,s,s\n0,1,2\n",
+			opts:    CSVOptions{Header: true, SourceColumn: "s"},
+			wantErr: `source column "s" appears 3 times`,
+		},
+		{
+			name: "duplicate header but unique source column",
+			in:   "name,name,src\na,b,0\n",
+			opts: CSVOptions{Header: true, SourceColumn: "src"},
+		},
+		{
+			name: "duplicate header without source column",
+			in:   "name,name\na,b\n",
+			opts: CSVOptions{Header: true},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ReadCSV(strings.NewReader(c.in), c.opts)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("expected error containing %q, got nil", c.wantErr)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
 func TestReadCSVCustomComma(t *testing.T) {
 	in := "a;b\nc;d\n"
 	tab, err := ReadCSV(strings.NewReader(in), CSVOptions{Comma: ';'})
@@ -104,8 +157,47 @@ func TestWriteMatchesCSV(t *testing.T) {
 	if !strings.Contains(out, "record_a,record_b,confidence") {
 		t.Error("missing header")
 	}
-	if !strings.Contains(out, "1,2,0.9300") {
+	if !strings.Contains(out, "1,2,0.93\n") {
 		t.Errorf("missing row: %q", out)
+	}
+}
+
+// Confidence values must survive an export/import cycle exactly: the
+// old fixed 4-decimal format collapsed nearby posteriors (and mangled
+// tiny ones to 0.0000).
+func TestWriteMatchesCSVRoundTrip(t *testing.T) {
+	confs := []float64{
+		1.0 / 3.0,
+		0.93000049999,  // would collide with 0.9300 at 4 decimals
+		0.930004999949, // distinct from the one above
+		1e-9,           // would round to 0.0000
+		0.5,
+		1,
+	}
+	matches := make([]Match, len(confs))
+	for i, c := range confs {
+		matches[i] = Match{Pair: Pair{A: i, B: i + 100}, Confidence: c}
+	}
+	var sb strings.Builder
+	if err := WriteMatchesCSV(&sb, matches); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != len(matches)+1 {
+		t.Fatalf("got %d lines; want %d", len(lines), len(matches)+1)
+	}
+	for i, c := range confs {
+		fields := strings.Split(lines[i+1], ",")
+		if len(fields) != 3 {
+			t.Fatalf("row %d: %q", i, lines[i+1])
+		}
+		got, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			t.Fatalf("row %d: parsing %q: %v", i, fields[2], err)
+		}
+		if got != c {
+			t.Errorf("row %d: confidence %v round-tripped to %v", i, c, got)
+		}
 	}
 }
 

@@ -1,0 +1,118 @@
+package crowder
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/crowder/crowder/internal/crowd"
+	"github.com/crowder/crowder/internal/store"
+)
+
+// Store is the durable session log (see internal/store): every state
+// mutation a Resolver or queue backend makes — appended records, posted
+// HITs, claim leases, raw answers, aggregated verdicts with provenance,
+// retractions — is logged as an event, and a crashed session recovers
+// from the log bit-identically to one that never crashed. The default
+// (Options.Store nil) is the in-memory no-op store: behavior identical
+// to a build without persistence.
+type Store = store.Store
+
+// StoreOptions configures the file-backed store (snapshot cadence).
+type StoreOptions = store.Options
+
+// FileStore is the file-backed Store: a write-ahead log of
+// length-prefixed, CRC-checked event records plus periodic compacting
+// snapshots. Paid-for crowd verdicts are fsynced before the commit
+// returns.
+type FileStore = store.FileLog
+
+// Recovered is the session state OpenStore replayed from disk; pass it
+// to RestoreResolver (and, for queue sessions, RestoreQueue) to resume.
+type Recovered = store.Recovered
+
+// QueueSnapshot is a queue backend's recovered state (open HITs, claim
+// leases, collected assignments); see RestoreQueue.
+type QueueSnapshot = crowd.QueueSnapshot
+
+// QueueJournal is the queue-side persistence hook: NewQueueJournal
+// adapts a Store into one, and QueueOptions.Journal accepts it.
+type QueueJournal = crowd.Journal
+
+// OpenStore opens (or creates) the file-backed session store in dir and
+// replays whatever it holds. A torn final record — a crash mid-write —
+// is tolerated and truncated; corruption anywhere earlier fails loudly.
+func OpenStore(dir string, opts StoreOptions) (*FileStore, *Recovered, error) {
+	return store.Open(dir, opts)
+}
+
+// NewQueueJournal returns the journal that persists a queue backend's
+// lifecycle (posted HITs, claims, answers, expiries, retractions) to the
+// session store. Wire it into QueueOptions.Journal for the queue whose
+// session logs to s.
+func NewQueueJournal(s Store) QueueJournal {
+	return store.QueueJournal(s)
+}
+
+// RestoreQueue rebuilds a queue backend from its recovered snapshot:
+// open HITs resume their lifecycle, outstanding claim leases survive
+// with their original deadlines (leases that expired during the outage
+// surface as normal expiries on the first sweep), and workers keep their
+// identities. Collected in-flight assignments travel to the resolver via
+// Recovered.Resume instead.
+func RestoreQueue(opts QueueOptions, s *QueueSnapshot) *QueueBackend {
+	return crowd.RestoreQueue(opts, s)
+}
+
+// EnsureHITIDFloor raises the process-wide HIT ID allocator to at least
+// n, so HITs posted after a recovery never collide with recovered ones.
+// Pass the max Recovered.NextHITID across every session being restored.
+func EnsureHITIDFloor(n int) {
+	crowd.EnsureHITIDFloor(n)
+}
+
+// RestoreResolver rebuilds a resolution session from recovered state:
+// the table is re-appended row by row, the similarity-join index is
+// rebuilt by replaying the logged absorb boundaries (bit-identical to
+// the crashed index — frozen per-delta token weights demand the original
+// boundaries, not one bulk absorb), and the verdict cache, pending
+// candidates and in-flight HIT state are installed wholesale. Options
+// must match the crashed session's (the service persists and re-derives
+// them); the aggregator is cross-checked against the logged identity.
+//
+// The next ResolveDelta adopts the recovered in-flight HITs by content
+// instead of re-posting them — a restarted session re-issues zero HITs
+// for pairs the crowd already judged or still holds.
+func RestoreResolver(rec *Recovered, opts Options) (*Resolver, error) {
+	if rec == nil {
+		return nil, errors.New("crowder: nil recovered state")
+	}
+	if len(rec.Meta.Schema) == 0 && len(rec.Rows) > 0 {
+		return nil, errors.New("crowder: recovered rows without a schema")
+	}
+	t := NewTable(rec.Meta.Schema...)
+	for _, row := range rec.Rows {
+		if row.Src < 0 {
+			t.Append(row.Values...)
+		} else {
+			t.AppendFrom(row.Src, row.Values...)
+		}
+	}
+	r, err := newResolverWith(t, opts, rec.Cache)
+	if err != nil {
+		return nil, err
+	}
+	if rec.Meta.Aggregator != "" && rec.Meta.Aggregator != r.agg.Name() {
+		return nil, fmt.Errorf("crowder: recovered session was aggregated with %q; options select %q (one session, one aggregation mode)", rec.Meta.Aggregator, r.agg.Name())
+	}
+	for _, b := range rec.Boundaries {
+		if r.sidx != nil {
+			r.sidx.Absorb(b)
+		} else if r.idx != nil {
+			r.idx.Absorb(b)
+		}
+	}
+	r.blocked = rec.Blocked
+	r.pending = append(r.pending, rec.Pending...)
+	r.resume = rec.Resume
+	return r, nil
+}

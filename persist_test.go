@@ -1,0 +1,324 @@
+package crowder
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// openTestStore opens a FileStore in a fresh temp dir and returns it
+// with its recovered (empty) state.
+func openTestStore(t *testing.T, dir string) *FileStore {
+	t.Helper()
+	fl, rec, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Empty() {
+		t.Fatalf("fresh store dir not empty: %+v", rec)
+	}
+	return fl
+}
+
+// TestRestoreResolverBitIdentical: a session logged to disk, reloaded
+// with RestoreResolver, must continue bit-identically to one that never
+// went down — same matches, same candidates, and zero re-issued HITs for
+// pairs already judged. Covered for the single-index path and the
+// sharded (Shards=4) session, whose frozen per-delta index weights are
+// the hard part of replay.
+func TestRestoreResolverBitIdentical(t *testing.T) {
+	rows, schema, oracle := resolverDataset(11, 160, 30)
+	batches := [][][]string{rows[:70], rows[70:110], rows[110:140]}
+	extra := rows[140:]
+
+	for _, shards := range []int{0, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			opts := Options{
+				Threshold: 0.4,
+				HITType:   PairHITs,
+				Oracle:    oracle,
+				Seed:      7,
+				Shards:    shards,
+			}
+
+			// Control: the session that never crashes.
+			control, err := NewResolver(NewTable(schema...), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, b := range batches {
+				control.AppendBatch(b...)
+				if _, err := control.ResolveDelta(); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// Durable twin: same deltas, logged to disk, then "crashed"
+			// (dropped without Close — every paid verdict is fsynced).
+			dir := t.TempDir()
+			dopts := opts
+			dopts.Store = openTestStore(t, dir)
+			durable, err := NewResolver(NewTable(schema...), dopts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, b := range batches {
+				durable.AppendBatch(b...)
+				if _, err := durable.ResolveDelta(); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// Recover from disk into a fresh resolver.
+			fl2, rec, err := OpenStore(dir, StoreOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer fl2.Close()
+			ropts := opts
+			ropts.Store = fl2
+			restored, err := RestoreResolver(rec, ropts)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Continuing both sessions with one more delta must agree
+			// bit-for-bit, and the restored session must pay for exactly
+			// what the control pays for — nothing re-issued.
+			control.AppendBatch(extra...)
+			want, err := control.ResolveDelta()
+			if err != nil {
+				t.Fatal(err)
+			}
+			restored.AppendBatch(extra...)
+			got, err := restored.ResolveDelta()
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameMatches(t, "restored", want.Matches, got.Matches)
+			if got.HITs != want.HITs {
+				t.Errorf("restored delta issued %d HITs; control issued %d", got.HITs, want.HITs)
+			}
+			if got.Candidates != want.Candidates || got.TotalPairs != want.TotalPairs {
+				t.Errorf("restored accounting (%d cand, %d pairs) vs control (%d, %d)",
+					got.Candidates, got.TotalPairs, want.Candidates, want.TotalPairs)
+			}
+			if got.CostDollars != want.CostDollars {
+				t.Errorf("restored CostDollars %v vs control %v", got.CostDollars, want.CostDollars)
+			}
+		})
+	}
+}
+
+// TestRestoreResolverAggregatorMismatch: a session must be recovered
+// under the aggregation mode that produced its verdicts.
+func TestRestoreResolverAggregatorMismatch(t *testing.T) {
+	rows, schema, oracle := resolverDataset(3, 40, 8)
+	dir := t.TempDir()
+	opts := Options{Threshold: 0.4, HITType: PairHITs, Oracle: oracle, Seed: 1, Store: openTestStore(t, dir)}
+	rv, err := NewResolver(NewTable(schema...), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv.AppendBatch(rows...)
+	if _, err := rv.ResolveDelta(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := Options{Threshold: 0.4, HITType: PairHITs, Oracle: oracle, Seed: 1, Aggregation: AggregationMajorityVote}
+	if _, err := RestoreResolver(rec, bad); err == nil {
+		t.Fatal("recovering a dawid-skene session as majority-vote should fail")
+	}
+}
+
+// copyDir snapshots a session directory mid-run — a crash-consistent
+// copy, exactly what a SIGKILL leaves behind (a possibly-torn WAL tail).
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	des, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range des {
+		data, err := os.ReadFile(filepath.Join(src, de.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, de.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRestoreResolverAdoptsInFlight kills a resolve mid-crowd (by
+// snapshotting the session dir after half the HITs are answered — every
+// answer is fsynced before the queue acks it) and restarts from the
+// copy: the recovered session must adopt the in-flight HITs, re-issue
+// nothing for the already-answered pairs, and finish with matches
+// bit-identical to the run that never crashed.
+func TestRestoreResolverAdoptsInFlight(t *testing.T) {
+	rows, schema, oracle := resolverDataset(9, 36, 9)
+	truth := make(map[Pair]bool, len(oracle))
+	for _, p := range oracle {
+		truth[p] = true
+	}
+	isMatch := func(a, b int) bool {
+		if a > b {
+			a, b = b, a
+		}
+		return truth[Pair{A: a, B: b}]
+	}
+
+	dir := t.TempDir()
+	fl := openTestStore(t, dir)
+	queue := NewQueueBackend(QueueOptions{Lease: time.Minute, Journal: NewQueueJournal(fl)})
+	opts := Options{
+		Threshold:   0.4,
+		HITType:     PairHITs,
+		ClusterSize: 2, // split the posting across several HITs so the crash lands mid-flight
+		Assignments: 1,
+		Backend:     queue,
+		Store:       fl,
+	}
+	rv, err := NewResolver(NewTable(schema...), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv.AppendBatch(rows...)
+
+	resCh := make(chan *Result, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		res, err := rv.ResolveDelta()
+		resCh <- res
+		errCh <- err
+	}()
+
+	// Wait for the full posting, then answer half the open HITs; each
+	// Answer fsyncs its QueueAnswered event before returning.
+	var open []OpenHIT
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		open = queue.Open()
+		if len(open) > 0 {
+			// Pair HITs post in a single atomic batch, so the first
+			// non-empty view is the complete posting.
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("HITs never posted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	answered := make(map[Pair]bool)
+	half := (len(open) + 1) / 2
+	for i := 0; i < half; i++ {
+		c, ok := queue.Claim("w")
+		if !ok {
+			t.Fatalf("claim %d/%d failed", i, half)
+		}
+		var vs []Verdict
+		for _, p := range c.HIT.Pairs {
+			vs = append(vs, Verdict{A: p.A, B: p.B, Match: isMatch(int(p.A), int(p.B))})
+			answered[Pair{A: int(p.A), B: int(p.B)}] = true
+		}
+		if err := queue.Answer(c.Token, vs); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// SIGKILL: snapshot the dir as the crash would leave it. The original
+	// session keeps running and finishes as the never-crashed control.
+	crashDir := t.TempDir()
+	copyDir(t, dir, crashDir)
+
+	for {
+		c, ok := queue.Claim("w")
+		if !ok {
+			break
+		}
+		var vs []Verdict
+		for _, p := range c.HIT.Pairs {
+			vs = append(vs, Verdict{A: p.A, B: p.B, Match: isMatch(int(p.A), int(p.B))})
+		}
+		if err := queue.Answer(c.Token, vs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := <-resCh
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart from the crash copy.
+	fl2, rec, err := OpenStore(crashDir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl2.Close()
+	if rec.Resume == nil || rec.Resume.Empty() {
+		t.Fatal("crashed session has no in-flight HITs to adopt")
+	}
+	queue2 := RestoreQueue(QueueOptions{Lease: time.Minute, Journal: NewQueueJournal(fl2)}, rec.Queue)
+	EnsureHITIDFloor(rec.NextHITID)
+	ropts := opts
+	ropts.Backend = queue2
+	ropts.Store = fl2
+	restored, err := RestoreResolver(rec, ropts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resCh2 := make(chan *Result, 1)
+	errCh2 := make(chan error, 1)
+	go func() {
+		res, err := restored.ResolveDelta()
+		resCh2 <- res
+		errCh2 <- err
+	}()
+
+	// Drain the restored queue: only the unanswered HITs may surface.
+	reclaimed := 0
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		c, ok := queue2.Claim("w")
+		if !ok {
+			select {
+			case res := <-resCh2:
+				if err := <-errCh2; err != nil {
+					t.Fatal(err)
+				}
+				if reclaimed == 0 {
+					t.Fatal("nothing left to answer after recovery — crash state was not mid-flight")
+				}
+				assertSameMatches(t, "crash-recovered", want.Matches, res.Matches)
+				return
+			default:
+				if time.Now().After(deadline) {
+					t.Fatal("restored resolve never finished")
+				}
+				time.Sleep(time.Millisecond)
+				continue
+			}
+		}
+		for _, p := range c.HIT.Pairs {
+			if answered[Pair{A: int(p.A), B: int(p.B)}] {
+				t.Fatalf("pair (%d,%d) was answered before the crash and re-issued after recovery", p.A, p.B)
+			}
+		}
+		reclaimed++
+		var vs []Verdict
+		for _, p := range c.HIT.Pairs {
+			vs = append(vs, Verdict{A: p.A, B: p.B, Match: isMatch(int(p.A), int(p.B))})
+		}
+		if err := queue2.Answer(c.Token, vs); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -10,8 +10,10 @@ import (
 
 	"github.com/crowder/crowder/internal/aggregate"
 	"github.com/crowder/crowder/internal/blocking"
+	"github.com/crowder/crowder/internal/crowd"
 	"github.com/crowder/crowder/internal/record"
 	"github.com/crowder/crowder/internal/simjoin"
+	"github.com/crowder/crowder/internal/store"
 	"github.com/crowder/crowder/internal/verdicts"
 )
 
@@ -89,6 +91,14 @@ type Resolver struct {
 	// normally emptied by the same ResolveDelta that discovers them, it
 	// preserves work across a failed delta.
 	pending []simjoin.ScoredPair
+	// log is the session's durable store (Options.Store, or the no-op
+	// store). Appends and queue events log as they happen; verdicts log
+	// as atomic commits at the stages' existing commit points, fsynced
+	// before the commit returns.
+	log store.Store
+	// resume carries a recovered session's in-flight HITs (set by
+	// RestoreResolver, consumed by the next delta's execute stage).
+	resume *crowd.ResumeState
 }
 
 // NewResolver creates a resolution session owning the given table. The
@@ -97,6 +107,24 @@ type Resolver struct {
 // ownership — append through the Resolver from here on. Options are fixed
 // for the session so that every batch draws from the same simulated crowd.
 func NewResolver(t *Table, opts Options) (*Resolver, error) {
+	r, err := newResolverWith(t, opts, nil)
+	if err != nil {
+		return nil, err
+	}
+	// Log the session identity first: recovery needs the schema to
+	// rebuild the table and the aggregator identity to cross-check the
+	// supplied options.
+	if err := r.log.Log(&store.Meta{Schema: t.inner.Schema, Aggregator: r.agg.Name()}); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// newResolverWith is the shared constructor: a fresh session (nil cache)
+// or a recovered one (RestoreResolver supplies the replayed cache). It
+// does not log — NewResolver logs the session identity, RestoreResolver
+// restores from a log that already has it.
+func newResolverWith(t *Table, opts Options, cache *verdicts.Cache) (*Resolver, error) {
 	if t == nil {
 		return nil, errors.New("crowder: nil table")
 	}
@@ -112,15 +140,22 @@ func NewResolver(t *Table, opts Options) (*Resolver, error) {
 	if err != nil {
 		return nil, err
 	}
-	cache := verdicts.NewCache()
+	if cache == nil {
+		cache = verdicts.NewCache()
+	}
 	if err := cache.BindAggregator(agg.Name()); err != nil {
 		return nil, err
+	}
+	var log store.Store = store.Noop{}
+	if opts.Store != nil {
+		log = opts.Store
 	}
 	r := &Resolver{
 		table: t,
 		opts:  opts,
 		agg:   agg,
 		cache: cache,
+		log:   log,
 	}
 	jopts := simjoin.Options{
 		Threshold:       opts.Threshold,
@@ -140,7 +175,11 @@ func NewResolver(t *Table, opts Options) (*Resolver, error) {
 func (r *Resolver) Append(values ...string) int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.table.Append(values...)
+	id := r.table.Append(values...)
+	// A log failure poisons the store (sticky); the next resolve's commit
+	// surfaces it, since Append's signature has no error path.
+	r.log.Log(&store.Append{Rows: []store.Row{{Src: -1, Values: values}}})
+	return id
 }
 
 // AppendFrom adds a record tagged with a source index (see
@@ -148,7 +187,9 @@ func (r *Resolver) Append(values ...string) int {
 func (r *Resolver) AppendFrom(source int, values ...string) int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.table.AppendFrom(source, values...)
+	id := r.table.AppendFrom(source, values...)
+	r.log.Log(&store.Append{Rows: []store.Row{{Src: source, Values: values}}})
+	return id
 }
 
 // AppendBatch adds the rows in order and returns the ID of the first one
@@ -161,7 +202,57 @@ func (r *Resolver) AppendBatch(rows ...[]string) int {
 	for _, row := range rows {
 		r.table.Append(row...)
 	}
+	if len(rows) > 0 {
+		ev := &store.Append{Rows: make([]store.Row, len(rows))}
+		for i, row := range rows {
+			ev.Rows[i] = store.Row{Src: -1, Values: row}
+		}
+		r.log.Log(ev)
+	}
 	return first
+}
+
+// takeResume consumes the recovered in-flight HIT state, if any.
+func (r *Resolver) takeResume() *crowd.ResumeState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rs := r.resume
+	r.resume = nil
+	return rs
+}
+
+// returnResume puts unconsumed resume state back after a failed delta,
+// so the retry can still adopt the recovered HITs it regenerates.
+func (r *Resolver) returnResume(rs *crowd.ResumeState) {
+	if rs == nil || rs.Empty() {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.resume = rs
+}
+
+// indexedLen is the join index's absorb cursor — the Prune event's
+// boundary, replayed by RestoreResolver via Absorb.
+func (r *Resolver) indexedLen() int {
+	if r.sidx != nil {
+		return r.sidx.Indexed()
+	}
+	if r.idx != nil {
+		return r.idx.Indexed()
+	}
+	return 0
+}
+
+// logPrune records a machine pass: the absorb boundary, the blocking
+// cursor, and the candidates this delta discovered (the pending set's
+// new tail). The caller holds r.mu for writing.
+func (r *Resolver) logPrune(discovered []simjoin.ScoredPair) error {
+	return r.log.Log(&store.Prune{
+		Absorbed:   r.indexedLen(),
+		Blocked:    r.blocked,
+		Discovered: discovered,
+	})
 }
 
 // Len returns the number of records in the owned table.

@@ -10,6 +10,7 @@ import (
 	"github.com/crowder/crowder/internal/hitgen"
 	"github.com/crowder/crowder/internal/record"
 	"github.com/crowder/crowder/internal/simjoin"
+	"github.com/crowder/crowder/internal/store"
 	"github.com/crowder/crowder/internal/transitivity"
 	"github.com/crowder/crowder/internal/verdicts"
 )
@@ -96,32 +97,47 @@ func stageExecuteTransitive(ctx context.Context, st *resolveState) (*resolveStat
 
 	// deduceSweep records every remaining pair the graph now implies and
 	// returns the still-unknown tail, order preserved. It writes the
-	// verdict cache, so it takes the session lock.
-	deduceSweep := func() {
+	// verdict cache, so it takes the session lock; the new deductions log
+	// as one atomic commit.
+	deduceSweep := func() error {
 		rv.mu.Lock()
 		defer rv.mu.Unlock()
 		keep := remaining[:0]
+		var ops []store.Op
 		for _, sp := range remaining {
 			if d, ok := g.Deduce(sp.Pair); ok {
 				rv.cache.PutDeduced(sp.Likelihood, d)
 				deduced = append(deduced, d)
+				ops = append(ops, store.Op{Deduce: &store.DeduceOp{D: d, Likelihood: sp.Likelihood}})
 			} else {
 				keep = append(keep, sp)
 			}
 		}
 		remaining = keep
+		if len(ops) > 0 {
+			return rv.log.Log(&store.Commit{Ops: ops})
+		}
+		return nil
 	}
 
 	commitFailure := func(run *crowd.Result) {
 		if run != nil {
 			rv.mu.Lock()
 			rv.cache.AddPartialAnswers(run.Answers)
+			// The delta already failed; the log error (if any) is sticky
+			// and surfaces on the next commit.
+			rv.log.Log(&store.Commit{Ops: []store.Op{{Partial: run.Answers}}})
 			rv.mu.Unlock()
 		}
 	}
 
+	resume := rv.takeResume()
+	defer func() { rv.returnResume(resume) }()
+
 	for {
-		deduceSweep()
+		if err := deduceSweep(); err != nil {
+			return nil, err
+		}
 		if len(remaining) == 0 {
 			break
 		}
@@ -166,6 +182,7 @@ func stageExecuteTransitive(ctx context.Context, st *resolveState) (*resolveStat
 			OnProgress: progress,
 			Interim:    opts.InterimAggregation,
 			Aggregator: rv.agg,
+			Resume:     resume,
 			OnHITComplete: func(h crowd.HIT, hitAns []aggregate.Answer) {
 				for _, v := range hitVerdicts(h, hitAns) {
 					answered.Add(v.pair.A, v.pair.B)
@@ -205,20 +222,33 @@ func stageExecuteTransitive(ctx context.Context, st *resolveState) (*resolveStat
 		// the session lock.
 		rv.mu.Lock()
 		var requeue []simjoin.ScoredPair
+		ops := make([]store.Op, 0, len(window)+1)
 		for _, sp := range window {
 			if answered.Has(sp.Pair.A, sp.Pair.B) {
 				rv.cache.Put(sp.Pair, sp.Likelihood)
+				ops = append(ops, store.Op{Put: &store.PutOp{Pair: sp.Pair, Likelihood: sp.Likelihood}})
 			} else if d, ok := g.Deduce(sp.Pair); ok {
 				rv.cache.PutDeduced(sp.Likelihood, d)
 				deduced = append(deduced, d)
+				ops = append(ops, store.Op{Deduce: &store.DeduceOp{D: d, Likelihood: sp.Likelihood}})
 			} else {
 				requeue = append(requeue, sp)
 			}
 		}
 		rv.cache.AddAnswers(run.Answers)
+		ops = append(ops, store.Op{Answers: run.Answers})
+		logErr := rv.log.Log(&store.Commit{Ops: ops})
 		rv.mu.Unlock()
+		if logErr != nil {
+			return nil, logErr
+		}
 		remaining = append(requeue, remaining...)
 	}
+
+	// Every round completed: recovered HITs never matched by any round
+	// cover pairs judged before the crash — withdraw them.
+	retractLeftovers(backend, resume)
+	resume = nil
 
 	st.res.HITs = posted
 	st.res.DeducedPairs = len(deduced)
@@ -231,7 +261,11 @@ func stageExecuteTransitive(ctx context.Context, st *resolveState) (*resolveStat
 	// pending.
 	rv.mu.Lock()
 	rv.pending = rv.pending[:0]
+	logErr := rv.log.Log(&store.Commit{Ops: []store.Op{{ClearPending: true}}})
 	rv.mu.Unlock()
+	if logErr != nil {
+		return nil, logErr
+	}
 	return st, nil
 }
 
