@@ -100,6 +100,18 @@ func PlanBudget(t *Table, opts BudgetOptions) (*BudgetPlan, error) {
 // recall within the budget (Section 9's future-work direction: "users may
 // wish to trade off cost, quality and latency"), then runs the hybrid
 // workflow there. The returned plan records every considered threshold.
+//
+// With Options.Hybrid on, the budget search and the resolution consume
+// the same learner state by construction: both PlanBudget's estimates
+// (throwaway sessions) and the one-shot run start from an untrained
+// learner — a fresh session has no verdicts to train from — so the
+// projection and the actual first delta route identically (everything
+// to the crowd) and the estimates stay faithful. The dollar budget is
+// additionally threaded into HybridBudgetDollars (when the caller left
+// it unset) so an incremental session grown from the returned
+// resolver-style options keeps its band adaptation anchored to the same
+// budget. For budget projections of a *live* session whose learner is
+// already trained, use Resolver.EstimateDelta instead of PlanBudget.
 func ResolveWithBudget(t *Table, opts BudgetOptions) (*Result, *BudgetPlan, error) {
 	plan, err := PlanBudget(t, opts)
 	if err != nil {
@@ -107,6 +119,9 @@ func ResolveWithBudget(t *Table, opts BudgetOptions) (*Result, *BudgetPlan, erro
 	}
 	o := opts.Options
 	o.Threshold = plan.Threshold
+	if o.Hybrid == HybridOn && o.HybridBudgetDollars == 0 {
+		o.HybridBudgetDollars = opts.BudgetDollars
+	}
 	res, err := Resolve(t, o)
 	if err != nil {
 		return nil, plan, err

@@ -1,0 +1,241 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"runtime"
+
+	"github.com/crowder/crowder"
+	"github.com/crowder/crowder/internal/dataset"
+	"github.com/crowder/crowder/internal/record"
+)
+
+// HybridRun is one workload's crowd-only vs hybrid comparison in
+// BENCH_hybrid.json. Both sessions run the same batched schedule with
+// transitivity on; the hybrid one additionally routes through the
+// learning router and ends with its trailing audit deltas, whose HITs
+// count toward its total — the audit is part of the hybrid protocol,
+// not free work.
+type HybridRun struct {
+	Dataset   string  `json:"dataset"`
+	Records   int     `json:"records"`
+	Threshold float64 `json:"threshold"`
+	Batches   int     `json:"batches"`
+
+	HITsOff int     `json:"hits_off"`
+	HITsOn  int     `json:"hits_on"`
+	CostOff float64 `json:"cost_off_dollars"`
+	CostOn  float64 `json:"cost_on_dollars"`
+	F1Off   float64 `json:"f1_off"`
+	F1On    float64 `json:"f1_on"`
+
+	// MachinePairs is how many candidate pairs the router resolved
+	// without the crowd, summed over the session's deltas.
+	MachinePairs int `json:"machine_pairs"`
+	// AuditHITs is the slice of HITsOn spent by the trailing audit
+	// deltas re-arbitrating machine verdicts the final model disputed.
+	AuditHITs int `json:"audit_hits"`
+	// HITReduction is 1 − HITsOn/HITsOff: the session-lifetime crowd
+	// saving the hybrid router bought.
+	HITReduction float64 `json:"hit_reduction"`
+}
+
+// HybridReport is the file layout of BENCH_hybrid.json.
+type HybridReport struct {
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	GoMaxProcs int    `json:"go_max_procs"`
+
+	Runs []HybridRun `json:"runs"`
+	// RerunIdentical reports whether a second identical hybrid session
+	// reproduced the first bit-for-bit (HITs, machine pairs, matches).
+	RerunIdentical bool `json:"rerun_identical"`
+	// ShardsIdentical reports whether the hybrid session under 4 shards
+	// reproduced the unsharded session bit-for-bit.
+	ShardsIdentical bool `json:"shards_identical"`
+}
+
+// minHITReduction is the acceptance floor: the hybrid session must cut
+// the session-lifetime HIT count by at least this fraction on every
+// workload, at equal-or-better F1.
+const minHITReduction = 0.40
+
+// shuffledDataset permutes a dataset's records under a deterministic
+// seed, remapping the ground-truth pairs. The generators append
+// injected duplicates after the base records, so an in-order batched
+// session would see no matching pairs until the final batches — the
+// shuffle spreads both classes over the session's lifetime, which is
+// the regime an incremental resolver actually runs in.
+func shuffledDataset(seed int64, d *dataset.Dataset) ([][]string, []string, []crowder.Pair, record.PairSet) {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(d.Table.Len())
+	rows := make([][]string, len(perm))
+	where := make([]int, len(perm))
+	for newPos, old := range perm {
+		row := make([]string, len(d.Table.Records[old].Values))
+		copy(row, d.Table.Records[old].Values)
+		rows[newPos] = row
+		where[old] = newPos
+	}
+	var oracle []crowder.Pair
+	truth := record.NewPairSet()
+	for _, p := range d.Matches.Slice() {
+		oracle = append(oracle, crowder.Pair{A: where[p.A], B: where[p.B]})
+		truth.Add(record.ID(where[p.A]), record.ID(where[p.B]))
+	}
+	return rows, d.Table.Schema, oracle, truth
+}
+
+// hybridSessionRun drives one k-batch session and, when the router is
+// on, drains the trailing audit deltas (bounded). It returns the final
+// result plus the session-summed HIT, machine-pair, cost and audit-HIT
+// counters.
+func hybridSessionRun(rows [][]string, schema []string, opts crowder.Options, batches int) (last *crowder.Result, hits, machine, auditHITs int, cost float64) {
+	rv, err := crowder.NewResolver(crowder.NewTable(schema...), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	size := (len(rows) + batches - 1) / batches
+	for lo := 0; lo < len(rows); lo += size {
+		hi := lo + size
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		rv.AppendBatch(rows[lo:hi]...)
+		res, err := rv.ResolveDelta()
+		if err != nil {
+			log.Fatal(err)
+		}
+		hits += res.HITs
+		machine += res.MachinePairs
+		cost += res.CostDollars
+		last = res
+	}
+	if opts.Hybrid == crowder.HybridOn {
+		for i := 0; i < 3; i++ {
+			res, err := rv.ResolveDelta()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if res.HITs == 0 {
+				break
+			}
+			hits += res.HITs
+			auditHITs += res.HITs
+			cost += res.CostDollars
+			last = res
+		}
+	}
+	return last, hits, machine, auditHITs, cost
+}
+
+// runHybrid benchmarks the hybrid human–machine router and enforces its
+// acceptance criteria: on every workload the hybrid session must post
+// at most (1−minHITReduction)× the crowd-only session's HITs at
+// equal-or-better F1, and the session must be bit-identical across
+// reruns and shard counts.
+func runHybrid() (*HybridReport, bool) {
+	rep := &HybridReport{
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+
+	type workload struct {
+		name    string
+		rows    [][]string
+		schema  []string
+		oracle  []crowder.Pair
+		truth   record.PairSet
+		tau     float64
+		batches int
+	}
+	var workloads []workload
+	{
+		rows, schema, oracle, truth := shuffledDataset(3, dataset.RestaurantN(3, 2000, 400))
+		workloads = append(workloads, workload{"restaurant", rows, schema, oracle, truth, 0.4, 6})
+	}
+	{
+		// The heavy-transitivity product workload (the paper's Figure
+		// 15(b) dataset): above-threshold candidates are almost all true
+		// matches, so the router's synthetic-negative path carries it.
+		d := dataset.ProductDup(2, dataset.Product(1))
+		rows := make([][]string, d.Table.Len())
+		for i := range d.Table.Records {
+			row := make([]string, len(d.Table.Records[i].Values))
+			copy(row, d.Table.Records[i].Values)
+			rows[i] = row
+		}
+		var oracle []crowder.Pair
+		for _, p := range d.Matches.Slice() {
+			oracle = append(oracle, crowder.Pair{A: int(p.A), B: int(p.B)})
+		}
+		workloads = append(workloads, workload{"product+dup", rows, d.Table.Schema, oracle, d.Matches, 0.5, 6})
+	}
+
+	ok := true
+	rep.RerunIdentical, rep.ShardsIdentical = true, true
+	for _, w := range workloads {
+		base := crowder.Options{
+			Threshold: w.tau, HITType: crowder.PairHITs, ClusterSize: 10,
+			Oracle: w.oracle, Seed: 1, SpammerRate: crowder.NoSpammers,
+			Transitivity: crowder.TransitivityOn,
+		}
+		offLast, offHITs, _, _, offCost := hybridSessionRun(w.rows, w.schema, base, w.batches)
+
+		on := base
+		on.Hybrid = crowder.HybridOn
+		onLast, onHITs, machine, auditHITs, onCost := hybridSessionRun(w.rows, w.schema, on, w.batches)
+
+		run := HybridRun{
+			Dataset: w.name, Records: len(w.rows), Threshold: w.tau, Batches: w.batches,
+			HITsOff: offHITs, HITsOn: onHITs,
+			CostOff: offCost, CostOn: onCost,
+			F1Off: transitiveF1(w.truth, offLast), F1On: transitiveF1(w.truth, onLast),
+			MachinePairs: machine, AuditHITs: auditHITs,
+		}
+		if offHITs > 0 {
+			run.HITReduction = 1 - float64(onHITs)/float64(offHITs)
+		}
+		rep.Runs = append(rep.Runs, run)
+
+		if run.HITReduction < minHITReduction {
+			fmt.Fprintf(os.Stderr, "FAIL: %s: hybrid cut HITs by %.0f%% (%d→%d); the floor is %.0f%%\n",
+				w.name, 100*run.HITReduction, offHITs, onHITs, 100*minHITReduction)
+			ok = false
+		}
+		if run.F1On < run.F1Off {
+			fmt.Fprintf(os.Stderr, "FAIL: %s: hybrid F1 %.4f below crowd-only %.4f\n", w.name, run.F1On, run.F1Off)
+			ok = false
+		}
+		if machine == 0 {
+			fmt.Fprintf(os.Stderr, "FAIL: %s: the router resolved nothing by machine\n", w.name)
+			ok = false
+		}
+
+		// Rerun identity: the hybrid session is a pure function of
+		// (rows, Options) — train, route, review and all.
+		reLast, reHITs, reMachine, _, _ := hybridSessionRun(w.rows, w.schema, on, w.batches)
+		if reHITs != onHITs || reMachine != machine || !sameMatches(onLast.Matches, reLast.Matches) {
+			fmt.Fprintf(os.Stderr, "FAIL: %s: hybrid rerun diverged (HITs %d vs %d, machine %d vs %d)\n",
+				w.name, reHITs, onHITs, reMachine, machine)
+			rep.RerunIdentical = false
+			ok = false
+		}
+
+		// Shard identity: routing happens above the sharded join, so the
+		// shard count must not leak into a single verdict.
+		sharded := on
+		sharded.Shards = 4
+		shLast, shHITs, shMachine, _, _ := hybridSessionRun(w.rows, w.schema, sharded, w.batches)
+		if shHITs != onHITs || shMachine != machine || !sameMatches(onLast.Matches, shLast.Matches) {
+			fmt.Fprintf(os.Stderr, "FAIL: %s: 4-shard hybrid session diverged (HITs %d vs %d, machine %d vs %d)\n",
+				w.name, shHITs, onHITs, shMachine, machine)
+			rep.ShardsIdentical = false
+			ok = false
+		}
+	}
+	return rep, ok
+}

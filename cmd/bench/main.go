@@ -35,6 +35,16 @@
 //
 //	go run ./cmd/bench -transitive -o BENCH_transitive.json
 //
+// With -hybrid it gates the hybrid human–machine router on the same
+// two workloads, run as batched incremental sessions: with Hybrid on,
+// the session-lifetime HIT count (including the trailing audit deltas)
+// must fall by at least 40% at equal-or-better F1 versus the identical
+// crowd-only session, the router must resolve a nonzero share of
+// candidates by machine, and the whole session must be bit-identical
+// across reruns and shard counts.
+//
+//	go run ./cmd/bench -hybrid -o BENCH_hybrid.json
+//
 // With -aggregate it gates the DawidSkeneMAP aggregator against the
 // sparse-coverage degeneracy (see ROADMAP): on the single-round-worker
 // stress workload the MAP aggregator must invert zero unanimous
@@ -1035,6 +1045,7 @@ func run() int {
 	rounds := flag.Int("rounds", 5, "serve mode: timed append+resolve+poll rounds")
 	reads := flag.Int("reads", 2000, "serve mode: GET /matches requests for the read-path throughput")
 	transitive := flag.Bool("transitive", false, "benchmark the transitivity-aware adaptive scheduler instead of the batch baseline")
+	hybrid := flag.Bool("hybrid", false, "gate the hybrid human–machine router: session-lifetime HIT savings at equal-or-better F1, plus rerun and shard bit-identity")
 	aggregateMode := flag.Bool("aggregate", false, "gate the DawidSkeneMAP aggregator against the sparse-coverage degeneracy instead of the batch baseline")
 	scale := flag.Bool("scale", false, "benchmark the streaming join path against the materialized one and run the large synthetic workload")
 	scaleN := flag.Int("scale-n", 1_000_000, "scale mode: records in the synthetic scale workload")
@@ -1169,6 +1180,21 @@ func run() int {
 		}
 		writeJSON(*out, rep, fmt.Sprintf("wrote %s (%s; delta≡scratch: %v)",
 			*out, strings.Join(parts, "; "), rep.DeltaEqualsScratch))
+		if !ok {
+			return 1
+		}
+		return 0
+	}
+
+	if *hybrid {
+		rep, ok := runHybrid()
+		var parts []string
+		for _, r := range rep.Runs {
+			parts = append(parts, fmt.Sprintf("%s %d→%d HITs −%.0f%% (machine %d, F1 %.3f→%.3f)",
+				r.Dataset, r.HITsOff, r.HITsOn, 100*r.HITReduction, r.MachinePairs, r.F1Off, r.F1On))
+		}
+		writeJSON(*out, rep, fmt.Sprintf("wrote %s (%s; rerun identical: %v; shards identical: %v)",
+			*out, strings.Join(parts, "; "), rep.RerunIdentical, rep.ShardsIdentical))
 		if !ok {
 			return 1
 		}

@@ -71,6 +71,7 @@ import (
 	"github.com/crowder/crowder/internal/crowd"
 	"github.com/crowder/crowder/internal/engine"
 	"github.com/crowder/crowder/internal/hitgen"
+	"github.com/crowder/crowder/internal/learn"
 	"github.com/crowder/crowder/internal/record"
 	"github.com/crowder/crowder/internal/simjoin"
 	"github.com/crowder/crowder/internal/store"
@@ -165,6 +166,30 @@ const (
 	// grows, and — like cluster-based HITs — results depend on the batch
 	// sequence, not on the final table alone.
 	TransitivityOn
+)
+
+// HybridMode selects whether the session routes candidates through the
+// online-learned classifier before buying crowd verdicts.
+type HybridMode int
+
+const (
+	// HybridOff (the default) sends every new candidate pair to the
+	// crowd, exactly as before: results are bit-identical to a build
+	// without the hybrid router.
+	HybridOff HybridMode = iota
+	// HybridOn inserts the route stage between prune and generate: a
+	// linear classifier retrained from the verdict cache after every
+	// aggregation partitions scored candidates into machine-accept /
+	// machine-reject / uncertain, and only the uncertain band is batched
+	// into HITs. Machine-resolved pairs enter the verdict cache with
+	// machine provenance — transitivity deduces over them, and deltas
+	// never re-ask them. Until the session has accumulated
+	// HybridMinLabels verdicts of both classes, everything still goes to
+	// the crowd, so the first delta of a fresh session is unchanged.
+	// Like transitivity, results are deterministic in the batch
+	// sequence, not the final table alone: what the learner knows when a
+	// pair is routed depends on which delta routed it.
+	HybridOn
 )
 
 // AggregationMode selects how the replicated crowd answers of each pair
@@ -363,6 +388,35 @@ type Options struct {
 	// incremental session re-aggregates cached and fresh answers under
 	// one method and never mixes modes. See AggregationMode.
 	Aggregation AggregationMode
+	// Hybrid enables the learning router (HybridOn): after the machine
+	// pass, a classifier trained online from the session's accumulated
+	// verdicts resolves high-confidence pairs directly and sends only
+	// the uncertain band to the crowd, so crowd cost falls as the
+	// session ages. The zero value (HybridOff) keeps results
+	// bit-identical to a build without the router. See HybridMode.
+	Hybrid HybridMode
+	// HybridRisk is the per-class machine-error budget the router's
+	// uncertainty band is cut from: at most this fraction of either
+	// training class may land on the machine's side of the band. 0
+	// selects the default (0.02); values above 0.25 are rejected. The
+	// effective risk is scaled up when the measured worker pool is
+	// inaccurate (buying HITs from a noisy pool purchases less
+	// certainty) and when the projected crowd cost of the uncertain
+	// band exceeds the remaining HybridBudgetDollars.
+	HybridRisk float64
+	// HybridMinLabels is the verdict-count floor before the router
+	// trusts its classifier; below it (or with fewer than 4 verdicts of
+	// either class) every candidate still goes to the crowd. 0 selects
+	// the default (24).
+	HybridMinLabels int
+	// HybridBudgetDollars, when positive, is the session's crowd-spend
+	// target: once cumulative crowd cost approaches it, the router
+	// widens its machine-error risk (doubling, capped at 0.25) until
+	// the uncertain band's projected HIT cost fits what remains. 0
+	// means no budget pressure — the band is governed by HybridRisk and
+	// pool quality alone. ResolveWithBudget seeds this from its
+	// BudgetDollars when unset.
+	HybridBudgetDollars float64
 	// Store, when non-nil, durably logs every state mutation of the
 	// session — appended records, discovered candidates, paid-for crowd
 	// verdicts with provenance — so a crashed process recovers the
@@ -409,6 +463,18 @@ func (o *Options) validate() error {
 	if o.Aggregation < AggregationDawidSkene || o.Aggregation > AggregationDawidSkeneMAP {
 		return fmt.Errorf("crowder: Options.Aggregation = %d; must be AggregationDawidSkene (0), AggregationMajorityVote (1) or AggregationDawidSkeneMAP (2)", o.Aggregation)
 	}
+	if o.Hybrid < HybridOff || o.Hybrid > HybridOn {
+		return fmt.Errorf("crowder: Options.Hybrid = %d; must be HybridOff (0) or HybridOn (1)", o.Hybrid)
+	}
+	if o.HybridRisk < 0 || o.HybridRisk > learn.MaxRisk {
+		return fmt.Errorf("crowder: Options.HybridRisk = %v; must be in [0, %v] (0 selects the default %v)", o.HybridRisk, learn.MaxRisk, learn.DefaultRisk)
+	}
+	if o.HybridMinLabels < 0 {
+		return fmt.Errorf("crowder: Options.HybridMinLabels = %d; must not be negative (0 selects the default %d)", o.HybridMinLabels, learn.DefaultMinLabels)
+	}
+	if o.HybridBudgetDollars < 0 {
+		return fmt.Errorf("crowder: Options.HybridBudgetDollars = %v; must not be negative (0 means no budget pressure)", o.HybridBudgetDollars)
+	}
 	return nil
 }
 
@@ -431,6 +497,13 @@ func (o *Options) transitive() bool {
 	return o.Transitivity == TransitivityOn && !o.MachineOnly
 }
 
+// hybrid reports whether this session routes candidates through the
+// learning router. MachineOnly is already an all-machine baseline, so
+// there is nothing to route.
+func (o *Options) hybrid() bool {
+	return o.Hybrid == HybridOn && !o.MachineOnly
+}
+
 func (o *Options) defaults() {
 	if o.Threshold <= 0 {
 		o.Threshold = 0.3
@@ -446,6 +519,12 @@ func (o *Options) defaults() {
 	}
 	if o.SpammerRate == 0 {
 		o.SpammerRate = 0.12
+	}
+	if o.HybridRisk == 0 {
+		o.HybridRisk = learn.DefaultRisk
+	}
+	if o.HybridMinLabels == 0 {
+		o.HybridMinLabels = learn.DefaultMinLabels
 	}
 	// Negative SpammerRate (NoSpammers) passes through unchanged; the
 	// population layer normalizes it to an actually clean pool, so the
@@ -465,7 +544,8 @@ type Match struct {
 
 // StageStat is the measured wall-clock time of one engine stage.
 type StageStat struct {
-	// Name is the stage: "prune", "generate", "execute" or "aggregate".
+	// Name is the stage: "prune", "route", "generate", "execute" or
+	// "aggregate".
 	Name string
 	// Seconds is the stage's wall-clock processing time.
 	Seconds float64
@@ -500,6 +580,11 @@ type Result struct {
 	// whose verdicts were deduced from the pair graph instead of asked
 	// (Transitivity on; always 0 otherwise).
 	DeducedPairs int
+	// MachinePairs is the number of this resolve's new candidate pairs
+	// the hybrid router's classifier resolved outside its uncertainty
+	// band — no HIT was issued for them (Hybrid on; always 0
+	// otherwise).
+	MachinePairs int
 	// HITsSaved is the number of tasks the one-shot batching would have
 	// generated for this resolve's new candidate pairs minus the tasks
 	// actually posted. It is negative when adaptive rounds fragmented
@@ -523,7 +608,7 @@ type Result struct {
 	// Callers typically keep those with Confidence ≥ 0.5.
 	Matches []Match
 	// Stages reports the engine's per-stage wall-clock timings, in
-	// execution order (prune, generate, execute, aggregate).
+	// execution order (prune, route, generate, execute, aggregate).
 	Stages []StageStat
 }
 
@@ -549,15 +634,27 @@ type resolverPipeline = engine.Pipeline[*resolveState]
 // deltas.
 type resolveState struct {
 	rv *Resolver
-	// planOnly marks an EstimateCost run: prune and generate execute
-	// normally but nothing is judged, so the verdict cache and pending
-	// set must stay untouched.
+	// planOnly marks an EstimateCost / EstimateDelta run: prune, route
+	// and generate execute normally but nothing is judged, so the
+	// verdict cache stays untouched.
 	planOnly bool
+	// keepPending marks a plan-only run over a *live* session
+	// (EstimateDelta): the machine pass genuinely absorbs the delta into
+	// the join index as a side effect, so the discovered candidates must
+	// be recorded as pending (and the prune boundary logged) exactly as
+	// a resolving delta would — otherwise the estimate would silently
+	// lose them. Never set together with a throwaway session.
+	keepPending bool
 
 	// prune → the delta's genuinely new candidate pairs (not in the
 	// verdict cache), ranked by likelihood.
 	scored []simjoin.ScoredPair
 	pairs  []record.Pair
+	// route → the machine verdicts under review this delta: pairs the
+	// retrained router demoted back into scored for crowd arbitration.
+	// While under review a verdict is not ground truth, so transitive
+	// execution must not use its edge to deduce it right back.
+	demoted record.PairSet
 	// generate →
 	pairHITs    []hitgen.PairHIT
 	clusterHITs []hitgen.ClusterHIT
@@ -602,8 +699,13 @@ func stagePrune(_ context.Context, st *resolveState) (*resolveState, error) {
 		return nil, err
 	}
 	pendBefore := len(rv.pending)
+	// A plan-only run over a live session (keepPending) records its
+	// discoveries exactly as a resolving delta: the join index absorbed
+	// the delta as a side effect of the stream, so the candidates must
+	// land in the pending set or they would be lost to every later delta.
+	recording := !st.planOnly || st.keepPending
 	rank := engine.NewTopK(rv.opts.MaxCandidates, simjoin.CompareScored)
-	if !st.planOnly {
+	if recording {
 		// Fold in candidates left pending by a failed delta. They cannot
 		// recur in this delta's stream: both endpoints are already indexed.
 		for _, sp := range rv.pending {
@@ -613,7 +715,7 @@ func stagePrune(_ context.Context, st *resolveState) (*resolveState, error) {
 		}
 	}
 	for sp := range seq {
-		if !st.planOnly {
+		if recording {
 			rv.pending = append(rv.pending, sp)
 		}
 		if !rv.cache.Has(sp.Pair) {
@@ -621,7 +723,7 @@ func stagePrune(_ context.Context, st *resolveState) (*resolveState, error) {
 		}
 	}
 	st.finishPrune(rank.Ranked())
-	if !st.planOnly {
+	if recording {
 		if err := rv.logPrune(rv.pending[pendBefore:]); err != nil {
 			return nil, err
 		}
@@ -648,9 +750,9 @@ func stagePruneSharded(st *resolveState) error {
 		ranks[s] = engine.NewTopK(rv.opts.MaxCandidates, simjoin.CompareScored)
 	}
 	pendings := make([][]simjoin.ScoredPair, ns)
-	planOnly := st.planOnly
+	recording := !st.planOnly || st.keepPending
 	rv.sidx.UpdateScatter(func(s int, sp simjoin.ScoredPair) bool {
-		if !planOnly {
+		if recording {
 			pendings[s] = append(pendings[s], sp)
 		}
 		// Concurrent lookups are safe: the cache is read-only during the
@@ -661,7 +763,7 @@ func stagePruneSharded(st *resolveState) error {
 		return true
 	})
 	lists := make([][]simjoin.ScoredPair, 0, ns+1)
-	if !planOnly {
+	if recording {
 		// Fold in candidates left pending by a failed delta, exactly as
 		// the single-index path does; shard order is deterministic, so
 		// the rebuilt pending set is too.
@@ -680,7 +782,7 @@ func stagePruneSharded(st *resolveState) error {
 		lists = append(lists, r.Ranked())
 	}
 	st.finishPrune(engine.MergeRanked(rv.opts.MaxCandidates, simjoin.CompareScored, lists...))
-	if !planOnly {
+	if recording {
 		if err := rv.logPrune(rv.pending[pendBefore:]); err != nil {
 			return err
 		}
@@ -924,21 +1026,29 @@ func stageAggregate(_ context.Context, st *resolveState) (*resolveState, error) 
 		return st, nil
 	}
 	answers := rv.cache.AllAnswers()
-	if len(answers) == 0 {
+	if len(answers) == 0 && rv.cache.MachineLen() == 0 {
+		// Nothing judged yet. (The machine-count guard keeps this early
+		// return bit-identical to the pre-hybrid build when Hybrid is off:
+		// machine entries exist only in hybrid sessions, where a delta the
+		// router resolved entirely by machine must still rank matches.)
 		return st, nil
 	}
-	// The cache was bound to this aggregator's identity when the session
-	// was created (NewResolver), so the no-mixed-modes invariant holds
-	// structurally by the time any delta aggregates.
-	post := rv.agg.Aggregate(answers)
-	rv.cache.SetPosteriors(post)
-	for _, pr := range post.Ranked() {
-		st.res.Matches = append(st.res.Matches, Match{
-			Pair:       Pair{A: int(pr.A), B: int(pr.B)},
-			Confidence: post[pr],
-		})
+	if len(answers) > 0 {
+		// The cache was bound to this aggregator's identity when the
+		// session was created (NewResolver), so the no-mixed-modes
+		// invariant holds structurally by the time any delta aggregates.
+		post := rv.agg.Aggregate(answers)
+		rv.cache.SetPosteriors(post)
+		for _, pr := range post.Ranked() {
+			st.res.Matches = append(st.res.Matches, Match{
+				Pair:       Pair{A: int(pr.A), B: int(pr.B)},
+				Confidence: post[pr],
+			})
+		}
 	}
-	if n := appendDeducedMatches(rv.cache, &st.res.Matches); n > 0 {
+	nd := appendDeducedMatches(rv.cache, &st.res.Matches)
+	nm := appendMachineMatches(rv.cache, &st.res.Matches)
+	if nd+nm > 0 {
 		// Deduced verdicts re-derive their confidence from the freshly
 		// aggregated posteriors of their proofs; re-sort the merged list.
 		SortMatches(st.res.Matches)
@@ -953,13 +1063,40 @@ func stageAggregate(_ context.Context, st *resolveState) (*resolveState, error) 
 	if err := rv.log.Log(&store.Commit{Ops: []store.Op{{Posteriors: pvs}}}); err != nil {
 		return nil, err
 	}
+	if rv.opts.hybrid() {
+		// Budget accounting: fold this delta's crowd spend into the
+		// session total the router's band adaptation reads, and log the
+		// running total so recovery restores it.
+		if st.res.CostDollars > 0 {
+			rv.spent += st.res.CostDollars
+			if err := rv.log.Log(&store.Meta{Spent: rv.spent}); err != nil {
+				return nil, err
+			}
+		}
+		// Retrain at the aggregation commit: the canonical retrain point
+		// the route stage reads from. The learner is a pure function of
+		// the (canonically ordered) cache, so delta and recovery sessions
+		// converge to the identical model.
+		l, err := rv.trainLearnerLocked()
+		if err != nil {
+			return nil, err
+		}
+		rv.learner = l
+	}
 	return st, nil
 }
 
-// resolvePipeline builds the four-stage engine every resolve runs.
+// resolvePipeline builds the five-stage engine every resolve runs. The
+// route stage sits between prune and generate so that only the pairs
+// the router leaves uncertain are ever batched into HITs — which also
+// makes every plan-only truncation at "generate" (EstimateCost,
+// EstimateDelta) hybrid-aware for free. With Options.Hybrid off the
+// stage is a pure pass-through and the pipeline behaves bit-identically
+// to the four-stage one it replaced.
 func resolvePipeline() *resolverPipeline {
 	return engine.New(
 		engine.Stage[*resolveState]{Name: "prune", Run: stagePrune},
+		engine.Stage[*resolveState]{Name: "route", Run: stageRoute},
 		engine.Stage[*resolveState]{Name: "generate", Run: stageGenerate},
 		engine.Stage[*resolveState]{Name: "execute", Run: stageExecute},
 		engine.Stage[*resolveState]{Name: "aggregate", Run: stageAggregate},
@@ -1013,19 +1150,33 @@ func generatorFor(g Generator, seed int64) hitgen.ClusterGenerator {
 // workflow the paper lists as future work: sweep thresholds, estimate,
 // pick the cheapest configuration that fits.
 type Estimate struct {
-	// Candidates is the number of pairs that would be sent to the crowd.
+	// Candidates is the number of fresh pairs the resolve would judge.
 	Candidates int
-	// HITs is the number of tasks that would be generated.
+	// MachinePairs is how many of those candidates the hybrid router
+	// would resolve by machine, outside its uncertainty band. Always 0
+	// with Hybrid off, and for a fresh session (whose learner has no
+	// verdicts to train from — see EstimateCost vs Resolver.EstimateDelta).
+	MachinePairs int
+	// CrowdPairs is the uncertain remainder that would be batched into
+	// HITs (Candidates − MachinePairs).
+	CrowdPairs int
+	// HITs is the number of tasks that would be generated for CrowdPairs.
 	HITs int
 	// CostDollars is HITs × Assignments × $0.025.
 	CostDollars float64
 }
 
-// EstimateCost prunes at the configured threshold and generates (but does
-// not crowdsource) the HITs, returning the projected task count and cost.
-// It runs the same prune → generate stages as Resolve — truncated before
-// the crowd ever executes — so the estimate agrees with an actual run by
-// construction.
+// EstimateCost prunes at the configured threshold, routes through the
+// hybrid classifier (when Hybrid is on) and generates — but does not
+// crowdsource — the HITs, returning the projected task count and cost.
+// It runs the same prune → route → generate stages as Resolve,
+// truncated before the crowd ever executes, so the estimate agrees with
+// an actual run by construction. Because it estimates over a throwaway
+// session, its learner state is exactly a fresh session's: untrained,
+// every candidate projected to the crowd — which is also what a
+// one-shot Resolve with the same options would do, so the projection
+// stays faithful. To project a *live* hybrid session's next delta with
+// the session's trained learner, use Resolver.EstimateDelta.
 func EstimateCost(t *Table, opts Options) (*Estimate, error) {
 	// An estimate is a throwaway session: never log it to the caller's
 	// store, which belongs to the live session with the same options.
@@ -1044,9 +1195,19 @@ func EstimateCost(t *Table, opts Options) (*Estimate, error) {
 	if err != nil {
 		return nil, err
 	}
-	est := &Estimate{Candidates: final.res.NewCandidates, HITs: final.res.HITs}
-	est.CostDollars = float64(est.HITs*r.opts.Assignments) * crowd.DollarsPerAssignment
-	return est, nil
+	return estimateFromPlan(final.res, r.opts), nil
+}
+
+// estimateFromPlan converts a plan-only run's Result into an Estimate.
+func estimateFromPlan(res *Result, opts Options) *Estimate {
+	est := &Estimate{
+		Candidates:   res.NewCandidates,
+		MachinePairs: res.MachinePairs,
+		HITs:         res.HITs,
+	}
+	est.CrowdPairs = est.Candidates - est.MachinePairs
+	est.CostDollars = float64(est.HITs*opts.Assignments) * crowd.DollarsPerAssignment
+	return est
 }
 
 // SortMatches orders matches by confidence descending (tie-break by pair),

@@ -190,7 +190,7 @@ func TestResolveStageStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []string{"prune", "generate", "execute", "aggregate"}
+	want := []string{"prune", "route", "generate", "execute", "aggregate"}
 	if len(res.Stages) != len(want) {
 		t.Fatalf("Stages = %+v; want %d entries", res.Stages, len(want))
 	}
@@ -202,7 +202,7 @@ func TestResolveStageStats(t *testing.T) {
 			t.Errorf("stage %q has negative duration", name)
 		}
 	}
-	// Machine-only runs still report all four stages (the crowd ones as
+	// Machine-only runs still report all five stages (the crowd ones as
 	// ~zero-cost no-ops).
 	mo, err := Resolve(tab, Options{Threshold: 0.3, MachineOnly: true})
 	if err != nil {

@@ -13,8 +13,10 @@ package active
 
 import (
 	"errors"
+	"maps"
 	"math"
 	"math/rand"
+	"slices"
 	"sort"
 
 	"github.com/crowder/crowder/internal/record"
@@ -153,8 +155,11 @@ func Run(t *record.Table, pool []record.Pair, oracle Oracle, opts Options) (*Res
 	res := &Result{}
 	var model *svm.Model
 	train := func() error {
+		// Sorted pool order, not map order: Pegasos permutes examples from
+		// the seeded RNG, so the *input* order must be deterministic for
+		// retraining over the same labeled set to be bit-identical.
 		examples := make([]svm.Example, 0, len(labeled))
-		for idx := range labeled {
+		for _, idx := range slices.Sorted(maps.Keys(labeled)) {
 			examples = append(examples, svm.Example{X: features[idx], Label: labels[idx]})
 		}
 		m, err := svm.Train(examples, svm.TrainOptions{Seed: opts.Seed, BalanceClasses: true})
@@ -241,13 +246,6 @@ func rankByScore(pool []record.Pair, features [][]float64, m *svm.Model) []recor
 		out[i] = pool[j]
 	}
 	return out
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 func mean(xs []float64) float64 {

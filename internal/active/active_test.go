@@ -120,3 +120,43 @@ func TestPoolExhaustion(t *testing.T) {
 		t.Errorf("labeled %d pairs out of a pool of %d", res.LabelsUsed, len(pairs))
 	}
 }
+
+func TestRunRepeatIsBitIdentical(t *testing.T) {
+	// Pins the map-iteration fix in train(): the labeled set is a map, so
+	// feeding Pegasos in map order made every retrain — and therefore the
+	// query sequence and final model — differ between identical runs.
+	// Two runs over the same pool and seed must agree exactly: same
+	// ranking, same weights, same per-round label counts.
+	d, pairs := pool(t)
+	oracle := func(p record.Pair) bool { return d.Matches.Has(p.A, p.B) }
+	opts := Options{Seed: 11, SeedSize: 20, BatchSize: 20, Rounds: 4}
+	a, err := Run(d.Table, pairs, oracle, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(d.Table, pairs, oracle, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Ranked) != len(b.Ranked) {
+		t.Fatalf("rankings sized %d vs %d", len(a.Ranked), len(b.Ranked))
+	}
+	for i := range a.Ranked {
+		if a.Ranked[i] != b.Ranked[i] {
+			t.Fatalf("ranking diverges at %d: %v vs %v", i, a.Ranked[i], b.Ranked[i])
+		}
+	}
+	if len(a.Model.W) != len(b.Model.W) || a.Model.B != b.Model.B {
+		t.Fatal("final models differ in shape or bias")
+	}
+	for i := range a.Model.W {
+		if a.Model.W[i] != b.Model.W[i] {
+			t.Fatalf("weight %d differs: %v vs %v", i, a.Model.W[i], b.Model.W[i])
+		}
+	}
+	for i := range a.History {
+		if a.History[i] != b.History[i] {
+			t.Fatalf("round %d stats differ: %+v vs %+v", i, a.History[i], b.History[i])
+		}
+	}
+}

@@ -1,0 +1,352 @@
+// Package learn is the hybrid router's online classifier: the learning
+// subsystem that closes CrowdER's human–machine loop. The verdict cache
+// a session accumulates — crowd-judged and transitively deduced pairs —
+// is a free labeled set that grows with every delta; this package trains
+// a linear SVM (internal/svm, Pegasos) over it after each aggregation
+// commit and derives a margin band of uncertainty from the training
+// distribution. Scored candidates outside the band are resolved by
+// machine (accept above, reject below); only the band itself is sent to
+// the crowd, so crowd cost falls over the session's lifetime.
+//
+// Everything here is deterministic: labels are consumed in canonical
+// pair order, the SVM's stochastic example order is driven by the
+// session seed, and the band is a pure function of (labels, risk). A
+// learner retrained from the same cache is bit-identical at every
+// parallelism level and shard count, which is what preserves the
+// resolver's delta ≡ scratch and shard-identity guarantees.
+package learn
+
+import (
+	"fmt"
+	"math"
+	"slices"
+
+	"github.com/crowder/crowder/internal/record"
+	"github.com/crowder/crowder/internal/similarity"
+	"github.com/crowder/crowder/internal/svm"
+)
+
+// MaxRisk caps the per-class machine-error budget a band may be derived
+// from: even under extreme budget pressure the router never accepts a
+// training quantile looser than this.
+const MaxRisk = 0.25
+
+// DefaultRisk is the machine-error budget when the caller sets none.
+// It reads tight — one observed training error in a thousand tolerated
+// outside the band — because the band already absorbs model risk in
+// two other places: the accept bar extrapolates past the worst observed
+// negative by the extreme-tail spread, and the reject bar is floored at
+// RejectRisk. Session-level adaptation (pool quality, budget pressure)
+// loosens it from here.
+const DefaultRisk = 0.001
+
+// RejectRisk floors the reject side's quantile. The two machine errors
+// are not symmetric: a false accept merges two different entities (a
+// precision error that poisons transitive deduction), while a false
+// reject loses a single pair of recall — the same loss the likelihood
+// threshold already trades on wholesale. The reject cut therefore
+// tolerates a higher fraction of training positives below it than the
+// configured risk, which matters because the *worst* training-positive
+// margins are dominated by label noise and heavily corrupted duplicates:
+// anchoring Lo on them parks the reject threshold beneath the entire
+// negative mass and disables machine rejection outright.
+const RejectRisk = 0.05
+
+// tailQuantile is the start of the negative distribution's upper tail
+// used to extrapolate beyond the observed maximum: the accept bar adds
+// the spread of the top (1 − tailQuantile) of training-negative margins
+// on top of the risk quantile. The observed negatives are a finite
+// sample — unseen confusables will overshoot their maximum by roughly
+// the width of the sampled extreme tail, and the most damaging false
+// accepts land exactly in that just-above-the-max zone.
+const tailQuantile = 0.99
+
+// DefaultMinLabels is the training-set floor below which the learner
+// reports not ready and everything routes to the crowd.
+const DefaultMinLabels = 24
+
+// minPerClass is the per-class floor: a classifier that has seen fewer
+// than this many examples of either class has no measurable band.
+const minPerClass = 4
+
+// marginGap is the band's half-width floor in margin units: the band
+// never collapses below |margin| < marginGap even when the training
+// classes separate perfectly (a perfectly separated training set says
+// nothing about pairs the model has not seen).
+const marginGap = 0.5
+
+// Label is one training observation: a pair with its current session
+// verdict (posterior ≥ 0.5). Synthetic marks a presumed label — a
+// machine-pruned pair assumed non-matching under the workflow's
+// threshold assumption rather than judged by the crowd. Synthetic
+// negatives anchor the accept side of the band (a candidate must score
+// above even these to be machine-accepted) but are too easy to define a
+// reject boundary: a learner whose negatives are mostly synthetic never
+// machine-rejects.
+type Label struct {
+	Pair      record.Pair
+	Match     bool
+	Synthetic bool
+}
+
+// Options configures Train.
+type Options struct {
+	// Attrs selects the feature attributes (indices into the table
+	// schema). Empty selects all.
+	Attrs []int
+	// Seed drives the SVM's stochastic example order. Training is
+	// deterministic in (labels, Options).
+	Seed int64
+	// MinLabels is the training-set floor (default DefaultMinLabels).
+	MinLabels int
+}
+
+// Learner is a trained router classifier plus the per-class training
+// margin distributions its uncertainty bands are cut from. A Learner is
+// immutable after Train; concurrent Margin/Band calls are safe.
+type Learner struct {
+	attrs    []int
+	model    *svm.Model
+	pos, neg int
+	// realNeg counts the non-synthetic negatives: the crowd-observed
+	// evidence that decides whether the learner may machine-reject.
+	realNeg int
+	// posMargins and negMargins are the training margins per class,
+	// sorted ascending: the empirical distributions Band quantiles.
+	posMargins, negMargins []float64
+}
+
+// Train fits a learner from the labeled pairs. Labels are re-sorted
+// into canonical pair order internally, so the result is a pure
+// function of the label *set* — callers may pass cache iterations in
+// any order. A learner below the label or per-class floors is returned
+// non-ready (never an error): routing simply sends everything to the
+// crowd until the session has paid for enough verdicts.
+func Train(t *record.Table, labels []Label, opts Options) (*Learner, error) {
+	if t == nil {
+		return nil, fmt.Errorf("learn: nil table")
+	}
+	attrs := opts.Attrs
+	if len(attrs) == 0 {
+		attrs = make([]int, len(t.Schema))
+		for i := range attrs {
+			attrs[i] = i
+		}
+	}
+	minLabels := opts.MinLabels
+	if minLabels <= 0 {
+		minLabels = DefaultMinLabels
+	}
+
+	sorted := append([]Label(nil), labels...)
+	slices.SortFunc(sorted, func(a, b Label) int {
+		if a.Pair.A != b.Pair.A {
+			return int(a.Pair.A) - int(b.Pair.A)
+		}
+		return int(a.Pair.B) - int(b.Pair.B)
+	})
+
+	l := &Learner{attrs: attrs}
+	for _, lb := range sorted {
+		if lb.Match {
+			l.pos++
+		} else {
+			l.neg++
+			if !lb.Synthetic {
+				l.realNeg++
+			}
+		}
+	}
+	if len(sorted) < minLabels || l.pos < minPerClass || l.neg < minPerClass {
+		return l, nil
+	}
+
+	examples := make([]svm.Example, len(sorted))
+	for i, lb := range sorted {
+		y := -1.0
+		if lb.Match {
+			y = 1.0
+		}
+		examples[i] = svm.Example{X: featureVector(t, lb.Pair, attrs), Label: y}
+	}
+	model, err := svm.Train(examples, svm.TrainOptions{Seed: opts.Seed, BalanceClasses: true})
+	if err != nil {
+		return nil, fmt.Errorf("learn: %w", err)
+	}
+	l.model = model
+	for i, e := range examples {
+		m := model.Score(e.X)
+		if sorted[i].Match {
+			l.posMargins = append(l.posMargins, m)
+		} else {
+			l.negMargins = append(l.negMargins, m)
+		}
+	}
+	slices.Sort(l.posMargins)
+	slices.Sort(l.negMargins)
+	return l, nil
+}
+
+// Ready reports whether the learner has a trained model: enough labels,
+// both classes represented. A non-ready learner routes everything to
+// the crowd.
+func (l *Learner) Ready() bool { return l != nil && l.model != nil }
+
+// Labels returns the per-class training counts the learner was built
+// from (counted even when not ready, for observability).
+func (l *Learner) Labels() (pos, neg int) {
+	if l == nil {
+		return 0, 0
+	}
+	return l.pos, l.neg
+}
+
+// Margin returns the model's signed margin for the pair; positive means
+// match-like. Only valid when Ready.
+func (l *Learner) Margin(t *record.Table, p record.Pair) float64 {
+	return l.model.Score(featureVector(t, p, l.attrs))
+}
+
+// featureVector is the router's feature map: the per-attribute
+// Levenshtein and cosine similarities (svm.FeatureVector), extended
+// with the minimum and mean per-attribute similarity and the
+// whole-record Jaccard (the same likelihood the pruning pass ranks
+// candidates by). The aggregates let a *linear* model express "one
+// attribute strongly disagrees" — the failure mode of surface-similar
+// non-matches (identical name, different city), which per-attribute
+// features alone cannot separate without feature crosses — and the
+// Jaccard ties the model to the machine pass's global evidence.
+func featureVector(t *record.Table, p record.Pair, attrs []int) []float64 {
+	base := svm.FeatureVector(t, p, attrs)
+	minSim, meanSim := 1.0, 0.0
+	n := 0
+	for i := 0; i+1 < len(base); i += 2 {
+		sim := max(base[i], base[i+1])
+		if sim < minSim {
+			minSim = sim
+		}
+		meanSim += sim
+		n++
+	}
+	if n > 0 {
+		meanSim /= float64(n)
+	} else {
+		minSim = 0
+	}
+	ids := t.TokenIDs()
+	jac := similarity.Jaccard(ids[p.A], ids[p.B])
+	return append(base, minSim, meanSim, jac)
+}
+
+// Band derives the uncertainty band for a per-class risk: the margin
+// interval outside which at most a bounded fraction of either training
+// class falls on the machine's side. Hi is the accept threshold — at
+// most risk·|neg| training negatives score above it, floored at
+// marginGap so the accept side always stays on the positive slope even
+// when the classes separate perfectly. Lo is the reject threshold — at
+// most max(risk, RejectRisk)·|pos| training positives score below it
+// (see RejectRisk for why the reject quantile is floored), clamped to
+// leave at least a marginGap-wide crowd band below Hi. Larger risk
+// never widens the band (more machine, fewer HITs, more model errors
+// tolerated).
+func (l *Learner) Band(risk float64) Band {
+	if risk < 0 {
+		risk = 0
+	}
+	if risk > MaxRisk {
+		risk = MaxRisk
+	}
+	hi := marginGap
+	if n := len(l.negMargins); n > 0 {
+		k := int(risk * float64(n)) // negatives tolerated above hi
+		// The risk quantile plus the observed extreme-tail spread: unseen
+		// negatives overshoot the sampled maximum by about the width of
+		// the sampled tail (see tailQuantile).
+		spread := l.negMargins[n-1] - l.negMargins[int(tailQuantile*float64(n-1))]
+		if v := l.negMargins[n-1-k] + spread; v > hi {
+			hi = v
+		}
+	}
+	lo := hi - marginGap
+	if n := len(l.posMargins); n > 0 {
+		k := int(max(risk, RejectRisk) * float64(n)) // positives tolerated below lo
+		if v := l.posMargins[k]; v < lo {
+			lo = v
+		}
+	}
+	// A learner that has barely seen a crowd-judged negative has no
+	// empirical reject boundary — its negatives are presumed, not
+	// observed — so the band only accepts.
+	return Band{Lo: lo, Hi: hi, NoReject: l.realNeg < minPerClass}
+}
+
+// Band is a margin interval of uncertainty: pairs scoring strictly
+// above Hi are machine-accepted, strictly below Lo machine-rejected,
+// and inside the band crowdsourced. Hi ≥ marginGap and Lo ≤ Hi −
+// marginGap always hold; Lo may sit above zero — rejection is quantile
+// logic over the training positives, not sign logic, because a weakly
+// regularized model compresses the easy-negative mass near its bias.
+// With NoReject set the reject side is disabled — everything at or
+// below Hi is crowdsourced — because the learner's negatives are
+// presumed (synthetic) rather than crowd-observed.
+type Band struct {
+	Lo, Hi   float64
+	NoReject bool
+}
+
+// Decision is a routing verdict for one scored pair.
+type Decision int
+
+const (
+	// DecideCrowd: the pair is inside the uncertainty band and must be
+	// crowdsourced.
+	DecideCrowd Decision = iota
+	// DecideMatch: machine-accept, no HIT.
+	DecideMatch
+	// DecideNonMatch: machine-reject, no HIT.
+	DecideNonMatch
+)
+
+// Decide routes a margin.
+func (b Band) Decide(margin float64) Decision {
+	switch {
+	case margin > b.Hi:
+		return DecideMatch
+	case margin < b.Lo && !b.NoReject:
+		return DecideNonMatch
+	default:
+		return DecideCrowd
+	}
+}
+
+// Confidence maps a margin to a calibrated match probability: a
+// sigmoid centered on the band's midpoint and scaled to its width, so
+// machine-accepted margins always land above 0.5 and machine-rejected
+// ones below — the posterior recorded on machine-resolved cache
+// entries, rank-consistent with the margin ordering.
+func (b Band) Confidence(margin float64) float64 {
+	mid := (b.Hi + b.Lo) / 2
+	width := b.Hi - b.Lo
+	if width < 1e-9 {
+		width = 1e-9
+	}
+	kappa := 4 / width
+	return 1 / (1 + math.Exp(-kappa*(margin-mid)))
+}
+
+// AdaptRisk scales a base risk by the measured crowd pool accuracy:
+// when the pool itself errs often, buying more HITs purchases less
+// certainty, so the machine is allowed a proportionally looser band.
+// poolAccuracy is the answer-weighted mean worker accuracy in [0, 1];
+// values outside (0, 1) (including the "no evidence yet" zero) leave
+// the base risk unchanged. The result is capped at MaxRisk.
+func AdaptRisk(base, poolAccuracy float64) float64 {
+	if poolAccuracy <= 0 || poolAccuracy >= 1 {
+		return base
+	}
+	r := base * (1 + 2*(1-poolAccuracy))
+	if r > MaxRisk {
+		r = MaxRisk
+	}
+	return r
+}

@@ -47,6 +47,12 @@ func optionsFromRequest(req optionsRequest) (crowder.Options, error) {
 	if req.Transitivity {
 		opts.Transitivity = crowder.TransitivityOn
 	}
+	if req.Hybrid {
+		opts.Hybrid = crowder.HybridOn
+		opts.HybridRisk = req.HybridRisk
+		opts.HybridMinLabels = req.HybridMinLabels
+		opts.HybridBudgetDollars = req.HybridBudgetDollars
+	}
 	agg, err := crowder.ParseAggregationMode(req.Aggregation)
 	if err != nil {
 		return crowder.Options{}, err
@@ -124,6 +130,7 @@ func (s *Server) buildSession(name, tenant string, req tableRequest, opts crowde
 		name: name, tenant: tenant, schema: req.Schema, jobs: make(map[int]*job),
 		aggregation:  opts.Aggregation.String(),
 		transitivity: req.Options.Transitivity,
+		hybrid:       req.Options.Hybrid,
 	}
 	switch req.Options.Backend {
 	case "", "simulated":

@@ -166,11 +166,12 @@ type session struct {
 	// progress callback (which fires while the resolver lock is held).
 	current atomic.Pointer[job]
 
-	// aggregation and transitivity echo the session's fixed options in
-	// job status, so a client auditing a verdict can see which
+	// aggregation, transitivity and hybrid echo the session's fixed
+	// options in job status, so a client auditing a verdict can see which
 	// aggregator produced it without holding the resolver lock.
 	aggregation  string
 	transitivity bool
+	hybrid       bool
 
 	mu       sync.Mutex
 	schema   []string
@@ -290,6 +291,20 @@ type optionsRequest struct {
 	HITRate float64 `json:"hit_rate,omitempty"`
 	// HITBurst is the token-bucket burst for HITRate (default 1).
 	HITBurst int `json:"hit_burst,omitempty"`
+	// Hybrid enables the learning router (crowder.HybridOn): a classifier
+	// trained online from the session's own verdicts resolves confident
+	// pairs by machine and sends only the uncertain band to the crowd.
+	// Machine/crowd/deduced splits surface on job status and /metrics.
+	Hybrid bool `json:"hybrid,omitempty"`
+	// HybridRisk is the router's per-side training-margin risk quantile
+	// (default crowder default; 0 means default).
+	HybridRisk float64 `json:"hybrid_risk,omitempty"`
+	// HybridMinLabels is the training floor before the router activates.
+	HybridMinLabels int `json:"hybrid_min_labels,omitempty"`
+	// HybridBudgetDollars caps per-delta crowd spend: the router widens
+	// its machine band until the projected crowd cost of the uncertain
+	// remainder fits what is left of the budget.
+	HybridBudgetDollars float64 `json:"hybrid_budget_dollars,omitempty"`
 }
 
 // meteredBackend debits the tenant's token bucket before each HIT
@@ -521,6 +536,7 @@ func handleJobStatus(sess *session, w http.ResponseWriter, r *http.Request) {
 		"options": map[string]any{
 			"aggregation":  sess.aggregation,
 			"transitivity": sess.transitivity,
+			"hybrid":       sess.hybrid,
 		},
 		"progress": map[string]any{
 			"total_hits":      j.progress.TotalHITs,
@@ -542,6 +558,7 @@ func handleJobStatus(sess *session, w http.ResponseWriter, r *http.Request) {
 			"new_candidates":    j.result.NewCandidates,
 			"cached_candidates": j.result.CachedCandidates,
 			"hits":              j.result.HITs,
+			"machine_pairs":     j.result.MachinePairs,
 			"deduced_pairs":     j.result.DeducedPairs,
 			"hits_saved":        j.result.HITsSaved,
 			"retracted_hits":    j.result.RetractedHITs,
@@ -803,9 +820,32 @@ type tenantMetrics struct {
 	ClaimWaitP99Ms float64 `json:"claim_wait_p99_ms"`
 }
 
+// resolutionMetrics is one table's hybrid-router rollup in /metrics:
+// how the session's judged pairs split across machine, crowd and
+// transitive deduction, and the router's current band — the numbers an
+// operator watches to confirm crowd cost is actually falling over the
+// session's lifetime.
+type resolutionMetrics struct {
+	Table         string  `json:"table"`
+	Tenant        string  `json:"tenant"`
+	Hybrid        bool    `json:"hybrid"`
+	MachinePairs  int     `json:"machine_pairs"`
+	CrowdPairs    int     `json:"crowd_pairs"`
+	DeducedPairs  int     `json:"deduced_pairs"`
+	TrainingPos   int     `json:"training_pos"`
+	TrainingNeg   int     `json:"training_neg"`
+	RouterReady   bool    `json:"router_ready"`
+	BandLo        float64 `json:"band_lo"`
+	BandHi        float64 `json:"band_hi"`
+	Risk          float64 `json:"risk"`
+	SpentDollars  float64 `json:"spent_dollars"`
+	BudgetDollars float64 `json:"budget_dollars"`
+}
+
 // handleMetrics serves the numbers the tenant bench gates on and an
 // operator dashboard graphs: per-session and per-tenant open HITs,
-// queue depths, claim-wait quantiles, and admission-queue pressure.
+// queue depths, claim-wait quantiles, admission-queue pressure, and
+// each table's machine/crowd/deduced resolution split.
 // One source of truth — the bench reads the same gauges operators do.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	sessions := s.dispatcher.Stats()
@@ -835,12 +875,35 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, t := range order {
 		tenants = append(tenants, *byTenant[t])
 	}
+	all := s.reg.all()
+	resolution := make([]resolutionMetrics, 0, len(all))
+	for _, sess := range all {
+		hs := sess.rv.HybridStats()
+		resolution = append(resolution, resolutionMetrics{
+			Table:         sess.name,
+			Tenant:        sess.tenant,
+			Hybrid:        hs.Enabled,
+			MachinePairs:  hs.MachinePairs,
+			CrowdPairs:    hs.CrowdPairs,
+			DeducedPairs:  hs.DeducedPairs,
+			TrainingPos:   hs.TrainingPos,
+			TrainingNeg:   hs.TrainingNeg,
+			RouterReady:   hs.Ready,
+			BandLo:        hs.BandLo,
+			BandHi:        hs.BandHi,
+			Risk:          hs.Risk,
+			SpentDollars:  hs.SpentDollars,
+			BudgetDollars: hs.BudgetDollars,
+		})
+	}
+	sort.Slice(resolution, func(a, b int) bool { return resolution[a].Table < resolution[b].Table })
 	writeJSON(w, http.StatusOK, map[string]any{
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"goroutines":     runtime.NumGoroutine(),
 		"tables":         len(sessions),
 		"sessions":       sessions,
 		"tenants":        tenants,
+		"resolution":     resolution,
 		"admission":      s.admission.Stats(),
 	})
 }

@@ -49,10 +49,14 @@ const (
 // to the verdict cache, and an opaque configuration blob (crowderd
 // persists the table-creation request so recovery can rebuild the same
 // Options). Fields merge: a later Meta overrides only the fields it sets.
+// Spent is the session's cumulative crowd spend in dollars — the hybrid
+// router's budget accounting — logged as a running total so the latest
+// Meta alone restores it.
 type Meta struct {
 	Schema     []string        `json:"schema,omitempty"`
 	Aggregator string          `json:"aggregator,omitempty"`
 	Config     json.RawMessage `json:"config,omitempty"`
+	Spent      float64         `json:"spent,omitempty"`
 }
 
 func (*Meta) tag() byte     { return tagMeta }
@@ -104,6 +108,15 @@ type DeduceOp struct {
 	Likelihood float64                `json:"lik"`
 }
 
+// MachineOp records a cache PutMachine: a pair the hybrid router's
+// classifier resolved outside its uncertainty band, with the calibrated
+// match confidence the router assigned. No HIT was issued.
+type MachineOp struct {
+	Pair       record.Pair `json:"pair"`
+	Likelihood float64     `json:"lik"`
+	Posterior  float64     `json:"post"`
+}
+
 // PairVal carries one pair's posterior.
 type PairVal struct {
 	Pair record.Pair `json:"pair"`
@@ -117,6 +130,7 @@ type PairVal struct {
 type Op struct {
 	Put          *PutOp             `json:"put,omitempty"`
 	Deduce       *DeduceOp          `json:"ded,omitempty"`
+	Machine      *MachineOp         `json:"mach,omitempty"`
 	Answers      []aggregate.Answer `json:"ans,omitempty"`
 	Partial      []aggregate.Answer `json:"part,omitempty"`
 	Posteriors   []PairVal          `json:"post,omitempty"`

@@ -46,6 +46,9 @@ func (st *replayState) apply(ev Event) error {
 		if e.Config != nil {
 			st.meta.Config = e.Config
 		}
+		if e.Spent != 0 {
+			st.meta.Spent = e.Spent
+		}
 		st.hasMeta = true
 	case *Append:
 		st.rows = append(st.rows, e.Rows...)
@@ -66,6 +69,8 @@ func (st *replayState) apply(ev Event) error {
 				st.cache.Put(op.Put.Pair, op.Put.Likelihood)
 			case op.Deduce != nil:
 				st.cache.PutDeduced(op.Deduce.Likelihood, op.Deduce.D)
+			case op.Machine != nil:
+				st.cache.PutMachine(op.Machine.Pair, op.Machine.Likelihood, op.Machine.Posterior)
 			case op.Answers != nil:
 				st.cache.AddAnswers(op.Answers)
 			case op.Partial != nil:

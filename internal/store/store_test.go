@@ -363,3 +363,58 @@ func TestScanDirIgnoresJunk(t *testing.T) {
 		t.Errorf("snaps %v wals %v", snaps, wals)
 	}
 }
+
+// Machine verdicts and the hybrid spend counter survive both recovery
+// paths: WAL replay and snapshot+tail (compaction forces the snapshot).
+func TestMachineOpAndSpentRoundTrip(t *testing.T) {
+	for name, opts := range map[string]Options{
+		"wal":      {},
+		"snapshot": {CompactBytes: 1},
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			fl, _, err := Open(dir, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			events := []Event{
+				&Meta{Schema: []string{"name"}},
+				&Commit{Ops: []Op{
+					{Machine: &MachineOp{Pair: record.MakePair(0, 1), Likelihood: 0.8, Posterior: 0.96}},
+					{Machine: &MachineOp{Pair: record.MakePair(1, 2), Likelihood: 0.4, Posterior: 0.03}},
+				}},
+				&Meta{Spent: 1.25},
+				&Meta{Spent: 2.5}, // the running total: the last write wins
+			}
+			for _, ev := range events {
+				if err := fl.Log(ev); err != nil {
+					t.Fatalf("Log(%T): %v", ev, err)
+				}
+			}
+			if err := fl.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			fl2, rec, err := Open(dir, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer fl2.Close()
+			if rec.Meta.Spent != 2.5 {
+				t.Errorf("Spent = %v; want 2.5", rec.Meta.Spent)
+			}
+			if rec.Cache.MachineLen() != 2 {
+				t.Fatalf("MachineLen = %d; want 2", rec.Cache.MachineLen())
+			}
+			e := rec.Cache.Get(record.MakePair(0, 1))
+			if e == nil || e.Posterior != 0.96 || e.Likelihood != 0.8 {
+				t.Errorf("machine entry = %+v", e)
+			}
+			// A Spent-free Meta (e.g. a later config write) must not zero
+			// the recovered total.
+			if err := fl2.Log(&Meta{Aggregator: "dawid-skene"}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

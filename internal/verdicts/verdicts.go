@@ -36,13 +36,24 @@ const (
 	// transitive closure or negative inference; no HIT was ever issued
 	// for the pair. Entry.Deduction holds the proof.
 	Deduced
+	// Machine: the hybrid router's classifier — trained online from the
+	// session's accumulated asked and deduced verdicts — resolved the
+	// pair outside the band of uncertainty, so no HIT was issued. Like
+	// asked verdicts, machine verdicts are first-hand observations (not
+	// inferences over other pairs), so transitivity may deduce over them;
+	// like every cache entry, they are never re-asked by later deltas.
+	Machine
 )
 
 func (p Provenance) String() string {
-	if p == Deduced {
+	switch p {
+	case Deduced:
 		return "deduced-from"
+	case Machine:
+		return "machine"
+	default:
+		return "asked"
 	}
-	return "asked"
 }
 
 // Entry is the cached state of one judged pair.
@@ -172,12 +183,13 @@ func (c *Cache) Get(p record.Pair) *Entry {
 
 // Put creates (or returns) the entry for the pair, recording its machine
 // likelihood on first insertion. A pair previously known only by
-// deduction that is now asked directly upgrades to an asked entry: the
-// crowd's own judgment supersedes the inference.
+// deduction or by the machine classifier that is now asked directly
+// upgrades to an asked entry: the crowd's own judgment supersedes the
+// inference or the model's guess.
 func (c *Cache) Put(p record.Pair, likelihood float64) *Entry {
 	b := c.bank(p)
 	if e, ok := b.entries[p]; ok {
-		if e.Provenance == Deduced {
+		if e.Provenance == Deduced || e.Provenance == Machine {
 			e.Provenance = Asked
 			e.Deduction = nil
 			if likelihood != 0 {
@@ -191,14 +203,48 @@ func (c *Cache) Put(p record.Pair, likelihood float64) *Entry {
 	return e
 }
 
+// PutMachine records a machine-resolved verdict: the hybrid router's
+// classifier scored the pair outside its uncertainty band, so the pair
+// is judged without a HIT. The posterior is the router's calibrated
+// match confidence (> 0.5 accept, < 0.5 reject). An existing entry of
+// any provenance wins — a pair the crowd judged, deduction proved, or
+// an earlier delta machine-resolved is never re-judged.
+func (c *Cache) PutMachine(p record.Pair, likelihood, posterior float64) *Entry {
+	b := c.bank(p)
+	if e, ok := b.entries[p]; ok {
+		return e
+	}
+	e := &Entry{Pair: p, Likelihood: likelihood, Posterior: posterior, Provenance: Machine}
+	b.entries[p] = e
+	delete(b.partial, p)
+	return e
+}
+
+// MachineLen returns the number of pairs resolved by the machine
+// classifier rather than asked or deduced.
+func (c *Cache) MachineLen() int {
+	n := 0
+	for i := range c.banks {
+		for _, e := range c.banks[i].entries {
+			if e.Provenance == Machine {
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // PutDeduced records a deduced verdict with its proof. An existing asked
 // entry is never downgraded (the crowd's direct judgment wins); an
-// existing deduced entry keeps its original proof. The initial posterior
-// is the hard deduced verdict (1 or 0); each aggregation pass re-derives
-// it from the proof's supporting pairs.
+// existing deduced entry keeps its original proof. A machine entry is
+// replaced: deduction only reaches a machine-resolved pair when the
+// router has demoted that verdict for review, and a proof over
+// independent evidence supersedes the contested classifier call. The
+// initial posterior is the hard deduced verdict (1 or 0); each
+// aggregation pass re-derives it from the proof's supporting pairs.
 func (c *Cache) PutDeduced(likelihood float64, d transitivity.Deduction) *Entry {
 	b := c.bank(d.Pair)
-	if e, ok := b.entries[d.Pair]; ok {
+	if e, ok := b.entries[d.Pair]; ok && e.Provenance != Machine {
 		return e
 	}
 	e := &Entry{Pair: d.Pair, Likelihood: likelihood, Provenance: Deduced}
@@ -241,6 +287,24 @@ func (c *Cache) AskedEntries() []*Entry {
 	return out
 }
 
+// GroundEntries returns the entries carrying first-hand verdicts —
+// asked or machine-resolved, never deduced — in canonical pair order:
+// the observation sequence for rebuilding a deduction graph in a
+// hybrid session. With no machine verdicts in the cache it is exactly
+// AskedEntries.
+func (c *Cache) GroundEntries() []*Entry {
+	var out []*Entry
+	for i := range c.banks {
+		for _, e := range c.banks[i].entries {
+			if e.Provenance == Asked || e.Provenance == Machine {
+				out = append(out, e)
+			}
+		}
+	}
+	sortEntries(out)
+	return out
+}
+
 func sortEntries(es []*Entry) {
 	sort.Slice(es, func(i, j int) bool {
 		if es[i].Pair.A != es[j].Pair.A {
@@ -261,6 +325,11 @@ func (c *Cache) AddAnswers(answers []aggregate.Answer) {
 		e, ok := b.entries[a.Pair]
 		if !ok {
 			e = c.Put(a.Pair, 0)
+		}
+		if e.Provenance == Machine {
+			// Real crowd evidence supersedes the classifier's guess: the
+			// pair re-aggregates with the answer set from here on.
+			e.Provenance = Asked
 		}
 		e.Answers = append(e.Answers, a)
 		delete(b.partial, a.Pair)

@@ -238,3 +238,106 @@ func TestBindAggregator(t *testing.T) {
 		}
 	}
 }
+
+// Machine provenance: the hybrid router's verdicts enter the cache
+// first-come, never overwrite crowd or deduced judgments, and upgrade
+// to asked the moment the crowd weighs in directly.
+func TestMachineProvenanceLifecycle(t *testing.T) {
+	c := NewCache()
+	p := mk(0, 1)
+	e := c.PutMachine(p, 0.7, 0.95)
+	if e.Provenance != Machine || e.Posterior != 0.95 || e.Likelihood != 0.7 {
+		t.Fatalf("PutMachine produced %+v", e)
+	}
+	if Machine.String() != "machine" {
+		t.Errorf("Machine.String() = %q", Machine.String())
+	}
+	if c.MachineLen() != 1 || c.Len() != 1 {
+		t.Fatalf("MachineLen=%d Len=%d; want 1, 1", c.MachineLen(), c.Len())
+	}
+	// First verdict wins: a re-route of the same pair is a no-op.
+	if again := c.PutMachine(p, 0.2, 0.1); again != e || e.Posterior != 0.95 {
+		t.Error("re-PutMachine must keep the original verdict")
+	}
+	// An existing asked or deduced entry is never downgraded to machine.
+	asked := mk(1, 2)
+	c.Put(asked, 0.6)
+	if got := c.PutMachine(asked, 0.1, 0.2); got.Provenance != Asked {
+		t.Errorf("PutMachine over an asked entry changed provenance to %v", got.Provenance)
+	}
+
+	// The crowd's direct judgment supersedes the model's guess: Put and
+	// AddAnswers both upgrade machine → asked.
+	if up := c.Put(p, 0.8); up.Provenance != Asked || up.Likelihood != 0.8 {
+		t.Errorf("Put over machine entry = %+v; want asked upgrade", up)
+	}
+	if c.MachineLen() != 0 {
+		t.Errorf("MachineLen = %d after upgrade; want 0", c.MachineLen())
+	}
+	p2 := mk(2, 3)
+	c.PutMachine(p2, 0.5, 0.1)
+	c.AddAnswers([]aggregate.Answer{{Pair: p2, Worker: 1, Match: true}})
+	e2 := c.Get(p2)
+	if e2.Provenance != Asked || len(e2.Answers) != 1 {
+		t.Errorf("AddAnswers over machine entry = %+v; want asked with the answer", e2)
+	}
+}
+
+// GroundEntries is the hybrid deduction graph's observation stream:
+// asked and machine entries in canonical order, never deduced ones —
+// and exactly AskedEntries when no machine verdicts exist.
+func TestGroundEntriesOrderAndFilter(t *testing.T) {
+	c := NewCache()
+	c.PutMachine(mk(4, 5), 0.5, 0.9)
+	c.Put(mk(0, 1), 0.8)
+	c.PutDeduced(0.6, transitivity.Deduction{Pair: mk(2, 3), Match: true, Path: []record.Pair{mk(0, 1)}})
+	c.PutMachine(mk(1, 2), 0.4, 0.05)
+
+	ground := c.GroundEntries()
+	want := []record.Pair{mk(0, 1), mk(1, 2), mk(4, 5)}
+	if len(ground) != len(want) {
+		t.Fatalf("GroundEntries = %d entries; want %d", len(ground), len(want))
+	}
+	for i, e := range ground {
+		if e.Pair != want[i] {
+			t.Errorf("GroundEntries[%d] = %v; want %v", i, e.Pair, want[i])
+		}
+		if e.Provenance == Deduced {
+			t.Errorf("deduced entry %v leaked into GroundEntries", e.Pair)
+		}
+	}
+
+	plain := NewCache()
+	plain.Put(mk(0, 1), 0.8)
+	plain.Put(mk(3, 4), 0.3)
+	ge, ae := plain.GroundEntries(), plain.AskedEntries()
+	if len(ge) != len(ae) {
+		t.Fatalf("machine-free GroundEntries has %d entries; AskedEntries %d", len(ge), len(ae))
+	}
+	for i := range ge {
+		if ge[i] != ae[i] {
+			t.Errorf("machine-free GroundEntries differs from AskedEntries at %d", i)
+		}
+	}
+}
+
+// PutMachine supersedes partial fragments (the pair is judged now) and
+// machine entries survive a Dump/Restore round trip with provenance.
+func TestMachineDumpRestoreAndPartials(t *testing.T) {
+	c := NewCache()
+	p := mk(0, 1)
+	c.AddPartialAnswers([]aggregate.Answer{{Pair: p, Worker: 3, Match: true}})
+	c.PutMachine(p, 0.7, 0.88)
+	if len(c.PartialAnswers(p)) != 0 {
+		t.Error("machine judgment should clear the pair's partial answers")
+	}
+
+	restored := RestoreCache(c.Dump())
+	e := restored.Get(p)
+	if e == nil || e.Provenance != Machine || e.Posterior != 0.88 || e.Likelihood != 0.7 {
+		t.Fatalf("restored machine entry = %+v", e)
+	}
+	if restored.MachineLen() != 1 {
+		t.Errorf("restored MachineLen = %d; want 1", restored.MachineLen())
+	}
+}

@@ -114,5 +114,9 @@ func RestoreResolver(rec *Recovered, opts Options) (*Resolver, error) {
 	r.blocked = rec.Blocked
 	r.pending = append(r.pending, rec.Pending...)
 	r.resume = rec.Resume
+	// The hybrid router's budget accounting survives the crash; its
+	// learner does not need to — it is a pure function of the recovered
+	// cache and is rebuilt lazily at the next route.
+	r.spent = rec.Meta.Spent
 	return r, nil
 }

@@ -11,6 +11,7 @@ import (
 	"github.com/crowder/crowder/internal/aggregate"
 	"github.com/crowder/crowder/internal/blocking"
 	"github.com/crowder/crowder/internal/crowd"
+	"github.com/crowder/crowder/internal/learn"
 	"github.com/crowder/crowder/internal/record"
 	"github.com/crowder/crowder/internal/simjoin"
 	"github.com/crowder/crowder/internal/store"
@@ -99,6 +100,20 @@ type Resolver struct {
 	// resume carries a recovered session's in-flight HITs (set by
 	// RestoreResolver, consumed by the next delta's execute stage).
 	resume *crowd.ResumeState
+
+	// learner is the hybrid router's classifier, retrained from the
+	// verdict cache after every aggregation commit (nil until the first
+	// route of a hybrid session; rebuilt lazily after recovery — it is a
+	// pure function of the cache, so it is never persisted). Guarded by
+	// mu.
+	learner *learn.Learner
+	// lastBand and lastRisk record the uncertainty band the most recent
+	// route stage actually used, for observability (HybridStats).
+	lastBand learn.Band
+	lastRisk float64
+	// spent is the session's cumulative crowd spend in dollars — the
+	// router's budget accounting, persisted as a running total in Meta.
+	spent float64
 }
 
 // NewResolver creates a resolution session owning the given table. The
@@ -378,7 +393,10 @@ func (r *Resolver) Verdict(p Pair) (float64, bool) {
 // judged pair, while HITs, CostDollars and ElapsedSeconds account only
 // for the work this delta actually performed (all zero when the delta
 // introduced no new candidate pairs). Calling it with no new records
-// re-aggregates and returns the current state at no crowd cost.
+// re-aggregates and returns the current state at no crowd cost — except
+// in a hybrid session, where an empty delta still runs the router's
+// review and re-asks any machine verdicts the retrained model disputes:
+// a trailing ResolveDelta is the session's self-audit pass.
 func (r *Resolver) ResolveDelta() (*Result, error) {
 	return r.ResolveDeltaContext(context.Background())
 }

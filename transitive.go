@@ -53,7 +53,7 @@ func stageExecuteTransitive(ctx context.Context, st *resolveState) (*resolveStat
 	// has already answered. Only unanimous verdicts carry proofs. The
 	// rebuild holds the session lock shared — it only reads the cache.
 	rv.mu.RLock()
-	g := rebuildGraph(rv)
+	g := rebuildGraph(rv, st.demoted)
 	rv.mu.RUnlock()
 
 	// Savings baseline: the HITs the one-shot generate stage would have
@@ -269,8 +269,16 @@ func stageExecuteTransitive(ctx context.Context, st *resolveState) (*resolveStat
 	return st, nil
 }
 
-// rebuildGraph reconstructs the deduction graph from the cache's asked
-// verdicts. The caller holds the session lock (shared suffices).
+// rebuildGraph reconstructs the deduction graph from the cache's
+// first-hand verdicts — asked and machine-resolved. The caller holds
+// the session lock (shared suffices).
+//
+// Machine verdicts observe as strong edges: the hybrid router only
+// resolves a pair by machine when its margin clears the session's
+// configured risk bar, the same "confident enough to build proofs on"
+// standard the unanimity test applies to crowd answers. With Hybrid off
+// the cache holds no machine entries and the rebuild is bit-identical
+// to the asked-only one.
 //
 // For a sharded session the rebuild is partitioned by pair hash — each
 // shard observes its own slice of the verdict cache, in canonical order,
@@ -280,11 +288,26 @@ func stageExecuteTransitive(ctx context.Context, st *resolveState) (*resolveStat
 // a pure content hash), so the merge precondition holds and the merged
 // graph is bit-identical to the sequential rebuild: deltas deduce the
 // same verdicts with the same proofs at every shard count.
-func rebuildGraph(rv *Resolver) *transitivity.Graph {
-	asked := rv.cache.AskedEntries()
+func rebuildGraph(rv *Resolver, underReview record.PairSet) *transitivity.Graph {
+	asked := rv.cache.GroundEntries()
+	if underReview != nil {
+		// Machine verdicts the router demoted this delta are not ground
+		// truth while under review: their edges are dropped so the sweep
+		// cannot deduce a demoted pair right back from its own contested
+		// verdict. Deduction from *independent* evidence remains fine.
+		kept := asked[:0]
+		for _, e := range asked {
+			if e.Provenance == verdicts.Machine && underReview.Has(e.Pair.A, e.Pair.B) {
+				continue
+			}
+			kept = append(kept, e)
+		}
+		asked = kept
+	}
 	observe := func(g *transitivity.Graph, e *verdicts.Entry) {
 		match := e.Posterior >= 0.5
-		g.ObserveStrength(e.Pair, match, unanimous(e.Answers, match))
+		strong := e.Provenance == verdicts.Machine || unanimous(e.Answers, match)
+		g.ObserveStrength(e.Pair, match, strong)
 	}
 	shards := rv.opts.shardCount()
 	if shards <= 1 || len(asked) < 2 {
